@@ -1,0 +1,143 @@
+// Package callpath implements the calling-context machinery ValueExpert
+// uses to attribute GPU API invocations to source code: call-path capture
+// at each API call, a calling-context tree (CCT) that interns paths into
+// compact IDs, and rendering of full paths for reports (paper §4: "call
+// paths for GPU APIs" collected at runtime; §5.2: "a value flow graph is
+// context sensitive ... vertices with the same call path are merged").
+package callpath
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// Frame is one call-path entry.
+type Frame struct {
+	Func string
+	File string
+	Line int
+}
+
+// String renders the frame as func (file:line).
+func (f Frame) String() string {
+	if f.File == "" {
+		return f.Func
+	}
+	return fmt.Sprintf("%s (%s:%d)", f.Func, f.File, f.Line)
+}
+
+// ContextID identifies an interned call path. The zero ID is the root
+// (empty path).
+type ContextID uint32
+
+// Tree is a calling-context tree: a trie over frames. Paths sharing a
+// prefix share nodes, so IDs are stable and memory stays proportional to
+// the number of distinct contexts, which is how HPCToolkit-style tools
+// keep CCTs tractable. Tree is not safe for concurrent use.
+type Tree struct {
+	nodes []node // nodes[0] is the root
+}
+
+type node struct {
+	parent ContextID
+	frame  Frame
+	// children maps frame -> child id; lazily allocated.
+	children map[Frame]ContextID
+}
+
+// NewTree creates an empty CCT.
+func NewTree() *Tree {
+	return &Tree{nodes: []node{{}}}
+}
+
+// Intern returns the stable ID for the call path, inserting nodes as
+// needed. path is ordered outermost-first.
+func (t *Tree) Intern(path []Frame) ContextID {
+	cur := ContextID(0)
+	for _, f := range path {
+		n := &t.nodes[cur]
+		if n.children == nil {
+			n.children = make(map[Frame]ContextID)
+		}
+		next, ok := n.children[f]
+		if !ok {
+			next = ContextID(len(t.nodes))
+			t.nodes[cur].children[f] = next
+			t.nodes = append(t.nodes, node{parent: cur, frame: f})
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Path reconstructs the call path for id, outermost-first. An unknown ID
+// yields nil.
+func (t *Tree) Path(id ContextID) []Frame {
+	if int(id) >= len(t.nodes) {
+		return nil
+	}
+	var rev []Frame
+	for id != 0 {
+		rev = append(rev, t.nodes[id].frame)
+		id = t.nodes[id].parent
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Leaf returns the innermost frame of id's path.
+func (t *Tree) Leaf(id ContextID) Frame {
+	if id == 0 || int(id) >= len(t.nodes) {
+		return Frame{}
+	}
+	return t.nodes[id].frame
+}
+
+// Len reports the number of interned nodes, including the root.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Format renders the path for id, one frame per line, innermost last.
+func (t *Tree) Format(id ContextID) string {
+	frames := t.Path(id)
+	if len(frames) == 0 {
+		return "<root>"
+	}
+	var b strings.Builder
+	for i, f := range frames {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%*s%s", 2*i, "", f)
+	}
+	return b.String()
+}
+
+// Capture collects the current goroutine's Go call stack as frames,
+// outermost-first, skipping skip+1 frames (Capture itself plus skip).
+// This is the host-side unwinding the real tool performs with libunwind;
+// here the host program *is* a Go program, so the Go runtime provides it.
+func Capture(skip int) []Frame {
+	var pcs [64]uintptr
+	n := runtime.Callers(skip+2, pcs[:])
+	if n == 0 {
+		return nil
+	}
+	it := runtime.CallersFrames(pcs[:n])
+	var rev []Frame
+	for {
+		fr, more := it.Next()
+		rev = append(rev, Frame{Func: fr.Function, File: fr.File, Line: fr.Line})
+		if !more {
+			break
+		}
+	}
+	out := make([]Frame, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}

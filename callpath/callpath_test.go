@@ -1,0 +1,120 @@
+package callpath
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternStableAndShared(t *testing.T) {
+	tr := NewTree()
+	p1 := []Frame{{Func: "main"}, {Func: "forward"}, {Func: "fill_ongpu"}}
+	p2 := []Frame{{Func: "main"}, {Func: "forward"}, {Func: "gemm_ongpu"}}
+	id1 := tr.Intern(p1)
+	id2 := tr.Intern(p2)
+	if id1 == id2 {
+		t.Fatal("distinct paths got the same ID")
+	}
+	if tr.Intern(p1) != id1 {
+		t.Fatal("re-interning changed the ID")
+	}
+	// main and forward are shared: 1 root + 2 shared + 2 leaves = 5 nodes.
+	if tr.Len() != 5 {
+		t.Fatalf("tree has %d nodes, want 5", tr.Len())
+	}
+}
+
+func TestPathRoundTrip(t *testing.T) {
+	tr := NewTree()
+	want := []Frame{{Func: "a", File: "a.c", Line: 1}, {Func: "b", File: "b.c", Line: 2}}
+	id := tr.Intern(want)
+	got := tr.Path(id)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Path = %v, want %v", got, want)
+	}
+	if tr.Leaf(id) != want[1] {
+		t.Fatalf("Leaf = %v, want %v", tr.Leaf(id), want[1])
+	}
+}
+
+func TestRootAndUnknown(t *testing.T) {
+	tr := NewTree()
+	if got := tr.Intern(nil); got != 0 {
+		t.Fatalf("empty path interned as %d, want 0", got)
+	}
+	if tr.Path(0) != nil {
+		t.Fatal("root path should be empty")
+	}
+	if tr.Path(999) != nil {
+		t.Fatal("unknown ID should yield nil")
+	}
+	if tr.Leaf(999) != (Frame{}) {
+		t.Fatal("unknown leaf should be zero")
+	}
+	if tr.Format(0) != "<root>" {
+		t.Fatal("root format")
+	}
+}
+
+func TestFormatIndents(t *testing.T) {
+	tr := NewTree()
+	id := tr.Intern([]Frame{{Func: "outer", File: "x.c", Line: 3}, {Func: "inner"}})
+	s := tr.Format(id)
+	if !strings.Contains(s, "outer (x.c:3)") || !strings.Contains(s, "  inner") {
+		t.Fatalf("format = %q", s)
+	}
+}
+
+// Property: Path(Intern(p)) == p for arbitrary paths.
+func TestInternPathProperty(t *testing.T) {
+	tr := NewTree()
+	f := func(funcs []string, lines []uint8) bool {
+		n := len(funcs)
+		if len(lines) < n {
+			n = len(lines)
+		}
+		if n > 12 {
+			n = 12
+		}
+		path := make([]Frame, n)
+		for i := 0; i < n; i++ {
+			path[i] = Frame{Func: funcs[i], File: "f.c", Line: int(lines[i])}
+		}
+		got := tr.Path(tr.Intern(path))
+		if len(got) != len(path) {
+			return false
+		}
+		for i := range got {
+			if got[i] != path[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaptureIncludesCaller(t *testing.T) {
+	frames := capturedHelper()
+	found := false
+	for _, f := range frames {
+		if strings.Contains(f.Func, "capturedHelper") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Capture missed the calling function: %v", frames)
+	}
+	// Outermost-first: the innermost frame (capturedHelper) must come last
+	// or near-last, and certainly after testing's driver frames.
+	if len(frames) < 2 {
+		t.Fatalf("too few frames: %v", frames)
+	}
+	if !strings.Contains(frames[len(frames)-1].Func, "capturedHelper") {
+		t.Fatalf("innermost frame = %v, want capturedHelper", frames[len(frames)-1])
+	}
+}
+
+func capturedHelper() []Frame { return Capture(0) }

@@ -1,0 +1,61 @@
+// Command vxflow regenerates the paper's value-flow-graph figures as
+// Graphviz DOT files: Figure 2 (the Darknet graph with its two highlighted
+// inefficiencies) and Figure 3 (the worked construction example with its
+// vertex slice and important graph).
+//
+// Usage:
+//
+//	vxflow -fig 2 -o darknet.dot [-scale 8]
+//	vxflow -fig 3 -o figure3.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"valueexpert/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 2, "figure to regenerate: 2 (Darknet) or 3 (worked example)")
+	out := flag.String("o", "", "output DOT file (default stdout)")
+	scale := flag.Int("scale", 8, "problem-size divisor for figure 2")
+	flag.Parse()
+
+	var dot, note string
+	switch *fig {
+	case 2:
+		res, err := experiments.Figure2(experiments.Options{Scale: *scale})
+		if err != nil {
+			fail(err)
+		}
+		dot = res.DOT
+		note = fmt.Sprintf("Darknet value flow graph: %d nodes, %d edges, %d redundant (red) edges",
+			res.Nodes, res.Edges, res.RedEdges)
+	case 3:
+		res, err := experiments.Figure3(experiments.Options{})
+		if err != nil {
+			fail(err)
+		}
+		dot = res.DOT
+		note = fmt.Sprintf("Figure 3 example: full graph %d edges, slice %d edges, important graph %d edges",
+			res.Full.NumEdges(), res.Slice.NumEdges(), res.Important.NumEdges())
+	default:
+		fail(fmt.Errorf("unknown figure %d (have 2, 3)", *fig))
+	}
+
+	if *out == "" {
+		fmt.Print(dot)
+	} else if err := os.WriteFile(*out, []byte(dot), 0o644); err != nil {
+		fail(err)
+	} else {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	fmt.Fprintln(os.Stderr, note)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vxflow:", err)
+	os.Exit(1)
+}

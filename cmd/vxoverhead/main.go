@@ -1,0 +1,30 @@
+// Command vxoverhead regenerates the paper's Figure 6: ValueExpert's
+// coarse- and fine-grained profiling overhead on every workload and both
+// device profiles, using the paper's measurement configuration (no
+// sampling for coarse analysis; kernel/block sampling of 20 for
+// benchmarks and 100 with hot-kernel filtering for applications).
+//
+// Usage:
+//
+//	vxoverhead [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"valueexpert/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "problem-size divisor (1 = full scale)")
+	flag.Parse()
+
+	res, err := experiments.Figure6(experiments.Options{Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxoverhead:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+}

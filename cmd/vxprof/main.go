@@ -1,0 +1,245 @@
+// Command vxprof profiles one of the bundled workload reproductions with
+// ValueExpert and prints the annotated profile — the CLI counterpart of
+// the paper's recommended workflow (§4): run coarse-grained analysis
+// first, inspect the value flow graph, then narrow fine-grained analysis
+// to interesting kernels.
+//
+// Usage:
+//
+//	vxprof -workload Darknet [-device "RTX 2080 Ti"] [-coarse] [-fine]
+//	       [-kernels fill_kernel,gemm_kernel] [-sample 20]
+//	       [-scale 8] [-json profile.json] [-dot flow.dot] [-optimized]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"valueexpert"
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/trace"
+	"valueexpert/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "workload name (see -list)")
+		list      = flag.Bool("list", false, "list available workloads and exit")
+		device    = flag.String("device", "RTX 2080 Ti", "device profile: 'RTX 2080 Ti' or 'A100'")
+		coarse    = flag.Bool("coarse", true, "enable coarse-grained value pattern analysis")
+		fine      = flag.Bool("fine", true, "enable fine-grained value pattern analysis")
+		kernels   = flag.String("kernels", "", "comma-separated kernel filter for fine analysis")
+		sample    = flag.Int("sample", 1, "kernel/block sampling period for fine analysis")
+		scale     = flag.Int("scale", 8, "problem-size divisor (1 = full scale)")
+		jsonOut   = flag.String("json", "", "write the profile as JSON to this file")
+		dotOut    = flag.String("dot", "", "write the value flow graph as DOT to this file")
+		htmlOut   = flag.String("html", "", "write the GUI report (HTML with the SVG value flow graph) to this file")
+		reuseDist = flag.Bool("reuse", false, "additionally compute per-kernel reuse-distance histograms")
+		optimized = flag.Bool("optimized", false, "run the paper-optimized variant instead of the original")
+		recordOut = flag.String("record", "", "record the API+access trace to this file instead of analyzing")
+		replayIn  = flag.String("replay", "", "analyze a previously recorded trace instead of running a workload")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Println(w.Name())
+		}
+		return
+	}
+	if *replayIn != "" {
+		if err := replayRun(*replayIn, *device, *coarse, *fine, *reuseDist, *kernels, *sample, *jsonOut, *dotOut, *htmlOut); err != nil {
+			fmt.Fprintln(os.Stderr, "vxprof:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "vxprof: -workload is required (try -list)")
+		os.Exit(2)
+	}
+	if *recordOut != "" {
+		if err := recordRun(*workload, *device, *scale, *recordOut, *optimized); err != nil {
+			fmt.Fprintln(os.Stderr, "vxprof:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*workload, *device, *coarse, *fine, *reuseDist, *kernels, *sample, *scale, *jsonOut, *dotOut, *htmlOut, *optimized); err != nil {
+		fmt.Fprintln(os.Stderr, "vxprof:", err)
+		os.Exit(1)
+	}
+}
+
+// recordRun captures a workload's API+access trace for later analysis.
+func recordRun(workload, device string, scale int, out string, optimized bool) error {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return err
+	}
+	prof, err := gpu.ProfileByName(device)
+	if err != nil {
+		return err
+	}
+	if scale > 0 {
+		workloads.Scale = scale
+	}
+	rt := cuda.NewRuntime(prof)
+	rec := trace.Record(rt)
+	variant := workloads.Original
+	if optimized {
+		variant = workloads.Optimized
+	}
+	if err := w.Run(rt, variant); err != nil {
+		return fmt.Errorf("recording %s: %w", w.Name(), err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := rec.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d events (%d bytes) to %s\n", rec.Events(), n, out)
+	return nil
+}
+
+// replayRun analyzes a recorded trace offline.
+func replayRun(in, device string, coarse, fine, reuseDist bool, kernels string, sample int, jsonOut, dotOut, htmlOut string) error {
+	prof, err := gpu.ProfileByName(device)
+	if err != nil {
+		return err
+	}
+	var filter func(string) bool
+	if kernels != "" {
+		set := map[string]bool{}
+		for _, k := range strings.Split(kernels, ",") {
+			set[strings.TrimSpace(k)] = true
+		}
+		filter = func(name string) bool { return set[name] }
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var p *valueexpert.Profiler
+	err = trace.Replay(f, prof, func(rt *cuda.Runtime) {
+		p = valueexpert.Attach(rt, valueexpert.Config{
+			Coarse: coarse, Fine: fine, ReuseDistance: reuseDist,
+			KernelFilter:         filter,
+			KernelSamplingPeriod: sample,
+			BlockSamplingPeriod:  sample,
+			Program:              in,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	rep := p.Report()
+	fmt.Print(rep.Text())
+	printSuggestions(p, rep, coarse)
+	return writeArtifacts(p, rep, coarse, jsonOut, dotOut, htmlOut)
+}
+
+func run(workload, device string, coarse, fine, reuseDist bool, kernels string, sample, scale int, jsonOut, dotOut, htmlOut string, optimized bool) error {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return err
+	}
+	prof, err := gpu.ProfileByName(device)
+	if err != nil {
+		return err
+	}
+	if scale > 0 {
+		workloads.Scale = scale
+	}
+
+	var filter func(string) bool
+	if kernels != "" {
+		set := map[string]bool{}
+		for _, k := range strings.Split(kernels, ",") {
+			set[strings.TrimSpace(k)] = true
+		}
+		filter = func(name string) bool { return set[name] }
+	}
+
+	rt := cuda.NewRuntime(prof)
+	p := valueexpert.Attach(rt, valueexpert.Config{
+		Coarse:               coarse,
+		Fine:                 fine,
+		ReuseDistance:        reuseDist,
+		KernelFilter:         filter,
+		KernelSamplingPeriod: sample,
+		BlockSamplingPeriod:  sample,
+		Program:              w.Name(),
+	})
+
+	variant := workloads.Original
+	if optimized {
+		variant = workloads.Optimized
+	}
+	if err := w.Run(rt, variant); err != nil {
+		return fmt.Errorf("running %s: %w", w.Name(), err)
+	}
+
+	rep := p.Report()
+	fmt.Print(rep.Text())
+	printSuggestions(p, rep, coarse)
+	return writeArtifacts(p, rep, coarse, jsonOut, dotOut, htmlOut)
+}
+
+// printSuggestions runs the advisor over the findings.
+func printSuggestions(p *valueexpert.Profiler, rep *valueexpert.Report, coarse bool) {
+	var g *valueexpert.Graph
+	if coarse {
+		g = p.Graph()
+	}
+	if sugs := valueexpert.Suggest(rep, g); len(sugs) > 0 {
+		fmt.Println()
+		fmt.Print(valueexpert.RenderSuggestions(sugs, 10))
+	}
+}
+
+// writeArtifacts emits the optional JSON/DOT/HTML outputs.
+func writeArtifacts(p *valueexpert.Profiler, rep *valueexpert.Report, coarse bool, jsonOut, dotOut, htmlOut string) error {
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonOut)
+	}
+	if dotOut != "" {
+		dot := p.Graph().DOT(valueexpert.DOTOptions{
+			Title:        fmt.Sprintf("%s value flow graph", rep.Program),
+			WithContexts: true,
+		})
+		if err := os.WriteFile(dotOut, []byte(dot), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", dotOut)
+	}
+	if htmlOut != "" {
+		var g *valueexpert.Graph
+		if coarse {
+			g = p.Graph()
+		}
+		page := valueexpert.RenderHTML(rep, g, valueexpert.HTMLOptions{})
+		if err := os.WriteFile(htmlOut, []byte(page), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", htmlOut)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunProducesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	jsonOut := filepath.Join(dir, "p.json")
+	dotOut := filepath.Join(dir, "g.dot")
+	htmlOut := filepath.Join(dir, "r.html")
+
+	err := run("Darknet", "RTX 2080 Ti", true, true, true,
+		"fill_kernel,gemm_kernel", 1, 64, jsonOut, dotOut, htmlOut, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := os.ReadFile(jsonOut)
+	if err != nil || !strings.Contains(string(js), "\"tool\": \"ValueExpert\"") {
+		t.Fatalf("json artifact: %v", err)
+	}
+	dot, err := os.ReadFile(dotOut)
+	if err != nil || !strings.Contains(string(dot), "digraph") {
+		t.Fatalf("dot artifact: %v", err)
+	}
+	page, err := os.ReadFile(htmlOut)
+	if err != nil || !strings.Contains(string(page), "<svg") {
+		t.Fatalf("html artifact: %v", err)
+	}
+}
+
+func TestRunOptimizedVariant(t *testing.T) {
+	if err := run("PyTorch-Deepwave", "A100", true, false, false,
+		"", 1, 64, "", "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "run.trace")
+	if err := recordRun("PyTorch-Bert", "RTX 2080 Ti", 64, traceOut, false); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(traceOut); err != nil || st.Size() == 0 {
+		t.Fatalf("trace artifact: %v", err)
+	}
+	jsonOut := filepath.Join(dir, "replayed.json")
+	if err := replayRun(traceOut, "RTX 2080 Ti", true, true, false, "", 1, jsonOut, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	js, err := os.ReadFile(jsonOut)
+	if err != nil || !strings.Contains(string(js), "redundant") {
+		t.Fatalf("replay analysis missing findings: %v", err)
+	}
+	if err := replayRun(filepath.Join(dir, "missing.trace"), "A100", true, false, false, "", 1, "", "", ""); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("NoSuchApp", "A100", true, true, false, "", 1, 64, "", "", "", false); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run("Darknet", "H100", true, true, false, "", 1, 64, "", "", "", false); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}

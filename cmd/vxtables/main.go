@@ -1,0 +1,56 @@
+// Command vxtables regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	vxtables -table 1|3|4|5 [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"valueexpert/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 3, "table number to regenerate: 1, 3, 4, or 5")
+	scale := flag.Int("scale", 1, "problem-size divisor (1 = full scale)")
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale}
+	var out string
+	var err error
+	switch *table {
+	case 1:
+		var res *experiments.Table1Result
+		if res, err = experiments.Table1(opts); err == nil {
+			out = res.Render()
+			if missing := res.MissingExpected(); len(missing) > 0 {
+				out += fmt.Sprintf("\nWARNING: patterns expected by the paper but not detected: %v\n", missing)
+			}
+		}
+	case 3:
+		var res *experiments.Table3Result
+		if res, err = experiments.Table3(opts); err == nil {
+			out = res.Render()
+		}
+	case 4:
+		var res *experiments.Table3Result
+		if res, err = experiments.Table3(opts); err == nil {
+			out = res.RenderTable4()
+		}
+	case 5:
+		var res *experiments.Table5Result
+		if res, err = experiments.Table5(opts); err == nil {
+			out = res.Render()
+		}
+	default:
+		err = fmt.Errorf("unknown table %d (have 1, 3, 4, 5)", *table)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxtables:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

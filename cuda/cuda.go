@@ -1,0 +1,347 @@
+// Package cuda is a CUDA-like runtime over the simulated GPU device: the
+// substrate GPU programs in this repository run on, and the API surface
+// ValueExpert's data collector overloads. It provides memory management
+// (Malloc/Free), host↔device copies, memsets, streams, and kernel
+// launches, each emitting an interception event carrying the information
+// the paper's collector captures — API kind, affected device ranges, the
+// host call path, and simulated timing.
+//
+// The real tool intercepts the cudaMemcpy/cudaMemset families and kernel
+// launches via dynamic linking; here interception is first-class: install
+// an Interceptor with Runtime.SetInterceptor.
+package cuda
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"valueexpert/callpath"
+	"valueexpert/gpu"
+)
+
+// DevPtr is a device global-memory address, the analog of a CUDA device
+// pointer. The zero DevPtr is the null device pointer.
+type DevPtr uint64
+
+// Offset returns the pointer advanced by n bytes.
+func (p DevPtr) Offset(n uint64) DevPtr { return p + DevPtr(n) }
+
+// APIKind classifies runtime API invocations.
+type APIKind uint8
+
+// API kinds, mirroring the GPU APIs the collector overloads (§4).
+const (
+	APIMalloc APIKind = iota
+	APIFree
+	APIMemcpy
+	APIMemset
+	APILaunch
+)
+
+// String names the API kind like the corresponding CUDA entry point.
+func (k APIKind) String() string {
+	switch k {
+	case APIMalloc:
+		return "cudaMalloc"
+	case APIFree:
+		return "cudaFree"
+	case APIMemcpy:
+		return "cudaMemcpy"
+	case APIMemset:
+		return "cudaMemset"
+	case APILaunch:
+		return "cudaLaunchKernel"
+	}
+	return fmt.Sprintf("APIKind(%d)", uint8(k))
+}
+
+// APIEvent describes one runtime API invocation as seen by interceptors.
+type APIEvent struct {
+	Seq    int     // global API sequence number, 1-based
+	Kind   APIKind // which API
+	Name   string  // kernel name for launches, API name otherwise
+	Stream int     // issuing stream ID (0 = default stream)
+
+	// Frames is the host call path at the invocation, outermost-first.
+	Frames []callpath.Frame
+
+	// Memory operation fields. For Memcpy, Dst/Src are device addresses
+	// or 0 when the corresponding side is host memory. For Memset and
+	// Malloc/Free, Dst is the device address.
+	Dst, Src    uint64
+	Bytes       uint64
+	CopyKind    gpu.CopyKind
+	MemsetValue byte
+
+	// HostSrc holds the host bytes of a host-to-device copy, letting the
+	// profiler compare host data against device snapshots (duplicate
+	// values across the CPU-GPU boundary, §3.1).
+	HostSrc []byte
+
+	// Launch fields.
+	Kernel   gpu.Kernel
+	Grid     gpu.Dim3
+	Block    gpu.Dim3
+	Counters gpu.LaunchCounters
+
+	// Duration is the simulated device time of the operation, filled in
+	// by the end of the call.
+	Duration time.Duration
+}
+
+// Interceptor observes runtime API calls. Begin runs before the device
+// effect, End after. Instrumentation is consulted once per launch; a nil
+// hook leaves the kernel uninstrumented.
+type Interceptor interface {
+	APIBegin(ev *APIEvent)
+	APIEnd(ev *APIEvent)
+	// Instrumentation returns the access hook and block filter for the
+	// upcoming launch of the named kernel.
+	Instrumentation(kernelName string) (hook gpu.AccessFunc, blockFilter func(int32) bool)
+}
+
+// Runtime is a per-device runtime instance. It is not safe for concurrent
+// use: like ValueExpert's collector, it serializes all streams.
+type Runtime struct {
+	dev   *gpu.Device
+	icept Interceptor
+	seq   int
+
+	// synthetic is an optional application-provided call-stack used in
+	// place of the Go stack, letting workload reproductions present the
+	// original application's frames in reports.
+	synthetic []callpath.Frame
+
+	nextStream int
+}
+
+// NewRuntime creates a runtime on a fresh device with the given profile.
+func NewRuntime(prof gpu.Profile) *Runtime {
+	return &Runtime{dev: gpu.New(prof), nextStream: 1}
+}
+
+// Device exposes the underlying simulated device (memory and counters).
+func (r *Runtime) Device() *gpu.Device { return r.dev }
+
+// SetInterceptor installs the profiler's interception hooks; nil removes
+// them (native execution).
+func (r *Runtime) SetInterceptor(i Interceptor) { r.icept = i }
+
+// PushFrame appends a synthetic host stack frame; PopFrame removes it.
+// While any synthetic frames are pushed, API events carry the synthetic
+// stack instead of the Go runtime stack.
+func (r *Runtime) PushFrame(f callpath.Frame) { r.synthetic = append(r.synthetic, f) }
+
+// PopFrame removes the innermost synthetic frame.
+func (r *Runtime) PopFrame() {
+	if n := len(r.synthetic); n > 0 {
+		r.synthetic = r.synthetic[:n-1]
+	}
+}
+
+// InFrame runs fn with f pushed on the synthetic stack.
+func (r *Runtime) InFrame(f callpath.Frame, fn func()) {
+	r.PushFrame(f)
+	defer r.PopFrame()
+	fn()
+}
+
+func (r *Runtime) frames() []callpath.Frame {
+	if len(r.synthetic) > 0 {
+		out := make([]callpath.Frame, len(r.synthetic))
+		copy(out, r.synthetic)
+		return out
+	}
+	fr := callpath.Capture(2)
+	// Trim Go-runtime scaffolding from the top and this package's own
+	// wrappers from the bottom: reports should show application frames,
+	// like the real tool's unwinder stopping at the CUDA entry point.
+	for len(fr) > 0 && strings.HasPrefix(fr[0].Func, "runtime.") {
+		fr = fr[1:]
+	}
+	for len(fr) > 0 && strings.HasPrefix(fr[len(fr)-1].Func, "valueexpert/cuda.") {
+		fr = fr[:len(fr)-1]
+	}
+	return fr
+}
+
+func (r *Runtime) begin(ev *APIEvent) {
+	r.seq++
+	ev.Seq = r.seq
+	ev.Frames = r.frames()
+	if r.icept != nil {
+		r.icept.APIBegin(ev)
+	}
+}
+
+func (r *Runtime) end(ev *APIEvent) {
+	if r.icept != nil {
+		r.icept.APIEnd(ev)
+	}
+}
+
+// Malloc allocates size bytes of device memory tagged for reports.
+func (r *Runtime) Malloc(size uint64, tag string) (DevPtr, error) {
+	ev := APIEvent{Kind: APIMalloc, Name: "cudaMalloc", Bytes: size}
+	r.begin(&ev)
+	a, err := r.dev.Mem.Alloc(size, tag)
+	if err != nil {
+		return 0, fmt.Errorf("cudaMalloc(%q, %d): %w", tag, size, err)
+	}
+	r.dev.RecordAlloc(size)
+	ev.Dst = a.Addr
+	r.end(&ev)
+	return DevPtr(a.Addr), nil
+}
+
+// Free releases device memory previously returned by Malloc.
+func (r *Runtime) Free(p DevPtr) error {
+	ev := APIEvent{Kind: APIFree, Name: "cudaFree", Dst: uint64(p)}
+	r.begin(&ev)
+	if err := r.dev.Mem.Free(uint64(p)); err != nil {
+		return fmt.Errorf("cudaFree(%#x): %w", uint64(p), err)
+	}
+	r.end(&ev)
+	return nil
+}
+
+// MemcpyH2D copies src (host) to dst (device).
+func (r *Runtime) MemcpyH2D(dst DevPtr, src []byte) error {
+	return r.memcpyH2D(0, dst, src)
+}
+
+func (r *Runtime) memcpyH2D(stream int, dst DevPtr, src []byte) error {
+	ev := APIEvent{
+		Kind: APIMemcpy, Name: "cudaMemcpy", Stream: stream,
+		Dst: uint64(dst), Bytes: uint64(len(src)),
+		CopyKind: gpu.CopyHostToDevice, HostSrc: src,
+	}
+	r.begin(&ev)
+	if err := r.dev.Mem.Write(uint64(dst), src); err != nil {
+		return fmt.Errorf("cudaMemcpy H2D: %w", err)
+	}
+	ev.Duration = r.dev.RecordCopy(uint64(len(src)), gpu.CopyHostToDevice)
+	r.end(&ev)
+	return nil
+}
+
+// MemcpyD2H copies src (device) to dst (host).
+func (r *Runtime) MemcpyD2H(dst []byte, src DevPtr) error {
+	ev := APIEvent{
+		Kind: APIMemcpy, Name: "cudaMemcpy",
+		Src: uint64(src), Bytes: uint64(len(dst)),
+		CopyKind: gpu.CopyDeviceToHost,
+	}
+	r.begin(&ev)
+	if err := r.dev.Mem.Read(uint64(src), dst); err != nil {
+		return fmt.Errorf("cudaMemcpy D2H: %w", err)
+	}
+	ev.Duration = r.dev.RecordCopy(uint64(len(dst)), gpu.CopyDeviceToHost)
+	r.end(&ev)
+	return nil
+}
+
+// MemcpyD2D copies n bytes from src to dst, both on device.
+func (r *Runtime) MemcpyD2D(dst, src DevPtr, n uint64) error {
+	ev := APIEvent{
+		Kind: APIMemcpy, Name: "cudaMemcpy",
+		Dst: uint64(dst), Src: uint64(src), Bytes: n,
+		CopyKind: gpu.CopyDeviceToDevice,
+	}
+	r.begin(&ev)
+	buf := make([]byte, n)
+	if err := r.dev.Mem.Read(uint64(src), buf); err != nil {
+		return fmt.Errorf("cudaMemcpy D2D read: %w", err)
+	}
+	if err := r.dev.Mem.Write(uint64(dst), buf); err != nil {
+		return fmt.Errorf("cudaMemcpy D2D write: %w", err)
+	}
+	ev.Duration = r.dev.RecordCopy(n, gpu.CopyDeviceToDevice)
+	r.end(&ev)
+	return nil
+}
+
+// Memset fills n bytes at p with value b.
+func (r *Runtime) Memset(p DevPtr, b byte, n uint64) error {
+	return r.memset(0, p, b, n)
+}
+
+func (r *Runtime) memset(stream int, p DevPtr, b byte, n uint64) error {
+	ev := APIEvent{
+		Kind: APIMemset, Name: "cudaMemset", Stream: stream,
+		Dst: uint64(p), Bytes: n, MemsetValue: b,
+	}
+	r.begin(&ev)
+	if err := r.dev.Mem.Set(uint64(p), b, n); err != nil {
+		return fmt.Errorf("cudaMemset: %w", err)
+	}
+	ev.Duration = r.dev.RecordMemset(n)
+	r.end(&ev)
+	return nil
+}
+
+// Launch runs kernel k over the given grid and block dimensions on the
+// default stream, synchronously (the collector serializes streams).
+func (r *Runtime) Launch(k gpu.Kernel, grid, block gpu.Dim3) error {
+	return r.launch(0, k, grid, block)
+}
+
+func (r *Runtime) launch(stream int, k gpu.Kernel, grid, block gpu.Dim3) error {
+	ev := APIEvent{
+		Kind: APILaunch, Name: k.KernelName(), Stream: stream,
+		Kernel: k, Grid: grid, Block: block,
+	}
+	r.begin(&ev)
+	var hook gpu.AccessFunc
+	var filter func(int32) bool
+	if r.icept != nil {
+		hook, filter = r.icept.Instrumentation(k.KernelName())
+	}
+	if err := k.Execute(r.dev, grid, block, hook, filter, &ev.Counters); err != nil {
+		return fmt.Errorf("cudaLaunchKernel(%s): %w", k.KernelName(), err)
+	}
+	ev.Duration = r.dev.RecordLaunch(ev.Counters)
+	r.end(&ev)
+	return nil
+}
+
+// Synchronize waits for all device work; with serialized streams it only
+// exists for API fidelity.
+func (r *Runtime) Synchronize() {}
+
+// Stream is an ordered work queue. The runtime serializes all streams, as
+// ValueExpert's collector does, so stream operations execute immediately
+// in issue order while recording their stream ID for reports.
+type Stream struct {
+	id int
+	r  *Runtime
+}
+
+// NewStream creates a stream with a fresh nonzero ID.
+func (r *Runtime) NewStream() *Stream {
+	s := &Stream{id: r.nextStream, r: r}
+	r.nextStream++
+	return s
+}
+
+// ID returns the stream identifier.
+func (s *Stream) ID() int { return s.id }
+
+// MemcpyH2DAsync issues an H2D copy on the stream.
+func (s *Stream) MemcpyH2DAsync(dst DevPtr, src []byte) error {
+	return s.r.memcpyH2D(s.id, dst, src)
+}
+
+// MemsetAsync issues a memset on the stream.
+func (s *Stream) MemsetAsync(p DevPtr, b byte, n uint64) error {
+	return s.r.memset(s.id, p, b, n)
+}
+
+// Launch issues a kernel launch on the stream.
+func (s *Stream) Launch(k gpu.Kernel, grid, block gpu.Dim3) error {
+	return s.r.launch(s.id, k, grid, block)
+}
+
+// Synchronize waits for the stream's work (immediate under serialization).
+func (s *Stream) Synchronize() {}

@@ -1,0 +1,303 @@
+package cuda
+
+import (
+	"testing"
+
+	"valueexpert/callpath"
+	"valueexpert/gpu"
+)
+
+// recordingInterceptor logs all API events and instruments every launch.
+type recordingInterceptor struct {
+	begins, ends []APIEvent
+	accesses     []gpu.Access
+	filterEven   bool
+}
+
+func (ri *recordingInterceptor) APIBegin(ev *APIEvent) { ri.begins = append(ri.begins, *ev) }
+func (ri *recordingInterceptor) APIEnd(ev *APIEvent)   { ri.ends = append(ri.ends, *ev) }
+func (ri *recordingInterceptor) Instrumentation(string) (gpu.AccessFunc, func(int32) bool) {
+	hook := func(a gpu.Access) { ri.accesses = append(ri.accesses, a) }
+	if ri.filterEven {
+		return hook, func(b int32) bool { return b%2 == 0 }
+	}
+	return hook, nil
+}
+
+func fillKernel(dst DevPtr, val float32, n int) *gpu.GoKernel {
+	return &gpu.GoKernel{
+		Name: "fill_kernel",
+		Func: func(t *gpu.Thread) {
+			i := t.GlobalID()
+			if i >= n {
+				return
+			}
+			t.StoreF32(0, uint64(dst)+uint64(4*i), val)
+		},
+	}
+}
+
+func TestMallocMemsetMemcpyRoundTrip(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	p, err := r.Malloc(64, "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Memset(p, 0x5A, 64); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := r.MemcpyD2H(got, p); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0x5A {
+			t.Fatalf("byte %d = %#x", i, b)
+		}
+	}
+	src := make([]byte, 32)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := r.MemcpyH2D(p.Offset(16), src); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := r.Malloc(32, "buf2")
+	if err := r.MemcpyD2D(q, p.Offset(16), 32); err != nil {
+		t.Fatal(err)
+	}
+	got2 := make([]byte, 32)
+	if err := r.MemcpyD2H(got2, q); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got2[i] != src[i] {
+			t.Fatalf("D2D byte %d = %#x, want %#x", i, got2[i], src[i])
+		}
+	}
+	if err := r.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Free(p); err == nil {
+		t.Fatal("double free succeeded")
+	}
+}
+
+func TestInterceptorSeesEverything(t *testing.T) {
+	r := NewRuntime(gpu.A100)
+	ri := &recordingInterceptor{}
+	r.SetInterceptor(ri)
+
+	p, _ := r.Malloc(4*128, "x")
+	if err := r.Memset(p, 0, 4*128); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Launch(fillKernel(p, 3, 128), gpu.Dim1(2), gpu.Dim1(64)); err != nil {
+		t.Fatal(err)
+	}
+	host := make([]byte, 16)
+	if err := r.MemcpyD2H(host, p); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(ri.begins) != 4 || len(ri.ends) != 4 {
+		t.Fatalf("events: %d begins, %d ends, want 4 each", len(ri.begins), len(ri.ends))
+	}
+	wantKinds := []APIKind{APIMalloc, APIMemset, APILaunch, APIMemcpy}
+	for i, k := range wantKinds {
+		if ri.ends[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, ri.ends[i].Kind, k)
+		}
+		if ri.ends[i].Seq != i+1 {
+			t.Fatalf("event %d seq = %d", i, ri.ends[i].Seq)
+		}
+	}
+	launch := ri.ends[2]
+	if launch.Name != "fill_kernel" || launch.Counters.Stores != 128 || launch.Duration <= 0 {
+		t.Fatalf("launch event = %+v", launch)
+	}
+	if len(ri.accesses) != 128 {
+		t.Fatalf("instrumented accesses = %d, want 128", len(ri.accesses))
+	}
+	// Memcpy event must carry direction and size.
+	cp := ri.ends[3]
+	if cp.CopyKind != gpu.CopyDeviceToHost || cp.Bytes != 16 || cp.Src != uint64(p) {
+		t.Fatalf("memcpy event = %+v", cp)
+	}
+}
+
+func TestBlockFilterFromInterceptor(t *testing.T) {
+	r := NewRuntime(gpu.A100)
+	ri := &recordingInterceptor{filterEven: true}
+	r.SetInterceptor(ri)
+	p, _ := r.Malloc(4*256, "x")
+	if err := r.Launch(fillKernel(p, 1, 256), gpu.Dim1(4), gpu.Dim1(64)); err != nil {
+		t.Fatal(err)
+	}
+	if len(ri.accesses) != 128 {
+		t.Fatalf("sampled accesses = %d, want 128 (half the blocks)", len(ri.accesses))
+	}
+}
+
+func TestSyntheticFrames(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	ri := &recordingInterceptor{}
+	r.SetInterceptor(ri)
+	r.InFrame(callpath.Frame{Func: "make_convolutional_layer", File: "convolutional_layer.c", Line: 553}, func() {
+		if _, err := r.Malloc(64, "l.output_gpu"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ev := ri.ends[0]
+	if len(ev.Frames) != 1 || ev.Frames[0].Func != "make_convolutional_layer" {
+		t.Fatalf("frames = %v", ev.Frames)
+	}
+	// After popping, Go frames are captured instead.
+	if _, err := r.Malloc(64, "other"); err != nil {
+		t.Fatal(err)
+	}
+	if len(ri.ends[1].Frames) == 0 {
+		t.Fatal("expected captured Go frames")
+	}
+}
+
+func TestHostSrcCarriedOnH2D(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	ri := &recordingInterceptor{}
+	r.SetInterceptor(ri)
+	p, _ := r.Malloc(8, "x")
+	src := []byte{9, 8, 7, 6, 5, 4, 3, 2}
+	if err := r.MemcpyH2D(p, src); err != nil {
+		t.Fatal(err)
+	}
+	var ev *APIEvent
+	for i := range ri.ends {
+		if ri.ends[i].Kind == APIMemcpy {
+			ev = &ri.ends[i]
+		}
+	}
+	if ev == nil || len(ev.HostSrc) != 8 || ev.HostSrc[0] != 9 {
+		t.Fatalf("H2D event missing host source: %+v", ev)
+	}
+}
+
+func TestStreamsSerializeInIssueOrder(t *testing.T) {
+	r := NewRuntime(gpu.A100)
+	ri := &recordingInterceptor{}
+	r.SetInterceptor(ri)
+	s1, s2 := r.NewStream(), r.NewStream()
+	if s1.ID() == s2.ID() || s1.ID() == 0 {
+		t.Fatal("stream IDs must be distinct and nonzero")
+	}
+	p, _ := r.Malloc(4*64, "x")
+	if err := s1.MemsetAsync(p, 0, 4*64); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Launch(fillKernel(p, 2, 64), gpu.Dim1(1), gpu.Dim1(64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.MemcpyH2DAsync(p, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	s1.Synchronize()
+	s2.Synchronize()
+	r.Synchronize()
+	// Events arrive in issue order with the right stream IDs.
+	var streams []int
+	for _, ev := range ri.ends[1:] {
+		streams = append(streams, ev.Stream)
+	}
+	want := []int{s1.ID(), s2.ID(), s1.ID()}
+	for i := range want {
+		if streams[i] != want[i] {
+			t.Fatalf("stream order = %v, want %v", streams, want)
+		}
+	}
+}
+
+func TestTypedViews(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	f32, _ := r.MallocF32(4, "f32")
+	if err := r.CopyF32ToDevice(f32, []float32{1.5, -2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	gotF := make([]float32, 4)
+	if err := r.CopyF32FromDevice(gotF, f32); err != nil {
+		t.Fatal(err)
+	}
+	if gotF[0] != 1.5 || gotF[1] != -2 {
+		t.Fatalf("f32 round trip = %v", gotF)
+	}
+
+	f64, _ := r.MallocF64(3, "f64")
+	if err := r.CopyF64ToDevice(f64, []float64{1e100, -2.5, 0}); err != nil {
+		t.Fatal(err)
+	}
+	gotD := make([]float64, 3)
+	if err := r.CopyF64FromDevice(gotD, f64); err != nil {
+		t.Fatal(err)
+	}
+	if gotD[0] != 1e100 || gotD[1] != -2.5 {
+		t.Fatalf("f64 round trip = %v", gotD)
+	}
+
+	i32, _ := r.MallocI32(3, "i32")
+	if err := r.CopyI32ToDevice(i32, []int32{-7, 0, 7}); err != nil {
+		t.Fatal(err)
+	}
+	gotI := make([]int32, 3)
+	if err := r.CopyI32FromDevice(gotI, i32); err != nil {
+		t.Fatal(err)
+	}
+	if gotI[0] != -7 || gotI[2] != 7 {
+		t.Fatalf("i32 round trip = %v", gotI)
+	}
+
+	u8, _ := r.MallocU8(2, "u8")
+	if err := r.CopyU8ToDevice(u8, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	gotB := make([]byte, 2)
+	if err := r.CopyU8FromDevice(gotB, u8); err != nil {
+		t.Fatal(err)
+	}
+	if gotB[0] != 0xAA || gotB[1] != 0xBB {
+		t.Fatalf("u8 round trip = %v", gotB)
+	}
+}
+
+func TestAPIKindString(t *testing.T) {
+	names := map[APIKind]string{
+		APIMalloc: "cudaMalloc", APIFree: "cudaFree", APIMemcpy: "cudaMemcpy",
+		APIMemset: "cudaMemset", APILaunch: "cudaLaunchKernel",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if APIKind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestLaunchErrorPropagates(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	bad := &gpu.GoKernel{
+		Name: "oob",
+		Func: func(t *gpu.Thread) { t.StoreU32(0, 0x1000, 1) },
+	}
+	if err := r.Launch(bad, gpu.Dim1(1), gpu.Dim1(1)); err == nil {
+		t.Fatal("faulting kernel launch succeeded")
+	}
+}
+
+func TestMustMallocPanics(t *testing.T) {
+	r := NewRuntime(gpu.Profile{Name: "tiny", MemBytes: 16})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMalloc did not panic on exhaustion")
+		}
+	}()
+	r.MustMalloc(1<<30, "huge")
+}

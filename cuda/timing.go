@@ -1,0 +1,81 @@
+package cuda
+
+import (
+	"sort"
+	"time"
+
+	"valueexpert/gpu"
+)
+
+// TimeCollector is a lightweight interceptor that records per-kernel and
+// memory-operation simulated times without instrumenting accesses — the
+// Nsight-Systems-style timeline the paper's Table 3 measurements come
+// from. Attach with Runtime.SetInterceptor.
+type TimeCollector struct {
+	kernelTime map[string]time.Duration
+	kernelRuns map[string]int
+	memoryTime time.Duration
+	memoryOps  int
+}
+
+// NewTimeCollector creates an empty collector.
+func NewTimeCollector() *TimeCollector {
+	return &TimeCollector{
+		kernelTime: make(map[string]time.Duration),
+		kernelRuns: make(map[string]int),
+	}
+}
+
+// APIBegin implements Interceptor.
+func (t *TimeCollector) APIBegin(ev *APIEvent) {}
+
+// APIEnd implements Interceptor.
+func (t *TimeCollector) APIEnd(ev *APIEvent) {
+	switch ev.Kind {
+	case APILaunch:
+		t.kernelTime[ev.Name] += ev.Duration
+		t.kernelRuns[ev.Name]++
+	case APIMemcpy, APIMemset:
+		t.memoryTime += ev.Duration
+		t.memoryOps++
+	}
+}
+
+// Instrumentation implements Interceptor: timing only, never instrument.
+func (t *TimeCollector) Instrumentation(string) (gpu.AccessFunc, func(int32) bool) {
+	return nil, nil
+}
+
+// KernelTime returns the accumulated time of the named kernel.
+func (t *TimeCollector) KernelTime(name string) time.Duration { return t.kernelTime[name] }
+
+// KernelRuns returns the launch count of the named kernel.
+func (t *TimeCollector) KernelRuns(name string) int { return t.kernelRuns[name] }
+
+// TotalKernelTime sums all kernels.
+func (t *TimeCollector) TotalKernelTime() time.Duration {
+	var total time.Duration
+	for _, d := range t.kernelTime {
+		total += d
+	}
+	return total
+}
+
+// MemoryTime returns the accumulated memory-operation time (copies and
+// sets; allocation has no simulated duration).
+func (t *TimeCollector) MemoryTime() time.Duration { return t.memoryTime }
+
+// Kernels lists kernel names sorted by descending time.
+func (t *TimeCollector) Kernels() []string {
+	names := make([]string, 0, len(t.kernelTime))
+	for n := range t.kernelTime {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if t.kernelTime[names[i]] != t.kernelTime[names[j]] {
+			return t.kernelTime[names[i]] > t.kernelTime[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

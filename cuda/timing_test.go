@@ -1,0 +1,62 @@
+package cuda
+
+import (
+	"testing"
+
+	"valueexpert/gpu"
+)
+
+func TestTimeCollector(t *testing.T) {
+	rt := NewRuntime(gpu.RTX2080Ti)
+	tc := NewTimeCollector()
+	rt.SetInterceptor(tc)
+	if rt.Device() == nil {
+		t.Fatal("Device accessor")
+	}
+
+	p, _ := rt.Malloc(4*1024, "x")
+	if err := rt.Memset(p, 0, 4*1024); err != nil {
+		t.Fatal(err)
+	}
+	slow := fillKernel(p, 1, 1024)
+	fast := fillKernel(p, 2, 1024)
+	fast.Name = "fast"
+	slow.Name = "slow"
+	for i := 0; i < 3; i++ {
+		if err := rt.Launch(slow, gpu.Dim1(4), gpu.Dim1(256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Launch(fast, gpu.Dim1(4), gpu.Dim1(256)); err != nil {
+		t.Fatal(err)
+	}
+	host := make([]byte, 64)
+	if err := rt.MemcpyD2H(host, p); err != nil {
+		t.Fatal(err)
+	}
+	rt.Synchronize()
+
+	if tc.KernelRuns("slow") != 3 || tc.KernelRuns("fast") != 1 {
+		t.Fatalf("runs = %d/%d", tc.KernelRuns("slow"), tc.KernelRuns("fast"))
+	}
+	if tc.KernelTime("slow") <= tc.KernelTime("fast") {
+		t.Fatal("3 launches should outweigh 1")
+	}
+	if tc.TotalKernelTime() != tc.KernelTime("slow")+tc.KernelTime("fast") {
+		t.Fatal("total mismatch")
+	}
+	if tc.MemoryTime() <= 0 {
+		t.Fatal("memory time missing")
+	}
+	names := tc.Kernels()
+	if len(names) != 2 || names[0] != "slow" {
+		t.Fatalf("kernels by time = %v", names)
+	}
+	// The collector never instruments.
+	if hook, filter := tc.Instrumentation("slow"); hook != nil || filter != nil {
+		t.Fatal("TimeCollector must not instrument")
+	}
+	if tc.KernelTime("missing") != 0 || tc.KernelRuns("missing") != 0 {
+		t.Fatal("unknown kernel lookups")
+	}
+}

@@ -1,0 +1,108 @@
+package cuda
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"valueexpert/gpu"
+)
+
+// Typed transfer helpers. CUDA programs move raw bytes; applications think
+// in typed arrays. These helpers perform the byte marshalling (always
+// little-endian, matching the device) so workload code stays close to the
+// original CUDA sources it reproduces.
+
+// MallocF32 allocates an n-element float32 array.
+func (r *Runtime) MallocF32(n int, tag string) (DevPtr, error) { return r.Malloc(uint64(4*n), tag) }
+
+// MallocF64 allocates an n-element float64 array.
+func (r *Runtime) MallocF64(n int, tag string) (DevPtr, error) { return r.Malloc(uint64(8*n), tag) }
+
+// MallocI32 allocates an n-element int32/uint32 array.
+func (r *Runtime) MallocI32(n int, tag string) (DevPtr, error) { return r.Malloc(uint64(4*n), tag) }
+
+// MallocU8 allocates an n-element byte array.
+func (r *Runtime) MallocU8(n int, tag string) (DevPtr, error) { return r.Malloc(uint64(n), tag) }
+
+// CopyF32ToDevice copies a float32 slice to device memory at dst.
+func (r *Runtime) CopyF32ToDevice(dst DevPtr, src []float32) error {
+	buf := make([]byte, 4*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(gpu.RawFromFloat32(v)))
+	}
+	return r.MemcpyH2D(dst, buf)
+}
+
+// CopyF32FromDevice copies len(dst) float32s from device memory at src.
+func (r *Runtime) CopyF32FromDevice(dst []float32, src DevPtr) error {
+	buf := make([]byte, 4*len(dst))
+	if err := r.MemcpyD2H(buf, src); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = gpu.Float32FromRaw(uint64(binary.LittleEndian.Uint32(buf[4*i:])))
+	}
+	return nil
+}
+
+// CopyF64ToDevice copies a float64 slice to device memory at dst.
+func (r *Runtime) CopyF64ToDevice(dst DevPtr, src []float64) error {
+	buf := make([]byte, 8*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(buf[8*i:], gpu.RawFromFloat64(v))
+	}
+	return r.MemcpyH2D(dst, buf)
+}
+
+// CopyF64FromDevice copies len(dst) float64s from device memory at src.
+func (r *Runtime) CopyF64FromDevice(dst []float64, src DevPtr) error {
+	buf := make([]byte, 8*len(dst))
+	if err := r.MemcpyD2H(buf, src); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = gpu.Float64FromRaw(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+// CopyI32ToDevice copies an int32 slice to device memory at dst.
+func (r *Runtime) CopyI32ToDevice(dst DevPtr, src []int32) error {
+	buf := make([]byte, 4*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return r.MemcpyH2D(dst, buf)
+}
+
+// CopyI32FromDevice copies len(dst) int32s from device memory at src.
+func (r *Runtime) CopyI32FromDevice(dst []int32, src DevPtr) error {
+	buf := make([]byte, 4*len(dst))
+	if err := r.MemcpyD2H(buf, src); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+// CopyU8ToDevice copies a byte slice to device memory at dst.
+func (r *Runtime) CopyU8ToDevice(dst DevPtr, src []byte) error {
+	return r.MemcpyH2D(dst, append([]byte(nil), src...))
+}
+
+// CopyU8FromDevice copies len(dst) bytes from device memory at src.
+func (r *Runtime) CopyU8FromDevice(dst []byte, src DevPtr) error {
+	return r.MemcpyD2H(dst, src)
+}
+
+// MustMalloc is Malloc that panics on failure; intended for examples and
+// workload setup where allocation failure is a programming error.
+func (r *Runtime) MustMalloc(size uint64, tag string) DevPtr {
+	p, err := r.Malloc(size, tag)
+	if err != nil {
+		panic(fmt.Sprintf("cuda: %v", err))
+	}
+	return p
+}

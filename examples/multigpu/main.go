@@ -1,0 +1,96 @@
+// Multi-GPU example: data-parallel training on two simulated GPUs.
+// Every device holds a full replica of the model weights and re-uploads
+// them each step even though only the optimizer's device-side update
+// changes them — the kind of cross-GPU value waste ValueExpert's session
+// view exposes: per-device redundant copies plus cross-device duplicate
+// groups (every GPU's weights hash identical).
+//
+//	go run ./examples/multigpu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"valueexpert"
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+)
+
+const (
+	params = 64 << 10
+	steps  = 3
+)
+
+func main() {
+	// A 2-GPU node, like one slice of the paper's evaluation cluster.
+	sess := valueexpert.NewSession(
+		valueexpert.Config{Coarse: true, Fine: true, Program: "ddp-train"},
+		gpu.RTX2080Ti, gpu.RTX2080Ti,
+	)
+
+	weights := make([]float32, params)
+	for i := range weights {
+		weights[i] = float32(i%101) * 0.01
+	}
+
+	type replica struct {
+		w, grad cuda.DevPtr
+	}
+	reps := make([]replica, sess.Devices())
+	for d := range reps {
+		rt := sess.Runtime(d)
+		var err error
+		if reps[d].w, err = rt.MallocF32(params, "model.weight"); err != nil {
+			log.Fatal(err)
+		}
+		if reps[d].grad, err = rt.MallocF32(params, "grad"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		for d := range reps {
+			rt := sess.Runtime(d)
+			// The anti-pattern: broadcast the full (unchanged) weights
+			// from the host every step instead of keeping them resident.
+			if err := rt.CopyF32ToDevice(reps[d].w, weights); err != nil {
+				log.Fatal(err)
+			}
+			// Zero gradients... with a host copy of zeros, naturally.
+			if err := rt.CopyF32ToDevice(reps[d].grad, make([]float32, params)); err != nil {
+				log.Fatal(err)
+			}
+			// Backward pass produces mostly-zero gradients (converged).
+			w, g := reps[d].w, reps[d].grad
+			backward := &gpu.GoKernel{
+				Name: "backward",
+				Func: func(t *gpu.Thread) {
+					i := t.GlobalID()
+					if i >= params {
+						return
+					}
+					wv := t.LoadF32(0, uint64(w)+uint64(4*i))
+					t.CountFP32(4)
+					var gv float32
+					if i%128 == 0 {
+						gv = wv * 1e-4
+					}
+					t.StoreF32(1, uint64(g)+uint64(4*i), gv)
+				},
+			}
+			if err := rt.Launch(backward, gpu.Dim1(params/256), gpu.Dim1(256)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Println(sess.Summary())
+	fmt.Println("per-device findings (gpu0):")
+	fmt.Print(sess.Reports()[0].Text())
+	fmt.Println("\nWhat ValueExpert is telling us:")
+	fmt.Println("  - the weight re-uploads are fully redundant after step 0 (keep weights resident);")
+	fmt.Println("  - the gradient zero-copies are uniform (use cudaMemset);")
+	fmt.Println("  - both GPUs hold byte-identical weight replicas (cross-device duplicates),")
+	fmt.Println("    so one H2D broadcast plus a D2D copy would halve PCIe traffic.")
+}

@@ -1,0 +1,94 @@
+// Quickstart: profile a tiny GPU program with ValueExpert.
+//
+// The program commits the most common value-related inefficiency the
+// paper catalogs — double initialization: it memsets a buffer to zero,
+// then launches a kernel that writes zeros over those zeros. ValueExpert
+// reports the redundant values pattern on the kernel's coarse record, the
+// single zero / single value fine-grained patterns on the data object,
+// and a red edge in the value flow graph.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"valueexpert"
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+)
+
+func main() {
+	// A simulated device with the RTX 2080 Ti profile (paper Table 2).
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+
+	// Attach ValueExpert before running the program: coarse-grained
+	// analysis tracks snapshots and builds the value flow graph;
+	// fine-grained analysis inspects every memory access's value.
+	p := valueexpert.Attach(rt, valueexpert.Config{
+		Coarse:  true,
+		Fine:    true,
+		Program: "quickstart",
+	})
+
+	const n = 1 << 16
+	data, err := rt.MallocF32(n, "data")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Initialization #1: cudaMemset.
+	if err := rt.Memset(data, 0, 4*n); err != nil {
+		log.Fatal(err)
+	}
+
+	// Initialization #2: a kernel that writes zeros again — entirely
+	// redundant, like Deepwave's zeros_like + zero_() (paper §8.2).
+	initKernel := &gpu.GoKernel{
+		Name: "init_kernel",
+		Func: func(t *gpu.Thread) {
+			i := t.GlobalID()
+			if i >= n {
+				return
+			}
+			t.StoreF32(0, uint64(data)+uint64(4*i), 0)
+		},
+	}
+	if err := rt.Launch(initKernel, gpu.Dim1(n/256), gpu.Dim1(256)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Real work: scale the (zero) data and read it back.
+	scaleKernel := &gpu.GoKernel{
+		Name: "scale_kernel",
+		Func: func(t *gpu.Thread) {
+			i := t.GlobalID()
+			if i >= n {
+				return
+			}
+			v := t.LoadF32(0, uint64(data)+uint64(4*i))
+			t.CountFP32(1)
+			t.StoreF32(1, uint64(data)+uint64(4*i), 2*v)
+		},
+	}
+	if err := rt.Launch(scaleKernel, gpu.Dim1(n/256), gpu.Dim1(256)); err != nil {
+		log.Fatal(err)
+	}
+	out := make([]float32, 4)
+	if err := rt.CopyF32FromDevice(out, data); err != nil {
+		log.Fatal(err)
+	}
+
+	// The annotated profile: patterns with calling contexts.
+	rep := p.Report()
+	fmt.Print(rep.Text())
+
+	// The value flow graph, with the redundant flows painted red.
+	dot := p.Graph().DOT(valueexpert.DOTOptions{Title: "quickstart", WithContexts: true})
+	if err := os.WriteFile("quickstart_flow.dot", []byte(dot), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nvalue flow graph written to quickstart_flow.dot (render with: dot -Tsvg)")
+}

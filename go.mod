@@ -1,0 +1,3 @@
+module valueexpert
+
+go 1.22

@@ -1,0 +1,195 @@
+package gpu
+
+import "testing"
+
+// TestTypedAccessorsRoundTrip drives every typed accessor pair through a
+// kernel, checking values, counters, and registered access types.
+func TestTypedAccessorsRoundTrip(t *testing.T) {
+	dev := New(RTX2080Ti)
+	buf, _ := dev.Mem.Alloc(256, "buf")
+	base := buf.Addr
+
+	k := &GoKernel{
+		Name: "roundtrip",
+		Func: func(th *Thread) {
+			if th.GlobalID() != 0 {
+				return
+			}
+			th.StoreF32(0, base+0, 1.5)
+			th.StoreF64(1, base+8, -2.25)
+			th.StoreU8(2, base+16, 0xAB)
+			th.StoreU16(3, base+18, 0xBEEF)
+			th.StoreU32(4, base+20, 0xDEADBEEF)
+			th.StoreU64(5, base+24, 0x0102030405060708)
+			th.StoreI32(6, base+32, -42)
+			th.StoreI64(7, base+40, -1e15)
+
+			if th.LoadF32(8, base+0) != 1.5 {
+				panic("f32")
+			}
+			if th.LoadF64(9, base+8) != -2.25 {
+				panic("f64")
+			}
+			if th.LoadU8(10, base+16) != 0xAB {
+				panic("u8")
+			}
+			if th.LoadU16(11, base+18) != 0xBEEF {
+				panic("u16")
+			}
+			if th.LoadU32(12, base+20) != 0xDEADBEEF {
+				panic("u32")
+			}
+			if th.LoadU64(13, base+24) != 0x0102030405060708 {
+				panic("u64")
+			}
+			if th.LoadI32(14, base+32) != -42 {
+				panic("i32")
+			}
+			if th.LoadI64(15, base+40) != -1e15 {
+				panic("i64")
+			}
+			th.CountFP64(2)
+			th.CountInt(3)
+		},
+	}
+	var ctr LaunchCounters
+	if err := k.Execute(dev, Dim1(1), Dim1(1), nil, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Loads != 8 || ctr.Stores != 8 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+	if ctr.FP64Ops != 2 || ctr.IntOps != 3 {
+		t.Fatalf("op counters = %+v", ctr)
+	}
+	at := k.AccessTypes()
+	if at[1] != (AccessType{Kind: KindFloat, Size: 8}) ||
+		at[3] != (AccessType{Kind: KindUint, Size: 2}) ||
+		at[7] != (AccessType{Kind: KindInt, Size: 8}) {
+		t.Fatalf("access types = %v", at)
+	}
+	if k.KernelName() != "roundtrip" || k.LineMapping() != nil {
+		t.Fatal("metadata accessors")
+	}
+}
+
+func TestBulkAccessors(t *testing.T) {
+	dev := New(A100)
+	buf, _ := dev.Mem.Alloc(1024, "bulk")
+	var recs []Access
+	k := &GoKernel{
+		Name: "bulk",
+		Func: func(th *Thread) {
+			if th.GlobalID() != 0 {
+				return
+			}
+			th.BulkFill(0, buf.Addr, 64, 4, KindFloat, RawFromFloat32(3))
+			th.BulkLoad(1, buf.Addr, 64, 4, KindFloat)
+		},
+	}
+	var ctr LaunchCounters
+	hook := func(a Access) { recs = append(recs, a) }
+	if err := k.Execute(dev, Dim1(1), Dim1(1), hook, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Stores != 64 || ctr.Loads != 64 || ctr.BytesStored != 256 || ctr.BytesLoaded != 256 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+	// Instrumented: one range record per bulk op.
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 range records", len(recs))
+	}
+	for _, r := range recs {
+		if r.Elems() != 64 || r.Bytes() != 256 {
+			t.Fatalf("range record = %+v", r)
+		}
+	}
+	if recs[0].Raw != RawFromFloat32(3) || !recs[0].Store {
+		t.Fatalf("fill record = %+v", recs[0])
+	}
+	// Fill actually wrote memory.
+	raw, _ := dev.Mem.LoadRaw(buf.Addr+4*63, 4)
+	if Float32FromRaw(raw) != 3 {
+		t.Fatal("bulk fill did not write")
+	}
+	// Zero-length bulk ops are no-ops.
+	k2 := &GoKernel{Name: "empty", Func: func(th *Thread) {
+		th.BulkFill(0, buf.Addr, 0, 4, KindFloat, 0)
+		th.BulkLoad(1, buf.Addr, 0, 4, KindFloat)
+	}}
+	var ctr2 LaunchCounters
+	if err := k2.Execute(dev, Dim1(1), Dim1(1), nil, nil, &ctr2); err != nil {
+		t.Fatal(err)
+	}
+	if ctr2.Loads != 0 || ctr2.Stores != 0 {
+		t.Fatal("zero-length bulk op counted")
+	}
+}
+
+func TestBulkOutOfBoundsFaults(t *testing.T) {
+	dev := New(A100)
+	buf, _ := dev.Mem.Alloc(64, "small")
+	for _, instrumented := range []bool{false, true} {
+		k := &GoKernel{Name: "oob", Func: func(th *Thread) {
+			th.BulkLoad(0, buf.Addr, 1024, 4, KindFloat)
+		}}
+		var ctr LaunchCounters
+		var hook AccessFunc
+		if instrumented {
+			hook = func(Access) {}
+		}
+		if err := k.Execute(dev, Dim1(1), Dim1(1), hook, nil, &ctr); err == nil {
+			t.Fatalf("oob bulk load (instrumented=%v) did not fault", instrumented)
+		}
+	}
+	k := &GoKernel{Name: "oobfill", Func: func(th *Thread) {
+		th.BulkFill(0, buf.Addr, 1024, 4, KindFloat, 0)
+	}}
+	var ctr LaunchCounters
+	if err := k.Execute(dev, Dim1(1), Dim1(1), nil, nil, &ctr); err == nil {
+		t.Fatal("oob bulk fill did not fault")
+	}
+}
+
+func TestSharedMemoryTrafficClassified(t *testing.T) {
+	dev := New(RTX2080Ti)
+	buf, _ := dev.Mem.Alloc(64, "global")
+	k := &GoKernel{
+		Name: "mix",
+		Func: func(th *Thread) {
+			if th.GlobalID() != 0 {
+				return
+			}
+			th.StoreF32(0, th.SharedBase(), 1)
+			_ = th.LoadF32(1, th.SharedBase())
+			th.StoreF32(2, buf.Addr, 1)
+		},
+	}
+	var ctr LaunchCounters
+	if err := k.Execute(dev, Dim1(1), Dim1(1), nil, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.SharedBytes != 8 || ctr.BytesStored != 4 || ctr.BytesLoaded != 0 {
+		t.Fatalf("traffic split = %+v", ctr)
+	}
+	// Shared traffic is charged at a fraction of DRAM cost.
+	sharedOnly := LaunchCounters{SharedBytes: 1 << 20}
+	globalOnly := LaunchCounters{BytesLoaded: 1 << 20}
+	if dev.KernelCost(sharedOnly) >= dev.KernelCost(globalOnly) {
+		t.Fatal("shared bytes should be cheaper than DRAM bytes")
+	}
+}
+
+func TestMemoryLive(t *testing.T) {
+	m := NewMemory(1 << 20)
+	a, _ := m.Alloc(64, "a")
+	b, _ := m.Alloc(64, "b")
+	live := m.Live()
+	if len(live) != 2 || live[0] != a || live[1] != b {
+		t.Fatalf("live = %v", live)
+	}
+	m.Free(a.Addr)
+	if live := m.Live(); len(live) != 1 || live[0] != b {
+		t.Fatalf("live after free = %v", live)
+	}
+}

@@ -1,0 +1,160 @@
+package valueexpert
+
+import (
+	"strings"
+	"testing"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/sass"
+)
+
+// TestSassKernelEndToEnd drives the full offline-analyzer path: a kernel
+// written in the virtual ISA is assembled, its access types recovered by
+// bidirectional slicing, and the profiler uses those types to decode raw
+// values into fine-grained patterns — including heavy type, which depends
+// entirely on correct type recovery (paper §5.1).
+func TestSassKernelEndToEnd(t *testing.T) {
+	// scale_kernel: out[i] = in[i] * 2 over int32 values that fit in
+	// int8 — the bfs g_cost situation, but through real instructions.
+	src := `
+.kernel scale_kernel
+.line scale.cu 10
+  s2r   r1, tid
+  s2r   r2, ctaid
+  s2r   r3, ntid
+  imul  r2, r2, r3
+  iadd  r1, r1, r2
+  param r4, 2
+  setp.ge p0, r1, r4
+  @p0 exit
+  imm   r5, 4
+  imul  r6, r1, r5
+  param r7, 0
+  iadd  r7, r7, r6
+  param r8, 1
+  iadd  r8, r8, r6
+.line scale.cu 11
+  ld.32 r9, [r7+0]
+  imm   r10, 2
+  imul  r9, r9, r10
+.line scale.cu 12
+  st.32 [r8+0], r9
+  exit
+`
+	prog, err := sass.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slicing pass must type both memory instructions as int.
+	for pc, at := range prog.AccessTypes() {
+		if at.Kind != gpu.KindInt || at.Size != 4 {
+			t.Fatalf("pc %d: access type %+v, want int32", pc, at)
+		}
+	}
+
+	rt := cuda.NewRuntime(gpu.A100)
+	p := Attach(rt, Config{Coarse: true, Fine: true, Program: "sass-scale"})
+
+	const n = 512
+	in, err := rt.MallocI32(n, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.MallocI32(n, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(i % 50) // small range: heavy type territory
+	}
+	if err := rt.CopyI32ToDevice(in, vals); err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.Instantiate(uint64(in), uint64(out), n)
+	if err := rt.Launch(inst, gpu.Dim1(2), gpu.Dim1(256)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Computation correct.
+	got := make([]int32, n)
+	if err := rt.CopyI32FromDevice(got, out); err != nil {
+		t.Fatal(err)
+	}
+	if got[37] != 74 {
+		t.Fatalf("out[37] = %d, want 74", got[37])
+	}
+
+	rep := p.Report()
+	// Fine analysis must see the int values (decoded via the recovered
+	// access types) and flag the narrow range as heavy type on both
+	// arrays.
+	heavy := 0
+	for _, f := range rep.Fine {
+		if f.Kernel != "scale_kernel" {
+			continue
+		}
+		for _, pat := range f.Patterns {
+			if pat.Kind == "heavy type" {
+				heavy++
+				if !strings.Contains(pat.Detail, "int") {
+					t.Fatalf("heavy type detail lost the type: %+v", pat)
+				}
+			}
+		}
+	}
+	if heavy < 2 {
+		t.Fatalf("heavy type found on %d objects, want both in and out:\n%s", heavy, rep.Text())
+	}
+}
+
+// TestSassRedundantStoreThroughProfiler runs a sass kernel that rewrites
+// existing values, checking the coarse snapshot diff path against
+// interpreter-produced accesses.
+func TestSassRedundantStoreThroughProfiler(t *testing.T) {
+	src := `
+.kernel rewrite
+  s2r   r1, tid
+  imm   r2, 8
+  imul  r3, r1, r2
+  param r4, 0
+  iadd  r4, r4, r3
+  ld.64 r5, [r4+0]
+  st.64 [r4+0], r5   ; store back what was read: fully redundant
+  exit
+`
+	prog, err := sass.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	p := Attach(rt, Config{Coarse: true, Program: "sass-rewrite"})
+	const n = 128
+	buf, _ := rt.MallocF64(n, "buf")
+	host := make([]float64, n)
+	for i := range host {
+		host[i] = float64(i) * 1.5
+	}
+	if err := rt.CopyF64ToDevice(buf, host); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Launch(prog.Instantiate(uint64(buf)), gpu.Dim1(1), gpu.Dim1(n)); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Report()
+	var found bool
+	for _, c := range rep.Coarse {
+		if c.Name != "rewrite" {
+			continue
+		}
+		for _, oa := range c.Objects {
+			if oa.Redundant && oa.UnchangedBytes == 8*n {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("read-store-back not flagged fully redundant:\n%s", rep.Text())
+	}
+}

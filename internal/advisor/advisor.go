@@ -1,0 +1,272 @@
+// Package advisor turns ValueExpert's pattern findings into ranked,
+// actionable optimization suggestions — the "intuitive optimization
+// guidance" of the paper's abstract, following the per-pattern
+// optimization playbook of §3 (conditional computation for frequent
+// values, type demotion for heavy types, computing from indices for
+// structured values, …) and the workflow of §4 (start from the thickest
+// red flows).
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"valueexpert/internal/profile"
+	"valueexpert/internal/vflow"
+)
+
+// Suggestion is one optimization opportunity.
+type Suggestion struct {
+	// Title is the one-line action, e.g. "replace cudaMemcpy of uniform
+	// bytes with cudaMemset".
+	Title string
+	// Pattern names the value pattern behind the suggestion.
+	Pattern string
+	// Where identifies the kernel/API and object involved.
+	Where string
+	// Context is the calling context to edit.
+	Context string
+	// Detail explains the evidence.
+	Detail string
+	// Benefit estimates the avoidable traffic in bytes (the ranking key;
+	// the paper ranks by edge thickness).
+	Benefit uint64
+}
+
+// String renders the suggestion.
+func (s Suggestion) String() string {
+	out := fmt.Sprintf("[%s] %s\n    where: %s", s.Pattern, s.Title, s.Where)
+	if s.Detail != "" {
+		out += "\n    evidence: " + s.Detail
+	}
+	if s.Context != "" {
+		out += "\n    at: " + strings.ReplaceAll(s.Context, "\n", " <- ")
+	}
+	if s.Benefit > 0 {
+		out += fmt.Sprintf("\n    avoidable traffic: ~%d bytes per run", s.Benefit)
+	}
+	return out
+}
+
+// Analyze derives suggestions from a report (and optionally its value
+// flow graph for flow-level evidence), ranked by estimated benefit.
+func Analyze(rep *profile.Report, graph *vflow.Graph) []Suggestion {
+	var out []Suggestion
+	out = append(out, coarseSuggestions(rep)...)
+	out = append(out, duplicateSuggestions(rep)...)
+	out = append(out, fineSuggestions(rep)...)
+	if graph != nil {
+		out = append(out, flowSuggestions(rep, graph)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Benefit > out[j].Benefit })
+	return out
+}
+
+func objName(rep *profile.Report, id int) string {
+	if o, ok := rep.ObjectByID(id); ok && o.Tag != "" {
+		return o.Tag
+	}
+	if id == 0 {
+		return "__shared__"
+	}
+	return fmt.Sprintf("obj#%d", id)
+}
+
+func coarseSuggestions(rep *profile.Report) []Suggestion {
+	// Aggregate per (API name, object) so per-iteration repeats become one
+	// suggestion with the summed benefit.
+	type key struct {
+		name string
+		obj  string // object tag: per-layer replicas aggregate
+		kind string
+	}
+	type agg struct {
+		bytes uint64
+		count int
+		ctx   string
+		api   string
+	}
+	sums := map[key]*agg{}
+	bump := func(k key, bytes uint64, ctx, api string) {
+		a := sums[k]
+		if a == nil {
+			a = &agg{ctx: ctx, api: api}
+			sums[k] = a
+		}
+		a.bytes += bytes
+		a.count++
+	}
+	for _, c := range rep.Coarse {
+		for _, oa := range c.Objects {
+			switch {
+			case oa.UniformCopy:
+				bump(key{c.Name, objName(rep, oa.ObjectID), "uniform"}, oa.WrittenBytes, c.CallPath, c.API)
+			case oa.Redundant:
+				bump(key{c.Name, objName(rep, oa.ObjectID), "redundant"}, oa.UnchangedBytes, c.CallPath, c.API)
+			}
+		}
+	}
+	var out []Suggestion
+	for k, a := range sums {
+		obj := k.obj
+		s := Suggestion{
+			Pattern: "redundant values",
+			Where:   fmt.Sprintf("%s (%s) writing %s", k.name, a.api, obj),
+			Context: a.ctx,
+			Benefit: a.bytes,
+		}
+		if k.kind == "uniform" {
+			s.Title = fmt.Sprintf("replace the host copy into %s with cudaMemset on the device", obj)
+			s.Detail = fmt.Sprintf("%d transfer(s) of uniform bytes (%d bytes total) cross PCIe", a.count, a.bytes)
+		} else if k.name == "cudaMemcpy" {
+			s.Title = fmt.Sprintf("skip re-uploading %s when its contents have not changed", obj)
+			s.Detail = fmt.Sprintf("%d copies left %d bytes unchanged", a.count, a.bytes)
+		} else {
+			s.Title = fmt.Sprintf("remove or guard the write of unchanged values to %s", obj)
+			s.Detail = fmt.Sprintf("%d invocation(s) rewrote %d unchanged bytes (double initialization or identity computation)", a.count, a.bytes)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func duplicateSuggestions(rep *profile.Report) []Suggestion {
+	var out []Suggestion
+	for _, g := range rep.DuplicateGroups {
+		var names []string
+		var bytes uint64
+		seen := map[string]bool{}
+		for _, id := range g {
+			if n := objName(rep, id); !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+			if o, ok := rep.ObjectByID(id); ok {
+				bytes += o.Size
+			}
+		}
+		out = append(out, Suggestion{
+			Pattern: "duplicate values",
+			Title:   "objects hold identical contents: initialize once and share, or copy device-to-device",
+			Where:   strings.Join(names, " = "),
+			Detail:  fmt.Sprintf("%d objects hashed identical at some GPU API", len(g)),
+			Benefit: bytes - bytes/uint64(len(g)), // all but one copy avoidable
+		})
+	}
+	return out
+}
+
+func fineSuggestions(rep *profile.Report) []Suggestion {
+	// Keep the strongest instance per (kernel, object tag, pattern):
+	// per-layer objects share tags, and one suggestion covers them all.
+	type key struct {
+		kernel  string
+		obj     string
+		pattern string
+	}
+	best := map[key]Suggestion{}
+	for _, f := range rep.Fine {
+		for _, p := range f.Patterns {
+			obj := objName(rep, f.ObjectID)
+			where := fmt.Sprintf("kernel %s accessing %s", f.Kernel, obj)
+			s := Suggestion{Pattern: p.Kind, Where: where, Detail: p.Detail, Benefit: f.Bytes}
+			switch p.Kind {
+			case "single zero":
+				s.Title = "conditionally bypass computation and stores when the operand is zero"
+			case "single value":
+				s.Title = "contract the array to a scalar (all accessed values identical)"
+			case "frequent values":
+				s.Title = "add conditional computation for the hot value(s) to skip redundant work"
+				s.Benefit = uint64(float64(f.Bytes) * p.Fraction)
+			case "heavy type":
+				s.Title = "demote the element type to shrink memory traffic"
+				s.Benefit = uint64(float64(f.Bytes) * p.Fraction)
+			case "structured values":
+				s.Title = "compute values from array indices instead of loading them"
+			case "approximate values":
+				s.Title = "exploit the pattern after mantissa relaxation (accuracy budget permitting)"
+				s.Benefit = uint64(float64(f.Bytes) * p.Fraction * 0.5)
+			default:
+				continue
+			}
+			k := key{f.Kernel, obj, p.Kind}
+			if old, ok := best[k]; !ok || s.Benefit > old.Benefit {
+				best[k] = s
+			}
+		}
+	}
+	out := make([]Suggestion, 0, len(best))
+	for _, s := range best {
+		out = append(out, s)
+	}
+	// Deterministic order before the global sort.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Where != out[j].Where {
+			return out[i].Where < out[j].Where
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}
+
+func flowSuggestions(rep *profile.Report, g *vflow.Graph) []Suggestion {
+	// Dead stores at graph level: a fully redundant write edge whose
+	// destination's output is immediately overwritten again — the
+	// fill→gemm chain. Heuristic: vertex v has an incoming fully
+	// redundant write and an outgoing write edge on the same object.
+	// Distinct objects of different layers share tags and merged
+	// vertices, so aggregate chains by their rendered location.
+	agg := map[string]*Suggestion{}
+	edges := g.Edges()
+	for _, e := range edges {
+		if e.Op != vflow.OpWrite || e.RedundantFraction() < 0.999 {
+			continue
+		}
+		to, _ := g.Vertex(e.To)
+		from, _ := g.Vertex(e.From)
+		for _, e2 := range edges {
+			if e2.Object != e.Object || e2.From != e.To || e2.Op != vflow.OpRead {
+				continue
+			}
+			reader, _ := g.Vertex(e2.To)
+			where := fmt.Sprintf("flow %s -> %s -> %s on %s", from.Name, to.Name, reader.Name, objName(rep, e.Object))
+			s := agg[where]
+			if s == nil {
+				s = &Suggestion{
+					Pattern: "redundant values",
+					Title: fmt.Sprintf("the values %s writes are produced earlier by %s unchanged; drop one producer or fold the read",
+						to.Name, from.Name),
+					Where: where,
+				}
+				agg[where] = s
+			}
+			s.Benefit += e.Bytes + e2.Bytes
+			s.Detail = fmt.Sprintf("%d bytes flow through a fully redundant write before being read", s.Benefit)
+		}
+	}
+	out := make([]Suggestion, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, s.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Where < out[j].Where })
+	return out
+}
+
+func (s *Suggestion) clone() Suggestion { return *s }
+
+// Render formats the top suggestions for terminal output.
+func Render(sugs []Suggestion, max int) string {
+	if len(sugs) == 0 {
+		return "no optimization opportunities found\n"
+	}
+	if max > 0 && len(sugs) > max {
+		sugs = sugs[:max]
+	}
+	var b strings.Builder
+	b.WriteString("optimization suggestions (ranked by avoidable traffic):\n")
+	for i, s := range sugs {
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, s)
+	}
+	return b.String()
+}

@@ -1,0 +1,623 @@
+// Package core implements ValueExpert itself: the data collector that
+// overloads GPU APIs, the online analyzer that maintains value snapshots,
+// merges accessed intervals, recognizes value patterns, and builds the
+// value flow graph, and the offline analyzer's association of access
+// types and source lines (paper §4, Figure 1).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"valueexpert/callpath"
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/interval"
+	"valueexpert/internal/profile"
+	"valueexpert/internal/reuse"
+	"valueexpert/internal/sanitizer"
+	"valueexpert/internal/vflow"
+	"valueexpert/internal/vpattern"
+)
+
+// Config selects ValueExpert's analyses and their cost controls.
+type Config struct {
+	// Coarse enables coarse-grained value pattern analysis (redundant and
+	// duplicate values via snapshots, §5.1) and value-flow-graph
+	// construction.
+	Coarse bool
+	// Fine enables fine-grained value pattern analysis of instrumented
+	// accesses (§5.1).
+	Fine bool
+
+	// FineConfig tunes fine-grained recognition thresholds.
+	FineConfig vpattern.FineConfig
+
+	// Instrumentation scope and sampling (§6.2).
+	BufferRecords        int
+	KernelFilter         func(name string) bool
+	KernelSamplingPeriod int
+	BlockSamplingPeriod  int
+
+	// CopyStrategy selects the snapshot-update copy strategy (§6.1,
+	// Figure 5). Default AdaptiveCopy.
+	CopyStrategy interval.CopyStrategy
+
+	// MergeWorkers sets the parallelism of the interval-merge "data
+	// processing kernel" (<=0: default).
+	MergeWorkers int
+
+	// ReuseDistance additionally computes per-kernel reuse-distance
+	// histograms from the instrumented access stream — the follow-on
+	// analysis the paper's conclusion proposes offloading onto this
+	// measurement pipeline. Requires Coarse or Fine.
+	ReuseDistance bool
+
+	// Program names the profiled application in reports.
+	Program string
+}
+
+// Profiler is a ValueExpert instance attached to one runtime.
+type Profiler struct {
+	cfg Config
+	rt  *cuda.Runtime
+
+	tree   *callpath.Tree
+	graph  *vflow.Graph
+	san    *sanitizer.Engine
+	merger *interval.Merger
+	dup    *vpattern.DuplicateTracker
+
+	// snapshots maintains each data object's value snapshot on the host
+	// (§5.1: "a data object's value snapshot ... is maintained on the CPU
+	// to reduce the GPU memory consumption").
+	snapshots map[int][]byte
+
+	// defined tracks, per object, the byte ranges written at least once
+	// since allocation. cudaMalloc memory is undefined, so a first write
+	// is never redundant; only bytes with a defined previous value count
+	// toward the unchanged fraction.
+	defined map[int][]interval.Interval
+
+	objects []profile.Object
+	coarse  []profile.CoarseRecord
+	fine    []profile.FineRecord
+	reuse   []profile.ReuseRecord
+
+	launch *launchState
+
+	analysisTime time.Duration
+	copyModel    interval.CopyCostModel
+	snapshotTime time.Duration
+}
+
+// launchState accumulates one instrumented kernel launch.
+type launchState struct {
+	finish func()
+
+	readIvs  map[int][]interval.Interval
+	writeIvs map[int][]interval.Interval
+	readB    map[int]uint64
+	writeB   map[int]uint64
+	fineAcc  *vpattern.FineAccumulator
+	reuse    *reuse.Analyzer
+}
+
+// Attach creates a profiler and installs it as rt's interceptor.
+func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
+	p := &Profiler{
+		cfg:    cfg,
+		rt:     rt,
+		tree:   callpath.NewTree(),
+		merger: interval.NewMerger(cfg.MergeWorkers),
+		dup:    vpattern.NewDuplicateTracker(),
+
+		snapshots: make(map[int][]byte),
+		defined:   make(map[int][]interval.Interval),
+		copyModel: interval.CopyCostModel{
+			PerCall:   rt.Device().Prof.CopyLatency,
+			Bandwidth: rt.Device().Prof.PCIeBandwidth,
+		},
+	}
+	p.graph = vflow.New(p.tree)
+	p.san = sanitizer.New(sanitizer.Config{
+		BufferRecords:        cfg.BufferRecords,
+		KernelFilter:         cfg.KernelFilter,
+		KernelSamplingPeriod: cfg.KernelSamplingPeriod,
+		BlockSamplingPeriod:  cfg.BlockSamplingPeriod,
+	})
+	rt.SetInterceptor(p)
+	return p
+}
+
+// Detach removes the profiler from its runtime.
+func (p *Profiler) Detach() { p.rt.SetInterceptor(nil) }
+
+// Graph returns the program-wide value flow graph built so far.
+func (p *Profiler) Graph() *vflow.Graph { return p.graph }
+
+// Tree returns the calling-context tree.
+func (p *Profiler) Tree() *callpath.Tree { return p.tree }
+
+// AnalysisTime reports wall time spent inside the analyzer (overhead
+// accounting for Figure 6).
+func (p *Profiler) AnalysisTime() time.Duration { return p.analysisTime }
+
+// instrumenting reports whether any per-access analysis is on.
+func (p *Profiler) instrumenting() bool {
+	return p.cfg.Coarse || p.cfg.Fine || p.cfg.ReuseDistance
+}
+
+// APIBegin implements cuda.Interceptor. Frees are handled here, while the
+// allocation is still addressable.
+func (p *Profiler) APIBegin(ev *cuda.APIEvent) {
+	if ev.Kind == cuda.APIFree {
+		if id := p.objectAt(ev.Dst); id >= 0 {
+			delete(p.snapshots, id)
+			delete(p.defined, id)
+		}
+	}
+}
+
+// Instrumentation implements cuda.Interceptor: it consults the sanitizer
+// engine for the upcoming launch and prepares per-launch analysis state.
+func (p *Profiler) Instrumentation(kernelName string) (gpu.AccessFunc, func(int32) bool) {
+	if !p.instrumenting() {
+		return nil, nil
+	}
+	ls := &launchState{
+		readIvs:  make(map[int][]interval.Interval),
+		writeIvs: make(map[int][]interval.Interval),
+		readB:    make(map[int]uint64),
+		writeB:   make(map[int]uint64),
+	}
+	if p.cfg.Fine {
+		ls.fineAcc = vpattern.NewFineAccumulator(p.cfg.FineConfig)
+	}
+	if p.cfg.ReuseDistance {
+		ls.reuse = reuse.NewAnalyzer()
+	}
+	hook, filter, finish := p.san.Instrument(kernelName, func(recs []gpu.Access) {
+		start := time.Now()
+		p.processBatch(ls, recs)
+		p.analysisTime += time.Since(start)
+	})
+	if hook == nil {
+		p.launch = nil
+		return nil, nil
+	}
+	ls.finish = finish
+	p.launch = ls
+	return hook, filter
+}
+
+// activeRun is an open coalescing run for one (object, op) pair.
+type activeRun struct {
+	id    int
+	store bool
+	iv    interval.Interval
+	valid bool
+}
+
+// processBatch handles one flushed device buffer: warp-style compaction of
+// the batch's intervals per (object, operation), plus fine-grained value
+// accumulation. Consecutive records overwhelmingly hit the same data
+// object at adjacent addresses (coalesced warps), so compaction is a
+// linear pass that extends open runs — the cheap, GPU-friendly processing
+// §6.1 implements with warp shuffle primitives — with the final parallel
+// merge cleaning up whatever disorder remains.
+func (p *Profiler) processBatch(ls *launchState, recs []gpu.Access) {
+	mem := p.rt.Device().Mem
+	var cached *gpu.Allocation
+
+	// A handful of open runs covers the access interleavings real kernels
+	// produce (a few operands per loop body).
+	var runs [6]activeRun
+	flush := func(r *activeRun) {
+		if !r.valid {
+			return
+		}
+		if r.store {
+			ls.writeIvs[r.id] = append(ls.writeIvs[r.id], r.iv)
+		} else {
+			ls.readIvs[r.id] = append(ls.readIvs[r.id], r.iv)
+		}
+		r.valid = false
+	}
+
+	for _, a := range recs {
+		alloc := cached
+		if alloc == nil || !alloc.Contains(a.Addr) {
+			alloc = mem.Lookup(a.Addr)
+			cached = alloc
+		}
+		if alloc == nil {
+			continue // defensive: racing frees
+		}
+		id := alloc.ID
+		iv := interval.FromAccess(a)
+		if a.Store {
+			ls.writeB[id] += a.Bytes()
+		} else {
+			ls.readB[id] += a.Bytes()
+		}
+
+		// Extend an open run if the access touches or overlaps it.
+		merged := false
+		free := -1
+		for s := range runs {
+			r := &runs[s]
+			if !r.valid {
+				if free < 0 {
+					free = s
+				}
+				continue
+			}
+			if r.id == id && r.store == a.Store && iv.Start <= r.iv.End && iv.End >= r.iv.Start {
+				if iv.End > r.iv.End {
+					r.iv.End = iv.End
+				}
+				if iv.Start < r.iv.Start {
+					r.iv.Start = iv.Start
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			if free < 0 {
+				// Evict the first run (oldest heuristic).
+				flush(&runs[0])
+				free = 0
+			}
+			runs[free] = activeRun{id: id, store: a.Store, iv: iv, valid: true}
+		}
+
+		if ls.reuse != nil {
+			// Range records touch consecutive lines; feed each line once.
+			for off := uint64(0); off < a.Bytes(); off += reuse.LineSize {
+				ls.reuse.Touch(a.Addr + off)
+			}
+		}
+
+		if ls.fineAcc != nil {
+			if a.Count > 1 {
+				// Expand compacted range records: fills repeat the stored
+				// value; load values are read back from the device.
+				elem := a
+				elem.Count = 1
+				for i := 0; i < a.Elems(); i++ {
+					elem.Addr = a.Addr + uint64(i)*uint64(a.Size)
+					if !a.Store {
+						raw, err := mem.LoadRaw(elem.Addr, a.Size)
+						if err != nil {
+							continue
+						}
+						elem.Raw = raw
+					}
+					ls.fineAcc.Add(id, elem)
+				}
+			} else {
+				ls.fineAcc.Add(id, a)
+			}
+		}
+	}
+	for s := range runs {
+		flush(&runs[s])
+	}
+}
+
+// APIEnd implements cuda.Interceptor: the coarse analyzer's per-API work.
+func (p *Profiler) APIEnd(ev *cuda.APIEvent) {
+	start := time.Now()
+	defer func() { p.analysisTime += time.Since(start) }()
+
+	switch ev.Kind {
+	case cuda.APIMalloc:
+		p.onMalloc(ev)
+	case cuda.APIMemset:
+		p.onMemset(ev)
+	case cuda.APIMemcpy:
+		p.onMemcpy(ev)
+	case cuda.APILaunch:
+		p.onLaunch(ev)
+	}
+}
+
+func (p *Profiler) objectAt(addr uint64) int {
+	if a := p.rt.Device().Mem.Lookup(addr); a != nil {
+		return a.ID
+	}
+	return -1
+}
+
+func (p *Profiler) onMalloc(ev *cuda.APIEvent) {
+	mem := p.rt.Device().Mem
+	a := mem.Lookup(ev.Dst)
+	if a == nil {
+		return
+	}
+	ctx := p.tree.Intern(ev.Frames)
+	p.objects = append(p.objects, profile.Object{
+		ID: a.ID, Tag: a.Tag, Size: a.Size, CallPath: p.tree.Format(ctx),
+	})
+	if !p.cfg.Coarse {
+		return
+	}
+	v := p.graph.Touch(vflow.KindAlloc, a.Tag, ev.Frames)
+	p.graph.RecordAlloc(v, a.ID)
+	snap := make([]byte, a.Size)
+	copy(snap, a.Data)
+	p.snapshots[a.ID] = snap
+}
+
+// refreshSnapshot diffs the object's stored snapshot against current
+// device contents over the written intervals, then updates the snapshot
+// using the configured copy strategy, charging the simulated copy cost.
+func (p *Profiler) refreshSnapshot(objID int, written []interval.Interval) vpattern.DiffResult {
+	mem := p.rt.Device().Mem
+	a := mem.LookupID(objID)
+	snap := p.snapshots[objID]
+	if a == nil || !a.Live || snap == nil {
+		return vpattern.DiffResult{}
+	}
+	// Diff only over bytes whose previous value is defined; the rest of
+	// the written range counts as changed (first touch).
+	writtenBytes := interval.TotalBytes(written)
+	diffable := interval.Intersect(written, p.defined[objID])
+	diff := vpattern.DiffSnapshots(snap, a.Data, diffable, a.Addr)
+	diff.WrittenBytes = writtenBytes
+	p.defined[objID] = interval.Union(p.defined[objID], written)
+
+	obj := interval.Interval{Start: a.Addr, End: a.End()}
+	plan := interval.PlanCopy(p.cfg.CopyStrategy, obj, written)
+	p.snapshotTime += p.copyModel.Cost(plan)
+	for _, iv := range plan {
+		copy(snap[iv.Start-a.Addr:iv.End-a.Addr], a.Data[iv.Start-a.Addr:iv.End-a.Addr])
+	}
+	p.dup.Observe(objID, snap)
+	return diff
+}
+
+func (p *Profiler) onMemset(ev *cuda.APIEvent) {
+	if !p.cfg.Coarse {
+		return
+	}
+	objID := p.objectAt(ev.Dst)
+	if objID < 0 {
+		return
+	}
+	written := []interval.Interval{{Start: ev.Dst, End: ev.Dst + ev.Bytes}}
+	diff := p.refreshSnapshot(objID, written)
+	v := p.graph.Touch(vflow.KindMemset, ev.Name, ev.Frames)
+	p.graph.RecordWrite(v, objID, diff.WrittenBytes, diff.UnchangedBytes)
+	p.graph.AddTime(v, ev.Duration)
+	p.appendCoarse(ev, []profile.ObjectAccess{{
+		ObjectID: objID, WrittenBytes: diff.WrittenBytes,
+		UnchangedBytes: diff.UnchangedBytes, Redundant: diff.Redundant(),
+	}})
+}
+
+func (p *Profiler) onMemcpy(ev *cuda.APIEvent) {
+	if !p.cfg.Coarse {
+		return
+	}
+	var accesses []profile.ObjectAccess
+	v := p.graph.Touch(vflow.KindMemcpy, ev.Name, ev.Frames)
+	p.graph.AddTime(v, ev.Duration)
+
+	switch ev.CopyKind {
+	case gpu.CopyHostToDevice:
+		objID := p.objectAt(ev.Dst)
+		if objID < 0 {
+			return
+		}
+		written := []interval.Interval{{Start: ev.Dst, End: ev.Dst + ev.Bytes}}
+		diff := p.refreshSnapshot(objID, written)
+		// A copy of uniform host bytes is the "use cudaMemset instead"
+		// inefficiency even on first touch; mark the edge redundant so the
+		// value flow graph paints it red (Darknet Inefficiency II).
+		uniform := uniformBytes(ev.HostSrc)
+		redundantBytes := diff.UnchangedBytes
+		if uniform && ev.Bytes > 0 {
+			redundantBytes = diff.WrittenBytes
+		}
+		p.graph.RecordWrite(v, objID, diff.WrittenBytes, redundantBytes)
+		accesses = append(accesses, profile.ObjectAccess{
+			ObjectID: objID, WrittenBytes: diff.WrittenBytes,
+			UnchangedBytes: diff.UnchangedBytes, Redundant: diff.Redundant(),
+			UniformCopy: uniform && ev.Bytes > 0,
+		})
+	case gpu.CopyDeviceToHost:
+		objID := p.objectAt(ev.Src)
+		if objID < 0 {
+			return
+		}
+		p.graph.RecordRead(v, objID, ev.Bytes)
+		p.graph.RecordHostSink(objID, ev.Bytes)
+		accesses = append(accesses, profile.ObjectAccess{ObjectID: objID, ReadBytes: ev.Bytes})
+	case gpu.CopyDeviceToDevice:
+		srcID, dstID := p.objectAt(ev.Src), p.objectAt(ev.Dst)
+		if srcID >= 0 {
+			p.graph.RecordRead(v, srcID, ev.Bytes)
+			accesses = append(accesses, profile.ObjectAccess{ObjectID: srcID, ReadBytes: ev.Bytes})
+		}
+		if dstID >= 0 {
+			written := []interval.Interval{{Start: ev.Dst, End: ev.Dst + ev.Bytes}}
+			diff := p.refreshSnapshot(dstID, written)
+			p.graph.RecordWrite(v, dstID, diff.WrittenBytes, diff.UnchangedBytes)
+			accesses = append(accesses, profile.ObjectAccess{
+				ObjectID: dstID, WrittenBytes: diff.WrittenBytes,
+				UnchangedBytes: diff.UnchangedBytes, Redundant: diff.Redundant(),
+			})
+		}
+	}
+	p.appendCoarse(ev, accesses)
+}
+
+func (p *Profiler) onLaunch(ev *cuda.APIEvent) {
+	ls := p.launch
+	p.launch = nil
+	if ls == nil {
+		// Launch filtered or sampled out: record presence only.
+		if p.cfg.Coarse {
+			v := p.graph.Touch(vflow.KindKernel, ev.Name, ev.Frames)
+			p.graph.AddTime(v, ev.Duration)
+		}
+		return
+	}
+	ls.finish() // flush the final partial buffer
+
+	// The "data processing kernel": the parallel interval merge runs over
+	// each object's accumulated intervals.
+	mergedW := make(map[int][]interval.Interval, len(ls.writeIvs))
+	for id, ivs := range ls.writeIvs {
+		mergedW[id] = p.merger.MergeParallel(ivs)
+	}
+	mergedR := make(map[int][]interval.Interval, len(ls.readIvs))
+	for id, ivs := range ls.readIvs {
+		mergedR[id] = p.merger.MergeParallel(ivs)
+	}
+
+	if p.cfg.Coarse {
+		v := p.graph.Touch(vflow.KindKernel, ev.Name, ev.Frames)
+		p.graph.AddTime(v, ev.Duration)
+		var accesses []profile.ObjectAccess
+		for _, id := range sortedKeys(mergedR, mergedW) {
+			if id == 0 {
+				continue // shared memory: per-kernel scratch, no global flow
+			}
+			readB := ls.readB[id]
+			if readB > 0 {
+				p.graph.RecordRead(v, id, readB)
+			}
+			var diff vpattern.DiffResult
+			if len(mergedW[id]) > 0 {
+				diff = p.refreshSnapshot(id, mergedW[id])
+				p.graph.RecordWrite(v, id, diff.WrittenBytes, diff.UnchangedBytes)
+			}
+			if readB > 0 || diff.WrittenBytes > 0 {
+				accesses = append(accesses, profile.ObjectAccess{
+					ObjectID: id, ReadBytes: readB,
+					WrittenBytes:   diff.WrittenBytes,
+					UnchangedBytes: diff.UnchangedBytes,
+					Redundant:      diff.Redundant(),
+				})
+			}
+		}
+		p.appendCoarse(ev, accesses)
+	}
+
+	if ls.reuse != nil {
+		h := ls.reuse.Histogram()
+		p.reuse = append(p.reuse, profile.ReuseRecord{
+			Seq: ev.Seq, Kernel: ev.Name,
+			Accesses: h.Total, ColdMisses: h.Cold,
+			Buckets:       append([]uint64(nil), h.Buckets[:]...),
+			L1HitFraction: h.HitFraction(4 << 10),
+			L2HitFraction: h.HitFraction(128 << 10),
+		})
+	}
+
+	if ls.fineAcc != nil {
+		for _, fr := range ls.fineAcc.Finalize() {
+			rec := profile.FineRecord{
+				Seq: ev.Seq, Kernel: ev.Name, ObjectID: fr.ObjectID,
+				Accesses: fr.Accesses, Loads: fr.Loads, Stores: fr.Stores,
+				Bytes: fr.Bytes, Distinct: fr.DistinctValues, Saturated: fr.Saturated,
+			}
+			for _, vc := range fr.TopValues {
+				rec.TopValues = append(rec.TopValues, profile.ValueCount{
+					Value: vc.Value.Format(), Count: vc.Count,
+				})
+			}
+			for _, m := range fr.Patterns {
+				rec.Patterns = append(rec.Patterns, profile.Pattern{
+					Kind: m.Kind.String(), Fraction: m.Fraction, Detail: m.Detail,
+				})
+			}
+			p.fine = append(p.fine, rec)
+		}
+	}
+}
+
+// uniformBytes reports whether all bytes of b share one value.
+func uniformBytes(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	for _, c := range b[1:] {
+		if c != b[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(ms ...map[int][]interval.Interval) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, m := range ms {
+		for id := range m {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	// insertion sort: key counts are small
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (p *Profiler) appendCoarse(ev *cuda.APIEvent, accesses []profile.ObjectAccess) {
+	ctx := p.tree.Intern(ev.Frames)
+	p.coarse = append(p.coarse, profile.CoarseRecord{
+		Seq: ev.Seq, API: ev.Kind.String(), Name: ev.Name,
+		CallPath: p.tree.Format(ctx), Duration: ev.Duration, Objects: accesses,
+	})
+}
+
+// Report assembles the annotated profile.
+func (p *Profiler) Report() *profile.Report {
+	dev := p.rt.Device()
+	st := dev.Stats()
+	sanSt := p.san.Stats()
+	rep := &profile.Report{
+		Tool: "ValueExpert", Device: dev.Prof.Name, Program: p.cfg.Program,
+		Objects: append([]profile.Object(nil), p.objects...),
+		Coarse:  append([]profile.CoarseRecord(nil), p.coarse...),
+		Fine:    append([]profile.FineRecord(nil), p.fine...),
+		Reuse:   append([]profile.ReuseRecord(nil), p.reuse...),
+		Stats: profile.RunStats{
+			KernelLaunches:   st.KernelLaunches,
+			LaunchesProfiled: sanSt.LaunchesProfiled,
+			MemcpyCalls:      st.MemcpyCalls,
+			MemsetCalls:      st.MemsetCalls,
+			AllocCalls:       st.AllocCalls,
+			AccessRecords:    sanSt.Records,
+			BufferFlushes:    sanSt.Flushes,
+			KernelTime:       st.KernelTime,
+			MemoryTime:       st.MemoryTime(),
+			AnalysisTime:     p.analysisTime,
+		},
+	}
+	if p.cfg.Coarse {
+		rep.DuplicateGroups = p.dup.EverGroups()
+	}
+	return rep
+}
+
+// SnapshotCopyTime reports the simulated cost of snapshot maintenance
+// under the configured copy strategy (the Figure 5 metric).
+func (p *Profiler) SnapshotCopyTime() time.Duration { return p.snapshotTime }
+
+// String summarizes the profiler configuration.
+func (p *Profiler) String() string {
+	return fmt.Sprintf("ValueExpert(coarse=%v fine=%v strategy=%s)",
+		p.cfg.Coarse, p.cfg.Fine, p.cfg.CopyStrategy)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"valueexpert/gpu"
+)
+
+// TestCrossDeviceDuplicates models data-parallel training: the same weight
+// tensor uploaded to two GPUs must form a cross-device duplicate group,
+// while per-device distinct tensors must not.
+func TestCrossDeviceDuplicates(t *testing.T) {
+	s := NewSession(Config{Coarse: true, Program: "ddp"},
+		gpu.RTX2080Ti, gpu.RTX2080Ti)
+	if s.Devices() != 2 {
+		t.Fatalf("devices = %d", s.Devices())
+	}
+
+	weights := make([]float32, 1024)
+	for i := range weights {
+		weights[i] = float32(i) * 0.01
+	}
+	for d := 0; d < 2; d++ {
+		rt := s.Runtime(d)
+		w, err := rt.MallocF32(len(weights), "model.weight")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.CopyF32ToDevice(w, weights); err != nil {
+			t.Fatal(err)
+		}
+		// Per-device activations: different on each GPU (different batch
+		// shards).
+		act, err := rt.MallocF32(256, "activations")
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := make([]float32, 256)
+		for i := range shard {
+			shard[i] = float32(d*1000 + i)
+		}
+		if err := rt.CopyF32ToDevice(act, shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	groups := s.CrossDeviceDuplicates()
+	if len(groups) != 1 {
+		t.Fatalf("cross-device groups = %v", groups)
+	}
+	g := groups[0]
+	if len(g) != 2 || g[0].Device != 0 || g[1].Device != 1 {
+		t.Fatalf("group = %v", g)
+	}
+	for _, r := range g {
+		if r.Tag != "model.weight" {
+			t.Fatalf("wrong object in group: %v", r)
+		}
+	}
+	sum := s.Summary()
+	for _, frag := range []string{"2 devices", "cross-device duplicates", "gpu0:model.weight", "gpu1:model.weight"} {
+		if !strings.Contains(sum, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, sum)
+		}
+	}
+	if len(s.Reports()) != 2 {
+		t.Fatal("reports")
+	}
+}
+
+// TestCrossDeviceExcludesSameDeviceGroups: two identical tensors on ONE
+// device are a per-device duplicate, not a cross-device one.
+func TestCrossDeviceExcludesSameDeviceGroups(t *testing.T) {
+	s := NewSession(Config{Coarse: true}, gpu.A100, gpu.A100)
+	rt := s.Runtime(0)
+	zeros := make([]float32, 128)
+	for _, tag := range []string{"a", "b"} {
+		p, err := rt.MallocF32(128, tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.CopyF32ToDevice(p, zeros); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if groups := s.CrossDeviceDuplicates(); len(groups) != 0 {
+		t.Fatalf("same-device pair leaked into cross-device groups: %v", groups)
+	}
+	// But the per-device report still has it.
+	if len(s.Reports()[0].DuplicateGroups) != 1 {
+		t.Fatal("per-device duplicate lost")
+	}
+	if (ObjectRef{Device: 1, ObjectID: 5}).String() != "gpu1:obj#5" {
+		t.Fatal("ObjectRef fallback string")
+	}
+}

@@ -1,0 +1,344 @@
+// Package gui renders ValueExpert profiles as self-contained HTML
+// reports — the reproduction of the tool's GUI (paper §4, Figure 2): the
+// value flow graph drawn as SVG with the paper's visual conventions
+// (rectangles for allocations, circles for memory operations, ovals for
+// kernels; node size by invocation count; edge thickness by bytes; red
+// edges for redundant flows; hover reveals the vertex's calling context),
+// alongside the coarse/fine pattern tables and duplicate groups.
+//
+// The output uses no external assets or JavaScript; tooltips are native
+// SVG <title> elements, so any browser renders the report offline.
+package gui
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+
+	"valueexpert/internal/advisor"
+	"valueexpert/internal/layout"
+	"valueexpert/internal/profile"
+	"valueexpert/internal/vflow"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Title heads the page; defaults to the report's program name.
+	Title string
+	// RedundancyThreshold colors edges red at or above this fraction.
+	// Default 1/3.
+	RedundancyThreshold float64
+	// MaxFineRows caps the fine-grained table. Default 200.
+	MaxFineRows int
+}
+
+func (o Options) withDefaults(rep *profile.Report) Options {
+	if o.Title == "" {
+		o.Title = fmt.Sprintf("%s on %s", rep.Program, rep.Device)
+	}
+	if o.RedundancyThreshold == 0 {
+		o.RedundancyThreshold = 1.0 / 3.0
+	}
+	if o.MaxFineRows == 0 {
+		o.MaxFineRows = 200
+	}
+	return o
+}
+
+// RenderHTML produces the report page. graph may be nil (coarse analysis
+// disabled), in which case the graph section is omitted.
+func RenderHTML(rep *profile.Report, graph *vflow.Graph, opts Options) string {
+	opts = opts.withDefaults(rep)
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s — ValueExpert</title>\n", html.EscapeString(opts.Title))
+	b.WriteString("<style>\n" + css + "</style></head><body>\n")
+	fmt.Fprintf(&b, "<h1>ValueExpert report: %s</h1>\n", html.EscapeString(opts.Title))
+
+	renderSummary(&b, rep)
+	if graph != nil {
+		b.WriteString("<h2>Value flow graph</h2>\n")
+		b.WriteString("<p class=note>Rectangles are allocations, circles are memory operations, ovals are kernels. " +
+			"Edge thickness scales with bytes; red edges carry redundant values. Hover a vertex for its calling context.</p>\n")
+		renderGraphSVG(&b, graph, opts)
+	}
+	renderSuggestions(&b, rep, graph)
+	renderCoarse(&b, rep)
+	renderDuplicates(&b, rep)
+	renderFine(&b, rep, opts.MaxFineRows)
+	renderReuse(&b, rep)
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func renderSuggestions(b *strings.Builder, rep *profile.Report, graph *vflow.Graph) {
+	sugs := advisor.Analyze(rep, graph)
+	if len(sugs) == 0 {
+		return
+	}
+	if len(sugs) > 12 {
+		sugs = sugs[:12]
+	}
+	b.WriteString("<h2>Optimization suggestions</h2>\n<table><tr><th>#</th><th>pattern</th><th>action</th><th>where</th><th>avoidable bytes</th></tr>\n")
+	for i, s := range sugs {
+		fmt.Fprintf(b, "<tr><td>%d</td><td>%s</td><td>%s<br><span class=note>%s</span></td><td class=mono>%s</td><td>%d</td></tr>\n",
+			i+1, html.EscapeString(s.Pattern), html.EscapeString(s.Title),
+			html.EscapeString(s.Detail), html.EscapeString(s.Where), s.Benefit)
+	}
+	b.WriteString("</table>\n")
+}
+
+const css = `
+body { font-family: -apple-system, Segoe UI, Helvetica, Arial, sans-serif; margin: 2em auto; max-width: 1100px; color: #1a1a1a; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em; border-bottom: 1px solid #ddd; padding-bottom: .2em; }
+table { border-collapse: collapse; width: 100%; font-size: .85em; }
+th, td { text-align: left; padding: .3em .6em; border-bottom: 1px solid #eee; vertical-align: top; }
+th { background: #f6f6f6; }
+.note { color: #666; font-size: .85em; }
+.chip { display: inline-block; background: #eef; border: 1px solid #ccd; border-radius: 1em; padding: .1em .7em; margin: .15em; font-size: .85em; }
+.red { color: #b00020; font-weight: 600; }
+.mono { font-family: ui-monospace, Menlo, Consolas, monospace; font-size: .9em; }
+svg { background: #fcfcfc; border: 1px solid #eee; }
+.ctx { white-space: pre; }
+`
+
+func renderSummary(b *strings.Builder, rep *profile.Report) {
+	fmt.Fprintf(b, "<p>%d data objects · %d coarse records · %d fine records · "+
+		"kernel time %v · memory time %v · analysis time %v</p>\n",
+		len(rep.Objects), len(rep.Coarse), len(rep.Fine),
+		rep.Stats.KernelTime, rep.Stats.MemoryTime, rep.Stats.AnalysisTime)
+	pats := rep.PatternSet()
+	if len(pats) > 0 {
+		b.WriteString("<p>")
+		for _, k := range sortedKeys(pats) {
+			fmt.Fprintf(b, "<span class=chip>%s</span>", html.EscapeString(k))
+		}
+		b.WriteString("</p>\n")
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// renderGraphSVG lays the value flow graph out and draws it.
+func renderGraphSVG(b *strings.Builder, g *vflow.Graph, opts Options) {
+	active := g.ActiveVertices()
+	if len(active) == 0 {
+		b.WriteString("<p class=note>(empty graph)</p>\n")
+		return
+	}
+	maxInv := 1
+	for _, v := range active {
+		if v.Invocations > maxInv {
+			maxInv = v.Invocations
+		}
+	}
+	var nodes []layout.Node
+	for _, v := range active {
+		scale := 1 + 0.6*float64(v.Invocations)/float64(maxInv)
+		w, h := 110*scale, 46*scale
+		nodes = append(nodes, layout.Node{ID: layout.NodeID(v.ID), Width: w, Height: h})
+	}
+	var edges []layout.Edge
+	for _, e := range g.Edges() {
+		edges = append(edges, layout.Edge{From: layout.NodeID(e.From), To: layout.NodeID(e.To)})
+	}
+	res := layout.Compute(nodes, edges, layout.Options{})
+
+	const pad = 24
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %.0f %.0f\" width=\"100%%\" xmlns=\"http://www.w3.org/2000/svg\">\n",
+		res.Width+2*pad, res.Height+2*pad)
+	b.WriteString("<defs><marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"9\" refY=\"5\" " +
+		"markerWidth=\"7\" markerHeight=\"7\" orient=\"auto-start-reverse\">" +
+		"<path d=\"M0,0 L10,5 L0,10 z\" fill=\"context-stroke\"/></marker></defs>\n")
+
+	var maxBytes uint64 = 1
+	for _, e := range g.Edges() {
+		if e.Bytes > maxBytes {
+			maxBytes = e.Bytes
+		}
+	}
+	// Edges beneath nodes.
+	for _, e := range g.Edges() {
+		from, to := res.Nodes[layout.NodeID(e.From)], res.Nodes[layout.NodeID(e.To)]
+		if from == nil || to == nil {
+			continue
+		}
+		color := "#2c8a2c"
+		if e.RedundantFraction() >= opts.RedundancyThreshold {
+			color = "#b00020"
+		}
+		w := 1 + 4*math.Log1p(float64(e.Bytes))/math.Log1p(float64(maxBytes))
+		x1, y1 := from.X+pad, from.Y+from.Height/2+pad
+		x2, y2 := to.X+pad, to.Y-to.Height/2+pad
+		if e.From == e.To {
+			// Self edge: small loop on the right.
+			fmt.Fprintf(b, "<path d=\"M %.1f %.1f C %.1f %.1f, %.1f %.1f, %.1f %.1f\" fill=\"none\" stroke=\"%s\" stroke-width=\"%.1f\" marker-end=\"url(#arrow)\">",
+				from.X+from.Width/2+pad, from.Y-8+pad,
+				from.X+from.Width/2+40+pad, from.Y-16+pad,
+				from.X+from.Width/2+40+pad, from.Y+16+pad,
+				from.X+from.Width/2+pad, from.Y+8+pad, color, w)
+		} else {
+			midY := (y1 + y2) / 2
+			fmt.Fprintf(b, "<path d=\"M %.1f %.1f C %.1f %.1f, %.1f %.1f, %.1f %.1f\" fill=\"none\" stroke=\"%s\" stroke-width=\"%.1f\" marker-end=\"url(#arrow)\">",
+				x1, y1, x1, midY, x2, midY, x2, y2, color, w)
+		}
+		fmt.Fprintf(b, "<title>obj%d %s: %d bytes, %.0f%% redundant (%d occurrence(s))</title></path>\n",
+			e.Object, e.Op, e.Bytes, 100*e.RedundantFraction(), e.Count)
+	}
+
+	tree := g.Tree()
+	for _, v := range active {
+		n := res.Nodes[layout.NodeID(v.ID)]
+		if n == nil {
+			continue
+		}
+		cx, cy := n.X+pad, n.Y+pad
+		fill, shape := "#ffffff", ""
+		switch v.Kind {
+		case vflow.KindAlloc:
+			shape = fmt.Sprintf("<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" rx=\"3\"", cx-n.Width/2, cy-n.Height/2, n.Width, n.Height)
+			fill = "#eef4ff"
+		case vflow.KindMemcpy, vflow.KindMemset:
+			r := math.Min(n.Width, n.Height) / 2
+			shape = fmt.Sprintf("<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\"", cx, cy, r)
+			fill = "#fff7e6"
+		case vflow.KindHost:
+			shape = fmt.Sprintf("<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" rx=\"12\"", cx-n.Width/2, cy-n.Height/2, n.Width, n.Height)
+			fill = "#f0f0f0"
+		default: // kernel
+			shape = fmt.Sprintf("<ellipse cx=\"%.1f\" cy=\"%.1f\" rx=\"%.1f\" ry=\"%.1f\"", cx, cy, n.Width/2, n.Height/2)
+			fill = "#eaf7ea"
+		}
+		fmt.Fprintf(b, "%s fill=\"%s\" stroke=\"#555\"><title>v%d %s %q — %d invocation(s), %d bytes\n%s</title></%s>\n",
+			shape, fill, v.ID, v.Kind, v.Name, v.Invocations, v.Bytes,
+			html.EscapeString(tree.Format(v.Context)), tagName(shape))
+		fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" font-size=\"11\">%d</text>\n", cx, cy-3, v.ID)
+		fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" font-size=\"10\" fill=\"#444\">%s</text>\n",
+			cx, cy+10, html.EscapeString(clip(v.Name, 18)))
+	}
+	b.WriteString("</svg>\n")
+}
+
+func tagName(shape string) string {
+	switch {
+	case strings.HasPrefix(shape, "<rect"):
+		return "rect"
+	case strings.HasPrefix(shape, "<circle"):
+		return "circle"
+	}
+	return "ellipse"
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func renderCoarse(b *strings.Builder, rep *profile.Report) {
+	var rows []string
+	for _, c := range rep.Coarse {
+		for _, oa := range c.Objects {
+			if !oa.Redundant && !oa.UniformCopy {
+				continue
+			}
+			tag := objTag(rep, oa.ObjectID)
+			kind := "redundant write"
+			if oa.UniformCopy {
+				kind = "uniform copy (use cudaMemset)"
+			}
+			rows = append(rows, fmt.Sprintf(
+				"<tr><td>%d</td><td class=mono>%s</td><td class=mono>%s</td><td class=red>%s</td>"+
+					"<td>%d / %d</td><td class=\"mono ctx\">%s</td></tr>",
+				c.Seq, html.EscapeString(c.Name), html.EscapeString(tag), kind,
+				oa.UnchangedBytes, oa.WrittenBytes, html.EscapeString(c.CallPath)))
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	b.WriteString("<h2>Coarse-grained findings</h2>\n<table><tr><th>seq</th><th>API</th><th>object</th><th>finding</th><th>unchanged/written bytes</th><th>calling context</th></tr>\n")
+	b.WriteString(strings.Join(rows, "\n"))
+	b.WriteString("</table>\n")
+}
+
+func renderDuplicates(b *strings.Builder, rep *profile.Report) {
+	if len(rep.DuplicateGroups) == 0 {
+		return
+	}
+	b.WriteString("<h2>Duplicate values</h2>\n<ul>\n")
+	for _, g := range rep.DuplicateGroups {
+		var tags []string
+		for _, id := range g {
+			tags = append(tags, html.EscapeString(objTag(rep, id)))
+		}
+		fmt.Fprintf(b, "<li class=mono>%s</li>\n", strings.Join(tags, " = "))
+	}
+	b.WriteString("</ul>\n")
+}
+
+func renderFine(b *strings.Builder, rep *profile.Report, maxRows int) {
+	var rows []string
+	for _, f := range rep.Fine {
+		if len(f.Patterns) == 0 {
+			continue
+		}
+		var pats []string
+		for _, p := range f.Patterns {
+			s := fmt.Sprintf("<b>%s</b> (%.1f%%)", html.EscapeString(p.Kind), 100*p.Fraction)
+			if p.Detail != "" {
+				s += ": " + html.EscapeString(p.Detail)
+			}
+			pats = append(pats, s)
+		}
+		rows = append(rows, fmt.Sprintf(
+			"<tr><td class=mono>%s</td><td class=mono>%s</td><td>%d (%dL/%dS)</td><td>%s</td></tr>",
+			html.EscapeString(f.Kernel), html.EscapeString(objTag(rep, f.ObjectID)),
+			f.Accesses, f.Loads, f.Stores, strings.Join(pats, "<br>")))
+		if len(rows) >= maxRows {
+			break
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	b.WriteString("<h2>Fine-grained patterns</h2>\n<table><tr><th>kernel</th><th>object</th><th>accesses</th><th>patterns</th></tr>\n")
+	b.WriteString(strings.Join(rows, "\n"))
+	b.WriteString("</table>\n")
+}
+
+func renderReuse(b *strings.Builder, rep *profile.Report) {
+	if len(rep.Reuse) == 0 {
+		return
+	}
+	b.WriteString("<h2>Reuse distances</h2>\n<table><tr><th>kernel</th><th>accesses</th><th>cold</th><th>est. L1 hits</th><th>est. L2 hits</th></tr>\n")
+	for _, r := range rep.Reuse {
+		fmt.Fprintf(b, "<tr><td class=mono>%s</td><td>%d</td><td>%d</td><td>%.0f%%</td><td>%.0f%%</td></tr>\n",
+			html.EscapeString(r.Kernel), r.Accesses, r.ColdMisses,
+			100*r.L1HitFraction, 100*r.L2HitFraction)
+	}
+	b.WriteString("</table>\n")
+}
+
+func objTag(rep *profile.Report, id int) string {
+	if o, ok := rep.ObjectByID(id); ok && o.Tag != "" {
+		return fmt.Sprintf("%s (#%d)", o.Tag, id)
+	}
+	if id == 0 {
+		return "__shared__"
+	}
+	return fmt.Sprintf("obj #%d", id)
+}

@@ -1,0 +1,141 @@
+package gui
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/core"
+	"valueexpert/internal/profile"
+)
+
+// buildProfile runs a small double-initialization program under the
+// profiler and returns its report and graph.
+func buildProfile(t *testing.T) (*profile.Report, *core.Profiler) {
+	t.Helper()
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	p := core.Attach(rt, core.Config{Coarse: true, Fine: true, ReuseDistance: true, Program: "gui-test"})
+	const n = 2048
+	a, err := rt.MallocF32(n, "l.output_gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bPtr, err := rt.MallocF32(n, "l.x_gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := make([]float32, n)
+	if err := rt.CopyF32ToDevice(a, zeros); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.CopyF32ToDevice(bPtr, zeros); err != nil {
+		t.Fatal(err)
+	}
+	fill := &gpu.GoKernel{
+		Name: "fill_kernel",
+		Func: func(th *gpu.Thread) {
+			i := th.GlobalID()
+			if i >= n {
+				return
+			}
+			th.StoreF32(0, uint64(a)+uint64(4*i), 0)
+		},
+	}
+	if err := rt.Launch(fill, gpu.Dim1(n/256), gpu.Dim1(256)); err != nil {
+		t.Fatal(err)
+	}
+	return p.Report(), p
+}
+
+func TestRenderHTMLComplete(t *testing.T) {
+	rep, p := buildProfile(t)
+	out := RenderHTML(rep, p.Graph(), Options{})
+	for _, frag := range []string{
+		"<!DOCTYPE html>",
+		"ValueExpert report: gui-test on RTX 2080 Ti",
+		"<svg",                       // graph rendered
+		"marker-end=\"url(#arrow)\"", // edges with arrowheads
+		"#b00020",                    // a red (redundant) edge
+		"fill_kernel",                // kernel vertex label
+		"l.output_gpu",               // object tags
+		"Coarse-grained findings",
+		"Duplicate values",
+		"Fine-grained patterns",
+		"single zero",
+		"Reuse distances",
+		"Optimization suggestions",
+		"<title>", // hover tooltips
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("HTML missing %q", frag)
+		}
+	}
+	// Every angle bracket balanced at the top level (cheap sanity).
+	if strings.Count(out, "<svg") != strings.Count(out, "</svg>") {
+		t.Fatal("unbalanced svg tags")
+	}
+	if strings.Count(out, "<table>") != strings.Count(out, "</table>") {
+		t.Fatal("unbalanced tables")
+	}
+}
+
+func TestRenderHTMLEscapesContent(t *testing.T) {
+	rep := &profile.Report{
+		Tool: "ValueExpert", Device: "A100", Program: "<script>alert(1)</script>",
+		Objects: []profile.Object{{ID: 1, Tag: "a<b>&c", Size: 8}},
+		Fine: []profile.FineRecord{{
+			Kernel: "k<img>", ObjectID: 1, Accesses: 1,
+			Patterns: []profile.Pattern{{Kind: "single value", Fraction: 1, Detail: "<svg onload=x>"}},
+		}},
+		Stats: profile.RunStats{KernelTime: time.Millisecond},
+	}
+	out := RenderHTML(rep, nil, Options{})
+	for _, bad := range []string{"<script>alert", "<img>", "<svg onload"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("unescaped content %q leaked into HTML", bad)
+		}
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Fatal("escaping missing")
+	}
+}
+
+func TestRenderHTMLWithoutGraph(t *testing.T) {
+	rep, _ := buildProfile(t)
+	out := RenderHTML(rep, nil, Options{Title: "nographs"})
+	if strings.Contains(out, "<svg") {
+		t.Fatal("graph section present without a graph")
+	}
+	if !strings.Contains(out, "nographs") {
+		t.Fatal("custom title lost")
+	}
+}
+
+func TestFineRowCap(t *testing.T) {
+	rep := &profile.Report{Tool: "ValueExpert", Device: "A100", Program: "cap"}
+	for i := 0; i < 50; i++ {
+		rep.Fine = append(rep.Fine, profile.FineRecord{
+			Kernel: "k", ObjectID: i, Accesses: 1,
+			Patterns: []profile.Pattern{{Kind: "single value", Fraction: 1}},
+		})
+	}
+	out := RenderHTML(rep, nil, Options{MaxFineRows: 5})
+	if got := strings.Count(out, "<b>single value</b>"); got != 5 {
+		t.Fatalf("fine rows rendered = %d, want 5", got)
+	}
+}
+
+func TestClipAndObjTag(t *testing.T) {
+	if clip("short", 18) != "short" {
+		t.Fatal("clip changed short string")
+	}
+	if got := clip("averyveryverylongkernelname", 10); len(got) <= 0 || len([]rune(got)) > 10 {
+		t.Fatalf("clip = %q", got)
+	}
+	rep := &profile.Report{}
+	if objTag(rep, 0) != "__shared__" || objTag(rep, 7) != "obj #7" {
+		t.Fatal("objTag fallbacks")
+	}
+}

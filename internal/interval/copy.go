@@ -1,0 +1,124 @@
+package interval
+
+import "time"
+
+// CopyStrategy selects how a data object's accessed values are copied from
+// device to host to update its snapshot (Figure 5).
+type CopyStrategy uint8
+
+// Copy strategies.
+const (
+	// DirectCopy copies the whole data object regardless of what was
+	// accessed (Figure 5a).
+	DirectCopy CopyStrategy = iota
+	// MinMaxCopy copies one range spanning the minimum and maximum
+	// accessed addresses (Figure 5b).
+	MinMaxCopy
+	// SegmentCopy copies each merged accessed interval separately
+	// (Figure 5c).
+	SegmentCopy
+	// AdaptiveCopy picks SegmentCopy when the accessed intervals are few
+	// and sparse, and MinMaxCopy when they are dense or numerous (§6.1).
+	AdaptiveCopy
+)
+
+// String names the strategy.
+func (s CopyStrategy) String() string {
+	switch s {
+	case DirectCopy:
+		return "direct"
+	case MinMaxCopy:
+		return "min-max"
+	case SegmentCopy:
+		return "segment"
+	case AdaptiveCopy:
+		return "adaptive"
+	}
+	return "unknown"
+}
+
+// Adaptive policy parameters: SegmentCopy is preferred only while the
+// per-call latency of many small copies stays below the bandwidth cost of
+// the bytes min-max would copy needlessly.
+const (
+	// adaptiveMaxSegments caps the number of copy calls segment copy may
+	// issue before the per-call latency dominates.
+	adaptiveMaxSegments = 64
+	// adaptiveDensity is the covered-bytes/span ratio above which the
+	// accessed region is "dense" and one min-max copy is cheaper.
+	adaptiveDensity = 0.5
+)
+
+// PlanCopy returns the byte ranges to copy for a data object spanning obj,
+// given the merged accessed intervals (sorted, disjoint). The returned
+// ranges are clipped to obj.
+func PlanCopy(strategy CopyStrategy, obj Interval, merged []Interval) []Interval {
+	clipped := clip(obj, merged)
+	switch strategy {
+	case DirectCopy:
+		return []Interval{obj}
+	case MinMaxCopy:
+		if len(clipped) == 0 {
+			return nil
+		}
+		return []Interval{{Start: clipped[0].Start, End: clipped[len(clipped)-1].End}}
+	case SegmentCopy:
+		return clipped
+	case AdaptiveCopy:
+		if len(clipped) == 0 {
+			return nil
+		}
+		if len(clipped) > adaptiveMaxSegments || density(clipped) > adaptiveDensity {
+			return PlanCopy(MinMaxCopy, obj, clipped)
+		}
+		return clipped
+	}
+	return clipped
+}
+
+// density is coveredBytes / span over the merged intervals.
+func density(merged []Interval) float64 {
+	if len(merged) == 0 {
+		return 0
+	}
+	span := merged[len(merged)-1].End - merged[0].Start
+	if span == 0 {
+		return 0
+	}
+	return float64(TotalBytes(merged)) / float64(span)
+}
+
+// clip restricts merged intervals to the object bounds, dropping empties.
+func clip(obj Interval, merged []Interval) []Interval {
+	var out []Interval
+	for _, iv := range merged {
+		s, e := iv.Start, iv.End
+		if s < obj.Start {
+			s = obj.Start
+		}
+		if e > obj.End {
+			e = obj.End
+		}
+		if s < e {
+			out = append(out, Interval{Start: s, End: e})
+		}
+	}
+	return out
+}
+
+// CopyCostModel prices a copy plan: each range pays a fixed per-call
+// latency plus bytes/bandwidth. This is the quantity the adaptive policy
+// minimizes and the overhead accounting charges for snapshot maintenance.
+type CopyCostModel struct {
+	PerCall   time.Duration
+	Bandwidth float64 // bytes per second
+}
+
+// Cost prices a plan under the model.
+func (m CopyCostModel) Cost(plan []Interval) time.Duration {
+	var t time.Duration
+	for _, iv := range plan {
+		t += m.PerCall + time.Duration(float64(iv.Len())/m.Bandwidth*float64(time.Second))
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package interval
+
+// Set operations over sorted, disjoint interval lists (the form produced
+// by MergeSequential / MergeParallel). The snapshot analyzer uses them to
+// restrict redundancy diffs to bytes whose previous value is defined.
+
+// Union merges two sorted disjoint interval lists into one.
+func Union(a, b []Interval) []Interval {
+	if len(a) == 0 {
+		return append([]Interval(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]Interval(nil), a...)
+	}
+	all := make([]Interval, 0, len(a)+len(b))
+	all = append(all, a...)
+	all = append(all, b...)
+	return MergeSequential(all)
+}
+
+// Intersect returns the overlap of two sorted disjoint interval lists.
+func Intersect(a, b []Interval) []Interval {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		s := a[i].Start
+		if b[j].Start > s {
+			s = b[j].Start
+		}
+		e := a[i].End
+		if b[j].End < e {
+			e = b[j].End
+		}
+		if s < e {
+			out = append(out, Interval{Start: s, End: e})
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}

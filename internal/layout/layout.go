@@ -1,0 +1,221 @@
+// Package layout computes hierarchical (Sugiyama-style) layouts for value
+// flow graphs: layer assignment by longest path with cycle tolerance,
+// crossing reduction by iterated barycenter sweeps, and coordinate
+// assignment. The GUI renders the result as SVG; the algorithm is
+// self-contained so reports need no external graph tooling.
+package layout
+
+import "sort"
+
+// NodeID identifies a node; callers use their own IDs.
+type NodeID int
+
+// Edge is a directed edge between laid-out nodes.
+type Edge struct {
+	From, To NodeID
+}
+
+// Node is a laid-out node: a layer (row) and coordinates in abstract
+// units. Width/Height are supplied by the caller.
+type Node struct {
+	ID            NodeID
+	Layer         int
+	X, Y          float64
+	Width, Height float64
+}
+
+// Options tunes spacing.
+type Options struct {
+	// HGap and VGap separate nodes within a layer and layers from each
+	// other. Defaults 40 and 80.
+	HGap, VGap float64
+	// Sweeps is the number of barycenter ordering passes. Default 4.
+	Sweeps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.HGap == 0 {
+		o.HGap = 40
+	}
+	if o.VGap == 0 {
+		o.VGap = 80
+	}
+	if o.Sweeps == 0 {
+		o.Sweeps = 4
+	}
+	return o
+}
+
+// Result is a computed layout.
+type Result struct {
+	Nodes  map[NodeID]*Node
+	Width  float64
+	Height float64
+	Layers [][]NodeID // node order per layer after crossing reduction
+}
+
+// Compute lays out the given nodes (with their sizes) and edges.
+// Self-loops are ignored for layering; cycles are broken by ignoring
+// edges that point to an ancestor during the longest-path traversal.
+func Compute(nodes []Node, edges []Edge, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{Nodes: make(map[NodeID]*Node, len(nodes))}
+	for i := range nodes {
+		n := nodes[i]
+		res.Nodes[n.ID] = &n
+	}
+
+	// Deduplicate edges and drop self-loops and edges touching unknown
+	// nodes.
+	type ekey struct{ f, t NodeID }
+	seen := make(map[ekey]bool)
+	var es []Edge
+	for _, e := range edges {
+		if e.From == e.To {
+			continue
+		}
+		if res.Nodes[e.From] == nil || res.Nodes[e.To] == nil {
+			continue
+		}
+		k := ekey{e.From, e.To}
+		if !seen[k] {
+			seen[k] = true
+			es = append(es, e)
+		}
+	}
+
+	succ := make(map[NodeID][]NodeID)
+	pred := make(map[NodeID][]NodeID)
+	for _, e := range es {
+		succ[e.From] = append(succ[e.From], e.To)
+		pred[e.To] = append(pred[e.To], e.From)
+	}
+
+	// Layering: longest path from roots via DFS with cycle detection.
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make(map[NodeID]int)
+	var assign func(id NodeID) int
+	assign = func(id NodeID) int {
+		switch state[id] {
+		case onStack:
+			return res.Nodes[id].Layer // back edge: keep current layer
+		case done:
+			return res.Nodes[id].Layer
+		}
+		state[id] = onStack
+		layer := 0
+		for _, p := range pred[id] {
+			if state[p] == onStack {
+				continue // cycle: ignore this predecessor
+			}
+			if l := assign(p) + 1; l > layer {
+				layer = l
+			}
+		}
+		res.Nodes[id].Layer = layer
+		state[id] = done
+		return layer
+	}
+	ids := make([]NodeID, 0, len(res.Nodes))
+	for id := range res.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	maxLayer := 0
+	for _, id := range ids {
+		if l := assign(id); l > maxLayer {
+			maxLayer = l
+		}
+	}
+
+	// Initial per-layer order: by ID for determinism.
+	layers := make([][]NodeID, maxLayer+1)
+	for _, id := range ids {
+		l := res.Nodes[id].Layer
+		layers[l] = append(layers[l], id)
+	}
+
+	// Crossing reduction: barycenter sweeps alternating downward and
+	// upward.
+	pos := make(map[NodeID]int)
+	reindex := func() {
+		for _, layer := range layers {
+			for i, id := range layer {
+				pos[id] = i
+			}
+		}
+	}
+	reindex()
+	bary := func(id NodeID, neighbors []NodeID) float64 {
+		if len(neighbors) == 0 {
+			return float64(pos[id])
+		}
+		var s float64
+		for _, n := range neighbors {
+			s += float64(pos[n])
+		}
+		return s / float64(len(neighbors))
+	}
+	for sweep := 0; sweep < opts.Sweeps; sweep++ {
+		down := sweep%2 == 0
+		for li := range layers {
+			l := li
+			if !down {
+				l = len(layers) - 1 - li
+			}
+			layer := layers[l]
+			sort.SliceStable(layer, func(i, j int) bool {
+				var bi, bj float64
+				if down {
+					bi, bj = bary(layer[i], pred[layer[i]]), bary(layer[j], pred[layer[j]])
+				} else {
+					bi, bj = bary(layer[i], succ[layer[i]]), bary(layer[j], succ[layer[j]])
+				}
+				return bi < bj
+			})
+			reindex()
+		}
+	}
+	res.Layers = layers
+
+	// Coordinates: centered rows, top-down layers.
+	rowWidths := make([]float64, len(layers))
+	rowHeights := make([]float64, len(layers))
+	for l, layer := range layers {
+		var w, h float64
+		for _, id := range layer {
+			n := res.Nodes[id]
+			w += n.Width
+			if n.Height > h {
+				h = n.Height
+			}
+		}
+		if len(layer) > 0 {
+			w += opts.HGap * float64(len(layer)-1)
+		}
+		rowWidths[l] = w
+		rowHeights[l] = h
+		if w > res.Width {
+			res.Width = w
+		}
+	}
+	y := 0.0
+	for l, layer := range layers {
+		x := (res.Width - rowWidths[l]) / 2
+		for _, id := range layer {
+			n := res.Nodes[id]
+			n.X = x + n.Width/2
+			n.Y = y + rowHeights[l]/2
+			x += n.Width + opts.HGap
+		}
+		y += rowHeights[l] + opts.VGap
+	}
+	if len(layers) > 0 {
+		res.Height = y - opts.VGap
+	}
+	return res
+}

@@ -1,0 +1,122 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func node(id NodeID) Node { return Node{ID: id, Width: 80, Height: 40} }
+
+func TestChainLayers(t *testing.T) {
+	nodes := []Node{node(1), node(2), node(3)}
+	edges := []Edge{{1, 2}, {2, 3}}
+	res := Compute(nodes, edges, Options{})
+	if res.Nodes[1].Layer != 0 || res.Nodes[2].Layer != 1 || res.Nodes[3].Layer != 2 {
+		t.Fatalf("layers = %d %d %d", res.Nodes[1].Layer, res.Nodes[2].Layer, res.Nodes[3].Layer)
+	}
+	// Y strictly increases down the chain.
+	if !(res.Nodes[1].Y < res.Nodes[2].Y && res.Nodes[2].Y < res.Nodes[3].Y) {
+		t.Fatal("layer Y ordering broken")
+	}
+	if res.Width <= 0 || res.Height <= 0 {
+		t.Fatalf("extent = %v x %v", res.Width, res.Height)
+	}
+}
+
+func TestDiamondAndLongestPath(t *testing.T) {
+	// 1 -> 2 -> 4, 1 -> 3 -> 4, plus 1 -> 4 direct: 4 sits at layer 2
+	// (longest path), not 1.
+	nodes := []Node{node(1), node(2), node(3), node(4)}
+	edges := []Edge{{1, 2}, {1, 3}, {2, 4}, {3, 4}, {1, 4}}
+	res := Compute(nodes, edges, Options{})
+	if res.Nodes[4].Layer != 2 {
+		t.Fatalf("sink layer = %d, want 2", res.Nodes[4].Layer)
+	}
+	// Layer 1 holds exactly nodes 2 and 3.
+	if len(res.Layers[1]) != 2 {
+		t.Fatalf("layer 1 = %v", res.Layers[1])
+	}
+}
+
+func TestCycleTolerated(t *testing.T) {
+	nodes := []Node{node(1), node(2), node(3)}
+	edges := []Edge{{1, 2}, {2, 3}, {3, 1}} // cycle
+	res := Compute(nodes, edges, Options{})
+	// Must terminate and give every node a layer.
+	for id := NodeID(1); id <= 3; id++ {
+		if res.Nodes[id] == nil {
+			t.Fatalf("node %d missing", id)
+		}
+	}
+}
+
+func TestSelfLoopAndUnknownEdgesIgnored(t *testing.T) {
+	nodes := []Node{node(1), node(2)}
+	edges := []Edge{{1, 1}, {1, 9}, {9, 2}, {1, 2}}
+	res := Compute(nodes, edges, Options{})
+	if res.Nodes[2].Layer != 1 {
+		t.Fatalf("layer = %d", res.Nodes[2].Layer)
+	}
+}
+
+func TestBarycenterReducesCrossings(t *testing.T) {
+	// Two parents each with one child; the "crossed" initial order (by
+	// ID) must untangle: parent 1 -> child 12, parent 2 -> child 11.
+	nodes := []Node{node(1), node(2), node(11), node(12)}
+	edges := []Edge{{1, 12}, {2, 11}}
+	res := Compute(nodes, edges, Options{})
+	p1, p2 := res.Nodes[1].X, res.Nodes[2].X
+	c11, c12 := res.Nodes[11].X, res.Nodes[12].X
+	// After sweeps, the child under parent 1 should be on parent 1's
+	// side: orderings must agree (no crossing).
+	if (p1 < p2) == (c12 > c11) {
+		t.Fatalf("crossing not removed: parents %.0f/%.0f children %.0f/%.0f", p1, p2, c11, c12)
+	}
+}
+
+// Properties: every node placed; nodes within a layer never overlap
+// horizontally; all coordinates within the reported extent.
+func TestLayoutInvariants(t *testing.T) {
+	f := func(rawEdges []uint8, nNodes uint8) bool {
+		n := int(nNodes%12) + 2
+		nodes := make([]Node, n)
+		for i := range nodes {
+			nodes[i] = node(NodeID(i))
+		}
+		var edges []Edge
+		for i := 0; i+1 < len(rawEdges); i += 2 {
+			edges = append(edges, Edge{NodeID(int(rawEdges[i]) % n), NodeID(int(rawEdges[i+1]) % n)})
+		}
+		res := Compute(nodes, edges, Options{})
+		if len(res.Nodes) != n {
+			return false
+		}
+		for _, layer := range res.Layers {
+			for i := 1; i < len(layer); i++ {
+				a, b := res.Nodes[layer[i-1]], res.Nodes[layer[i]]
+				if a.X+a.Width/2 > b.X-b.Width/2+1e-9 {
+					return false // overlap
+				}
+			}
+		}
+		for _, nd := range res.Nodes {
+			if nd.X-nd.Width/2 < -1e-9 || nd.X+nd.Width/2 > res.Width+1e-9 {
+				return false
+			}
+			if nd.Y-nd.Height/2 < -1e-9 || nd.Y+nd.Height/2 > res.Height+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res := Compute(nil, nil, Options{})
+	if len(res.Nodes) != 0 || res.Width != 0 {
+		t.Fatalf("empty layout = %+v", res)
+	}
+}

@@ -1,0 +1,237 @@
+// Package parallel provides the data-parallel primitives ValueExpert's
+// online analyzer dispatches to the GPU in the original system: prefix
+// scans, radix sorts, reductions, and a chunked parallel-for.
+//
+// On real hardware these run as data-processing kernels occupying dedicated
+// streaming multiprocessors (paper §6.1); here they are implemented with a
+// fixed pool of goroutine workers so the algorithms keep the same structure
+// (block-local work + cross-block combine) and the same asymptotics.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the degree of parallelism used when a Pool is created
+// with workers <= 0. It mirrors launching one analysis block per available
+// processor.
+var DefaultWorkers = runtime.GOMAXPROCS(0)
+
+// Pool is a reusable set of workers that executes data-parallel operations.
+// The zero value is not usable; construct with NewPool.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a Pool with the given degree of parallelism. workers <= 0
+// selects DefaultWorkers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's degree of parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// For runs fn(i) for every i in [0, n), partitioning the index space into
+// contiguous chunks, one per worker. fn must be safe to call concurrently
+// for distinct indices.
+func (p *Pool) For(n int, fn func(i int)) {
+	p.ForChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunks splits [0, n) into at most Workers contiguous ranges and runs
+// fn(lo, hi) for each range on its own worker.
+func (p *Pool) ForChunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// InclusiveScan replaces each element of xs with the sum of all elements up
+// to and including it. It is the parallel prefix scan from Figure 4 of the
+// paper: per-chunk local scans, an exclusive scan of the chunk totals, and a
+// parallel fix-up pass.
+func (p *Pool) InclusiveScan(xs []int64) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		var run int64
+		for i := range xs {
+			run += xs[i]
+			xs[i] = run
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	nChunks := (n + chunk - 1) / chunk
+	totals := make([]int64, nChunks)
+
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			var run int64
+			for i := lo; i < hi; i++ {
+				run += xs[i]
+				xs[i] = run
+			}
+			totals[c] = run
+		}(c)
+	}
+	wg.Wait()
+
+	// Exclusive scan of chunk totals (small; sequential).
+	var run int64
+	for c := range totals {
+		t := totals[c]
+		totals[c] = run
+		run += t
+	}
+
+	for c := 1; c < nChunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			off := totals[c]
+			for i := lo; i < hi; i++ {
+				xs[i] += off
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// ExclusiveScan replaces xs[i] with the sum of xs[0:i] and returns the total
+// sum of the original slice.
+func (p *Pool) ExclusiveScan(xs []int64) int64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	p.InclusiveScan(xs)
+	total := xs[n-1]
+	copy(xs[1:], xs[:n-1])
+	xs[0] = 0
+	return total
+}
+
+// Reduce returns the sum of xs computed with a parallel tree reduction.
+func (p *Pool) Reduce(xs []int64) int64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	partials := make([]int64, w)
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for c := 0; c*chunk < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			partials[c] = s
+		}(c)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range partials {
+		total += s
+	}
+	return total
+}
+
+// MaxUint64 returns the maximum element of xs, or 0 for an empty slice.
+func (p *Pool) MaxUint64(xs []uint64) uint64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	partials := make([]uint64, w)
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for c := 0; c*chunk < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			m := xs[lo]
+			for i := lo + 1; i < hi; i++ {
+				if xs[i] > m {
+					m = xs[i]
+				}
+			}
+			partials[c] = m
+		}(c)
+	}
+	wg.Wait()
+	m := partials[0]
+	for _, v := range partials[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,166 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sample() *Report {
+	return &Report{
+		Tool: "ValueExpert", Device: "RTX 2080 Ti", Program: "darknet",
+		Objects: []Object{
+			{ID: 1, Tag: "l.output_gpu", Size: 4096, CallPath: "make_convolutional_layer (convolutional_layer.c:553)"},
+			{ID: 2, Tag: "l.x_gpu", Size: 4096},
+		},
+		Coarse: []CoarseRecord{
+			{Seq: 3, API: "cudaLaunchKernel", Name: "fill_kernel", CallPath: "forward\nfill_ongpu",
+				Duration: time.Millisecond,
+				Objects: []ObjectAccess{
+					{ObjectID: 1, WrittenBytes: 4096, UnchangedBytes: 4096, Redundant: true},
+				}},
+			{Seq: 4, API: "cudaMemcpy", Name: "cudaMemcpy",
+				Objects: []ObjectAccess{{ObjectID: 2, WrittenBytes: 4096, UnchangedBytes: 100}}},
+		},
+		Fine: []FineRecord{
+			{Seq: 3, Kernel: "fill_kernel", ObjectID: 1, Accesses: 1024, Stores: 1024,
+				Bytes: 4096, Distinct: 1,
+				TopValues: []ValueCount{{Value: "0", Count: 1024}},
+				Patterns: []Pattern{
+					{Kind: "single zero", Fraction: 1},
+					{Kind: "single value", Fraction: 1, Detail: "all accesses see value 0"},
+				}},
+			{Seq: 9, Kernel: "gemm", ObjectID: 2, Accesses: 10, Loads: 10},
+		},
+		DuplicateGroups: [][]int{{1, 2}},
+		Stats: RunStats{
+			KernelLaunches: 2, LaunchesProfiled: 2, AccessRecords: 1034,
+			KernelTime: 2 * time.Millisecond, MemoryTime: time.Millisecond,
+		},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != r.Program || len(got.Coarse) != 2 || len(got.Fine) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Fine[0].Patterns[1].Detail != "all accesses see value 0" {
+		t.Fatal("pattern detail lost")
+	}
+	if got.Stats.KernelTime != 2*time.Millisecond {
+		t.Fatalf("stats lost: %+v", got.Stats)
+	}
+	if _, err := ReadJSON(strings.NewReader("{invalid")); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+}
+
+func TestPatternSet(t *testing.T) {
+	r := sample()
+	set := r.PatternSet()
+	for _, want := range []string{"redundant values", "duplicate values", "single zero", "single value"} {
+		if !set[want] {
+			t.Fatalf("pattern set missing %q: %v", want, set)
+		}
+	}
+	if set["heavy type"] {
+		t.Fatal("unexpected pattern")
+	}
+	// Non-redundant coarse accesses and empty duplicates contribute nothing.
+	r2 := &Report{Coarse: []CoarseRecord{{Objects: []ObjectAccess{{WrittenBytes: 10}}}}}
+	if len(r2.PatternSet()) != 0 {
+		t.Fatal("phantom patterns")
+	}
+}
+
+func TestLookupsAndTotals(t *testing.T) {
+	r := sample()
+	if o, ok := r.ObjectByID(2); !ok || o.Tag != "l.x_gpu" {
+		t.Fatalf("ObjectByID = %+v, %v", o, ok)
+	}
+	if _, ok := r.ObjectByID(99); ok {
+		t.Fatal("unknown object found")
+	}
+	if got := r.FineFor("fill_kernel"); len(got) != 1 || got[0].ObjectID != 1 {
+		t.Fatalf("FineFor = %+v", got)
+	}
+	if got := r.FineFor("nope"); got != nil {
+		t.Fatal("FineFor unknown kernel")
+	}
+	if r.RedundantBytes() != 4196 {
+		t.Fatalf("RedundantBytes = %d, want 4196", r.RedundantBytes())
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	txt := sample().Text()
+	for _, frag := range []string{
+		"ValueExpert profile: darknet on RTX 2080 Ti",
+		"redundant values (coarse)",
+		"l.output_gpu",
+		"4096 of 4096 written bytes unchanged",
+		"duplicate values",
+		"l.output_gpu(#1) = l.x_gpu(#2)",
+		"fine-grained patterns",
+		"single zero",
+		"forward <- fill_ongpu",
+		"patterns found:",
+	} {
+		if !strings.Contains(txt, frag) {
+			t.Fatalf("text missing %q:\n%s", frag, txt)
+		}
+	}
+	// Fine records with no patterns are omitted from the pattern section.
+	if strings.Contains(txt, "kernel gemm") {
+		t.Fatal("patternless fine record rendered")
+	}
+}
+
+func TestObjectHistory(t *testing.T) {
+	r := sample()
+	hist := r.ObjectHistory(1)
+	if len(hist) != 1 || hist[0].Seq != 3 || !hist[0].Redundant {
+		t.Fatalf("history = %+v", hist)
+	}
+	if got := r.ObjectHistory(99); got != nil {
+		t.Fatalf("phantom history: %+v", got)
+	}
+	txt := r.FormatHistory(1)
+	for _, frag := range []string{"l.output_gpu", "seq 3", "fill_kernel", "<- redundant"} {
+		if !strings.Contains(txt, frag) {
+			t.Fatalf("history text missing %q:\n%s", frag, txt)
+		}
+	}
+	if r.FormatHistory(99) != "" {
+		t.Fatal("phantom history text")
+	}
+	// Uniform copies are annotated.
+	r.Coarse = append(r.Coarse, CoarseRecord{
+		Seq: 10, API: "cudaMemcpy", Name: "cudaMemcpy",
+		Objects: []ObjectAccess{{ObjectID: 1, WrittenBytes: 64, UniformCopy: true}},
+	})
+	if !strings.Contains(r.FormatHistory(1), "memset-able") {
+		t.Fatal("uniform copy annotation missing")
+	}
+}
+
+func TestTextEmptyReport(t *testing.T) {
+	r := &Report{Tool: "ValueExpert", Device: "A100", Program: "empty"}
+	txt := r.Text()
+	if !strings.Contains(txt, "empty on A100") {
+		t.Fatalf("empty report text = %q", txt)
+	}
+	if strings.Contains(txt, "redundant values (coarse)") {
+		t.Fatal("empty report shows sections")
+	}
+}

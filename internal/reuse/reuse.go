@@ -1,0 +1,179 @@
+// Package reuse implements reuse-distance analysis, the first of the
+// follow-on analyses the paper's conclusion proposes building on
+// ValueExpert's measurement pipeline ("we intend to offload other
+// important program analyses, such as reuse distance and race detection,
+// to GPUs"). Reuse distance — the number of distinct cache lines touched
+// between two accesses to the same line — predicts cache behaviour
+// independent of cache size and complements value patterns: a redundant
+// value with a short reuse distance is cheap to re-load; one with a long
+// distance costs DRAM traffic.
+//
+// The analyzer uses the classic exact algorithm: a hash map from line to
+// its last access time plus a Fenwick tree over access times marking
+// which times are the *latest* access to their line; the reuse distance
+// of an access is the count of marked times after the line's previous
+// access. Time and space are O(N log N) and O(distinct lines).
+package reuse
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// LineSize is the granularity of reuse tracking: a GPU cache sector.
+const LineSize = 32
+
+// NumBuckets is the number of power-of-two distance buckets; bucket i
+// counts distances in [2^(i-1), 2^i), bucket 0 counts distance 0
+// (consecutive accesses to the same line).
+const NumBuckets = 28
+
+// Histogram counts reuses by log2(distance) bucket, plus cold misses
+// (first touches, which have no reuse distance).
+type Histogram struct {
+	Buckets [NumBuckets]uint64
+	Cold    uint64 // first accesses (infinite distance)
+	Total   uint64
+}
+
+// Bucket returns the bucket index for a distance.
+func Bucket(distance uint64) int {
+	if distance == 0 {
+		return 0
+	}
+	b := bits.Len64(distance)
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// Add merges another histogram into h.
+func (h *Histogram) Add(o Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Cold += o.Cold
+	h.Total += o.Total
+}
+
+// HitFraction estimates the hit ratio of a fully associative LRU cache
+// holding lines cache lines: the fraction of accesses whose reuse
+// distance is below the capacity.
+func (h *Histogram) HitFraction(lines uint64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var hits uint64
+	for i, c := range h.Buckets {
+		// Bucket i holds distances < 2^i; count it if the whole bucket
+		// fits.
+		if i == 0 || uint64(1)<<uint(i) <= lines {
+			hits += c
+		}
+	}
+	return float64(hits) / float64(h.Total)
+}
+
+// String renders the non-empty buckets.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reuse distances over %d accesses (%d cold):", h.Total, h.Cold)
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = 1 << uint(i-1)
+		}
+		fmt.Fprintf(&b, " [%d,%d):%d", lo, uint64(1)<<uint(i), c)
+	}
+	return b.String()
+}
+
+// Analyzer computes exact LRU reuse distances over a stream of addresses.
+// The zero value is not usable; construct with NewAnalyzer.
+type Analyzer struct {
+	last map[uint64]int // line -> last access time (1-based)
+	bit  []uint64       // Fenwick tree over times; 1 marks a latest access
+	mark []uint8        // raw marks, kept so growth can rebuild the tree
+	time int
+	hist Histogram
+}
+
+// NewAnalyzer creates an analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		last: make(map[uint64]int),
+		bit:  make([]uint64, 2),
+		mark: make([]uint8, 2),
+	}
+}
+
+func (a *Analyzer) bitAdd(i int, v int64) {
+	if v > 0 {
+		a.mark[i] = 1
+	} else {
+		a.mark[i] = 0
+	}
+	for ; i < len(a.bit); i += i & (-i) {
+		a.bit[i] = uint64(int64(a.bit[i]) + v)
+	}
+}
+
+func (a *Analyzer) bitSum(i int) uint64 {
+	var s uint64
+	for ; i > 0; i -= i & (-i) {
+		s += a.bit[i]
+	}
+	return s
+}
+
+// grow doubles the tree and rebuilds it from the raw marks: a grown
+// Fenwick tree's new parent nodes must incorporate existing counts.
+func (a *Analyzer) grow() {
+	mark := make([]uint8, 2*len(a.mark))
+	copy(mark, a.mark)
+	a.mark = mark
+	a.bit = make([]uint64, len(mark))
+	for i := 1; i < len(mark); i++ {
+		a.bit[i] += uint64(mark[i])
+		if j := i + (i & -i); j < len(a.bit) {
+			a.bit[j] += a.bit[i]
+		}
+	}
+}
+
+// Touch records one access to addr and returns its reuse distance, with
+// cold (first-touch) accesses reported as (0, false).
+func (a *Analyzer) Touch(addr uint64) (distance uint64, warm bool) {
+	line := addr / LineSize
+	a.time++
+	for a.time >= len(a.bit) {
+		a.grow()
+	}
+	prev, seen := a.last[line]
+	if seen {
+		// Distinct lines touched since prev = marked times in (prev, now).
+		distance = a.bitSum(a.time-1) - a.bitSum(prev)
+		a.bitAdd(prev, -1)
+	}
+	a.bitAdd(a.time, 1)
+	a.last[line] = a.time
+
+	a.hist.Total++
+	if seen {
+		a.hist.Buckets[Bucket(distance)]++
+		return distance, true
+	}
+	a.hist.Cold++
+	return 0, false
+}
+
+// Histogram returns the accumulated distance histogram.
+func (a *Analyzer) Histogram() Histogram { return a.hist }
+
+// DistinctLines reports the number of distinct lines observed.
+func (a *Analyzer) DistinctLines() int { return len(a.last) }

@@ -1,0 +1,158 @@
+package reuse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestColdAndRepeat(t *testing.T) {
+	a := NewAnalyzer()
+	if _, warm := a.Touch(0); warm {
+		t.Fatal("first touch reported warm")
+	}
+	// Immediate re-touch of the same line: distance 0.
+	d, warm := a.Touch(4) // same 32-byte line as addr 0
+	if !warm || d != 0 {
+		t.Fatalf("repeat = (%d, %v), want (0, true)", d, warm)
+	}
+}
+
+func TestDistanceCountsDistinctLines(t *testing.T) {
+	a := NewAnalyzer()
+	a.Touch(0 * LineSize)
+	a.Touch(1 * LineSize)
+	a.Touch(2 * LineSize)
+	a.Touch(1 * LineSize) // since last touch of line 1: line 2 only -> 1
+	d, warm := a.Touch(0 * LineSize)
+	// Since last touch of line 0: lines 1, 2 -> distance 2.
+	if !warm || d != 2 {
+		t.Fatalf("distance = (%d, %v), want (2, true)", d, warm)
+	}
+	if a.DistinctLines() != 3 {
+		t.Fatalf("distinct lines = %d", a.DistinctLines())
+	}
+}
+
+func TestRepeatedLineNotDoubleCounted(t *testing.T) {
+	a := NewAnalyzer()
+	a.Touch(0 * LineSize)
+	a.Touch(1 * LineSize)
+	a.Touch(1 * LineSize)
+	a.Touch(1 * LineSize)
+	d, _ := a.Touch(0 * LineSize)
+	if d != 1 {
+		t.Fatalf("distance = %d, want 1 (line 1 counted once)", d)
+	}
+}
+
+// Property: the analyzer matches a naive O(N^2) reference on random
+// traces.
+func TestMatchesNaiveReference(t *testing.T) {
+	f := func(raw []uint8) bool {
+		trace := make([]uint64, len(raw))
+		for i, r := range raw {
+			trace[i] = uint64(r%16) * LineSize
+		}
+		a := NewAnalyzer()
+		for i, addr := range trace {
+			got, warm := a.Touch(addr)
+			// Naive: walk backwards collecting distinct lines.
+			want := uint64(0)
+			found := false
+			seen := map[uint64]bool{}
+			for j := i - 1; j >= 0; j-- {
+				if trace[j]/LineSize == addr/LineSize {
+					found = true
+					break
+				}
+				if !seen[trace[j]/LineSize] {
+					seen[trace[j]/LineSize] = true
+					want++
+				}
+			}
+			if warm != found {
+				return false
+			}
+			if found && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	if Bucket(0) != 0 || Bucket(1) != 1 || Bucket(2) != 2 || Bucket(3) != 2 || Bucket(4) != 3 {
+		t.Fatalf("bucket boundaries wrong: %d %d %d %d %d",
+			Bucket(0), Bucket(1), Bucket(2), Bucket(3), Bucket(4))
+	}
+	if Bucket(1<<40) != NumBuckets-1 {
+		t.Fatal("huge distance should clamp to the last bucket")
+	}
+}
+
+func TestHistogramAggregation(t *testing.T) {
+	a := NewAnalyzer()
+	// Cyclic trace over 8 lines: after the first pass every access has
+	// distance 7.
+	for pass := 0; pass < 4; pass++ {
+		for l := 0; l < 8; l++ {
+			a.Touch(uint64(l) * LineSize)
+		}
+	}
+	h := a.Histogram()
+	if h.Total != 32 || h.Cold != 8 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	if h.Buckets[Bucket(7)] != 24 {
+		t.Fatalf("distance-7 count = %d, want 24", h.Buckets[Bucket(7)])
+	}
+	// An 8-line cache captures everything; a 4-line cache captures
+	// nothing warm (distance 7 >= 4).
+	if f := h.HitFraction(8); f < 0.74 || f > 0.76 {
+		t.Fatalf("hit fraction @8 = %v, want 0.75 (24/32)", f)
+	}
+	if f := h.HitFraction(4); f != 0 {
+		t.Fatalf("hit fraction @4 = %v, want 0", f)
+	}
+	var merged Histogram
+	merged.Add(h)
+	merged.Add(h)
+	if merged.Total != 64 || merged.Cold != 16 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if !strings.Contains(h.String(), "32 accesses (8 cold)") {
+		t.Fatalf("render = %q", h.String())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.HitFraction(64) != 0 {
+		t.Fatal("empty hit fraction")
+	}
+}
+
+func TestLargeRandomTraceStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewAnalyzer()
+	for i := 0; i < 100_000; i++ {
+		a.Touch(uint64(rng.Intn(4096)) * LineSize)
+	}
+	h := a.Histogram()
+	if h.Total != 100_000 || h.Cold != 4096 {
+		t.Fatalf("histogram = total %d cold %d", h.Total, h.Cold)
+	}
+	// Random uniform over 4096 lines: expected distance ≈ a few thousand.
+	if h.HitFraction(8192) < 0.9 {
+		t.Fatal("full-capacity hit fraction should approach 1")
+	}
+	if h.HitFraction(16) > 0.1 {
+		t.Fatal("tiny cache should miss almost always on a uniform trace")
+	}
+}

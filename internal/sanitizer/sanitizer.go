@@ -1,0 +1,117 @@
+// Package sanitizer reproduces the role NVIDIA's Compute Sanitizer API
+// plays in ValueExpert: it instruments every memory load and store of
+// selected GPU kernels, buffers the resulting access records in a bounded
+// "device-side" buffer, and hands full buffers to the analyzer — the
+// collect/flush protocol of paper §5.1 ("VALUEEXPERT then collects the
+// information from all threads into a GPU buffer and copies the buffer to
+// the CPU when it is full. This process repeats until the GPU kernel is
+// finished.").
+//
+// It also implements the two fine-grained overhead controls of §6.2:
+// kernel filtering (monitor only kernels the user names) and hierarchical
+// sampling of kernels and thread blocks.
+package sanitizer
+
+import (
+	"valueexpert/gpu"
+)
+
+// Config controls instrumentation scope and cost.
+type Config struct {
+	// BufferRecords is the capacity of the device-side record buffer. When
+	// the buffer fills mid-kernel it is flushed to the analyzer and
+	// reused. Zero selects DefaultBufferRecords.
+	BufferRecords int
+
+	// KernelFilter, when non-nil, selects which kernels are instrumented
+	// by name. Nil instruments every kernel.
+	KernelFilter func(name string) bool
+
+	// KernelSamplingPeriod instruments one launch out of every N per
+	// kernel name (hierarchical sampling level 1). Zero or one means
+	// every launch.
+	KernelSamplingPeriod int
+
+	// BlockSamplingPeriod instruments one thread block out of every N
+	// within an instrumented launch (hierarchical sampling level 2).
+	// Zero or one means every block.
+	BlockSamplingPeriod int
+}
+
+// DefaultBufferRecords matches a few-megabyte device buffer.
+const DefaultBufferRecords = 64 << 10
+
+// Stats reports instrumentation volume.
+type Stats struct {
+	Records          uint64 // access records captured
+	Flushes          uint64 // device->host buffer copies
+	LaunchesSeen     int
+	LaunchesProfiled int
+}
+
+// Engine instruments kernel launches. Not safe for concurrent use; the
+// runtime serializes launches.
+type Engine struct {
+	cfg      Config
+	buf      []gpu.Access
+	launches map[string]int
+	stats    Stats
+}
+
+// New creates an engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.BufferRecords <= 0 {
+		cfg.BufferRecords = DefaultBufferRecords
+	}
+	return &Engine{
+		cfg:      cfg,
+		buf:      make([]gpu.Access, 0, cfg.BufferRecords),
+		launches: make(map[string]int),
+	}
+}
+
+// Stats returns accumulated instrumentation statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Instrument decides whether the upcoming launch of kernelName is
+// monitored and, if so, returns the access hook, the block filter, and a
+// finish function that flushes the final partial buffer. flush receives
+// each full (or final) buffer; the slice is reused afterwards, so flush
+// must not retain it.
+//
+// When the launch is filtered or sampled out, hook is nil and finish is a
+// no-op; the kernel still runs natively.
+func (e *Engine) Instrument(kernelName string, flush func([]gpu.Access)) (hook gpu.AccessFunc, blockFilter func(int32) bool, finish func()) {
+	e.stats.LaunchesSeen++
+	if e.cfg.KernelFilter != nil && !e.cfg.KernelFilter(kernelName) {
+		return nil, nil, func() {}
+	}
+	n := e.launches[kernelName]
+	e.launches[kernelName] = n + 1
+	if p := e.cfg.KernelSamplingPeriod; p > 1 && n%p != 0 {
+		return nil, nil, func() {}
+	}
+	e.stats.LaunchesProfiled++
+
+	e.buf = e.buf[:0]
+	hook = func(a gpu.Access) {
+		e.buf = append(e.buf, a)
+		e.stats.Records++
+		if len(e.buf) >= e.cfg.BufferRecords {
+			e.stats.Flushes++
+			flush(e.buf)
+			e.buf = e.buf[:0]
+		}
+	}
+	if p := e.cfg.BlockSamplingPeriod; p > 1 {
+		blockFilter = func(b int32) bool { return int(b)%p == 0 }
+	}
+	finish = func() {
+		if len(e.buf) > 0 {
+			e.stats.Flushes++
+			flush(e.buf)
+			e.buf = e.buf[:0]
+		}
+	}
+	return hook, blockFilter, finish
+}

@@ -1,0 +1,124 @@
+package sanitizer
+
+import (
+	"testing"
+
+	"valueexpert/gpu"
+)
+
+func feed(t *testing.T, e *Engine, kernel string, n int) (flushed [][]gpu.Access, instrumented bool) {
+	t.Helper()
+	hook, filter, finish := e.Instrument(kernel, func(recs []gpu.Access) {
+		cp := append([]gpu.Access(nil), recs...)
+		flushed = append(flushed, cp)
+	})
+	if hook == nil {
+		finish()
+		return nil, false
+	}
+	for i := 0; i < n; i++ {
+		blk := int32(i % 8)
+		if filter == nil || filter(blk) {
+			hook(gpu.Access{Addr: uint64(i), Block: blk})
+		}
+	}
+	finish()
+	return flushed, true
+}
+
+func TestBufferFlushProtocol(t *testing.T) {
+	e := New(Config{BufferRecords: 10})
+	flushed, ok := feed(t, e, "k", 25)
+	if !ok {
+		t.Fatal("kernel not instrumented")
+	}
+	// 25 records with capacity 10: flushes of 10, 10, then final 5.
+	if len(flushed) != 3 || len(flushed[0]) != 10 || len(flushed[2]) != 5 {
+		sizes := []int{}
+		for _, f := range flushed {
+			sizes = append(sizes, len(f))
+		}
+		t.Fatalf("flush sizes = %v, want [10 10 5]", sizes)
+	}
+	s := e.Stats()
+	if s.Records != 25 || s.Flushes != 3 || s.LaunchesProfiled != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Records preserved in order across flushes.
+	var all []gpu.Access
+	for _, f := range flushed {
+		all = append(all, f...)
+	}
+	for i, a := range all {
+		if a.Addr != uint64(i) {
+			t.Fatalf("record %d addr = %d", i, a.Addr)
+		}
+	}
+}
+
+func TestNoFinalFlushWhenEmpty(t *testing.T) {
+	e := New(Config{BufferRecords: 5})
+	flushed, _ := feed(t, e, "k", 10)
+	if len(flushed) != 2 {
+		t.Fatalf("flushes = %d, want exactly 2 (no empty final flush)", len(flushed))
+	}
+}
+
+func TestKernelFilter(t *testing.T) {
+	e := New(Config{KernelFilter: func(name string) bool { return name == "hot" }})
+	if _, ok := feed(t, e, "cold", 5); ok {
+		t.Fatal("filtered kernel was instrumented")
+	}
+	if _, ok := feed(t, e, "hot", 5); !ok {
+		t.Fatal("selected kernel was not instrumented")
+	}
+	s := e.Stats()
+	if s.LaunchesSeen != 2 || s.LaunchesProfiled != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestKernelSampling(t *testing.T) {
+	e := New(Config{KernelSamplingPeriod: 3})
+	profiled := 0
+	for i := 0; i < 9; i++ {
+		if _, ok := feed(t, e, "k", 1); ok {
+			profiled++
+		}
+	}
+	if profiled != 3 {
+		t.Fatalf("profiled %d launches of 9 with period 3, want 3", profiled)
+	}
+	// Sampling counters are per kernel name.
+	if _, ok := feed(t, e, "other", 1); !ok {
+		t.Fatal("first launch of a new kernel must be sampled")
+	}
+}
+
+func TestBlockSampling(t *testing.T) {
+	e := New(Config{BlockSamplingPeriod: 4})
+	flushed, ok := feed(t, e, "k", 64)
+	if !ok {
+		t.Fatal("not instrumented")
+	}
+	var n int
+	for _, f := range flushed {
+		for _, a := range f {
+			n++
+			if a.Block%4 != 0 {
+				t.Fatalf("record from unsampled block %d", a.Block)
+			}
+		}
+	}
+	// Blocks cycle 0..7; blocks 0 and 4 are sampled => 1/4 of records.
+	if n != 16 {
+		t.Fatalf("sampled records = %d, want 16", n)
+	}
+}
+
+func TestDefaultBufferSize(t *testing.T) {
+	e := New(Config{})
+	if cap(e.buf) != DefaultBufferRecords {
+		t.Fatalf("default buffer = %d, want %d", cap(e.buf), DefaultBufferRecords)
+	}
+}

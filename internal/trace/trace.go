@@ -1,0 +1,250 @@
+// Package trace records a GPU program's API and memory-access stream to a
+// portable format and replays it into a fresh profiler — decoupling
+// measurement from analysis, so one expensive instrumented run can be
+// re-analyzed offline with different thresholds, copy strategies, or
+// analyses (the postmortem side of the paper's offline analyzer).
+//
+// Recording captures every runtime API event (with host payloads for
+// host-to-device copies) and, for kernel launches, the full instrumented
+// access stream plus execution counters. Replay reconstructs device
+// memory from the recorded effects: memsets and copies are re-applied,
+// and kernel stores are re-applied from the recorded access records, so
+// snapshot-based coarse analysis sees byte-identical values.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"valueexpert/callpath"
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+)
+
+// accessRec is one recorded access (scalar or compacted range).
+type accessRec struct {
+	PC     gpu.PC        `json:"pc"`
+	Addr   uint64        `json:"addr"`
+	Size   uint8         `json:"size"`
+	Kind   gpu.ValueKind `json:"kind"`
+	Store  bool          `json:"store,omitempty"`
+	Raw    uint64        `json:"raw"`
+	Count  uint32        `json:"count,omitempty"`
+	Block  int32         `json:"block"`
+	Thread int32         `json:"thread"`
+}
+
+// event is one recorded API invocation.
+type event struct {
+	Kind   string           `json:"kind"` // malloc|free|memset|memcpy|launch
+	Seq    int              `json:"seq"`
+	Name   string           `json:"name"`
+	Frames []callpath.Frame `json:"frames,omitempty"`
+
+	Dst      uint64 `json:"dst,omitempty"`
+	Src      uint64 `json:"src,omitempty"`
+	Bytes    uint64 `json:"bytes,omitempty"`
+	CopyKind uint8  `json:"copy_kind,omitempty"`
+	MemsetV  byte   `json:"memset_value,omitempty"`
+	HostSrc  []byte `json:"host_src,omitempty"` // H2D payload (base64 via JSON)
+	Tag      string `json:"tag,omitempty"`
+
+	Grid     [3]int             `json:"grid,omitempty"`
+	Block    [3]int             `json:"block,omitempty"`
+	Counters gpu.LaunchCounters `json:"counters,omitempty"`
+	Accesses []accessRec        `json:"accesses,omitempty"`
+}
+
+// Recorder is a cuda.Interceptor that captures the stream.
+type Recorder struct {
+	rt     *cuda.Runtime
+	events []event
+	cur    []accessRec // accesses of the in-flight launch
+}
+
+// Record attaches a recorder to the runtime. Recording instruments every
+// kernel (no sampling): the point is to capture once and analyze often.
+func Record(rt *cuda.Runtime) *Recorder {
+	r := &Recorder{rt: rt}
+	rt.SetInterceptor(r)
+	return r
+}
+
+// Detach removes the recorder from the runtime.
+func (r *Recorder) Detach() { r.rt.SetInterceptor(nil) }
+
+// APIBegin implements cuda.Interceptor.
+func (r *Recorder) APIBegin(ev *cuda.APIEvent) {}
+
+// Instrumentation implements cuda.Interceptor.
+func (r *Recorder) Instrumentation(string) (gpu.AccessFunc, func(int32) bool) {
+	r.cur = r.cur[:0]
+	return func(a gpu.Access) {
+		r.cur = append(r.cur, accessRec{
+			PC: a.PC, Addr: a.Addr, Size: a.Size, Kind: a.Kind,
+			Store: a.Store, Raw: a.Raw, Count: a.Count,
+			Block: a.Block, Thread: a.Thread,
+		})
+	}, nil
+}
+
+// APIEnd implements cuda.Interceptor.
+func (r *Recorder) APIEnd(ev *cuda.APIEvent) {
+	e := event{Seq: ev.Seq, Name: ev.Name, Frames: ev.Frames}
+	switch ev.Kind {
+	case cuda.APIMalloc:
+		e.Kind = "malloc"
+		e.Dst, e.Bytes = ev.Dst, ev.Bytes
+		if a := r.rt.Device().Mem.Lookup(ev.Dst); a != nil {
+			e.Tag = a.Tag
+		}
+	case cuda.APIFree:
+		e.Kind = "free"
+		e.Dst = ev.Dst
+	case cuda.APIMemset:
+		e.Kind = "memset"
+		e.Dst, e.Bytes, e.MemsetV = ev.Dst, ev.Bytes, ev.MemsetValue
+	case cuda.APIMemcpy:
+		e.Kind = "memcpy"
+		e.Dst, e.Src, e.Bytes, e.CopyKind = ev.Dst, ev.Src, ev.Bytes, uint8(ev.CopyKind)
+		if ev.CopyKind == gpu.CopyHostToDevice {
+			e.HostSrc = append([]byte(nil), ev.HostSrc...)
+		}
+	case cuda.APILaunch:
+		e.Kind = "launch"
+		e.Grid = [3]int{ev.Grid.X, ev.Grid.Y, ev.Grid.Z}
+		e.Block = [3]int{ev.Block.X, ev.Block.Y, ev.Block.Z}
+		e.Counters = ev.Counters
+		e.Accesses = append([]accessRec(nil), r.cur...)
+		r.cur = r.cur[:0]
+	}
+	r.events = append(r.events, e)
+}
+
+// WriteTo serializes the trace as JSON lines.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	for i := range r.events {
+		if err := enc.Encode(&r.events[i]); err != nil {
+			return cw.n, fmt.Errorf("trace: encode event %d: %w", i, err)
+		}
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Events reports the number of recorded events.
+func (r *Recorder) Events() int { return len(r.events) }
+
+// replayKernel is a gpu.Kernel that re-applies a recorded access stream:
+// stores write their recorded values back into device memory, every
+// record is surfaced to the instrumentation hook, and the recorded
+// execution counters drive the cost model.
+type replayKernel struct {
+	name string
+	recs []accessRec
+	ctrs gpu.LaunchCounters
+}
+
+func (k *replayKernel) KernelName() string                     { return k.name }
+func (k *replayKernel) AccessTypes() map[gpu.PC]gpu.AccessType { return nil }
+func (k *replayKernel) LineMapping() map[gpu.PC]gpu.SrcLine    { return nil }
+
+func (k *replayKernel) Execute(dev *gpu.Device, _, _ gpu.Dim3, hook gpu.AccessFunc, blockFilter func(int32) bool, ctr *gpu.LaunchCounters) error {
+	for _, rec := range k.recs {
+		a := gpu.Access{
+			PC: rec.PC, Addr: rec.Addr, Size: rec.Size, Kind: rec.Kind,
+			Store: rec.Store, Raw: rec.Raw, Count: rec.Count,
+			Block: rec.Block, Thread: rec.Thread,
+		}
+		if a.Store {
+			raw := a.Raw
+			for i := 0; i < a.Elems(); i++ {
+				if err := dev.Mem.StoreRaw(a.Addr+uint64(i)*uint64(a.Size), a.Size, raw); err != nil {
+					return fmt.Errorf("trace: replay store: %w", err)
+				}
+			}
+		}
+		if hook != nil && (blockFilter == nil || blockFilter(a.Block)) {
+			hook(a)
+		}
+	}
+	*ctr = k.ctrs
+	return nil
+}
+
+// Replay re-executes a recorded trace against a fresh runtime with the
+// given interceptor-style consumer attached before the stream starts.
+// attach receives the runtime (e.g. to attach a profiler) and runs before
+// the first event. Allocation order is replayed exactly, so object IDs
+// and device addresses match the recording.
+func Replay(rd io.Reader, prof gpu.Profile, attach func(rt *cuda.Runtime)) error {
+	rt := cuda.NewRuntime(prof)
+	if attach != nil {
+		attach(rt)
+	}
+	dec := json.NewDecoder(rd)
+	for i := 0; ; i++ {
+		var e event
+		if err := dec.Decode(&e); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("trace: decode event %d: %w", i, err)
+		}
+		for _, f := range e.Frames {
+			rt.PushFrame(f)
+		}
+		err := applyEvent(rt, &e)
+		for range e.Frames {
+			rt.PopFrame()
+		}
+		if err != nil {
+			return fmt.Errorf("trace: replay event %d (%s %s): %w", i, e.Kind, e.Name, err)
+		}
+	}
+}
+
+func applyEvent(rt *cuda.Runtime, e *event) error {
+	switch e.Kind {
+	case "malloc":
+		p, err := rt.Malloc(e.Bytes, e.Tag)
+		if err != nil {
+			return err
+		}
+		if uint64(p) != e.Dst {
+			return fmt.Errorf("allocator divergence: got %#x, recorded %#x", uint64(p), e.Dst)
+		}
+		return nil
+	case "free":
+		return rt.Free(cuda.DevPtr(e.Dst))
+	case "memset":
+		return rt.Memset(cuda.DevPtr(e.Dst), e.MemsetV, e.Bytes)
+	case "memcpy":
+		switch gpu.CopyKind(e.CopyKind) {
+		case gpu.CopyHostToDevice:
+			return rt.MemcpyH2D(cuda.DevPtr(e.Dst), e.HostSrc)
+		case gpu.CopyDeviceToHost:
+			return rt.MemcpyD2H(make([]byte, e.Bytes), cuda.DevPtr(e.Src))
+		default:
+			return rt.MemcpyD2D(cuda.DevPtr(e.Dst), cuda.DevPtr(e.Src), e.Bytes)
+		}
+	case "launch":
+		k := &replayKernel{name: e.Name, recs: e.Accesses, ctrs: e.Counters}
+		grid := gpu.Dim3{X: e.Grid[0], Y: e.Grid[1], Z: e.Grid[2]}
+		block := gpu.Dim3{X: e.Block[0], Y: e.Block[1], Z: e.Block[2]}
+		return rt.Launch(k, grid, block)
+	}
+	return fmt.Errorf("unknown event kind %q", e.Kind)
+}

@@ -1,0 +1,103 @@
+package vflow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DOTOptions controls graph rendering.
+type DOTOptions struct {
+	// Title labels the graph.
+	Title string
+	// RedundancyThreshold colors edges red at or above this redundant
+	// fraction; below it edges are green (Figure 2's color scheme).
+	// Default 1/3, matching the coarse-pattern threshold.
+	RedundancyThreshold float64
+	// WithContexts adds calling-context tooltips to vertices, the hover
+	// boxes of the GUI.
+	WithContexts bool
+}
+
+// DOT renders the graph in Graphviz format following the paper's visual
+// conventions: rectangles for allocations, circles for memory operations,
+// ovals for kernels; node size scales with invocations; edge thickness
+// with bytes; red edges mark redundant value flows.
+func (g *Graph) DOT(opts DOTOptions) string {
+	if opts.RedundancyThreshold == 0 {
+		opts.RedundancyThreshold = 1.0 / 3.0
+	}
+	var b strings.Builder
+	b.WriteString("digraph valueflow {\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n  labelloc=top;\n", opts.Title)
+	}
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n")
+
+	active := g.ActiveVertices()
+	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
+
+	maxInv := 1
+	for _, v := range active {
+		if v.Invocations > maxInv {
+			maxInv = v.Invocations
+		}
+	}
+	for _, v := range active {
+		shape := "oval"
+		switch v.Kind {
+		case KindHost:
+			shape = "house"
+		case KindAlloc:
+			shape = "box"
+		case KindMemcpy, KindMemset:
+			shape = "circle"
+		}
+		// Node size proportional to the importance factor (invocations).
+		scale := 0.8 + 1.2*float64(v.Invocations)/float64(maxInv)
+		attrs := fmt.Sprintf("shape=%s, width=%.2f, label=\"%d\\n%s\"", shape, scale, v.ID, escape(v.Name))
+		if opts.WithContexts && g.tree != nil {
+			attrs += fmt.Sprintf(", tooltip=%q", g.tree.Format(v.Context))
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", v.ID, attrs)
+	}
+
+	var maxBytes uint64 = 1
+	for _, e := range g.Edges() {
+		if e.Bytes > maxBytes {
+			maxBytes = e.Bytes
+		}
+	}
+	for _, e := range g.Edges() {
+		color := "green"
+		if e.RedundantFraction() >= opts.RedundancyThreshold {
+			color = "red"
+		}
+		// Pen width scales with log bytes, like the GUI's thickness cue.
+		w := 1.0
+		if e.Bytes > 0 {
+			w = 1 + 4*math.Log1p(float64(e.Bytes))/math.Log1p(float64(maxBytes))
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [color=%s, penwidth=%.2f, label=\"obj%d %s %s\"];\n",
+			e.From, e.To, color, w, e.Object, e.Op, fmtBytes(e.Bytes))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,143 @@
+package vflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"valueexpert/callpath"
+)
+
+// randomGraph builds a graph from a random operation script: each byte
+// triple (op, vertexSeed, objectSeed) performs an alloc, read, or write.
+func randomGraph(script []byte) *Graph {
+	g := New(nil)
+	var vertices []VertexID
+	touch := func(seed byte) VertexID {
+		kind := []VertexKind{KindAlloc, KindMemcpy, KindMemset, KindKernel}[seed%4]
+		name := string(rune('a' + seed%8))
+		v := g.Touch(kind, name, []callpath.Frame{{Func: name, Line: int(seed % 5)}})
+		vertices = append(vertices, v)
+		return v
+	}
+	for i := 0; i+2 < len(script); i += 3 {
+		op, vs, os := script[i]%4, script[i+1], int(script[i+2]%6)+1
+		v := touch(vs)
+		switch op {
+		case 0:
+			g.RecordAlloc(v, os)
+		case 1:
+			g.RecordRead(v, os, uint64(os)*100)
+		case 2:
+			g.RecordWrite(v, os, uint64(os)*100, uint64(os)*10)
+		case 3:
+			g.RecordHostSink(os, uint64(os)*50)
+		}
+	}
+	return g
+}
+
+// Property: every edge's endpoints exist; redundant bytes never exceed
+// total bytes; Edges() is deterministic.
+func TestGraphInvariants(t *testing.T) {
+	f := func(script []byte) bool {
+		g := randomGraph(script)
+		edges := g.Edges()
+		for _, e := range edges {
+			if _, ok := g.Vertex(e.From); !ok {
+				return false
+			}
+			if _, ok := g.Vertex(e.To); !ok {
+				return false
+			}
+			if e.RedundantBytes > e.Bytes {
+				return false
+			}
+			if e.Count <= 0 {
+				return false
+			}
+		}
+		// Deterministic ordering.
+		again := g.Edges()
+		for i := range edges {
+			if edges[i] != again[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a vertex slice is a subgraph (every slice edge exists in the
+// full graph) and slicing on any vertex keeps all of that vertex's own
+// edges.
+func TestVertexSliceIsSubgraph(t *testing.T) {
+	f := func(script []byte, pick byte) bool {
+		g := randomGraph(script)
+		full := map[Edge]bool{}
+		for _, e := range g.Edges() {
+			e.Count, e.Bytes, e.RedundantBytes = 0, 0, 0
+			full[e] = true
+		}
+		vs := g.Vertices()
+		if len(vs) == 0 {
+			return true
+		}
+		vu := vs[int(pick)%len(vs)].ID
+		s := g.VertexSlice(vu)
+		for _, e := range s.Edges() {
+			key := e
+			key.Count, key.Bytes, key.RedundantBytes = 0, 0, 0
+			if !full[key] {
+				return false // edge invented by the slice
+			}
+		}
+		// Every edge incident to vu survives (it trivially reaches vu).
+		kept := map[Edge]bool{}
+		for _, e := range s.Edges() {
+			e.Count, e.Bytes, e.RedundantBytes = 0, 0, 0
+			kept[e] = true
+		}
+		for _, e := range g.Edges() {
+			if e.From == vu || e.To == vu {
+				key := e
+				key.Count, key.Bytes, key.RedundantBytes = 0, 0, 0
+				if !kept[key] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the important graph never keeps an edge below the threshold
+// and never invents edges.
+func TestImportantGraphIsSubgraph(t *testing.T) {
+	f := func(script []byte, thr uint16) bool {
+		g := randomGraph(script)
+		ie := float64(thr % 1000)
+		gi := g.ImportantGraph(ie, 1e18, Importance{})
+		full := map[Edge]bool{}
+		for _, e := range g.Edges() {
+			full[e] = true
+		}
+		for _, e := range gi.Edges() {
+			if !full[e] {
+				return false
+			}
+			if float64(e.Bytes) < ie {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,423 @@
+// Package vflow implements ValueExpert's value flow graph (paper §5.2):
+// a context-sensitive directed graph whose vertices are GPU API
+// invocations (allocations, memory copies, memory sets, kernel launches)
+// plus a distinguished host vertex, and whose edges carry the flow of a
+// data object's values from its last writer to each reader or overwriter
+// (Definition 5.1). The package also provides the two exploration aids,
+// vertex slice graphs (Definition 5.2) and important graphs
+// (Definition 5.3), and DOT rendering for the GUI views of Figures 2/3.
+package vflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"valueexpert/callpath"
+)
+
+// VertexKind classifies graph vertices, which determines their shape in
+// the rendered graph (rectangle = allocation, circle = memory operation,
+// oval = kernel).
+type VertexKind uint8
+
+// Vertex kinds.
+const (
+	KindHost VertexKind = iota
+	KindAlloc
+	KindMemcpy
+	KindMemset
+	KindKernel
+)
+
+// String names the kind.
+func (k VertexKind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindAlloc:
+		return "alloc"
+	case KindMemcpy:
+		return "memcpy"
+	case KindMemset:
+		return "memset"
+	case KindKernel:
+		return "kernel"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// VertexID indexes vertices; HostVertex is the distinguished v_host.
+type VertexID int
+
+// HostVertex is the v_host vertex of Definition 5.1: any host memory
+// operation.
+const HostVertex VertexID = 0
+
+// Vertex is one merged GPU API invocation site. Invocations with the same
+// kind, name, and calling context merge into a single vertex ("vertices
+// with the same call path are merged to simplify presentation").
+type Vertex struct {
+	ID          VertexID
+	Kind        VertexKind
+	Name        string // kernel name, API name, or allocation tag
+	Context     callpath.ContextID
+	Invocations int
+	Bytes       uint64 // total bytes moved/accessed by this vertex
+	Time        time.Duration
+}
+
+// EdgeOp labels how the destination vertex touches the object.
+type EdgeOp uint8
+
+// Edge operations.
+const (
+	OpRead EdgeOp = iota
+	OpWrite
+)
+
+// String names the op.
+func (o EdgeOp) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Edge e_{i,j,k}: values of object k flow from vertex i (its last writer)
+// to vertex j, which reads or overwrites them.
+type Edge struct {
+	From, To VertexID
+	Object   int // allocation ID k
+	Op       EdgeOp
+
+	Count          int    // merged dynamic occurrences
+	Bytes          uint64 // bytes accessed over all occurrences
+	RedundantBytes uint64 // written-and-unchanged bytes (colors the edge red)
+}
+
+// RedundantFraction is the share of the edge's bytes that were redundant.
+func (e *Edge) RedundantFraction() float64 {
+	if e.Bytes == 0 {
+		return 0
+	}
+	return float64(e.RedundantBytes) / float64(e.Bytes)
+}
+
+type edgeKey struct {
+	from, to VertexID
+	object   int
+	op       EdgeOp
+}
+
+type vertexKey struct {
+	kind VertexKind
+	name string
+	ctx  callpath.ContextID
+}
+
+// Graph is a value flow graph under construction or analysis.
+type Graph struct {
+	vertices []Vertex
+	edges    map[edgeKey]*Edge
+
+	byKey      map[vertexKey]VertexID
+	lastWriter map[int]VertexID // object -> vertex that last wrote it
+	tree       *callpath.Tree
+}
+
+// New creates an empty graph holding contexts in tree (may be nil; a fresh
+// tree is created).
+func New(tree *callpath.Tree) *Graph {
+	if tree == nil {
+		tree = callpath.NewTree()
+	}
+	g := &Graph{
+		edges:      make(map[edgeKey]*Edge),
+		byKey:      make(map[vertexKey]VertexID),
+		lastWriter: make(map[int]VertexID),
+		tree:       tree,
+	}
+	g.vertices = append(g.vertices, Vertex{ID: HostVertex, Kind: KindHost, Name: "host"})
+	return g
+}
+
+// Tree returns the calling-context tree the graph's vertices reference.
+func (g *Graph) Tree() *callpath.Tree { return g.tree }
+
+// Touch returns the merged vertex for (kind, name, context), creating it
+// on first use, and counts one invocation.
+func (g *Graph) Touch(kind VertexKind, name string, frames []callpath.Frame) VertexID {
+	ctx := g.tree.Intern(frames)
+	key := vertexKey{kind: kind, name: name, ctx: ctx}
+	id, ok := g.byKey[key]
+	if !ok {
+		id = VertexID(len(g.vertices))
+		g.vertices = append(g.vertices, Vertex{ID: id, Kind: kind, Name: name, Context: ctx})
+		g.byKey[key] = id
+	}
+	g.vertices[id].Invocations++
+	return id
+}
+
+// AddTime accrues simulated device time to a vertex.
+func (g *Graph) AddTime(v VertexID, d time.Duration) { g.vertices[v].Time += d }
+
+// RecordAlloc registers vertex v as the allocation site (and initial
+// writer) of object.
+func (g *Graph) RecordAlloc(v VertexID, object int) {
+	g.lastWriter[object] = v
+}
+
+// RecordRead adds/extends the read edge for object from its last writer
+// to v.
+func (g *Graph) RecordRead(v VertexID, object int, bytes uint64) {
+	from, ok := g.lastWriter[object]
+	if !ok {
+		// Reading an object never written on device: values came from the
+		// host side (or are undefined); attribute to the host vertex.
+		from = HostVertex
+	}
+	g.bump(from, v, object, OpRead, bytes, 0)
+	g.vertices[v].Bytes += bytes
+}
+
+// RecordWrite adds/extends the write edge for object from its last writer
+// to v (which overwrites those values) and makes v the new last writer.
+// redundantBytes is the written-but-unchanged portion.
+func (g *Graph) RecordWrite(v VertexID, object int, bytes, redundantBytes uint64) {
+	if from, ok := g.lastWriter[object]; ok {
+		g.bump(from, v, object, OpWrite, bytes, redundantBytes)
+	}
+	g.lastWriter[object] = v
+	g.vertices[v].Bytes += bytes
+}
+
+// RecordHostSink adds the device-to-host sink edge e_{i,host,k}.
+func (g *Graph) RecordHostSink(object int, bytes uint64) {
+	from, ok := g.lastWriter[object]
+	if !ok {
+		return
+	}
+	g.bump(from, HostVertex, object, OpRead, bytes, 0)
+}
+
+func (g *Graph) bump(from, to VertexID, object int, op EdgeOp, bytes, redundant uint64) {
+	key := edgeKey{from: from, to: to, object: object, op: op}
+	e, ok := g.edges[key]
+	if !ok {
+		e = &Edge{From: from, To: to, Object: object, Op: op}
+		g.edges[key] = e
+	}
+	e.Count++
+	e.Bytes += bytes
+	e.RedundantBytes += redundant
+}
+
+// Vertices returns the vertices ordered by ID (including the host vertex).
+func (g *Graph) Vertices() []Vertex {
+	out := make([]Vertex, len(g.vertices))
+	copy(out, g.vertices)
+	return out
+}
+
+// Vertex returns the vertex with the given ID.
+func (g *Graph) Vertex(id VertexID) (Vertex, bool) {
+	if int(id) < 0 || int(id) >= len(g.vertices) {
+		return Vertex{}, false
+	}
+	return g.vertices[id], true
+}
+
+// Edges returns the edges in a deterministic order (from, to, object, op).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Op < b.Op
+	})
+	return out
+}
+
+// NumVertices and NumEdges report graph size. NumVertices counts only
+// vertices that appear on edges or have invocations, excluding an unused
+// host vertex.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges reports the number of merged edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// objectsOf returns the set of objects vertex v reads or writes.
+func (g *Graph) objectsOf(v VertexID) map[int]bool {
+	objs := make(map[int]bool)
+	for _, e := range g.edges {
+		if e.To == v || e.From == v {
+			objs[e.Object] = true
+		}
+	}
+	return objs
+}
+
+// VertexSlice computes G_B(v_u) per Definition 5.2: the subgraph of edges
+// labelled with an object that v_u touches and lying on a path (through
+// that object's edges) that reaches v_u or that v_u reaches.
+func (g *Graph) VertexSlice(vu VertexID) *Graph {
+	objs := g.objectsOf(vu)
+
+	// Per object, adjacency over that object's edges only.
+	type adj struct {
+		fwd, bwd map[VertexID][]VertexID
+	}
+	adjOf := make(map[int]*adj)
+	for _, e := range g.edges {
+		if !objs[e.Object] {
+			continue
+		}
+		a := adjOf[e.Object]
+		if a == nil {
+			a = &adj{fwd: map[VertexID][]VertexID{}, bwd: map[VertexID][]VertexID{}}
+			adjOf[e.Object] = a
+		}
+		a.fwd[e.From] = append(a.fwd[e.From], e.To)
+		a.bwd[e.To] = append(a.bwd[e.To], e.From)
+	}
+
+	reach := func(start VertexID, next map[VertexID][]VertexID) map[VertexID]bool {
+		seen := map[VertexID]bool{start: true}
+		stack := []VertexID{start}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range next[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		return seen
+	}
+
+	keep := make(map[edgeKey]bool)
+	for obj, a := range adjOf {
+		fromVu := reach(vu, a.fwd) // vertices v_u reaches via obj edges
+		toVu := reach(vu, a.bwd)   // vertices that reach v_u via obj edges
+		for key, e := range g.edges {
+			if e.Object != obj {
+				continue
+			}
+			// Edge on a path ending at v_u: its head reaches v_u.
+			// Edge on a path starting at v_u: its tail is reachable from v_u.
+			if toVu[e.To] || fromVu[e.From] {
+				keep[key] = true
+			}
+		}
+	}
+	return g.subgraph(func(key edgeKey, _ *Edge) bool { return keep[key] }, nil)
+}
+
+// Importance is the user-defined metric pair of Definition 5.3.
+type Importance struct {
+	Edge   func(e Edge) float64   // I(e); default: accessed bytes
+	Vertex func(v Vertex) float64 // I(v); default: invocations
+}
+
+// ImportantGraph computes G_I per Definition 5.3: edges with I(e) ≥ ie
+// survive; vertices survive if on a surviving edge or I(v) ≥ iv.
+func (g *Graph) ImportantGraph(ie, iv float64, imp Importance) *Graph {
+	if imp.Edge == nil {
+		imp.Edge = func(e Edge) float64 { return float64(e.Bytes) }
+	}
+	if imp.Vertex == nil {
+		imp.Vertex = func(v Vertex) float64 { return float64(v.Invocations) }
+	}
+	return g.subgraph(
+		func(_ edgeKey, e *Edge) bool { return imp.Edge(*e) >= ie },
+		func(v Vertex) bool { return imp.Vertex(v) >= iv },
+	)
+}
+
+// subgraph copies g keeping edges passing keepEdge and vertices that are
+// on kept edges or pass keepVertex. Vertex IDs, contexts, and stats are
+// preserved.
+func (g *Graph) subgraph(keepEdge func(edgeKey, *Edge) bool, keepVertex func(Vertex) bool) *Graph {
+	ng := &Graph{
+		edges:      make(map[edgeKey]*Edge),
+		byKey:      make(map[vertexKey]VertexID),
+		lastWriter: make(map[int]VertexID),
+		tree:       g.tree,
+	}
+	ng.vertices = make([]Vertex, len(g.vertices))
+	copy(ng.vertices, g.vertices)
+
+	used := make(map[VertexID]bool)
+	for key, e := range g.edges {
+		if keepEdge(key, e) {
+			cp := *e
+			ng.edges[key] = &cp
+			used[e.From] = true
+			used[e.To] = true
+		}
+	}
+	// Mark pruned vertices by zeroing their invocations; they remain
+	// addressable by ID but renderers skip them.
+	for i := range ng.vertices {
+		v := &ng.vertices[i]
+		if v.ID == HostVertex {
+			continue
+		}
+		if used[v.ID] {
+			continue
+		}
+		if keepVertex != nil && keepVertex(*v) {
+			continue
+		}
+		v.Invocations = 0
+	}
+	return ng
+}
+
+// ActiveVertices returns the vertices a renderer should draw: those on
+// edges or with surviving invocation counts, host included only when it
+// has edges.
+func (g *Graph) ActiveVertices() []Vertex {
+	used := make(map[VertexID]bool)
+	for _, e := range g.edges {
+		used[e.From] = true
+		used[e.To] = true
+	}
+	var out []Vertex
+	for _, v := range g.vertices {
+		if used[v.ID] || (v.ID != HostVertex && v.Invocations > 0) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Summary renders one line per vertex and edge for logs and tests.
+func (g *Graph) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "value flow graph: %d vertices, %d edges\n", len(g.ActiveVertices()), len(g.edges))
+	for _, v := range g.ActiveVertices() {
+		fmt.Fprintf(&b, "  v%d %s %q x%d bytes=%d\n", v.ID, v.Kind, v.Name, v.Invocations, v.Bytes)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  v%d -> v%d obj=%d %s bytes=%d redundant=%.0f%%\n",
+			e.From, e.To, e.Object, e.Op, e.Bytes, 100*e.RedundantFraction())
+	}
+	return b.String()
+}

@@ -1,0 +1,260 @@
+package vflow
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"valueexpert/callpath"
+)
+
+func frame(fn string, line int) []callpath.Frame {
+	return []callpath.Frame{{Func: fn, File: "main.cu", Line: line}}
+}
+
+// buildFigure3 constructs the worked example of paper Figure 3:
+//
+//	1: A_dev = cudaMalloc(N)
+//	2: B_dev = cudaMalloc(N)
+//	3: cudaMemset(A_dev, 0, N)
+//	4: cudaMemset(B_dev, 0, N)
+//	5: zero_kernel<<<...>>>(A_dev)   // writes zeros over zeros: redundant
+//	6: zero_kernel<<<...>>>(B_dev)   // same
+//	7: use_kernel<<<...>>>(A_dev, B_dev) // reads A, writes B
+func buildFigure3(n uint64) (*Graph, map[int]VertexID) {
+	g := New(nil)
+	const objA, objB = 1, 2
+	ids := make(map[int]VertexID)
+
+	ids[1] = g.Touch(KindAlloc, "A_dev", frame("main", 1))
+	g.RecordAlloc(ids[1], objA)
+	ids[2] = g.Touch(KindAlloc, "B_dev", frame("main", 2))
+	g.RecordAlloc(ids[2], objB)
+
+	ids[3] = g.Touch(KindMemset, "cudaMemset", frame("main", 3))
+	g.RecordWrite(ids[3], objA, n, 0)
+	ids[4] = g.Touch(KindMemset, "cudaMemset", frame("main", 4))
+	g.RecordWrite(ids[4], objB, n, 0)
+
+	ids[5] = g.Touch(KindKernel, "zero_kernel", frame("main", 5))
+	g.RecordWrite(ids[5], objA, n, n) // writes zeros over zeros: 100% redundant
+	ids[6] = g.Touch(KindKernel, "zero_kernel", frame("main", 6))
+	g.RecordWrite(ids[6], objB, n, n)
+
+	ids[7] = g.Touch(KindKernel, "use_kernel", frame("main", 7))
+	g.RecordRead(ids[7], objA, n)
+	g.RecordWrite(ids[7], objB, n, 0)
+	return g, ids
+}
+
+func findEdge(t *testing.T, g *Graph, from, to VertexID, obj int, op EdgeOp) Edge {
+	t.Helper()
+	for _, e := range g.Edges() {
+		if e.From == from && e.To == to && e.Object == obj && e.Op == op {
+			return e
+		}
+	}
+	t.Fatalf("edge v%d->v%d obj%d %s not found in:\n%s", from, to, obj, op, g.Summary())
+	return Edge{}
+}
+
+func TestFigure3Construction(t *testing.T) {
+	g, ids := buildFigure3(1024)
+	// Edges per Figure 3: 1→3, 2→4 (memsets overwrite fresh allocs),
+	// 3→5, 4→6 (kernels overwrite memset zeros), 5→7 read A, 6→7 write B.
+	findEdge(t, g, ids[1], ids[3], 1, OpWrite)
+	findEdge(t, g, ids[2], ids[4], 2, OpWrite)
+	e35 := findEdge(t, g, ids[3], ids[5], 1, OpWrite)
+	e46 := findEdge(t, g, ids[4], ids[6], 2, OpWrite)
+	e57 := findEdge(t, g, ids[5], ids[7], 1, OpRead)
+	e67 := findEdge(t, g, ids[6], ids[7], 2, OpWrite)
+
+	if e35.RedundantFraction() != 1 || e46.RedundantFraction() != 1 {
+		t.Fatal("zero-over-zero writes should be fully redundant (red edges)")
+	}
+	if e57.RedundantFraction() != 0 || e67.RedundantFraction() != 0 {
+		t.Fatal("use_kernel edges should be green")
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("edges = %d, want 6", g.NumEdges())
+	}
+}
+
+func TestVertexSliceFigure3d(t *testing.T) {
+	// Slicing on vertex 6 keeps only B_dev's chain 2→4→6→7 (Figure 3d):
+	// vertices affecting v6 or affected by it.
+	g, ids := buildFigure3(1024)
+	s := g.VertexSlice(ids[6])
+	if s.NumEdges() != 3 {
+		t.Fatalf("slice edges = %d, want 3:\n%s", s.NumEdges(), s.Summary())
+	}
+	findEdge(t, s, ids[2], ids[4], 2, OpWrite)
+	findEdge(t, s, ids[4], ids[6], 2, OpWrite)
+	findEdge(t, s, ids[6], ids[7], 2, OpWrite)
+	// A_dev's chain must be gone.
+	for _, e := range s.Edges() {
+		if e.Object == 1 {
+			t.Fatalf("A_dev edge survived the slice: %+v", e)
+		}
+	}
+	// Slicing on vertex 7 keeps everything (it touches both objects and
+	// sits downstream of all writers).
+	full := g.VertexSlice(ids[7])
+	if full.NumEdges() != 6 {
+		t.Fatalf("slice on sink = %d edges, want 6", full.NumEdges())
+	}
+}
+
+func TestImportantGraphFigure3e(t *testing.T) {
+	// Make object A's edges carry N bytes and B's carry N/4; with
+	// ie = N/2 only A's chain survives (Figure 3e's pruning idea).
+	g := New(nil)
+	const objA, objB = 1, 2
+	a := g.Touch(KindAlloc, "A", frame("m", 1))
+	g.RecordAlloc(a, objA)
+	b := g.Touch(KindAlloc, "B", frame("m", 2))
+	g.RecordAlloc(b, objB)
+	k1 := g.Touch(KindKernel, "k1", frame("m", 3))
+	g.RecordWrite(k1, objA, 1024, 0)
+	g.RecordWrite(k1, objB, 256, 0)
+	k2 := g.Touch(KindKernel, "k2", frame("m", 4))
+	g.RecordRead(k2, objA, 1024)
+	g.RecordRead(k2, objB, 256)
+
+	gi := g.ImportantGraph(512, 1e18, Importance{})
+	if gi.NumEdges() != 2 {
+		t.Fatalf("important edges = %d, want 2:\n%s", gi.NumEdges(), gi.Summary())
+	}
+	for _, e := range gi.Edges() {
+		if e.Object != objA {
+			t.Fatalf("small edge survived: %+v", e)
+		}
+	}
+	// Vertices on surviving edges remain active; pruned-only vertices
+	// disappear from ActiveVertices.
+	act := gi.ActiveVertices()
+	for _, v := range act {
+		if v.Name == "B" {
+			t.Fatal("vertex B should be pruned")
+		}
+	}
+	// Vertex threshold can rescue a vertex with no surviving edges.
+	gi2 := g.ImportantGraph(1e18, 1, Importance{})
+	if gi2.NumEdges() != 0 {
+		t.Fatal("all edges should be pruned")
+	}
+	if len(gi2.ActiveVertices()) == 0 {
+		t.Fatal("invocation-important vertices should survive")
+	}
+}
+
+func TestContextSensitiveMerging(t *testing.T) {
+	g := New(nil)
+	// Same kernel from the same call path: one vertex, two invocations.
+	v1 := g.Touch(KindKernel, "fill", frame("layer_forward", 10))
+	v2 := g.Touch(KindKernel, "fill", frame("layer_forward", 10))
+	if v1 != v2 {
+		t.Fatal("same-context invocations not merged")
+	}
+	vtx, _ := g.Vertex(v1)
+	if vtx.Invocations != 2 {
+		t.Fatalf("invocations = %d", vtx.Invocations)
+	}
+	// Same kernel, different call path: distinct vertex.
+	v3 := g.Touch(KindKernel, "fill", frame("layer_backward", 20))
+	if v3 == v1 {
+		t.Fatal("different contexts merged")
+	}
+}
+
+func TestHostEdges(t *testing.T) {
+	g := New(nil)
+	const obj = 1
+	alloc := g.Touch(KindAlloc, "x", frame("m", 1))
+	g.RecordAlloc(alloc, obj)
+	// H2D copy: memcpy vertex writes the object; host is the source.
+	cp := g.Touch(KindMemcpy, "cudaMemcpy", frame("m", 2))
+	g.RecordWrite(cp, obj, 100, 0)
+	// D2H copy: sink edge to host.
+	g.RecordHostSink(obj, 100)
+	findEdge(t, g, alloc, cp, obj, OpWrite)
+	findEdge(t, g, cp, HostVertex, obj, OpRead)
+	// Reading an object with no device writer attributes to host.
+	g2 := New(nil)
+	k := g2.Touch(KindKernel, "k", frame("m", 3))
+	g2.RecordRead(k, 42, 8)
+	findEdge(t, g2, HostVertex, k, 42, OpRead)
+	// Host sink for unknown object is a no-op.
+	g2.RecordHostSink(777, 8)
+	if g2.NumEdges() != 1 {
+		t.Fatal("unknown-object sink created an edge")
+	}
+}
+
+func TestEdgeAggregation(t *testing.T) {
+	g := New(nil)
+	a := g.Touch(KindAlloc, "x", frame("m", 1))
+	g.RecordAlloc(a, 1)
+	k := g.Touch(KindKernel, "k", frame("m", 2))
+	g.RecordWrite(k, 1, 100, 50)
+	g.lastWriter[1] = a // rewind writer to aggregate on the same edge
+	g.RecordWrite(k, 1, 100, 50)
+	e := findEdge(t, g, a, k, 1, OpWrite)
+	if e.Count != 2 || e.Bytes != 200 || e.RedundantBytes != 100 {
+		t.Fatalf("aggregated edge = %+v", e)
+	}
+	if e.RedundantFraction() != 0.5 {
+		t.Fatalf("fraction = %v", e.RedundantFraction())
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g, _ := buildFigure3(1024)
+	dot := g.DOT(DOTOptions{Title: "figure3", WithContexts: true})
+	for _, frag := range []string{
+		"digraph valueflow", "label=\"figure3\"", "shape=box", "shape=circle",
+		"shape=oval", "color=red", "color=green", "tooltip=",
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Fatalf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("DOT not closed")
+	}
+}
+
+func TestDOTByteFormatting(t *testing.T) {
+	if fmtBytes(512) != "512B" || fmtBytes(2048) != "2.0KB" ||
+		fmtBytes(3<<20) != "3.0MB" || fmtBytes(1<<31) != "2.0GB" {
+		t.Fatalf("fmtBytes: %s %s %s %s", fmtBytes(512), fmtBytes(2048), fmtBytes(3<<20), fmtBytes(1<<31))
+	}
+}
+
+func TestVertexAndTimeAccounting(t *testing.T) {
+	g := New(nil)
+	v := g.Touch(KindKernel, "k", nil)
+	g.AddTime(v, 3*time.Millisecond)
+	g.AddTime(v, 2*time.Millisecond)
+	vtx, ok := g.Vertex(v)
+	if !ok || vtx.Time != 5*time.Millisecond {
+		t.Fatalf("time = %v", vtx.Time)
+	}
+	if _, ok := g.Vertex(999); ok {
+		t.Fatal("unknown vertex found")
+	}
+	if KindKernel.String() != "kernel" || OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("string methods")
+	}
+	if VertexKind(99).String() == "" {
+		t.Fatal("unknown kind render")
+	}
+}
+
+func TestSummaryRendersCounts(t *testing.T) {
+	g, _ := buildFigure3(64)
+	s := g.Summary()
+	if !strings.Contains(s, "edges") || !strings.Contains(s, "zero_kernel") {
+		t.Fatalf("summary = %q", s)
+	}
+}

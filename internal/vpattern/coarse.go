@@ -1,0 +1,228 @@
+package vpattern
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"valueexpert/internal/interval"
+)
+
+// RedundancyThreshold is the unchanged-fraction above which ValueExpert
+// reports the redundant values pattern ("Based on our experiments, we use
+// a threshold of 33%", paper §5.1 footnote).
+const RedundancyThreshold = 1.0 / 3.0
+
+// DiffResult quantifies a pre/post snapshot comparison of one data object
+// at one GPU API.
+type DiffResult struct {
+	WrittenBytes   uint64 // bytes covered by the API's write intervals
+	UnchangedBytes uint64 // written bytes whose value did not change
+}
+
+// Fraction is the unchanged share of written bytes.
+func (d DiffResult) Fraction() float64 {
+	if d.WrittenBytes == 0 {
+		return 0
+	}
+	return float64(d.UnchangedBytes) / float64(d.WrittenBytes)
+}
+
+// Redundant applies the paper's 33% threshold.
+func (d DiffResult) Redundant() bool {
+	return d.WrittenBytes > 0 && d.Fraction() >= RedundancyThreshold
+}
+
+// Match converts the diff to a pattern match (Def 3.1).
+func (d DiffResult) Match() Match {
+	return Match{Kind: RedundantValues, Fraction: d.Fraction(),
+		Detail: fmt.Sprintf("%d of %d written bytes unchanged", d.UnchangedBytes, d.WrittenBytes)}
+}
+
+// DiffSnapshots compares the before/after snapshots of a data object over
+// the written intervals (addresses relative to objBase). Intervals must be
+// clipped to the object; out-of-range portions are ignored defensively.
+func DiffSnapshots(before, after []byte, written []interval.Interval, objBase uint64) DiffResult {
+	var d DiffResult
+	n := uint64(len(before))
+	if uint64(len(after)) < n {
+		n = uint64(len(after))
+	}
+	for _, iv := range written {
+		if iv.End <= objBase {
+			continue
+		}
+		s := uint64(0)
+		if iv.Start > objBase {
+			s = iv.Start - objBase
+		}
+		e := iv.End - objBase
+		if e > n {
+			e = n
+		}
+		for i := s; i < e; i++ {
+			d.WrittenBytes++
+			if before[i] == after[i] {
+				d.UnchangedBytes++
+			}
+		}
+	}
+	return d
+}
+
+// SnapshotHash is the SHA-256 digest of a data object's value snapshot,
+// the key duplicate-values grouping uses (paper §5.1).
+type SnapshotHash [32]byte
+
+// HashSnapshot hashes a snapshot.
+func HashSnapshot(data []byte) SnapshotHash { return sha256.Sum256(data) }
+
+// DuplicateTracker groups data objects whose snapshots hash identically
+// after a GPU API (Def 3.2). Hash-equal objects are byte-equal up to
+// SHA-256 collision, which the paper accepts.
+type DuplicateTracker struct {
+	byHash map[SnapshotHash]map[int]bool
+	lastOf map[int]SnapshotHash
+
+	// ever records every duplicate group observed at any point, keyed by
+	// its canonical member list: Definition 3.2 matches objects with the
+	// same values "at any GPU API", so groups persist in reports even
+	// after the objects diverge.
+	ever map[string][]int
+}
+
+// NewDuplicateTracker creates an empty tracker.
+func NewDuplicateTracker() *DuplicateTracker {
+	return &DuplicateTracker{
+		byHash: make(map[SnapshotHash]map[int]bool),
+		lastOf: make(map[int]SnapshotHash),
+		ever:   make(map[string][]int),
+	}
+}
+
+// Observe records the current snapshot of object objID. Size-0 snapshots
+// are ignored (empty objects are trivially equal).
+func (t *DuplicateTracker) Observe(objID int, snapshot []byte) {
+	if len(snapshot) == 0 {
+		return
+	}
+	h := HashSnapshot(snapshot)
+	if prev, ok := t.lastOf[objID]; ok {
+		if prev == h {
+			return
+		}
+		delete(t.byHash[prev], objID)
+		if len(t.byHash[prev]) == 0 {
+			delete(t.byHash, prev)
+		}
+	}
+	t.lastOf[objID] = h
+	set := t.byHash[h]
+	if set == nil {
+		set = make(map[int]bool)
+		t.byHash[h] = set
+	}
+	set[objID] = true
+	if len(set) >= 2 {
+		g := make([]int, 0, len(set))
+		for id := range set {
+			g = append(g, id)
+		}
+		sort.Ints(g)
+		t.ever[fmt.Sprint(g)] = g
+	}
+}
+
+// EverGroups returns every duplicate group observed at any API during the
+// run, largest first; subsets of a recorded group are elided.
+func (t *DuplicateTracker) EverGroups() [][]int {
+	var out [][]int
+	for _, g := range t.ever {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	// Drop groups fully contained in an earlier (larger) group.
+	var kept [][]int
+	for _, g := range out {
+		sub := false
+		for _, big := range kept {
+			if isSubset(g, big) {
+				sub = true
+				break
+			}
+		}
+		if !sub {
+			kept = append(kept, g)
+		}
+	}
+	return kept
+}
+
+// isSubset reports whether sorted slice a ⊆ sorted slice b.
+func isSubset(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// Groups returns the sets of object IDs currently sharing a snapshot,
+// each sorted ascending, largest group first (ties by first member).
+func (t *DuplicateTracker) Groups() [][]int {
+	var out [][]int
+	for _, set := range t.byHash {
+		if len(set) < 2 {
+			continue
+		}
+		g := make([]int, 0, len(set))
+		for id := range set {
+			g = append(g, id)
+		}
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// Hashes returns each tracked object's current snapshot hash, the raw
+// material for cross-device duplicate analysis.
+func (t *DuplicateTracker) Hashes() map[int]SnapshotHash {
+	out := make(map[int]SnapshotHash, len(t.lastOf))
+	for id, h := range t.lastOf {
+		out[id] = h
+	}
+	return out
+}
+
+// DuplicateOf reports the objects currently duplicating objID's snapshot.
+func (t *DuplicateTracker) DuplicateOf(objID int) []int {
+	h, ok := t.lastOf[objID]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for id := range t.byHash[h] {
+		if id != objID {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

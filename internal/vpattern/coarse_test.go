@@ -1,0 +1,170 @@
+package vpattern
+
+import (
+	"testing"
+	"testing/quick"
+
+	"valueexpert/internal/interval"
+)
+
+func TestDiffSnapshotsBasic(t *testing.T) {
+	before := []byte{0, 0, 0, 0, 1, 2, 3, 4}
+	after := []byte{0, 0, 0, 0, 9, 9, 3, 4}
+	// Whole object written.
+	d := DiffSnapshots(before, after, []interval.Interval{{Start: 100, End: 108}}, 100)
+	if d.WrittenBytes != 8 || d.UnchangedBytes != 6 {
+		t.Fatalf("diff = %+v", d)
+	}
+	if !d.Redundant() {
+		t.Fatalf("75%% unchanged should exceed the 33%% threshold")
+	}
+	m := d.Match()
+	if m.Kind != RedundantValues || m.Fraction != 0.75 || m.Detail == "" {
+		t.Fatalf("match = %+v", m)
+	}
+}
+
+func TestDiffSnapshotsPartialIntervals(t *testing.T) {
+	before := make([]byte, 16)
+	after := make([]byte, 16)
+	for i := range after {
+		after[i] = byte(i)
+	}
+	after[2] = 0 // one written byte unchanged
+	d := DiffSnapshots(before, after, []interval.Interval{{Start: 102, End: 106}}, 100)
+	if d.WrittenBytes != 4 || d.UnchangedBytes != 1 {
+		t.Fatalf("diff = %+v", d)
+	}
+	if d.Redundant() {
+		t.Fatal("25% unchanged should be below threshold")
+	}
+}
+
+func TestDiffSnapshotsClipsOutOfRange(t *testing.T) {
+	before := []byte{1, 2, 3, 4}
+	after := []byte{1, 2, 3, 4}
+	ivs := []interval.Interval{
+		{Start: 90, End: 102},  // straddles the start
+		{Start: 103, End: 120}, // straddles the end
+		{Start: 10, End: 20},   // fully before
+	}
+	d := DiffSnapshots(before, after, ivs, 100)
+	if d.WrittenBytes != 3 || d.UnchangedBytes != 3 {
+		t.Fatalf("diff = %+v", d)
+	}
+}
+
+func TestDiffSnapshotsEmpty(t *testing.T) {
+	d := DiffSnapshots(nil, nil, nil, 0)
+	if d.WrittenBytes != 0 || d.Redundant() || d.Fraction() != 0 {
+		t.Fatalf("empty diff = %+v", d)
+	}
+}
+
+// Property: UnchangedBytes <= WrittenBytes <= total interval bytes.
+func TestDiffSnapshotsBounds(t *testing.T) {
+	f := func(before, after []byte, starts []uint8, lens []uint8) bool {
+		var ivs []interval.Interval
+		n := len(starts)
+		if len(lens) < n {
+			n = len(lens)
+		}
+		var total uint64
+		for i := 0; i < n; i++ {
+			iv := interval.Interval{Start: uint64(starts[i]), End: uint64(starts[i]) + uint64(lens[i])}
+			if iv.Valid() {
+				ivs = append(ivs, iv)
+				total += iv.Len()
+			}
+		}
+		d := DiffSnapshots(before, after, ivs, 0)
+		return d.UnchangedBytes <= d.WrittenBytes && d.WrittenBytes <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateTrackerGroups(t *testing.T) {
+	tr := NewDuplicateTracker()
+	zeros := make([]byte, 64)
+	ones := make([]byte, 64)
+	for i := range ones {
+		ones[i] = 1
+	}
+	tr.Observe(1, zeros)
+	tr.Observe(2, zeros) // duplicate of 1 — the Darknet l.output_gpu / l.x_gpu case
+	tr.Observe(3, ones)
+	tr.Observe(4, zeros)
+
+	groups := tr.Groups()
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups[0][0] != 1 || groups[0][2] != 4 {
+		t.Fatalf("group members = %v", groups[0])
+	}
+	if dups := tr.DuplicateOf(2); len(dups) != 2 || dups[0] != 1 || dups[1] != 4 {
+		t.Fatalf("DuplicateOf(2) = %v", dups)
+	}
+	if dups := tr.DuplicateOf(3); len(dups) != 0 {
+		t.Fatalf("DuplicateOf(3) = %v", dups)
+	}
+	if dups := tr.DuplicateOf(99); dups != nil {
+		t.Fatalf("DuplicateOf(unknown) = %v", dups)
+	}
+}
+
+func TestDuplicateTrackerUpdates(t *testing.T) {
+	tr := NewDuplicateTracker()
+	zeros := make([]byte, 16)
+	tr.Observe(1, zeros)
+	tr.Observe(2, zeros)
+	if len(tr.Groups()) != 1 {
+		t.Fatal("expected one group")
+	}
+	// Object 2 diverges: the *current* group dissolves, but the history
+	// remembers it ("at any GPU API", Def 3.2).
+	tr.Observe(2, []byte{1, 2, 3})
+	if g := tr.Groups(); len(g) != 0 {
+		t.Fatalf("groups after divergence = %v", g)
+	}
+	if g := tr.EverGroups(); len(g) != 1 || len(g[0]) != 2 {
+		t.Fatalf("ever groups = %v", g)
+	}
+	// Re-observing the same content is a no-op.
+	tr.Observe(1, zeros)
+	tr.Observe(1, zeros)
+	if len(tr.DuplicateOf(1)) != 0 {
+		t.Fatal("self-duplicate appeared")
+	}
+	// Empty snapshots ignored.
+	tr.Observe(5, nil)
+	if _, ok := tr.lastOf[5]; ok {
+		t.Fatal("empty snapshot tracked")
+	}
+}
+
+func TestDuplicateGroupOrdering(t *testing.T) {
+	tr := NewDuplicateTracker()
+	a := []byte{1}
+	b := []byte{2}
+	tr.Observe(10, a)
+	tr.Observe(11, a)
+	tr.Observe(20, b)
+	tr.Observe(21, b)
+	tr.Observe(22, b)
+	g := tr.Groups()
+	if len(g) != 2 || len(g[0]) != 3 || g[0][0] != 20 || len(g[1]) != 2 {
+		t.Fatalf("groups = %v (want larger group first)", g)
+	}
+}
+
+func TestHashSnapshotDistinguishes(t *testing.T) {
+	if HashSnapshot([]byte{1}) == HashSnapshot([]byte{2}) {
+		t.Fatal("hash collision on trivial inputs")
+	}
+	if HashSnapshot(nil) != HashSnapshot([]byte{}) {
+		t.Fatal("empty hashes differ")
+	}
+}

@@ -1,0 +1,480 @@
+package vpattern
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"valueexpert/gpu"
+)
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func ellipsis(yes bool) string {
+	if yes {
+		return ", …"
+	}
+	return ""
+}
+
+// FineConfig tunes fine-grained pattern recognition.
+type FineConfig struct {
+	// FrequentThreshold 𝒯 is the access share a value must exceed to be
+	// "frequent" (Def 3.3). Default 0.5.
+	FrequentThreshold float64
+	// ApproxMantissaBits 𝒦 is the mantissa precision kept when relaxing
+	// float values for approximate-pattern analysis (Def 3.8). Default 10
+	// (≈3 decimal digits, within the paper's 2% RMSE budget).
+	ApproxMantissaBits int
+	// MaxTrackedValues caps the exact-value histogram; beyond it, new
+	// distinct values are folded into an overflow count and single/
+	// frequent detection degrades conservatively (no false positives).
+	// Default 1<<16.
+	MaxTrackedValues int
+	// StructuredMinR2 is the minimum coefficient of determination for the
+	// structured-values linear fit (Def 3.7). Default 0.99.
+	StructuredMinR2 float64
+	// StructuredMinCount is the minimum number of accesses before a
+	// structured fit is attempted. Default 16.
+	StructuredMinCount int
+}
+
+func (c FineConfig) withDefaults() FineConfig {
+	if c.FrequentThreshold == 0 {
+		c.FrequentThreshold = 0.5
+	}
+	if c.ApproxMantissaBits == 0 {
+		c.ApproxMantissaBits = 10
+	}
+	if c.MaxTrackedValues == 0 {
+		c.MaxTrackedValues = 1 << 16
+	}
+	if c.StructuredMinR2 == 0 {
+		c.StructuredMinR2 = 0.99
+	}
+	if c.StructuredMinCount == 0 {
+		c.StructuredMinCount = 16
+	}
+	return c
+}
+
+// objectState accumulates one data object's accesses during one GPU API.
+type objectState struct {
+	loads, stores uint64
+	bytes         uint64
+
+	// Exact and mantissa-truncated value histograms.
+	exact    map[Value]uint64
+	approx   map[Value]uint64
+	overflow uint64 // accesses whose value fell outside the tracked set
+
+	// Declared access type: the widest (kind, size) seen; a conflict in
+	// kinds downgrades to unknown.
+	at        gpu.AccessType
+	atConsist bool
+
+	// Value-range tracking for heavy type.
+	minI, maxI   int64
+	minU, maxU   uint64
+	allF64AsF32  bool
+	sawInt, sawU bool
+	sawFloat     bool
+
+	// Streaming sums for the structured-values least-squares fit
+	// (x = element index relative to the first accessed address, keeping
+	// magnitudes small enough that the sums stay numerically stable).
+	n                          float64
+	x0                         float64
+	x0set                      bool
+	sumX, sumY, sumXX, sumRes  float64
+	sumXY, sumYY               float64
+	minAddr, maxAddr, elemSize uint64
+}
+
+// FineReport is the fine-grained pattern result for one data object at one
+// GPU API.
+type FineReport struct {
+	ObjectID       int
+	Accesses       uint64
+	Loads, Stores  uint64
+	Bytes          uint64
+	DistinctValues int  // exact distinct values observed (capped)
+	Saturated      bool // histogram cap reached; counts are lower bounds
+
+	// TopValues are the most frequent values, descending by count.
+	TopValues []ValueCount
+
+	Patterns []Match
+}
+
+// ValueCount pairs a value with its access count.
+type ValueCount struct {
+	Value Value
+	Count uint64
+}
+
+// HasPattern reports whether the report contains a pattern of kind k.
+func (r *FineReport) HasPattern(k Kind) bool {
+	for _, m := range r.Patterns {
+		if m.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Pattern returns the match of kind k, if present.
+func (r *FineReport) Pattern(k Kind) (Match, bool) {
+	for _, m := range r.Patterns {
+		if m.Kind == k {
+			return m, true
+		}
+	}
+	return Match{}, false
+}
+
+// FineAccumulator ingests instrumented accesses grouped by data object and
+// produces per-object fine-grained pattern reports for the current GPU
+// API. Reset between APIs (the online analyzer finalizes at each kernel
+// exit).
+type FineAccumulator struct {
+	cfg  FineConfig
+	objs map[int]*objectState
+}
+
+// NewFineAccumulator creates an accumulator with the given configuration.
+func NewFineAccumulator(cfg FineConfig) *FineAccumulator {
+	return &FineAccumulator{cfg: cfg.withDefaults(), objs: make(map[int]*objectState)}
+}
+
+// Add records one access belonging to the data object objID.
+func (fa *FineAccumulator) Add(objID int, a gpu.Access) {
+	st := fa.objs[objID]
+	if st == nil {
+		st = &objectState{
+			exact: make(map[Value]uint64), approx: make(map[Value]uint64),
+			atConsist: true, allF64AsF32: true,
+			minI: math.MaxInt64, maxI: math.MinInt64,
+			minU:    math.MaxUint64,
+			minAddr: math.MaxUint64,
+		}
+		fa.objs[objID] = st
+	}
+	if a.Store {
+		st.stores++
+	} else {
+		st.loads++
+	}
+	st.bytes += uint64(a.Size)
+
+	v := Value{Raw: a.Raw, Size: a.Size, Kind: a.Kind}
+
+	// Access-type consistency: the object-level declared type is the one
+	// all accesses agree on; disagreement means opaque bits.
+	at := gpu.AccessType{Kind: a.Kind, Size: a.Size}
+	if st.loads+st.stores == 1 {
+		st.at = at
+	} else if st.at != at {
+		st.atConsist = false
+	}
+
+	// Exact histogram (capped).
+	if cnt, ok := st.exact[v]; ok {
+		st.exact[v] = cnt + 1
+	} else if len(st.exact) < fa.cfg.MaxTrackedValues {
+		st.exact[v] = 1
+	} else {
+		st.overflow++
+	}
+
+	// Truncated histogram for approximate analysis (floats only).
+	if a.Kind == gpu.KindFloat {
+		tv := v.Truncate(fa.cfg.ApproxMantissaBits)
+		if cnt, ok := st.approx[tv]; ok {
+			st.approx[tv] = cnt + 1
+		} else if len(st.approx) < fa.cfg.MaxTrackedValues {
+			st.approx[tv] = 1
+		}
+	}
+
+	// Range tracking for heavy type.
+	switch a.Kind {
+	case gpu.KindInt:
+		st.sawInt = true
+		s := signExtend(a.Raw, a.Size)
+		if s < st.minI {
+			st.minI = s
+		}
+		if s > st.maxI {
+			st.maxI = s
+		}
+	case gpu.KindUint:
+		st.sawU = true
+		if a.Raw < st.minU {
+			st.minU = a.Raw
+		}
+		if a.Raw > st.maxU {
+			st.maxU = a.Raw
+		}
+	case gpu.KindFloat:
+		st.sawFloat = true
+		if a.Size == 8 {
+			f := gpu.Float64FromRaw(a.Raw)
+			if float64(float32(f)) != f {
+				st.allF64AsF32 = false
+			}
+		}
+	}
+
+	// Structured-values sums: x is the element index derived from the
+	// address, y the numeric value.
+	if st.elemSize == 0 {
+		st.elemSize = uint64(a.Size)
+	}
+	if a.Addr < st.minAddr {
+		st.minAddr = a.Addr
+	}
+	if a.Addr > st.maxAddr {
+		st.maxAddr = a.Addr
+	}
+	if !st.x0set {
+		st.x0 = float64(a.Addr / st.elemSize)
+		st.x0set = true
+	}
+	x := float64(a.Addr/st.elemSize) - st.x0 // monotone in address
+	y := v.Numeric()
+	if !math.IsNaN(y) && !math.IsInf(y, 0) {
+		st.n++
+		st.sumX += x
+		st.sumY += y
+		st.sumXX += x * x
+		st.sumXY += x * y
+		st.sumYY += y * y
+	}
+}
+
+// Objects returns the IDs with accumulated accesses.
+func (fa *FineAccumulator) Objects() []int {
+	ids := make([]int, 0, len(fa.objs))
+	for id := range fa.objs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Reset clears all accumulated state for the next GPU API.
+func (fa *FineAccumulator) Reset() { fa.objs = make(map[int]*objectState) }
+
+// Finalize computes fine-grained pattern reports for every accumulated
+// object, ordered by object ID.
+func (fa *FineAccumulator) Finalize() []FineReport {
+	var out []FineReport
+	for _, id := range fa.Objects() {
+		out = append(out, fa.finalizeObject(id, fa.objs[id]))
+	}
+	return out
+}
+
+func (fa *FineAccumulator) finalizeObject(id int, st *objectState) FineReport {
+	total := st.loads + st.stores
+	r := FineReport{
+		ObjectID: id, Accesses: total, Loads: st.loads, Stores: st.stores,
+		Bytes: st.bytes, DistinctValues: len(st.exact), Saturated: st.overflow > 0,
+	}
+	if total == 0 {
+		return r
+	}
+
+	// Rank values by count.
+	for v, c := range st.exact {
+		r.TopValues = append(r.TopValues, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(r.TopValues, func(i, j int) bool {
+		if r.TopValues[i].Count != r.TopValues[j].Count {
+			return r.TopValues[i].Count > r.TopValues[j].Count
+		}
+		return r.TopValues[i].Value.Raw < r.TopValues[j].Value.Raw
+	})
+	if len(r.TopValues) > 8 {
+		r.TopValues = r.TopValues[:8]
+	}
+
+	// Single value / single zero / frequent values (Defs 3.3–3.5).
+	exactSingle := false
+	if len(st.exact) == 1 && st.overflow == 0 {
+		exactSingle = true
+		v := r.TopValues[0].Value
+		if v.IsZero() {
+			r.Patterns = append(r.Patterns, Match{Kind: SingleZero, Fraction: 1,
+				Detail: "all accessed values are zero"})
+		}
+		r.Patterns = append(r.Patterns, Match{Kind: SingleValue, Fraction: 1,
+			Detail: fmt.Sprintf("all accesses see value %s", v.Format())})
+	}
+	if !exactSingle && len(r.TopValues) > 0 {
+		// Frequent values (Def 3.3): "accesses to one or more particular
+		// values" — the smallest set of hot values (capped at 8) whose
+		// cumulative access share reaches the threshold 𝒯.
+		var cum uint64
+		hot := 0
+		for _, vc := range r.TopValues {
+			cum += vc.Count
+			hot++
+			if float64(cum)/float64(total) >= fa.cfg.FrequentThreshold {
+				break
+			}
+		}
+		frac := float64(cum) / float64(total)
+		if frac >= fa.cfg.FrequentThreshold {
+			names := make([]string, 0, 3)
+			for _, vc := range r.TopValues[:min(hot, 3)] {
+				names = append(names, vc.Value.Format())
+			}
+			r.Patterns = append(r.Patterns, Match{Kind: FrequentValues, Fraction: frac,
+				Detail: fmt.Sprintf("%d hot value(s) {%s%s} account for %.1f%% of accesses",
+					hot, strings.Join(names, ", "), ellipsis(hot > 3), 100*frac)})
+		}
+	}
+
+	// Heavy type (Def 3.6).
+	if st.atConsist {
+		if m, ok := fa.heavyType(st); ok {
+			r.Patterns = append(r.Patterns, m)
+		}
+	}
+
+	// Structured values (Def 3.7): linear value↔address correlation.
+	if st.n >= float64(fa.cfg.StructuredMinCount) {
+		if m, ok := fa.structured(st); ok {
+			r.Patterns = append(r.Patterns, m)
+		}
+	}
+
+	// Approximate values (Def 3.8): the truncated histogram exposes a
+	// single/frequent pattern the exact one does not.
+	if st.sawFloat && !exactSingle && len(st.approx) > 0 {
+		if m, ok := fa.approximate(st, total); ok {
+			r.Patterns = append(r.Patterns, m)
+		}
+	}
+	return r
+}
+
+func (fa *FineAccumulator) heavyType(st *objectState) (Match, bool) {
+	declared := st.at
+	switch {
+	case st.sawInt && declared.Size >= 2:
+		need := intWidth(st.minI, st.maxI)
+		if need < declared.Size {
+			return Match{Kind: HeavyType,
+				Fraction: 1 - float64(need)/float64(declared.Size),
+				Detail: fmt.Sprintf("int%d values fit in int%d (range [%d,%d])",
+					8*declared.Size, 8*need, st.minI, st.maxI)}, true
+		}
+	case st.sawU && declared.Size >= 2:
+		need := uintWidth(st.maxU)
+		if need < declared.Size {
+			return Match{Kind: HeavyType,
+				Fraction: 1 - float64(need)/float64(declared.Size),
+				Detail: fmt.Sprintf("uint%d values fit in uint%d (max %d)",
+					8*declared.Size, 8*need, st.maxU)}, true
+		}
+	case st.sawFloat && declared.Size == 8 && st.allF64AsF32:
+		return Match{Kind: HeavyType, Fraction: 0.5,
+			Detail: "float64 values are exactly representable as float32"}, true
+	case st.sawFloat && len(st.exact) >= 2 && len(st.exact) <= 256 && st.overflow == 0 &&
+		st.loads+st.stores >= 4*uint64(len(st.exact)):
+		// A tiny dictionary of float values (e.g. lavaMD's rA drawn from
+		// {0.1..1.0}) can travel as uint8 indices (paper §8.6).
+		return Match{Kind: HeavyType,
+			Fraction: 1 - float64(1)/float64(declared.Size),
+			Detail: fmt.Sprintf("float%d values drawn from %d distinct values; index with uint8",
+				8*declared.Size, len(st.exact))}, true
+	}
+	return Match{}, false
+}
+
+func intWidth(lo, hi int64) uint8 {
+	for _, w := range []uint8{1, 2, 4} {
+		min := -(int64(1) << (8*w - 1))
+		max := int64(1)<<(8*w-1) - 1
+		if lo >= min && hi <= max {
+			return w
+		}
+	}
+	return 8
+}
+
+func uintWidth(hi uint64) uint8 {
+	switch {
+	case hi <= math.MaxUint8:
+		return 1
+	case hi <= math.MaxUint16:
+		return 2
+	case hi <= math.MaxUint32:
+		return 4
+	}
+	return 8
+}
+
+func (fa *FineAccumulator) structured(st *objectState) (Match, bool) {
+	n := st.n
+	den := n*st.sumXX - st.sumX*st.sumX
+	if den == 0 {
+		return Match{}, false
+	}
+	varY := n*st.sumYY - st.sumY*st.sumY
+	if varY <= 0 {
+		// Constant values: that's single value, not structured.
+		return Match{}, false
+	}
+	slope := (n*st.sumXY - st.sumX*st.sumY) / den
+	// Intercept at the first accessed element (index 0 of the fit),
+	// which for whole-array sweeps is the object's first element.
+	intercept := (st.sumY - slope*st.sumX) / n
+	r := (n*st.sumXY - st.sumX*st.sumY) / math.Sqrt(den*varY)
+	r2 := r * r
+	if math.IsNaN(r2) || r2 < fa.cfg.StructuredMinR2 || slope == 0 {
+		return Match{}, false
+	}
+	return Match{Kind: StructuredValues, Fraction: r2,
+		Detail: fmt.Sprintf("value ≈ %.6g·index %+.6g (r²=%.4f, index from first accessed element)",
+			slope, intercept, r2)}, true
+}
+
+func (fa *FineAccumulator) approximate(st *objectState, total uint64) (Match, bool) {
+	// Find the dominant truncated value.
+	var best Value
+	var bestCnt uint64
+	for v, c := range st.approx {
+		if c > bestCnt {
+			best, bestCnt = v, c
+		}
+	}
+	frac := float64(bestCnt) / float64(total)
+	exactTop := uint64(0)
+	for _, c := range st.exact {
+		if c > exactTop {
+			exactTop = c
+		}
+	}
+	exactFrac := float64(exactTop) / float64(total)
+	// The relaxation must *expose* something exact analysis missed.
+	if frac < fa.cfg.FrequentThreshold || exactFrac >= fa.cfg.FrequentThreshold {
+		return Match{}, false
+	}
+	kind := "frequent values"
+	if len(st.approx) == 1 {
+		kind = "single value"
+	}
+	return Match{Kind: ApproximateValues, Fraction: frac,
+		Detail: fmt.Sprintf("with %d mantissa bits, %s pattern emerges around %s (%.1f%% of accesses)",
+			fa.cfg.ApproxMantissaBits, kind, best.Format(), 100*frac)}, true
+}

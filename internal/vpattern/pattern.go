@@ -1,0 +1,154 @@
+// Package vpattern recognizes the eight value patterns of paper §3 in the
+// access streams and value snapshots ValueExpert collects:
+//
+// Coarse-grained (per GPU API, from snapshots): redundant values,
+// duplicate values.
+//
+// Fine-grained (per data object at a GPU API, from instrumented
+// accesses): frequent values, single value, single zero, heavy type,
+// structured values, approximate values.
+package vpattern
+
+import (
+	"fmt"
+
+	"valueexpert/gpu"
+)
+
+// Kind enumerates the value patterns (Table 1 columns).
+type Kind uint8
+
+// The eight value patterns, in the paper's order.
+const (
+	RedundantValues Kind = iota
+	DuplicateValues
+	FrequentValues
+	SingleValue
+	SingleZero
+	HeavyType
+	StructuredValues
+	ApproximateValues
+
+	NumKinds = 8
+)
+
+var kindNames = [...]string{
+	"redundant values", "duplicate values", "frequent values", "single value",
+	"single zero", "heavy type", "structured values", "approximate values",
+}
+
+// String returns the paper's pattern name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(k))
+}
+
+// Match is one detected pattern instance on a data object at a GPU API.
+type Match struct {
+	Kind Kind
+	// Fraction quantifies pattern strength in [0,1]: unchanged fraction
+	// for redundancy, hot-value access share for frequent/single
+	// patterns, r² for structured values.
+	Fraction float64
+	// Detail is a human-readable explanation used in reports, e.g. the
+	// dominant value, the suggested narrow type, or the fitted line.
+	Detail string
+}
+
+// String formats the match for reports.
+func (m Match) String() string {
+	if m.Detail == "" {
+		return fmt.Sprintf("%s (%.1f%%)", m.Kind, 100*m.Fraction)
+	}
+	return fmt.Sprintf("%s (%.1f%%): %s", m.Kind, 100*m.Fraction, m.Detail)
+}
+
+// Value is a decoded access value: the raw bits plus the access type that
+// interprets them.
+type Value struct {
+	Raw  uint64
+	Size uint8
+	Kind gpu.ValueKind
+}
+
+// Numeric converts the value to float64 for range and correlation
+// analysis. Unknown-typed values are treated as unsigned integers, the
+// same opaque-bits fallback the paper's analyzer uses.
+func (v Value) Numeric() float64 {
+	switch v.Kind {
+	case gpu.KindFloat:
+		if v.Size == 8 {
+			return gpu.Float64FromRaw(v.Raw)
+		}
+		return float64(gpu.Float32FromRaw(v.Raw))
+	case gpu.KindInt:
+		return float64(signExtend(v.Raw, v.Size))
+	default:
+		return float64(v.Raw)
+	}
+}
+
+// IsZero reports whether the value is numerically zero (including IEEE
+// negative zero for floats).
+func (v Value) IsZero() bool {
+	if v.Raw == 0 {
+		return true
+	}
+	if v.Kind == gpu.KindFloat {
+		switch v.Size {
+		case 4:
+			return gpu.Float32FromRaw(v.Raw) == 0
+		case 8:
+			return gpu.Float64FromRaw(v.Raw) == 0
+		}
+	}
+	return false
+}
+
+// Format renders the value per its type.
+func (v Value) Format() string {
+	switch v.Kind {
+	case gpu.KindFloat:
+		if v.Size == 8 {
+			return fmt.Sprintf("%g", gpu.Float64FromRaw(v.Raw))
+		}
+		return fmt.Sprintf("%g", gpu.Float32FromRaw(v.Raw))
+	case gpu.KindInt:
+		return fmt.Sprintf("%d", signExtend(v.Raw, v.Size))
+	default:
+		return fmt.Sprintf("%#x", v.Raw)
+	}
+}
+
+func signExtend(raw uint64, size uint8) int64 {
+	shift := uint(64 - 8*size)
+	return int64(raw<<shift) >> shift
+}
+
+// Truncate returns the value with its float mantissa truncated to keep
+// bits — the relaxation that powers approximate-value analysis (Def 3.8).
+// Non-float values are returned unchanged.
+func (v Value) Truncate(keepBits int) Value {
+	if v.Kind != gpu.KindFloat {
+		return v
+	}
+	switch v.Size {
+	case 4:
+		drop := 23 - keepBits
+		if drop <= 0 {
+			return v
+		}
+		mask := ^uint64(1<<uint(drop) - 1)
+		return Value{Raw: v.Raw & mask & 0xffff_ffff, Size: v.Size, Kind: v.Kind}
+	case 8:
+		drop := 52 - keepBits
+		if drop <= 0 {
+			return v
+		}
+		mask := ^uint64(1<<uint(drop) - 1)
+		return Value{Raw: v.Raw & mask, Size: v.Size, Kind: v.Kind}
+	}
+	return v
+}

@@ -1,0 +1,749 @@
+package workloads
+
+import (
+	"fmt"
+
+	"valueexpert/callpath"
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/vpattern"
+)
+
+func init() {
+	register(&bfs{})
+	register(&backprop{})
+	register(&sradv1{})
+	register(&hotspot{})
+	register(&pathfinder{})
+}
+
+// ---------------------------------------------------------------------------
+// Rodinia/bfs — breadth-first search over a synthetic sparse graph.
+//
+// Patterns (Table 1): redundant values, frequent values, single value,
+// heavy type. The g_cost array holds small hop counts (int8 range) stored
+// as int32 — the heavy type example of §3.2 — and the mask arrays are
+// almost entirely a single value (0). The optimized variant demotes cost
+// and mask arrays to int8, cutting the kernel's memory traffic 4×.
+// ---------------------------------------------------------------------------
+type bfs struct{}
+
+func (*bfs) Name() string         { return "Rodinia/bfs" }
+func (*bfs) HotKernels() []string { return []string{"Kernel"} }
+func (*bfs) ExpectedPatterns() []vpattern.Kind {
+	return []vpattern.Kind{vpattern.RedundantValues, vpattern.FrequentValues,
+		vpattern.SingleValue, vpattern.HeavyType}
+}
+func (*bfs) OptimizedPatterns() []vpattern.Kind {
+	return []vpattern.Kind{vpattern.HeavyType, vpattern.FrequentValues}
+}
+
+func (w *bfs) Run(rt *cuda.Runtime, v Variant) error {
+	r := rng(1)
+	nodes := scaled(64 << 10)
+	degree := 4
+	// CSR: offsets + edges.
+	offs := make([]int32, nodes+1)
+	edges := make([]int32, nodes*degree)
+	for i := 0; i < nodes; i++ {
+		offs[i+1] = offs[i] + int32(degree)
+		for d := 0; d < degree; d++ {
+			edges[i*degree+d] = int32(r.Intn(nodes))
+		}
+	}
+
+	rt.PushFrame(callpath.Frame{Func: "BFSGraph", File: "bfs.cu", Line: 133})
+	defer rt.PopFrame()
+
+	dOffs, err := rt.MallocI32(nodes+1, "d_graph_nodes")
+	if err != nil {
+		return err
+	}
+	dEdges, err := rt.MallocI32(nodes*degree, "d_graph_edges")
+	if err != nil {
+		return err
+	}
+	if err := rt.CopyI32ToDevice(dOffs, offs); err != nil {
+		return err
+	}
+	if err := rt.CopyI32ToDevice(dEdges, edges); err != nil {
+		return err
+	}
+
+	costBytes := 4 // int32 cost/mask arrays in the original
+	if v == Optimized {
+		costBytes = 1 // demoted to int8 per the heavy type guidance
+	}
+	dCost, err := rt.Malloc(uint64(nodes*costBytes), "g_cost")
+	if err != nil {
+		return err
+	}
+	dMask, err := rt.Malloc(uint64(nodes*costBytes), "g_graph_mask")
+	if err != nil {
+		return err
+	}
+	dUpdMask, err := rt.Malloc(uint64(nodes*costBytes), "g_updating_graph_mask")
+	if err != nil {
+		return err
+	}
+	// The original initializes cost to -1 on the host and copies it; with
+	// frequent-values guidance a memset suffices (memory speedup).
+	if v == Original {
+		init := make([]int32, nodes)
+		for i := range init {
+			init[i] = -1
+		}
+		if err := rt.CopyI32ToDevice(dCost, init); err != nil {
+			return err
+		}
+		if err := rt.CopyI32ToDevice(dMask, make([]int32, nodes)); err != nil {
+			return err
+		}
+		if err := rt.CopyI32ToDevice(dUpdMask, make([]int32, nodes)); err != nil {
+			return err
+		}
+	} else {
+		if err := rt.Memset(dCost, 0xFF, uint64(nodes*costBytes)); err != nil {
+			return err
+		}
+		if err := rt.Memset(dMask, 0, uint64(nodes*costBytes)); err != nil {
+			return err
+		}
+		if err := rt.Memset(dUpdMask, 0, uint64(nodes*costBytes)); err != nil {
+			return err
+		}
+	}
+
+	loadCost := func(t *gpu.Thread, pc gpu.PC, base cuda.DevPtr, i int) int32 {
+		if costBytes == 4 {
+			return t.LoadI32(pc, uint64(base)+uint64(4*i))
+		}
+		return int32(int8(t.LoadU8(pc, uint64(base)+uint64(i))))
+	}
+	storeCost := func(t *gpu.Thread, pc gpu.PC, base cuda.DevPtr, i int, val int32) {
+		if costBytes == 4 {
+			t.StoreI32(pc, uint64(base)+uint64(4*i), val)
+		} else {
+			t.StoreU8(pc, uint64(base)+uint64(i), uint8(val))
+		}
+	}
+
+	// Seed the frontier at node 0 with cost 0.
+	seed := &gpu.GoKernel{
+		Name: "seed",
+		Func: func(t *gpu.Thread) {
+			if t.GlobalID() == 0 {
+				storeCost(t, 0, dMask, 0, 1)
+				storeCost(t, 1, dCost, 0, 0)
+			}
+		},
+	}
+	if err := rt.Launch(seed, gpu.Dim1(1), gpu.Dim1(32)); err != nil {
+		return err
+	}
+
+	kernel := &gpu.GoKernel{
+		Name: "Kernel",
+		Func: func(t *gpu.Thread) {
+			tid := t.GlobalID()
+			if tid >= nodes {
+				return
+			}
+			if loadCost(t, 0, dMask, tid) == 0 {
+				return
+			}
+			storeCost(t, 1, dMask, tid, 0)
+			myCost := loadCost(t, 2, dCost, tid)
+			lo := t.LoadI32(3, uint64(dOffs)+uint64(4*tid))
+			hi := t.LoadI32(4, uint64(dOffs)+uint64(4*(tid+1)))
+			for e := lo; e < hi; e++ {
+				n := t.LoadI32(5, uint64(dEdges)+uint64(4*e))
+				t.CountInt(3)
+				if loadCost(t, 6, dCost, int(n)) == -1 {
+					storeCost(t, 7, dCost, int(n), myCost+1)
+					storeCost(t, 8, dUpdMask, int(n), 1)
+				}
+			}
+		},
+	}
+	sync := &gpu.GoKernel{
+		Name: "Kernel2",
+		Func: func(t *gpu.Thread) {
+			tid := t.GlobalID()
+			if tid >= nodes {
+				return
+			}
+			if loadCost(t, 0, dUpdMask, tid) == 1 {
+				storeCost(t, 1, dMask, tid, 1)
+				storeCost(t, 2, dUpdMask, tid, 0)
+			}
+		},
+	}
+	blocks := (nodes + 255) / 256
+	for iter := 0; iter < 6; iter++ {
+		if err := rt.Launch(kernel, gpu.Dim1(blocks), gpu.Dim1(256)); err != nil {
+			return fmt.Errorf("bfs iteration %d: %w", iter, err)
+		}
+		if err := rt.Launch(sync, gpu.Dim1(blocks), gpu.Dim1(256)); err != nil {
+			return err
+		}
+	}
+	out := make([]byte, nodes*costBytes)
+	return rt.MemcpyD2H(out, dCost)
+}
+
+// ---------------------------------------------------------------------------
+// Rodinia/backprop — the bpnn_adjust_weights_cuda kernel over FP64 weight
+// deltas that are almost all zero (single zero pattern, §8.5), plus the
+// duplicate values pattern: the host weight array is uploaded into two
+// device arrays (w and oldw).
+//
+// The optimized variant conditionally bypasses the FP64 update when the
+// delta is zero. On the RTX 2080 Ti, whose FP64 rate is 1/32 of FP32,
+// the kernel is compute-bound and the bypass is dramatic; on the A100 the
+// kernel is memory-bound and the gain is modest — exactly the asymmetry
+// Table 3 reports (8.18× vs 1.67×).
+// ---------------------------------------------------------------------------
+type backprop struct{}
+
+func (*backprop) Name() string         { return "Rodinia/backprop" }
+func (*backprop) HotKernels() []string { return []string{"bpnn_adjust_weights_cuda"} }
+func (*backprop) ExpectedPatterns() []vpattern.Kind {
+	return []vpattern.Kind{vpattern.RedundantValues, vpattern.DuplicateValues, vpattern.SingleZero}
+}
+func (*backprop) OptimizedPatterns() []vpattern.Kind {
+	return []vpattern.Kind{vpattern.SingleZero, vpattern.DuplicateValues}
+}
+
+func (w *backprop) Run(rt *cuda.Runtime, v Variant) error {
+	n := scaled(256 << 10)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 0.5 + float64(i%7)*0.01
+	}
+	delta := make([]float64, n) // all zeros: converged layer
+
+	rt.PushFrame(callpath.Frame{Func: "bpnn_train_cuda", File: "backprop_cuda.cu", Line: 240})
+	defer rt.PopFrame()
+
+	dW, err := rt.MallocF64(n, "w")
+	if err != nil {
+		return err
+	}
+	dOldW, err := rt.MallocF64(n, "oldw")
+	if err != nil {
+		return err
+	}
+	dDelta, err := rt.MallocF64(n, "delta")
+	if err != nil {
+		return err
+	}
+	if err := rt.CopyF64ToDevice(dW, weights); err != nil {
+		return err
+	}
+	// oldw (previous update) and delta both start as zeros: the same host
+	// contents uploaded into two device arrays (duplicate values), as
+	// uniform copies that could have been device memsets.
+	if err := rt.CopyF64ToDevice(dOldW, make([]float64, n)); err != nil {
+		return err
+	}
+	if err := rt.CopyF64ToDevice(dDelta, delta); err != nil {
+		return err
+	}
+
+	// The forward pass that precedes weight adjustment: a reduction of
+	// input×weight products through the hidden layer (block-local partial
+	// sums in shared memory, like the real bpnn_layerforward_CUDA).
+	dPartial, err := rt.MallocF64(n/256+1, "partial_sum")
+	if err != nil {
+		return err
+	}
+	forward := &gpu.GoKernel{
+		Name: "bpnn_layerforward_CUDA",
+		Func: func(t *gpu.Thread) {
+			i := t.GlobalID()
+			if i >= n {
+				return
+			}
+			wv := t.LoadF64(0, uint64(dW)+uint64(8*i))
+			sh := t.SharedBase() + uint64(8*int(t.ThreadIdx.X))
+			t.StoreF64(1, sh, wv*0.01)
+			t.CountFP64(2)
+			if int(t.ThreadIdx.X) == t.BlockDim.X-1 {
+				var sum float64
+				for k := 0; k < t.BlockDim.X; k++ {
+					sum += t.LoadF64(2, t.SharedBase()+uint64(8*k))
+				}
+				t.CountFP64(t.BlockDim.X)
+				t.StoreF64(3, uint64(dPartial)+uint64(8*int(t.BlockIdx.X)), sum)
+			}
+		},
+	}
+
+	const eta, momentum = 0.3, 0.3
+	adjust := &gpu.GoKernel{
+		Name: "bpnn_adjust_weights_cuda",
+		Func: func(t *gpu.Thread) {
+			i := t.GlobalID()
+			if i >= n {
+				return
+			}
+			d := t.LoadF64(0, uint64(dDelta)+uint64(8*i))
+			if v == Optimized && d == 0 {
+				// Bypass: no FP64 math, no stores of unchanged values.
+				return
+			}
+			wv := t.LoadF64(1, uint64(dW)+uint64(8*i))
+			ow := t.LoadF64(2, uint64(dOldW)+uint64(8*i))
+			// The original performs a chain of FP64 operations per weight.
+			upd := eta*d + momentum*ow
+			for k := 0; k < 20; k++ { // unrolled inner work of the real kernel
+				upd = upd*1.0 + 0.0
+			}
+			t.CountFP64(3 + 2*20)
+			t.StoreF64(3, uint64(dW)+uint64(8*i), wv+upd)
+			t.StoreF64(4, uint64(dOldW)+uint64(8*i), upd)
+		},
+	}
+	blocks := (n + 255) / 256
+	for it := 0; it < 2; it++ {
+		if err := rt.Launch(forward, gpu.Dim1(blocks), gpu.Dim1(256)); err != nil {
+			return err
+		}
+		if err := rt.Launch(adjust, gpu.Dim1(blocks), gpu.Dim1(256)); err != nil {
+			return err
+		}
+	}
+	out := make([]float64, n)
+	return rt.CopyF64FromDevice(out, dW)
+}
+
+// ---------------------------------------------------------------------------
+// Rodinia/srad_v1 — the srad kernel with its four neighbor-coordinate
+// arrays d_iN, d_iS, d_jW, d_jE whose values are linear in their index
+// (structured values, §3.2), stored as int32 though the image dimensions
+// fit in int16 (heavy type).
+//
+// Optimized: neighbor indices are computed from the thread index instead
+// of loaded (structured values), and image-bounded integers travel as
+// int16 (heavy type).
+// ---------------------------------------------------------------------------
+type sradv1 struct{}
+
+func (*sradv1) Name() string         { return "Rodinia/sradv1" }
+func (*sradv1) HotKernels() []string { return []string{"srad"} }
+func (*sradv1) ExpectedPatterns() []vpattern.Kind {
+	return []vpattern.Kind{vpattern.DuplicateValues, vpattern.FrequentValues,
+		vpattern.SingleValue, vpattern.HeavyType, vpattern.StructuredValues}
+}
+func (*sradv1) OptimizedPatterns() []vpattern.Kind {
+	return []vpattern.Kind{vpattern.HeavyType, vpattern.StructuredValues}
+}
+
+func (w *sradv1) Run(rt *cuda.Runtime, v Variant) error {
+	rows := scaled(256)
+	cols := 256
+	n := rows * cols
+
+	rt.PushFrame(callpath.Frame{Func: "main", File: "srad.cu", Line: 291})
+	defer rt.PopFrame()
+
+	dI, err := rt.MallocF32(n, "d_I")
+	if err != nil {
+		return err
+	}
+	dC, err := rt.MallocF32(n, "d_c")
+	if err != nil {
+		return err
+	}
+	// An ultrasound image: a uniform speckle-free background (~80% of
+	// pixels) with embedded features — the source of the frequent values
+	// pattern on d_I.
+	img := make([]float32, n)
+	r := rng(3)
+	for i := range img {
+		if r.Intn(100) < 80 {
+			img[i] = 0.5
+		} else {
+			img[i] = float32(r.Float64())
+		}
+	}
+	if err := rt.CopyF32ToDevice(dI, img); err != nil {
+		return err
+	}
+	// d_c initialized to 1.0 everywhere.
+	ones := make([]float32, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if err := rt.CopyF32ToDevice(dC, ones); err != nil {
+		return err
+	}
+	// The derivative buffers d_dN/d_dS start as identical zero arrays
+	// uploaded from the host (duplicate values + memset-able copies).
+	dDN, err := rt.MallocF32(n, "d_dN")
+	if err != nil {
+		return err
+	}
+	dDS, err := rt.MallocF32(n, "d_dS")
+	if err != nil {
+		return err
+	}
+	if err := rt.CopyF32ToDevice(dDN, make([]float32, n)); err != nil {
+		return err
+	}
+	if err := rt.CopyF32ToDevice(dDS, make([]float32, n)); err != nil {
+		return err
+	}
+	// The diffusion coefficient lambda is materialized as an array holding
+	// one value everywhere (single value pattern).
+	dLam, err := rt.MallocF32(n, "d_lambda")
+	if err != nil {
+		return err
+	}
+	lam := make([]float32, n)
+	for i := range lam {
+		lam[i] = 0.25
+	}
+	if err := rt.CopyF32ToDevice(dLam, lam); err != nil {
+		return err
+	}
+
+	var dN, dS, dW2, dE cuda.DevPtr
+	if v == Original {
+		// Structured coordinate arrays: iN[i] = i-1, iS[i] = i+1, etc.
+		iN := make([]int32, rows)
+		iS := make([]int32, rows)
+		jW := make([]int32, cols)
+		jE := make([]int32, cols)
+		for i := 0; i < rows; i++ {
+			iN[i], iS[i] = int32(i-1), int32(i+1)
+		}
+		for j := 0; j < cols; j++ {
+			jW[j], jE[j] = int32(j-1), int32(j+1)
+		}
+		iN[0], iS[rows-1] = 0, int32(rows-1)
+		jW[0], jE[cols-1] = 0, int32(cols-1)
+		if dN, err = rt.MallocI32(rows, "d_iN"); err != nil {
+			return err
+		}
+		if dS, err = rt.MallocI32(rows, "d_iS"); err != nil {
+			return err
+		}
+		if dW2, err = rt.MallocI32(cols, "d_jW"); err != nil {
+			return err
+		}
+		if dE, err = rt.MallocI32(cols, "d_jE"); err != nil {
+			return err
+		}
+		if err := rt.CopyI32ToDevice(dN, iN); err != nil {
+			return err
+		}
+		if err := rt.CopyI32ToDevice(dS, iS); err != nil {
+			return err
+		}
+		if err := rt.CopyI32ToDevice(dW2, jW); err != nil {
+			return err
+		}
+		if err := rt.CopyI32ToDevice(dE, jE); err != nil {
+			return err
+		}
+	}
+
+	srad := &gpu.GoKernel{
+		Name: "srad",
+		Func: func(t *gpu.Thread) {
+			idx := t.GlobalID()
+			if idx >= n {
+				return
+			}
+			i, j := idx/cols, idx%cols
+			var iN, iS, jW, jE int32
+			if v == Original {
+				iN = t.LoadI32(0, uint64(dN)+uint64(4*i))
+				iS = t.LoadI32(1, uint64(dS)+uint64(4*i))
+				jW = t.LoadI32(2, uint64(dW2)+uint64(4*j))
+				jE = t.LoadI32(3, uint64(dE)+uint64(4*j))
+			} else {
+				// Computed from the index: the structured-values fix.
+				iN, iS, jW, jE = int32(i-1), int32(i+1), int32(j-1), int32(j+1)
+				if i == 0 {
+					iN = 0
+				}
+				if i == rows-1 {
+					iS = int32(rows - 1)
+				}
+				if j == 0 {
+					jW = 0
+				}
+				if j == cols-1 {
+					jE = int32(cols - 1)
+				}
+				t.CountInt(8)
+			}
+			c := t.LoadF32(4, uint64(dI)+uint64(4*idx))
+			up := t.LoadF32(5, uint64(dI)+uint64(4*(int(iN)*cols+j)))
+			dn := t.LoadF32(6, uint64(dI)+uint64(4*(int(iS)*cols+j)))
+			lf := t.LoadF32(7, uint64(dI)+uint64(4*(i*cols+int(jW))))
+			rg := t.LoadF32(8, uint64(dI)+uint64(4*(i*cols+int(jE))))
+			lam := t.LoadF32(10, uint64(dLam)+uint64(4*idx))
+			t.CountFP32(14)
+			g := lam * (up + dn + lf + rg - 4*c)
+			t.StoreF32(9, uint64(dC)+uint64(4*idx), 1/(1+g*g))
+			t.StoreF32(11, uint64(dDN)+uint64(4*idx), up-c)
+			t.StoreF32(12, uint64(dDS)+uint64(4*idx), dn-c)
+		},
+	}
+	blocks := (n + 255) / 256
+	for it := 0; it < 2; it++ {
+		if err := rt.Launch(srad, gpu.Dim1(blocks), gpu.Dim1(256)); err != nil {
+			return err
+		}
+	}
+	out := make([]float32, n)
+	return rt.CopyF32FromDevice(out, dC)
+}
+
+// ---------------------------------------------------------------------------
+// Rodinia/hotspot — calculate_temp over a nearly uniform temperature grid:
+// exact values differ in the low mantissa bits, but with a few bits of
+// relaxation the grid is a single value (approximate values, §3.2).
+//
+// Optimized: when a cell and its neighbors agree to K mantissa bits the
+// expensive update is bypassed (paper: 1.31× / 1.10×, within 2% RMSE).
+// ---------------------------------------------------------------------------
+type hotspot struct{}
+
+func (*hotspot) Name() string         { return "Rodinia/hotspot" }
+func (*hotspot) HotKernels() []string { return []string{"calculate_temp"} }
+func (*hotspot) ExpectedPatterns() []vpattern.Kind {
+	return []vpattern.Kind{vpattern.FrequentValues, vpattern.ApproximateValues}
+}
+func (*hotspot) OptimizedPatterns() []vpattern.Kind {
+	return []vpattern.Kind{vpattern.ApproximateValues}
+}
+
+func (w *hotspot) Run(rt *cuda.Runtime, v Variant) error {
+	side := scaled(384)
+	n := side * side
+
+	rt.PushFrame(callpath.Frame{Func: "compute_tran_temp", File: "hotspot.cu", Line: 270})
+	defer rt.PopFrame()
+
+	dTemp, err := rt.MallocF32(n, "MatrixTemp")
+	if err != nil {
+		return err
+	}
+	dPower, err := rt.MallocF32(n, "MatrixPower")
+	if err != nil {
+		return err
+	}
+	dOut, err := rt.MallocF32(n, "MatrixTempOut")
+	if err != nil {
+		return err
+	}
+	temp := make([]float32, n)
+	power := make([]float32, n)
+	r := rng(4)
+	for i := range temp {
+		// Ambient 80.0 with tiny per-cell noise; a few hot cells.
+		temp[i] = 80 + float32(r.Float64())*1e-4
+		if i%4096 == 0 {
+			power[i] = 0.5
+		}
+	}
+	if err := rt.CopyF32ToDevice(dTemp, temp); err != nil {
+		return err
+	}
+	if err := rt.CopyF32ToDevice(dPower, power); err != nil {
+		return err
+	}
+
+	approxEq := func(a, b float32) bool {
+		const mask = uint64(0xFFFFE000) // keep 10 of 23 mantissa bits
+		return gpu.RawFromFloat32(a)&mask == gpu.RawFromFloat32(b)&mask
+	}
+
+	calc := &gpu.GoKernel{
+		Name: "calculate_temp",
+		Func: func(t *gpu.Thread) {
+			idx := t.GlobalID()
+			if idx >= n {
+				return
+			}
+			i, j := idx/side, idx%side
+			at := func(r, c int) int {
+				if r < 0 {
+					r = 0
+				}
+				if r >= side {
+					r = side - 1
+				}
+				if c < 0 {
+					c = 0
+				}
+				if c >= side {
+					c = side - 1
+				}
+				return r*side + c
+			}
+			c := t.LoadF32(0, uint64(dTemp)+uint64(4*idx))
+			p := t.LoadF32(1, uint64(dPower)+uint64(4*idx))
+			up := t.LoadF32(2, uint64(dTemp)+uint64(4*at(i-1, j)))
+			dn := t.LoadF32(3, uint64(dTemp)+uint64(4*at(i+1, j)))
+			lf := t.LoadF32(4, uint64(dTemp)+uint64(4*at(i, j-1)))
+			rg := t.LoadF32(5, uint64(dTemp)+uint64(4*at(i, j+1)))
+			if v == Optimized && p == 0 &&
+				approxEq(c, up) && approxEq(c, dn) && approxEq(c, lf) && approxEq(c, rg) {
+				// Approximate single value: the stencil is an identity
+				// within the accuracy budget; keep the old value.
+				t.CountFP32(4)
+				t.StoreF32(6, uint64(dOut)+uint64(4*idx), c)
+				return
+			}
+			// The full update additionally streams the second stencil ring
+			// and the thermal-coefficient window around the cell.
+			win := idx - 2
+			if win < 0 {
+				win = 0
+			}
+			if win+4 > n {
+				win = n - 4
+			}
+			t.BulkLoad(7, uint64(dTemp)+uint64(4*win), 4, 4, gpu.KindFloat)
+			acc := c
+			for k := 0; k < 10; k++ {
+				acc = acc + 0.001*(up+dn+lf+rg-4*acc) + p
+			}
+			t.CountFP32(10 * 7)
+			t.StoreF32(6, uint64(dOut)+uint64(4*idx), acc)
+		},
+	}
+	blocks := (n + 255) / 256
+	for it := 0; it < 2; it++ {
+		if err := rt.Launch(calc, gpu.Dim1(blocks), gpu.Dim1(256)); err != nil {
+			return err
+		}
+	}
+	out := make([]float32, n)
+	return rt.CopyF32FromDevice(out, dOut)
+}
+
+// ---------------------------------------------------------------------------
+// Rodinia/pathfinder — dynproc_kernel over a wall matrix of tiny integers
+// (values < 10) stored and, above all, *copied to the device* as int32:
+// the heavy type pattern whose fix is dominated by memory-time savings
+// (Table 3: 4.21× / 3.27× memory speedup).
+// ---------------------------------------------------------------------------
+type pathfinder struct{}
+
+func (*pathfinder) Name() string         { return "Rodinia/pathfinder" }
+func (*pathfinder) HotKernels() []string { return []string{"dynproc_kernel"} }
+func (*pathfinder) ExpectedPatterns() []vpattern.Kind {
+	return []vpattern.Kind{vpattern.RedundantValues, vpattern.FrequentValues, vpattern.HeavyType}
+}
+func (*pathfinder) OptimizedPatterns() []vpattern.Kind {
+	return []vpattern.Kind{vpattern.HeavyType}
+}
+
+func (w *pathfinder) Run(rt *cuda.Runtime, v Variant) error {
+	cols := scaled(256 << 10)
+	const rowsN = 6
+
+	rt.PushFrame(callpath.Frame{Func: "run", File: "pathfinder.cu", Line: 120})
+	defer rt.PopFrame()
+
+	r := rng(5)
+	elem := 4
+	if v == Optimized {
+		elem = 1
+	}
+	dWall, err := rt.Malloc(uint64(rowsN*cols*elem), "gpuWall")
+	if err != nil {
+		return err
+	}
+	dSrc, err := rt.MallocI32(cols, "gpuSrc")
+	if err != nil {
+		return err
+	}
+	dDst, err := rt.MallocI32(cols, "gpuResult")
+	if err != nil {
+		return err
+	}
+	// The dominant memory cost: uploading the wall. Original ships int32;
+	// optimized ships uint8 (values are < 10).
+	if v == Original {
+		wall := make([]int32, rowsN*cols)
+		for i := range wall {
+			wall[i] = int32(r.Intn(10))
+		}
+		if err := rt.CopyI32ToDevice(dWall, wall); err != nil {
+			return err
+		}
+	} else {
+		wall := make([]byte, rowsN*cols)
+		for i := range wall {
+			wall[i] = byte(r.Intn(10))
+		}
+		if err := rt.CopyU8ToDevice(dWall, wall); err != nil {
+			return err
+		}
+	}
+	// The original uploads a zeroed source row from the host (a uniform,
+	// memset-able copy); the fix initializes on device.
+	if v == Original {
+		if err := rt.CopyI32ToDevice(dSrc, make([]int32, cols)); err != nil {
+			return err
+		}
+	} else {
+		if err := rt.Memset(dSrc, 0, uint64(4*cols)); err != nil {
+			return err
+		}
+	}
+
+	loadWall := func(t *gpu.Thread, row, col int) int32 {
+		if elem == 4 {
+			return t.LoadI32(0, uint64(dWall)+uint64(4*(row*cols+col)))
+		}
+		return int32(t.LoadU8(0, uint64(dWall)+uint64(row*cols+col)))
+	}
+	kernel := &gpu.GoKernel{
+		Name: "dynproc_kernel",
+		Func: func(t *gpu.Thread) {
+			c := t.GlobalID()
+			if c >= cols {
+				return
+			}
+			best := t.LoadI32(1, uint64(dSrc)+uint64(4*c))
+			for row := 0; row < rowsN; row++ {
+				l, rr := c-1, c+1
+				if l < 0 {
+					l = 0
+				}
+				if rr >= cols {
+					rr = cols - 1
+				}
+				a := loadWall(t, row, l)
+				b := loadWall(t, row, c)
+				cc := loadWall(t, row, rr)
+				m := a
+				if b < m {
+					m = b
+				}
+				if cc < m {
+					m = cc
+				}
+				// The real kernel's per-row dynamic-programming work:
+				// boundary handling, halo exchange, and index arithmetic.
+				t.CountInt(260)
+				best += m
+			}
+			t.StoreI32(2, uint64(dDst)+uint64(4*c), best)
+		},
+	}
+	if err := rt.Launch(kernel, gpu.Dim1((cols+255)/256), gpu.Dim1(256)); err != nil {
+		return err
+	}
+	out := make([]int32, cols)
+	return rt.CopyI32FromDevice(out, dDst)
+}

@@ -1,0 +1,100 @@
+// Package workloads contains miniature, self-contained reproductions of
+// the benchmarks and applications the paper evaluates (Table 1/3): the
+// Rodinia suite plus Darknet, PyTorch models, Castro, BarraCUDA,
+// QMCPACK, NAMD, and LAMMPS. Each reproduction runs on the simulated CUDA
+// runtime and exhibits the same value patterns, for the same structural
+// reasons, as the original application — and carries an Optimized variant
+// applying the paper's fix (typically the "less than five lines of code
+// changes" described in §7/§8).
+//
+// Because the real applications and their inputs are unavailable in this
+// environment, inputs are synthesized with fixed seeds so the value
+// behaviour (zeros where the original had zeros, small ranges where the
+// original had small ranges) matches the paper's observations. DESIGN.md
+// documents each substitution.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"valueexpert/cuda"
+	"valueexpert/internal/vpattern"
+)
+
+// Variant selects the as-published code or the paper's optimized version.
+type Variant int
+
+// Variants.
+const (
+	Original Variant = iota
+	Optimized
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == Optimized {
+		return "optimized"
+	}
+	return "original"
+}
+
+// Workload is one reproducible application.
+type Workload interface {
+	// Name is the application name used in tables.
+	Name() string
+	// Run executes one measurement iteration on rt.
+	Run(rt *cuda.Runtime, v Variant) error
+	// HotKernels names the kernels whose execution time Table 3 reports;
+	// empty means the optimization targets memory operations only.
+	HotKernels() []string
+	// ExpectedPatterns is the application's Table 1 row.
+	ExpectedPatterns() []vpattern.Kind
+	// OptimizedPattern names the pattern(s) the optimization exploits
+	// (Table 4 rows).
+	OptimizedPatterns() []vpattern.Kind
+}
+
+// registry holds all workloads in Table 1 order.
+var registry []Workload
+
+func register(w Workload) { registry = append(registry, w) }
+
+// All returns every workload in Table 1 order.
+func All() []Workload {
+	out := make([]Workload, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	var names []string
+	for _, w := range registry {
+		names = append(names, w.Name())
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, names)
+}
+
+// rng returns a deterministic source per workload so value behaviour is
+// reproducible run to run.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Scale shrinks problem sizes uniformly for fast tests; benchmarks use 1.
+// It must be ≥ 1.
+var Scale = 1
+
+func scaled(n int) int {
+	s := n / Scale
+	if s < 32 {
+		s = 32
+	}
+	return s
+}

@@ -1,0 +1,416 @@
+package sass
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"valueexpert/gpu"
+)
+
+// Assemble parses assembly text into a Program. The grammar, one statement
+// per line (";" starts a comment):
+//
+//	.kernel NAME              — program name (required, first)
+//	.line FILE LINE           — attach source location to following instrs
+//	LABEL:                    — branch target
+//	[@[!]pN] MNEMONIC OPERANDS
+//
+// Mnemonics follow Instr.String: "imm r1, 42", "param r2, 0",
+// "s2r r3, tid", "ld.32 r4, [r2+8]", "st.64 [r2+0], r5",
+// "setp.lt p0, r1, r2", "setp.lt.f32 ...", "@p0 bra loop", "exit".
+func Assemble(src string) (*Program, error) {
+	p := &Program{Lines: map[gpu.PC]gpu.SrcLine{}}
+	labels := map[string]int{}
+	type patch struct {
+		instr int
+		label string
+		line  int
+	}
+	var patches []patch
+	cur := gpu.SrcLine{}
+
+	lineno := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineno++
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := tokenize(line)
+		if len(fields) == 0 {
+			continue // the line held only separators
+		}
+
+		switch {
+		case fields[0] == ".kernel":
+			if len(fields) != 2 {
+				return nil, asmErr(lineno, ".kernel wants a name")
+			}
+			p.Name = fields[1]
+			continue
+		case fields[0] == ".line":
+			if len(fields) != 3 {
+				return nil, asmErr(lineno, ".line wants FILE LINE")
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, asmErr(lineno, "bad .line number %q", fields[2])
+			}
+			cur = gpu.SrcLine{File: fields[1], Line: n}
+			continue
+		case strings.HasSuffix(fields[0], ":") && len(fields) == 1:
+			labels[strings.TrimSuffix(fields[0], ":")] = len(p.Instrs)
+			continue
+		}
+
+		in := Instr{Pred: NoPred}
+		// Optional predicate guard.
+		if strings.HasPrefix(fields[0], "@") {
+			g := strings.TrimPrefix(fields[0], "@")
+			if strings.HasPrefix(g, "!") {
+				in.Neg = true
+				g = g[1:]
+			}
+			pr, err := parsePred(g)
+			if err != nil {
+				return nil, asmErr(lineno, "%v", err)
+			}
+			in.Pred = int8(pr)
+			fields = fields[1:]
+			if len(fields) == 0 {
+				return nil, asmErr(lineno, "guard with no instruction")
+			}
+		}
+
+		mn := fields[0]
+		ops := fields[1:]
+		var err error
+		switch {
+		case mn == "nop":
+			in.Op = OpNop
+		case mn == "exit":
+			in.Op = OpExit
+		case mn == "imm":
+			in.Op = OpImm
+			err = opsRegImm(ops, &in)
+		case mn == "param":
+			in.Op = OpParam
+			err = opsRegImm(ops, &in)
+		case mn == "s2r":
+			in.Op = OpS2R
+			err = opsS2R(ops, &in)
+		case mn == "mov":
+			in.Op = OpMov
+			err = opsRegReg(ops, &in)
+		case mn == "iadd", mn == "isub", mn == "imul", mn == "and", mn == "or", mn == "xor",
+			mn == "fadd", mn == "fmul", mn == "ffma", mn == "dadd", mn == "dmul", mn == "dfma":
+			in.Op = map[string]Op{
+				"iadd": OpIAdd, "isub": OpISub, "imul": OpIMul,
+				"and": OpAnd, "or": OpOr, "xor": OpXor,
+				"fadd": OpFAdd, "fmul": OpFMul, "ffma": OpFFma,
+				"dadd": OpDAdd, "dmul": OpDMul, "dfma": OpDFma,
+			}[mn]
+			err = opsRegRegReg(ops, &in)
+		case mn == "shl", mn == "shr":
+			if mn == "shl" {
+				in.Op = OpShl
+			} else {
+				in.Op = OpShr
+			}
+			err = opsRegRegImm(ops, &in)
+		case mn == "i2f", mn == "f2i", mn == "i2d", mn == "d2i", mn == "f2d", mn == "d2f":
+			in.Op = map[string]Op{
+				"i2f": OpI2F, "f2i": OpF2I, "i2d": OpI2D,
+				"d2i": OpD2I, "f2d": OpF2D, "d2f": OpD2F,
+			}[mn]
+			err = opsRegReg(ops, &in)
+		case strings.HasPrefix(mn, "ld."):
+			in.Op = OpLd
+			err = opsLd(mn, ops, &in)
+		case strings.HasPrefix(mn, "st."):
+			in.Op = OpSt
+			err = opsSt(mn, ops, &in)
+		case strings.HasPrefix(mn, "setp."):
+			in.Op = OpSetp
+			err = opsSetp(mn, ops, &in)
+		case mn == "bra":
+			in.Op = OpBra
+			if len(ops) != 1 {
+				err = fmt.Errorf("bra wants a label")
+			} else {
+				patches = append(patches, patch{len(p.Instrs), ops[0], lineno})
+			}
+		default:
+			err = fmt.Errorf("unknown mnemonic %q", mn)
+		}
+		if err != nil {
+			return nil, asmErr(lineno, "%v", err)
+		}
+		if cur.File != "" {
+			p.Lines[gpu.PC(len(p.Instrs))] = cur
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	if p.Name == "" {
+		return nil, fmt.Errorf("sass: missing .kernel directive")
+	}
+	for _, pt := range patches {
+		target, ok := labels[pt.label]
+		if !ok {
+			return nil, asmErr(pt.line, "undefined label %q", pt.label)
+		}
+		p.Instrs[pt.instr].Imm = int64(target)
+	}
+	p.types = InferAccessTypes(p.Instrs)
+	return p, nil
+}
+
+func asmErr(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("sass: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// tokenize splits on whitespace and commas, preserving bracketed operands
+// as single tokens.
+func tokenize(line string) []string {
+	line = strings.ReplaceAll(line, ",", " ")
+	return strings.Fields(line)
+}
+
+func parseReg(tok string) (uint8, error) {
+	if !strings.HasPrefix(tok, "r") {
+		return 0, fmt.Errorf("expected register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return uint8(n), nil
+}
+
+func parsePred(tok string) (uint8, error) {
+	if !strings.HasPrefix(tok, "p") {
+		return 0, fmt.Errorf("expected predicate, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= NumPreds {
+		return 0, fmt.Errorf("bad predicate %q", tok)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(tok string) (int64, error) {
+	n, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return n, nil
+}
+
+// parseMem parses "[rN+OFF]" or "[rN]".
+func parseMem(tok string) (reg uint8, off int64, err error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, 0, fmt.Errorf("expected [reg+off], got %q", tok)
+	}
+	body := tok[1 : len(tok)-1]
+	regTok, offTok := body, ""
+	if i := strings.IndexAny(body, "+-"); i > 0 {
+		regTok, offTok = body[:i], body[i:]
+	}
+	reg, err = parseReg(regTok)
+	if err != nil {
+		return 0, 0, err
+	}
+	if offTok != "" {
+		off, err = parseImm(strings.TrimPrefix(offTok, "+"))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return reg, off, nil
+}
+
+func parseWidth(mn string) (uint8, error) {
+	suffix := mn[strings.LastIndexByte(mn, '.')+1:]
+	bits, err := strconv.Atoi(suffix)
+	if err != nil {
+		return 0, fmt.Errorf("bad width suffix in %q", mn)
+	}
+	switch bits {
+	case 8, 16, 32, 64:
+		return uint8(bits / 8), nil
+	}
+	return 0, fmt.Errorf("unsupported width %d in %q", bits, mn)
+}
+
+func opsRegImm(ops []string, in *Instr) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("want reg, imm")
+	}
+	r, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	imm, err := parseImm(ops[1])
+	if err != nil {
+		return err
+	}
+	in.Dst, in.Imm = r, imm
+	return nil
+}
+
+func opsS2R(ops []string, in *Instr) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("want reg, special")
+	}
+	r, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	sr, ok := map[string]int64{"tid": SRTid, "ctaid": SRCtaid, "ntid": SRNtid, "nctaid": SRNctaid}[ops[1]]
+	if !ok {
+		return fmt.Errorf("unknown special register %q", ops[1])
+	}
+	in.Dst, in.Imm = r, sr
+	return nil
+}
+
+func opsRegReg(ops []string, in *Instr) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("want reg, reg")
+	}
+	d, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	a, err := parseReg(ops[1])
+	if err != nil {
+		return err
+	}
+	in.Dst, in.SrcA = d, a
+	return nil
+}
+
+func opsRegRegReg(ops []string, in *Instr) error {
+	if len(ops) != 3 {
+		return fmt.Errorf("want reg, reg, reg")
+	}
+	d, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	a, err := parseReg(ops[1])
+	if err != nil {
+		return err
+	}
+	b, err := parseReg(ops[2])
+	if err != nil {
+		return err
+	}
+	in.Dst, in.SrcA, in.SrcB = d, a, b
+	return nil
+}
+
+func opsRegRegImm(ops []string, in *Instr) error {
+	if len(ops) != 3 {
+		return fmt.Errorf("want reg, reg, imm")
+	}
+	d, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	a, err := parseReg(ops[1])
+	if err != nil {
+		return err
+	}
+	imm, err := parseImm(ops[2])
+	if err != nil {
+		return err
+	}
+	in.Dst, in.SrcA, in.Imm = d, a, imm
+	return nil
+}
+
+func opsLd(mn string, ops []string, in *Instr) error {
+	w, err := parseWidth(mn)
+	if err != nil {
+		return err
+	}
+	if len(ops) != 2 {
+		return fmt.Errorf("ld wants reg, [reg+off]")
+	}
+	d, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	base, off, err := parseMem(ops[1])
+	if err != nil {
+		return err
+	}
+	in.Mod, in.Dst, in.SrcA, in.Imm = w, d, base, off
+	return nil
+}
+
+func opsSt(mn string, ops []string, in *Instr) error {
+	w, err := parseWidth(mn)
+	if err != nil {
+		return err
+	}
+	if len(ops) != 2 {
+		return fmt.Errorf("st wants [reg+off], reg")
+	}
+	base, off, err := parseMem(ops[0])
+	if err != nil {
+		return err
+	}
+	v, err := parseReg(ops[1])
+	if err != nil {
+		return err
+	}
+	in.Mod, in.SrcA, in.SrcB, in.Imm = w, base, v, off
+	return nil
+}
+
+func opsSetp(mn string, ops []string, in *Instr) error {
+	parts := strings.Split(mn, ".")
+	if len(parts) < 2 {
+		return fmt.Errorf("setp wants a condition")
+	}
+	cond, ok := map[string]uint8{"lt": CmpLT, "le": CmpLE, "eq": CmpEQ, "ne": CmpNE, "ge": CmpGE, "gt": CmpGT}[parts[1]]
+	if !ok {
+		return fmt.Errorf("unknown setp condition %q", parts[1])
+	}
+	mod := cond
+	if len(parts) == 3 {
+		switch parts[2] {
+		case "f32":
+			mod |= setpF32
+		case "f64":
+			mod |= setpF64
+		default:
+			return fmt.Errorf("unknown setp type %q", parts[2])
+		}
+	}
+	if len(ops) != 3 {
+		return fmt.Errorf("setp wants pred, reg, reg")
+	}
+	pd, err := parsePred(ops[0])
+	if err != nil {
+		return err
+	}
+	a, err := parseReg(ops[1])
+	if err != nil {
+		return err
+	}
+	b, err := parseReg(ops[2])
+	if err != nil {
+		return err
+	}
+	in.Mod, in.Dst, in.SrcA, in.SrcB = mod, pd, a, b
+	return nil
+}

@@ -1,0 +1,265 @@
+package sass
+
+import (
+	"strings"
+	"testing"
+
+	"valueexpert/gpu"
+)
+
+// TestAluAndShiftOps exercises the remaining ALU opcodes: shifts, bitwise
+// ops, fadd/fmul/dmul/dfma, and every comparison condition.
+func TestAluAndShiftOps(t *testing.T) {
+	src := `
+.kernel alu
+  param r1, 0
+  imm r2, 6
+  shl r3, r2, 2      ; 24
+  shr r4, r3, 1      ; 12
+  and r5, r3, r4     ; 8
+  or  r6, r3, r4     ; 28
+  xor r7, r3, r4     ; 20
+  st.64 [r1+0],  r3
+  st.64 [r1+8],  r4
+  st.64 [r1+16], r5
+  st.64 [r1+24], r6
+  st.64 [r1+32], r7
+  ; float32 chain: (2.0 + 3.0) * 4.0 = 20.0
+  imm r8, 2
+  i2f r9, r8
+  imm r10, 3
+  i2f r11, r10
+  fadd r12, r9, r11
+  imm r13, 4
+  i2f r14, r13
+  fmul r15, r12, r14
+  f2i r16, r15
+  st.64 [r1+40], r16
+  ; float64 chain: 2.0 * 3.0 (dmul), then dfma: 2*3 + 6 = 12
+  i2d r17, r8
+  i2d r18, r10
+  dmul r19, r17, r18
+  mov r20, r19
+  dfma r20, r17, r18
+  d2i r21, r20
+  st.64 [r1+48], r21
+  exit
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpu.New(gpu.A100)
+	out, _ := dev.Mem.Alloc(64, "out")
+	var ctr gpu.LaunchCounters
+	if err := p.Instantiate(out.Addr).Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{24, 12, 8, 28, 20, 20, 12}
+	for i, w := range want {
+		got, _ := dev.Mem.LoadRaw(out.Addr+uint64(8*i), 8)
+		if got != w {
+			t.Fatalf("slot %d = %d, want %d", i, got, w)
+		}
+	}
+	if ctr.FP32Ops == 0 || ctr.FP64Ops == 0 || ctr.IntOps == 0 {
+		t.Fatalf("op counters not populated: %+v", ctr)
+	}
+}
+
+func TestAllCompareConditions(t *testing.T) {
+	// For each condition, set p0 = cmp(2, 3) and store 1/0.
+	conds := map[string]uint64{
+		"lt": 1, "le": 1, "eq": 0, "ne": 1, "ge": 0, "gt": 0,
+	}
+	slot := 0
+	for cond, want := range conds {
+		src := `
+.kernel cmp
+  param r1, 0
+  imm r2, 2
+  imm r3, 3
+  setp.` + cond + ` p0, r2, r3
+  imm r4, 0
+  @p0 imm r4, 1
+  st.64 [r1+0], r4
+  exit
+`
+		p, err := Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := gpu.New(gpu.A100)
+		out, _ := dev.Mem.Alloc(8, "out")
+		var ctr gpu.LaunchCounters
+		if err := p.Instantiate(out.Addr).Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := dev.Mem.LoadRaw(out.Addr, 8)
+		if got != want {
+			t.Fatalf("setp.%s(2,3) = %d, want %d", cond, got, want)
+		}
+		slot++
+	}
+}
+
+func TestFloatCompareConditionsAndNaN(t *testing.T) {
+	// f32 compares across all conditions, plus NaN semantics: only NE is
+	// true when either operand is NaN.
+	mkSrc := func(cond string) string {
+		return `
+.kernel fcmp
+  param r1, 0
+  param r2, 1   ; a bits
+  param r3, 2   ; b bits
+  setp.` + cond + `.f32 p0, r2, r3
+  imm r4, 0
+  @p0 imm r4, 1
+  st.64 [r1+0], r4
+  exit
+`
+	}
+	run := func(cond string, a, b float32) uint64 {
+		p, err := Assemble(mkSrc(cond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := gpu.New(gpu.RTX2080Ti)
+		out, _ := dev.Mem.Alloc(8, "out")
+		var ctr gpu.LaunchCounters
+		if err := p.Instantiate(out.Addr, gpu.RawFromFloat32(a), gpu.RawFromFloat32(b)).
+			Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := dev.Mem.LoadRaw(out.Addr, 8)
+		return got
+	}
+	if run("lt", 1, 2) != 1 || run("le", 2, 2) != 1 || run("eq", 2, 2) != 1 ||
+		run("ne", 1, 2) != 1 || run("ge", 3, 2) != 1 || run("gt", 3, 2) != 1 {
+		t.Fatal("float compares wrong")
+	}
+	nan := float32(0)
+	nan = nan / nan
+	if run("eq", nan, nan) != 0 || run("lt", nan, 1) != 0 {
+		t.Fatal("NaN compares should be false")
+	}
+	if run("ne", nan, 1) != 1 {
+		t.Fatal("NaN != x should be true")
+	}
+}
+
+func TestNopAndGuardedMemOps(t *testing.T) {
+	src := `
+.kernel guards
+  param r1, 0
+  nop
+  imm r2, 1
+  imm r3, 1
+  setp.eq p1, r2, r3    ; true
+  imm r4, 99
+  @p1 st.64 [r1+0], r4  ; executes
+  @!p1 st.64 [r1+8], r4 ; skipped
+  exit
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpu.New(gpu.A100)
+	out, _ := dev.Mem.Alloc(16, "out")
+	dev.Mem.StoreRaw(out.Addr+8, 8, 7)
+	var ctr gpu.LaunchCounters
+	if err := p.Instantiate(out.Addr).Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := dev.Mem.LoadRaw(out.Addr, 8)
+	b, _ := dev.Mem.LoadRaw(out.Addr+8, 8)
+	if a != 99 || b != 7 {
+		t.Fatalf("guarded stores = %d, %d", a, b)
+	}
+	if ctr.Stores != 1 {
+		t.Fatalf("stores = %d, want 1 (guard skipped one)", ctr.Stores)
+	}
+	if p.KernelName() != "guards" {
+		t.Fatal("KernelName")
+	}
+}
+
+func TestDisassembleEveryForm(t *testing.T) {
+	src := `
+.kernel forms
+  nop
+  imm r1, 5
+  param r2, 0
+  s2r r3, nctaid
+  mov r4, r1
+  shl r5, r1, 3
+  shr r6, r1, 1
+  i2f r7, r1
+  ld.8 r8, [r2+4]
+  st.16 [r2-2], r8
+  setp.le.f64 p2, r4, r5
+  @!p2 bra skip
+skip:
+  exit
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p.Disassemble()
+	for _, frag := range []string{
+		"nop", "imm r1, 5", "param r2, 0", "s2r r3, nctaid", "mov r4, r1",
+		"shl r5, r1, 3", "shr r6, r1, 1", "i2f r7, r1",
+		"ld.8 r8, [r2+4]", "st.16 [r2+-2], r8", "setp.le.f64 p2, r4, r5",
+		"@!p2 bra",
+	} {
+		if !strings.Contains(dis, frag) {
+			t.Fatalf("disassembly missing %q:\n%s", frag, dis)
+		}
+	}
+	// Negative offsets survive encode/decode.
+	got, err := Decode(p.Binary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNeg bool
+	for _, in := range got {
+		if in.Op == OpSt && in.Imm == -2 {
+			sawNeg = true
+		}
+	}
+	if !sawNeg {
+		t.Fatal("negative immediate lost")
+	}
+	if Op(200).String() == "" || srName(9) == "" || cmpName(0xFF) == "" {
+		t.Fatal("fallback strings")
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	// A branch past the end must be caught, not crash.
+	p := &Program{Name: "bad", Instrs: []Instr{{Op: OpBra, Pred: NoPred, Imm: 99}}}
+	dev := gpu.New(gpu.A100)
+	var ctr gpu.LaunchCounters
+	if err := p.Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err == nil {
+		t.Fatal("out-of-range pc not caught")
+	}
+	// Falling off the end without exit is also an error.
+	p2 := &Program{Name: "noexit", Instrs: []Instr{{Op: OpNop, Pred: NoPred}}}
+	if err := p2.Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err == nil {
+		t.Fatal("running past the end not caught")
+	}
+}
+
+func TestUnknownSpecialRegisterAtRuntime(t *testing.T) {
+	p := &Program{Name: "badsr", Instrs: []Instr{
+		{Op: OpS2R, Dst: 1, Pred: NoPred, Imm: 42},
+		{Op: OpExit, Pred: NoPred},
+	}}
+	dev := gpu.New(gpu.A100)
+	var ctr gpu.LaunchCounters
+	if err := p.Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err == nil {
+		t.Fatal("unknown special register not caught")
+	}
+}

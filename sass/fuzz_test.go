@@ -1,0 +1,69 @@
+package sass
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: the binary parsers must never panic on arbitrary input,
+// and accepted inputs must round-trip. Under plain `go test` these run
+// over their seed corpora; `go test -fuzz` explores further.
+
+func FuzzDecode(f *testing.F) {
+	p, err := Assemble(saxpySrc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(p.Binary())
+	f.Add([]byte{})
+	f.Add(make([]byte, InstrBytes))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		instrs, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode to the same bytes.
+		if !bytes.Equal(Encode(instrs), data) {
+			t.Fatalf("decode/encode not idempotent")
+		}
+		// And type inference must not panic on arbitrary valid code.
+		_ = InferAccessTypes(instrs)
+	})
+}
+
+func FuzzReadModule(f *testing.F) {
+	p, _ := Assemble(saxpySrc)
+	m := &Module{Programs: []*Program{p}}
+	var buf bytes.Buffer
+	m.WriteTo(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte(moduleMagic))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadModule(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted modules must serialize again without error.
+		var out bytes.Buffer
+		if _, err := m.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+	})
+}
+
+func FuzzAssemble(f *testing.F) {
+	f.Add(saxpySrc)
+	f.Add(".kernel k\nexit")
+	f.Add(".kernel k\nld.32 r1, [r2+0]\nbra nowhere")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Valid programs must encode/decode cleanly.
+		if _, err := Decode(p.Binary()); err != nil {
+			t.Fatalf("assembled program fails decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,307 @@
+package sass
+
+import (
+	"fmt"
+	"math"
+
+	"valueexpert/gpu"
+)
+
+// Program is an assembled kernel: the moral equivalent of a cubin function.
+// It implements gpu.Kernel, so the runtime launches it like any other
+// kernel. A Program is immutable after assembly; bind launch arguments with
+// Instantiate.
+type Program struct {
+	Name   string
+	Instrs []Instr
+	Lines  map[gpu.PC]gpu.SrcLine
+
+	args  []uint64
+	types map[gpu.PC]gpu.AccessType
+}
+
+// Instantiate returns a launchable copy of the program with the given
+// kernel arguments bound (pointers and scalars, as uint64 words).
+func (p *Program) Instantiate(args ...uint64) *Program {
+	q := *p
+	q.args = append([]uint64(nil), args...)
+	return &q
+}
+
+// KernelName implements gpu.Kernel.
+func (p *Program) KernelName() string { return p.Name }
+
+// AccessTypes implements gpu.Kernel: the per-PC access types recovered by
+// the offline analyzer's slicing pass at assembly time.
+func (p *Program) AccessTypes() map[gpu.PC]gpu.AccessType { return p.types }
+
+// LineMapping implements gpu.Kernel.
+func (p *Program) LineMapping() map[gpu.PC]gpu.SrcLine { return p.Lines }
+
+// Binary returns the program's encoded image, what the offline analyzer
+// would read from a cubin.
+func (p *Program) Binary() []byte { return Encode(p.Instrs) }
+
+// Disassemble renders the program as text.
+func (p *Program) Disassemble() string {
+	s := fmt.Sprintf(".kernel %s\n", p.Name)
+	for i, in := range p.Instrs {
+		s += fmt.Sprintf("%4d: %s\n", i, in)
+	}
+	return s
+}
+
+// maxSteps bounds one thread's dynamic instruction count, catching
+// divergent programs (runaway loops) deterministically.
+const maxSteps = 1 << 22
+
+// Execute implements gpu.Kernel by interpreting the program for every
+// thread in the grid, one thread at a time (blocks are serialized like the
+// collector serializes streams).
+func (p *Program) Execute(dev *gpu.Device, grid, block gpu.Dim3, hook gpu.AccessFunc, blockFilter func(int32) bool, ctr *gpu.LaunchCounters) error {
+	nb, nt := grid.Count(), block.Count()
+	var regs [NumRegs]uint64
+	var preds [NumPreds]bool
+	for b := 0; b < nb; b++ {
+		instrument := hook != nil && (blockFilter == nil || blockFilter(int32(b)))
+		for t := 0; t < nt; t++ {
+			for i := range regs {
+				regs[i] = 0
+			}
+			for i := range preds {
+				preds[i] = false
+			}
+			if err := p.runThread(dev, int32(b), int32(t), nt, nb, &regs, &preds, hook, instrument, ctr); err != nil {
+				return fmt.Errorf("kernel %s block %d thread %d: %w", p.Name, b, t, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) runThread(dev *gpu.Device, blk, tid int32, ntid, nctaid int, regs *[NumRegs]uint64, preds *[NumPreds]bool, hook gpu.AccessFunc, instrument bool, ctr *gpu.LaunchCounters) error {
+	pc := 0
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return fmt.Errorf("sass: thread exceeded %d steps (infinite loop?)", maxSteps)
+		}
+		if pc < 0 || pc >= len(p.Instrs) {
+			return fmt.Errorf("sass: pc %d out of range", pc)
+		}
+		in := p.Instrs[pc]
+		if in.Pred != NoPred {
+			taken := preds[in.Pred]
+			if in.Neg {
+				taken = !taken
+			}
+			if !taken {
+				pc++
+				continue
+			}
+		}
+		switch in.Op {
+		case OpNop:
+		case OpExit:
+			return nil
+		case OpImm:
+			regs[in.Dst] = uint64(in.Imm)
+		case OpParam:
+			if int(in.Imm) >= len(p.args) {
+				return fmt.Errorf("sass: param %d out of range (%d args bound)", in.Imm, len(p.args))
+			}
+			regs[in.Dst] = p.args[in.Imm]
+		case OpS2R:
+			switch in.Imm {
+			case SRTid:
+				regs[in.Dst] = uint64(tid)
+			case SRCtaid:
+				regs[in.Dst] = uint64(blk)
+			case SRNtid:
+				regs[in.Dst] = uint64(ntid)
+			case SRNctaid:
+				regs[in.Dst] = uint64(nctaid)
+			default:
+				return fmt.Errorf("sass: unknown special register %d", in.Imm)
+			}
+		case OpMov:
+			regs[in.Dst] = regs[in.SrcA]
+		case OpIAdd:
+			regs[in.Dst] = regs[in.SrcA] + regs[in.SrcB]
+			ctr.IntOps++
+		case OpISub:
+			regs[in.Dst] = regs[in.SrcA] - regs[in.SrcB]
+			ctr.IntOps++
+		case OpIMul:
+			regs[in.Dst] = regs[in.SrcA] * regs[in.SrcB]
+			ctr.IntOps++
+		case OpShl:
+			regs[in.Dst] = regs[in.SrcA] << uint(in.Imm&63)
+			ctr.IntOps++
+		case OpShr:
+			regs[in.Dst] = regs[in.SrcA] >> uint(in.Imm&63)
+			ctr.IntOps++
+		case OpAnd:
+			regs[in.Dst] = regs[in.SrcA] & regs[in.SrcB]
+			ctr.IntOps++
+		case OpOr:
+			regs[in.Dst] = regs[in.SrcA] | regs[in.SrcB]
+			ctr.IntOps++
+		case OpXor:
+			regs[in.Dst] = regs[in.SrcA] ^ regs[in.SrcB]
+			ctr.IntOps++
+		case OpFAdd:
+			regs[in.Dst] = f32op(regs[in.SrcA], regs[in.SrcB], func(a, b float32) float32 { return a + b })
+			ctr.FP32Ops++
+		case OpFMul:
+			regs[in.Dst] = f32op(regs[in.SrcA], regs[in.SrcB], func(a, b float32) float32 { return a * b })
+			ctr.FP32Ops++
+		case OpFFma:
+			acc := gpu.Float32FromRaw(regs[in.Dst])
+			a := gpu.Float32FromRaw(regs[in.SrcA])
+			bv := gpu.Float32FromRaw(regs[in.SrcB])
+			regs[in.Dst] = gpu.RawFromFloat32(a*bv + acc)
+			ctr.FP32Ops += 2
+		case OpDAdd:
+			regs[in.Dst] = f64op(regs[in.SrcA], regs[in.SrcB], func(a, b float64) float64 { return a + b })
+			ctr.FP64Ops++
+		case OpDMul:
+			regs[in.Dst] = f64op(regs[in.SrcA], regs[in.SrcB], func(a, b float64) float64 { return a * b })
+			ctr.FP64Ops++
+		case OpDFma:
+			acc := gpu.Float64FromRaw(regs[in.Dst])
+			a := gpu.Float64FromRaw(regs[in.SrcA])
+			bv := gpu.Float64FromRaw(regs[in.SrcB])
+			regs[in.Dst] = gpu.RawFromFloat64(a*bv + acc)
+			ctr.FP64Ops += 2
+		case OpI2F:
+			regs[in.Dst] = gpu.RawFromFloat32(float32(int64(regs[in.SrcA])))
+			ctr.FP32Ops++
+		case OpF2I:
+			regs[in.Dst] = uint64(int64(gpu.Float32FromRaw(regs[in.SrcA])))
+			ctr.FP32Ops++
+		case OpI2D:
+			regs[in.Dst] = gpu.RawFromFloat64(float64(int64(regs[in.SrcA])))
+			ctr.FP64Ops++
+		case OpD2I:
+			regs[in.Dst] = uint64(int64(gpu.Float64FromRaw(regs[in.SrcA])))
+			ctr.FP64Ops++
+		case OpF2D:
+			regs[in.Dst] = gpu.RawFromFloat64(float64(gpu.Float32FromRaw(regs[in.SrcA])))
+			ctr.FP32Ops++
+		case OpD2F:
+			regs[in.Dst] = gpu.RawFromFloat32(float32(gpu.Float64FromRaw(regs[in.SrcA])))
+			ctr.FP64Ops++
+		case OpLd:
+			addr := regs[in.SrcA] + uint64(in.Imm)
+			raw, err := dev.Mem.LoadRaw(addr, in.Mod)
+			if err != nil {
+				return err
+			}
+			regs[in.Dst] = raw
+			ctr.Loads++
+			ctr.BytesLoaded += uint64(in.Mod)
+			if instrument {
+				at := p.types[gpu.PC(pc)]
+				hook(gpu.Access{
+					PC: gpu.PC(pc), Addr: addr, Size: in.Mod, Kind: at.Kind,
+					Store: false, Raw: raw, Block: blk, Thread: tid,
+				})
+			}
+		case OpSt:
+			addr := regs[in.SrcA] + uint64(in.Imm)
+			raw := truncate(regs[in.SrcB], in.Mod)
+			if err := dev.Mem.StoreRaw(addr, in.Mod, raw); err != nil {
+				return err
+			}
+			ctr.Stores++
+			ctr.BytesStored += uint64(in.Mod)
+			if instrument {
+				at := p.types[gpu.PC(pc)]
+				hook(gpu.Access{
+					PC: gpu.PC(pc), Addr: addr, Size: in.Mod, Kind: at.Kind,
+					Store: true, Raw: raw, Block: blk, Thread: tid,
+				})
+			}
+		case OpSetp:
+			a, b := regs[in.SrcA], regs[in.SrcB]
+			var r bool
+			switch {
+			case in.Mod&setpF32 != 0:
+				r = cmpFloat(float64(gpu.Float32FromRaw(a)), float64(gpu.Float32FromRaw(b)), in.Mod&0x0f)
+				ctr.FP32Ops++
+			case in.Mod&setpF64 != 0:
+				r = cmpFloat(gpu.Float64FromRaw(a), gpu.Float64FromRaw(b), in.Mod&0x0f)
+				ctr.FP64Ops++
+			default:
+				r = cmpInt(int64(a), int64(b), in.Mod&0x0f)
+				ctr.IntOps++
+			}
+			preds[in.Dst] = r
+		case OpBra:
+			pc = int(in.Imm)
+			continue
+		default:
+			return fmt.Errorf("sass: unimplemented opcode %s", in.Op)
+		}
+		pc++
+	}
+}
+
+func f32op(a, b uint64, f func(a, b float32) float32) uint64 {
+	return gpu.RawFromFloat32(f(gpu.Float32FromRaw(a), gpu.Float32FromRaw(b)))
+}
+
+func f64op(a, b uint64, f func(a, b float64) float64) uint64 {
+	return gpu.RawFromFloat64(f(gpu.Float64FromRaw(a), gpu.Float64FromRaw(b)))
+}
+
+func truncate(v uint64, width uint8) uint64 {
+	switch width {
+	case 1:
+		return v & 0xff
+	case 2:
+		return v & 0xffff
+	case 4:
+		return v & 0xffff_ffff
+	}
+	return v
+}
+
+func cmpInt(a, b int64, cond uint8) bool {
+	switch cond {
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpGE:
+		return a >= b
+	case CmpGT:
+		return a > b
+	}
+	return false
+}
+
+func cmpFloat(a, b float64, cond uint8) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return cond == CmpNE
+	}
+	switch cond {
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpGE:
+		return a >= b
+	case CmpGT:
+		return a > b
+	}
+	return false
+}

@@ -1,0 +1,255 @@
+// Package sass defines a small virtual GPU instruction set — a stand-in for
+// NVIDIA SASS — together with an assembler, a binary encoder/decoder, an
+// interpreter that executes programs on the simulated device, and the
+// offline analyzer's bidirectional access-type inference (paper §5.1).
+//
+// The ISA deliberately mirrors the property of real SASS that matters to
+// ValueExpert: memory instructions carry an access *width* but not a value
+// *type* (an LDG.64 may feed either one f64 or packed integers), so the
+// type of each load/store must be recovered from the instructions on its
+// def-use chains.
+package sass
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop Op = iota
+	OpExit
+	OpImm   // Rd = Imm (64-bit immediate)
+	OpParam // Rd = kernel argument #Imm
+	OpS2R   // Rd = special register #Imm (see SR constants)
+	OpMov   // Rd = Ra
+
+	OpIAdd // Rd = Ra + Rb (integer)
+	OpISub // Rd = Ra - Rb
+	OpIMul // Rd = Ra * Rb
+	OpShl  // Rd = Ra << Imm
+	OpShr  // Rd = Ra >> Imm (logical)
+	OpAnd  // Rd = Ra & Rb
+	OpOr   // Rd = Ra | Rb
+	OpXor  // Rd = Ra ^ Rb
+
+	OpFAdd // Rd = Ra + Rb (float32 in low bits)
+	OpFMul // Rd = Ra * Rb (float32)
+	OpFFma // Rd = Ra*Rb + Rd (float32)
+	OpDAdd // Rd = Ra + Rb (float64)
+	OpDMul // Rd = Ra * Rb (float64)
+	OpDFma // Rd = Ra*Rb + Rd (float64)
+
+	OpI2F // Rd = float32(int64(Ra))
+	OpF2I // Rd = int64(float32(Ra))
+	OpI2D // Rd = float64(int64(Ra))
+	OpD2I // Rd = int64(float64(Ra))
+	OpF2D // Rd = float64(float32(Ra))
+	OpD2F // Rd = float32(float64(Ra))
+
+	OpLd   // Rd = mem[Ra + Imm], width in Mod
+	OpSt   // mem[Ra + Imm] = Rb, width in Mod
+	OpSetp // Pd(Dst) = compare(Ra, Rb); Mod encodes condition and type
+	OpBra  // branch to instruction index Imm (subject to predicate)
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpExit: "exit", OpImm: "imm", OpParam: "param", OpS2R: "s2r",
+	OpMov:  "mov",
+	OpIAdd: "iadd", OpISub: "isub", OpIMul: "imul", OpShl: "shl", OpShr: "shr",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpFAdd: "fadd", OpFMul: "fmul", OpFFma: "ffma",
+	OpDAdd: "dadd", OpDMul: "dmul", OpDFma: "dfma",
+	OpI2F: "i2f", OpF2I: "f2i", OpI2D: "i2d", OpD2I: "d2i", OpF2D: "f2d", OpD2F: "d2f",
+	OpLd: "ld", OpSt: "st", OpSetp: "setp", OpBra: "bra",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Special-register selectors for OpS2R.
+const (
+	SRTid    = 0 // flat thread index within the block
+	SRCtaid  = 1 // flat block index within the grid
+	SRNtid   = 2 // threads per block
+	SRNctaid = 3 // blocks per grid
+)
+
+// Setp condition codes, stored in the low nibble of Mod. Bit 4 of Mod set
+// means a float32 compare; bit 5 means float64.
+const (
+	CmpLT = 0
+	CmpLE = 1
+	CmpEQ = 2
+	CmpNE = 3
+	CmpGE = 4
+	CmpGT = 5
+
+	setpF32 = 1 << 4
+	setpF64 = 1 << 5
+)
+
+// NumRegs is the register-file size (R0..R63). Predicates are P0..P7.
+const (
+	NumRegs  = 64
+	NumPreds = 8
+)
+
+// NoPred marks an unpredicated instruction.
+const NoPred = int8(-1)
+
+// Instr is one decoded instruction. Width for Ld/St lives in Mod (1, 2, 4,
+// or 8 bytes).
+type Instr struct {
+	Op   Op
+	Mod  uint8
+	Dst  uint8 // destination register (or predicate index for Setp)
+	SrcA uint8
+	SrcB uint8
+	Pred int8 // predicate register guarding execution, or NoPred
+	Neg  bool // execute when predicate is false
+	Imm  int64
+}
+
+// Width returns the access width of a memory instruction.
+func (in Instr) Width() uint8 { return in.Mod }
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	guard := ""
+	if in.Pred != NoPred {
+		n := ""
+		if in.Neg {
+			n = "!"
+		}
+		guard = fmt.Sprintf("@%sp%d ", n, in.Pred)
+	}
+	switch in.Op {
+	case OpNop, OpExit:
+		return guard + in.Op.String()
+	case OpImm:
+		return fmt.Sprintf("%simm r%d, %d", guard, in.Dst, in.Imm)
+	case OpParam:
+		return fmt.Sprintf("%sparam r%d, %d", guard, in.Dst, in.Imm)
+	case OpS2R:
+		return fmt.Sprintf("%ss2r r%d, %s", guard, in.Dst, srName(int(in.Imm)))
+	case OpMov:
+		return fmt.Sprintf("%smov r%d, r%d", guard, in.Dst, in.SrcA)
+	case OpShl, OpShr:
+		return fmt.Sprintf("%s%s r%d, r%d, %d", guard, in.Op, in.Dst, in.SrcA, in.Imm)
+	case OpI2F, OpF2I, OpI2D, OpD2I, OpF2D, OpD2F:
+		return fmt.Sprintf("%s%s r%d, r%d", guard, in.Op, in.Dst, in.SrcA)
+	case OpLd:
+		return fmt.Sprintf("%sld.%d r%d, [r%d+%d]", guard, in.Mod*8, in.Dst, in.SrcA, in.Imm)
+	case OpSt:
+		return fmt.Sprintf("%sst.%d [r%d+%d], r%d", guard, in.Mod*8, in.SrcA, in.Imm, in.SrcB)
+	case OpSetp:
+		return fmt.Sprintf("%ssetp.%s p%d, r%d, r%d", guard, cmpName(in.Mod), in.Dst, in.SrcA, in.SrcB)
+	case OpBra:
+		return fmt.Sprintf("%sbra %d", guard, in.Imm)
+	default:
+		return fmt.Sprintf("%s%s r%d, r%d, r%d", guard, in.Op, in.Dst, in.SrcA, in.SrcB)
+	}
+}
+
+func srName(sr int) string {
+	switch sr {
+	case SRTid:
+		return "tid"
+	case SRCtaid:
+		return "ctaid"
+	case SRNtid:
+		return "ntid"
+	case SRNctaid:
+		return "nctaid"
+	}
+	return fmt.Sprintf("sr%d", sr)
+}
+
+func cmpName(mod uint8) string {
+	names := []string{"lt", "le", "eq", "ne", "ge", "gt"}
+	c := int(mod & 0x0f)
+	base := "?"
+	if c < len(names) {
+		base = names[c]
+	}
+	switch {
+	case mod&setpF32 != 0:
+		return base + ".f32"
+	case mod&setpF64 != 0:
+		return base + ".f64"
+	}
+	return base
+}
+
+// InstrBytes is the fixed binary encoding size of one instruction.
+const InstrBytes = 16
+
+// Encode serializes instructions into the program's binary image, the form
+// the offline analyzer consumes.
+func Encode(instrs []Instr) []byte {
+	out := make([]byte, len(instrs)*InstrBytes)
+	for i, in := range instrs {
+		b := out[i*InstrBytes:]
+		b[0] = byte(in.Op)
+		b[1] = in.Mod
+		b[2] = in.Dst
+		b[3] = in.SrcA
+		b[4] = in.SrcB
+		b[5] = byte(in.Pred)
+		if in.Neg {
+			b[6] = 1
+		}
+		binary.LittleEndian.PutUint64(b[8:], uint64(in.Imm))
+	}
+	return out
+}
+
+// Decode parses a binary image back into instructions.
+func Decode(img []byte) ([]Instr, error) {
+	if len(img)%InstrBytes != 0 {
+		return nil, fmt.Errorf("sass: image size %d not a multiple of %d", len(img), InstrBytes)
+	}
+	out := make([]Instr, len(img)/InstrBytes)
+	for i := range out {
+		b := img[i*InstrBytes:]
+		op := Op(b[0])
+		if op >= opCount {
+			return nil, fmt.Errorf("sass: invalid opcode %d at instruction %d", b[0], i)
+		}
+		if b[2] >= NumRegs || b[3] >= NumRegs || b[4] >= NumRegs {
+			return nil, fmt.Errorf("sass: register operand out of range at instruction %d", i)
+		}
+		pred := int8(b[5])
+		if pred != NoPred && (pred < 0 || pred >= NumPreds) {
+			return nil, fmt.Errorf("sass: invalid predicate %d at instruction %d", pred, i)
+		}
+		// The encoding is canonical: the Neg flag is 0/1 and byte 7 is a
+		// zero pad. Rejecting anything else keeps Decode∘Encode the
+		// identity and catches corrupted images early.
+		if b[6] > 1 || b[7] != 0 {
+			return nil, fmt.Errorf("sass: non-canonical flag bytes at instruction %d", i)
+		}
+		out[i] = Instr{
+			Op:   op,
+			Mod:  b[1],
+			Dst:  b[2],
+			SrcA: b[3],
+			SrcB: b[4],
+			Pred: pred,
+			Neg:  b[6] == 1,
+			Imm:  int64(binary.LittleEndian.Uint64(b[8:])),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package sass
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"valueexpert/gpu"
+)
+
+// Module is a container of assembled kernels with their debug
+// information — the moral equivalent of a fatbin/cubin that the offline
+// analyzer reads: code sections per function, a line-mapping (debug)
+// section, and a symbol table. Modules serialize to a compact binary
+// format so binaries can be distributed, loaded postmortem, and analyzed
+// without their source.
+type Module struct {
+	Programs []*Program
+}
+
+// Find returns the program with the given kernel name.
+func (m *Module) Find(name string) (*Program, bool) {
+	for _, p := range m.Programs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Binary layout:
+//
+//	magic "VXSASS1\x00"
+//	u32 nPrograms
+//	per program:
+//	  u32 nameLen, name bytes
+//	  u32 codeLen, code bytes (Encode format)
+//	  u32 nLineEntries, per entry: u32 pc, u32 fileLen, file bytes, u32 line
+const moduleMagic = "VXSASS1\x00"
+
+// WriteTo serializes the module.
+func (m *Module) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.WriteString(moduleMagic)
+	writeU32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) } //nolint:errcheck
+	writeU32(uint32(len(m.Programs)))
+	for _, p := range m.Programs {
+		writeU32(uint32(len(p.Name)))
+		buf.WriteString(p.Name)
+		code := Encode(p.Instrs)
+		writeU32(uint32(len(code)))
+		buf.Write(code)
+		// Deterministic line-table order: by PC.
+		pcs := make([]gpu.PC, 0, len(p.Lines))
+		for pc := range p.Lines {
+			pcs = append(pcs, pc)
+		}
+		for i := 1; i < len(pcs); i++ {
+			for j := i; j > 0 && pcs[j] < pcs[j-1]; j-- {
+				pcs[j], pcs[j-1] = pcs[j-1], pcs[j]
+			}
+		}
+		writeU32(uint32(len(pcs)))
+		for _, pc := range pcs {
+			l := p.Lines[pc]
+			writeU32(uint32(pc))
+			writeU32(uint32(len(l.File)))
+			buf.WriteString(l.File)
+			writeU32(uint32(l.Line))
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadModule parses a serialized module and re-runs the offline
+// analyzer's access-type inference on each function's code, exactly what
+// the real tool does when it maps a cubin postmortem.
+func ReadModule(r io.Reader) (*Module, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("sass: read module: %w", err)
+	}
+	if len(data) < len(moduleMagic) || string(data[:len(moduleMagic)]) != moduleMagic {
+		return nil, fmt.Errorf("sass: bad module magic")
+	}
+	off := len(moduleMagic)
+	readU32 := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("sass: truncated module at offset %d", off)
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	readBytes := func(n uint32) ([]byte, error) {
+		if off+int(n) > len(data) {
+			return nil, fmt.Errorf("sass: truncated module at offset %d", off)
+		}
+		b := data[off : off+int(n)]
+		off += int(n)
+		return b, nil
+	}
+
+	nProg, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nProg > 1<<16 {
+		return nil, fmt.Errorf("sass: implausible program count %d", nProg)
+	}
+	m := &Module{}
+	for i := uint32(0); i < nProg; i++ {
+		nameLen, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		name, err := readBytes(nameLen)
+		if err != nil {
+			return nil, err
+		}
+		codeLen, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		code, err := readBytes(codeLen)
+		if err != nil {
+			return nil, err
+		}
+		instrs, err := Decode(code)
+		if err != nil {
+			return nil, fmt.Errorf("sass: program %q: %w", name, err)
+		}
+		p := &Program{Name: string(name), Instrs: instrs, Lines: map[gpu.PC]gpu.SrcLine{}}
+		nLines, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < nLines; j++ {
+			pc, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			fileLen, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			file, err := readBytes(fileLen)
+			if err != nil {
+				return nil, err
+			}
+			line, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			p.Lines[gpu.PC(pc)] = gpu.SrcLine{File: string(file), Line: int(line)}
+		}
+		// The offline analyzer re-derives access types from the code.
+		p.types = InferAccessTypes(p.Instrs)
+		m.Programs = append(m.Programs, p)
+	}
+	return m, nil
+}

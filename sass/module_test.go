@@ -1,0 +1,107 @@
+package sass
+
+import (
+	"bytes"
+	"testing"
+
+	"valueexpert/gpu"
+)
+
+func TestModuleRoundTrip(t *testing.T) {
+	saxpy := assemble(t, saxpySrc)
+	addi := assemble(t, `
+.kernel addi
+.line add.cu 3
+  param r1, 0
+  ld.32 r2, [r1+0]
+  imm r3, 1
+  iadd r2, r2, r3
+  st.32 [r1+0], r2
+  exit
+`)
+	m := &Module{Programs: []*Program{saxpy, addi}}
+
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModule(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Programs) != 2 {
+		t.Fatalf("programs = %d", len(got.Programs))
+	}
+	// Instructions identical.
+	gp, ok := got.Find("saxpy")
+	if !ok {
+		t.Fatal("saxpy missing")
+	}
+	if len(gp.Instrs) != len(saxpy.Instrs) {
+		t.Fatalf("instr count %d != %d", len(gp.Instrs), len(saxpy.Instrs))
+	}
+	for i := range gp.Instrs {
+		if gp.Instrs[i] != saxpy.Instrs[i] {
+			t.Fatalf("instr %d differs", i)
+		}
+	}
+	// Line mapping (the debug section) survives.
+	if len(gp.Lines) != len(saxpy.Lines) {
+		t.Fatalf("line entries %d != %d", len(gp.Lines), len(saxpy.Lines))
+	}
+	for pc, l := range saxpy.Lines {
+		if gp.Lines[pc] != l {
+			t.Fatalf("line for pc %d = %v, want %v", pc, gp.Lines[pc], l)
+		}
+	}
+	// The offline analyzer re-derived access types from the decoded code.
+	at := gp.AccessTypes()
+	if len(at) != 3 {
+		t.Fatalf("access types = %v", at)
+	}
+	for pc, a := range at {
+		if a.Kind != gpu.KindFloat {
+			t.Fatalf("pc %d type %v, want float (re-sliced)", pc, a.Kind)
+		}
+	}
+	// A loaded program still executes.
+	dev := gpu.New(gpu.A100)
+	x, _ := dev.Mem.Alloc(4, "x")
+	dev.Mem.StoreRaw(x.Addr, 4, 41)
+	ga, _ := got.Find("addi")
+	var ctr gpu.LaunchCounters
+	if err := ga.Instantiate(x.Addr).Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := dev.Mem.LoadRaw(x.Addr, 4)
+	if raw != 42 {
+		t.Fatalf("loaded program computed %d, want 42", raw)
+	}
+	if _, ok := got.Find("nope"); ok {
+		t.Fatal("phantom program")
+	}
+}
+
+func TestReadModuleErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NOTMAGIC"),
+		[]byte(moduleMagic), // missing count
+		append([]byte(moduleMagic), 0xFF, 0xFF, 0xFF, 0xFF),   // absurd count
+		append([]byte(moduleMagic), 1, 0, 0, 0, 200, 0, 0, 0), // name overruns
+	}
+	for i, data := range cases {
+		if _, err := ReadModule(bytes.NewReader(data)); err == nil {
+			t.Fatalf("case %d: corrupt module accepted", i)
+		}
+	}
+	// Corrupt code section (invalid opcode) is caught by Decode.
+	m := &Module{Programs: []*Program{assemble(t, ".kernel k\nexit")}}
+	var buf bytes.Buffer
+	m.WriteTo(&buf)
+	raw := buf.Bytes()
+	raw[len(moduleMagic)+4+4+1] = 0xEE // first instruction's opcode byte
+	if _, err := ReadModule(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt code section accepted")
+	}
+}

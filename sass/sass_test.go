@@ -1,0 +1,440 @@
+package sass
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"valueexpert/gpu"
+)
+
+// saxpySrc computes y[i] = a*x[i] + y[i] over n float32s.
+// Args: 0=a (f32 bits), 1=x ptr, 2=y ptr, 3=n.
+const saxpySrc = `
+.kernel saxpy
+.line saxpy.cu 12
+  s2r   r1, tid
+  s2r   r2, ctaid
+  s2r   r3, ntid
+  imul  r2, r2, r3
+  iadd  r1, r1, r2        ; gid
+  param r4, 3             ; n
+  setp.ge p0, r1, r4
+  @p0 exit
+  imm   r5, 4
+  imul  r6, r1, r5        ; byte offset
+  param r7, 1
+  iadd  r7, r7, r6        ; &x[i]
+  param r8, 2
+  iadd  r8, r8, r6        ; &y[i]
+.line saxpy.cu 13
+  ld.32 r9, [r7+0]        ; x[i]
+  ld.32 r10, [r8+0]       ; y[i]
+  param r11, 0            ; a
+  ffma  r10, r11, r9
+.line saxpy.cu 14
+  st.32 [r8+0], r10
+  exit
+`
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"iadd r1, r2, r3",               // missing .kernel
+		".kernel k\nbogus r1",           // unknown mnemonic
+		".kernel k\nimm r99, 1",         // bad register
+		".kernel k\nbra nowhere",        // undefined label
+		".kernel k\nld.24 r1, [r2+0]",   // bad width
+		".kernel k\nsetp.zz p0, r1, r2", // bad condition
+		".kernel k\n@p9 exit",           // bad predicate
+		".kernel k\ns2r r1, clock",      // bad special register
+		".kernel k\n.line only_file",    // malformed .line
+		".kernel k\nld.32 r1, r2",       // missing brackets
+		".kernel k\nimm r1, notanumber", // bad immediate
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSaxpyExecution(t *testing.T) {
+	p := assemble(t, saxpySrc)
+	dev := gpu.New(gpu.RTX2080Ti)
+	const n = 100
+	x, _ := dev.Mem.Alloc(4*n, "x")
+	y, _ := dev.Mem.Alloc(4*n, "y")
+	for i := 0; i < n; i++ {
+		dev.Mem.StoreRaw(x.Addr+uint64(4*i), 4, gpu.RawFromFloat32(float32(i)))
+		dev.Mem.StoreRaw(y.Addr+uint64(4*i), 4, gpu.RawFromFloat32(1))
+	}
+	inst := p.Instantiate(gpu.RawFromFloat32(2), x.Addr, y.Addr, n)
+	var ctr gpu.LaunchCounters
+	if err := inst.Execute(dev, gpu.Dim1(2), gpu.Dim1(64), nil, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		raw, _ := dev.Mem.LoadRaw(y.Addr+uint64(4*i), 4)
+		want := 2*float32(i) + 1
+		if got := gpu.Float32FromRaw(raw); got != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want)
+		}
+	}
+	if ctr.Loads != 2*n || ctr.Stores != n {
+		t.Fatalf("loads/stores = %d/%d", ctr.Loads, ctr.Stores)
+	}
+	if ctr.FP32Ops == 0 {
+		t.Fatal("no FP32 ops counted")
+	}
+}
+
+func TestSaxpyAccessTypeInference(t *testing.T) {
+	p := assemble(t, saxpySrc)
+	at := p.AccessTypes()
+	// Three memory instructions: two loads of x/y and one store of y,
+	// all float32 via the ffma use.
+	nFloat := 0
+	for pc, a := range at {
+		if a.Size != 4 {
+			t.Fatalf("pc %d: size %d, want 4", pc, a.Size)
+		}
+		if a.Kind == gpu.KindFloat {
+			nFloat++
+		}
+	}
+	if len(at) != 3 || nFloat != 3 {
+		t.Fatalf("access types = %v (want 3 float entries)", at)
+	}
+}
+
+func TestSliceIntKernel(t *testing.T) {
+	// c[i] = a[i] + b[i] over int32: loads/store must infer KindInt.
+	src := `
+.kernel addi
+  s2r  r1, tid
+  imm  r2, 4
+  imul r3, r1, r2
+  param r4, 0
+  iadd r4, r4, r3
+  param r5, 1
+  iadd r5, r5, r3
+  param r6, 2
+  iadd r6, r6, r3
+  ld.32 r7, [r4+0]
+  ld.32 r8, [r5+0]
+  iadd r9, r7, r8
+  st.32 [r6+0], r9
+  exit
+`
+	p := assemble(t, src)
+	for pc, a := range p.AccessTypes() {
+		if a.Kind != gpu.KindInt {
+			t.Fatalf("pc %d inferred %v, want int", pc, a.Kind)
+		}
+	}
+}
+
+func TestSliceBackwardThroughMov(t *testing.T) {
+	// A store whose value passes through MOV from a DADD producer: the
+	// backward direction of the slice must type it f64.
+	src := `
+.kernel movslice
+  param r1, 0
+  ld.64 r2, [r1+0]
+  ld.64 r3, [r1+8]
+  dadd  r4, r2, r3
+  mov   r5, r4
+  st.64 [r1+16], r5
+  exit
+`
+	p := assemble(t, src)
+	at := p.AccessTypes()
+	if at[gpu.PC(5)].Kind != gpu.KindFloat || at[gpu.PC(5)].Size != 8 {
+		t.Fatalf("store type = %v, want float64", at[gpu.PC(5)])
+	}
+	// The loads feed dadd, so forward slicing types them too.
+	if at[gpu.PC(1)].Kind != gpu.KindFloat || at[gpu.PC(2)].Kind != gpu.KindFloat {
+		t.Fatalf("load types = %v, %v, want float", at[gpu.PC(1)], at[gpu.PC(2)])
+	}
+}
+
+func TestSliceConflictFallsBackToUnknown(t *testing.T) {
+	// r2 is used both as float and int: slicing must answer unknown, not
+	// guess.
+	src := `
+.kernel conflict
+  param r1, 0
+  ld.32 r2, [r1+0]
+  fadd  r3, r2, r2
+  iadd  r4, r2, r2
+  st.32 [r1+4], r2
+  exit
+`
+	p := assemble(t, src)
+	at := p.AccessTypes()
+	if at[gpu.PC(1)].Kind != gpu.KindUnknown {
+		t.Fatalf("conflicted load typed %v, want unknown", at[gpu.PC(1)].Kind)
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	// Sum 0..9 into out[0] via a predicated loop.
+	src := `
+.kernel sumloop
+  param r1, 0   ; out
+  imm   r2, 0   ; i
+  imm   r3, 0   ; acc
+  imm   r4, 10
+loop:
+  iadd  r3, r3, r2
+  imm   r5, 1
+  iadd  r2, r2, r5
+  setp.lt p0, r2, r4
+  @p0 bra loop
+  st.64 [r1+0], r3
+  exit
+`
+	p := assemble(t, src)
+	dev := gpu.New(gpu.A100)
+	out, _ := dev.Mem.Alloc(8, "out")
+	var ctr gpu.LaunchCounters
+	if err := p.Instantiate(out.Addr).Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := dev.Mem.LoadRaw(out.Addr, 8)
+	if raw != 45 {
+		t.Fatalf("sum = %d, want 45", raw)
+	}
+}
+
+func TestInfiniteLoopDetected(t *testing.T) {
+	src := `
+.kernel spin
+top:
+  bra top
+`
+	p := assemble(t, src)
+	dev := gpu.New(gpu.A100)
+	var ctr gpu.LaunchCounters
+	if err := p.Instantiate().Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err == nil {
+		t.Fatal("infinite loop not detected")
+	}
+}
+
+func TestParamOutOfRange(t *testing.T) {
+	p := assemble(t, ".kernel k\nparam r1, 5\nexit")
+	dev := gpu.New(gpu.A100)
+	var ctr gpu.LaunchCounters
+	if err := p.Instantiate(1, 2).Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err == nil {
+		t.Fatal("param out of range not detected")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := assemble(t, saxpySrc)
+	img := p.Binary()
+	got, err := Decode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(p.Instrs) {
+		t.Fatalf("decoded %d instrs, want %d", len(got), len(p.Instrs))
+	}
+	for i := range got {
+		if got[i] != p.Instrs[i] {
+			t.Fatalf("instr %d: %+v != %+v", i, got[i], p.Instrs[i])
+		}
+	}
+	if _, err := Decode(img[:7]); err == nil {
+		t.Fatal("truncated image decoded")
+	}
+	bad := append([]byte(nil), img...)
+	bad[0] = 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("invalid opcode decoded")
+	}
+}
+
+// Property: Encode∘Decode is the identity on valid instruction slices.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(ops []uint8, mods []uint8, imms []int64) bool {
+		n := len(ops)
+		if len(mods) < n {
+			n = len(mods)
+		}
+		if len(imms) < n {
+			n = len(imms)
+		}
+		instrs := make([]Instr, n)
+		for i := 0; i < n; i++ {
+			instrs[i] = Instr{
+				Op:   Op(ops[i] % uint8(opCount)),
+				Mod:  mods[i],
+				Dst:  ops[i] % NumRegs,
+				SrcA: mods[i] % NumRegs,
+				SrcB: uint8(imms[i]) % NumRegs,
+				Pred: int8(imms[i]%NumPreds) & 7,
+				Neg:  imms[i]%2 == 0,
+				Imm:  imms[i],
+			}
+		}
+		got, err := Decode(Encode(instrs))
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != instrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleMentionsEveryInstr(t *testing.T) {
+	p := assemble(t, saxpySrc)
+	dis := p.Disassemble()
+	for _, frag := range []string{".kernel saxpy", "ld.32", "st.32", "ffma", "setp.ge", "exit"} {
+		if !strings.Contains(dis, frag) {
+			t.Fatalf("disassembly missing %q:\n%s", frag, dis)
+		}
+	}
+}
+
+func TestLineMapping(t *testing.T) {
+	p := assemble(t, saxpySrc)
+	lines := p.LineMapping()
+	if len(lines) == 0 {
+		t.Fatal("no line mapping")
+	}
+	// The store carries line 14.
+	var stPC gpu.PC
+	found := false
+	for pc, in := range p.Instrs {
+		if in.Op == OpSt {
+			stPC = gpu.PC(pc)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no store instruction")
+	}
+	if l := lines[stPC]; l.File != "saxpy.cu" || l.Line != 14 {
+		t.Fatalf("store line = %v, want saxpy.cu:14", l)
+	}
+	if (gpu.SrcLine{}).String() != "?" {
+		t.Fatal("empty SrcLine should render as ?")
+	}
+}
+
+func TestInstrumentationHookReceivesTypedRecords(t *testing.T) {
+	p := assemble(t, saxpySrc)
+	dev := gpu.New(gpu.RTX2080Ti)
+	const n = 8
+	x, _ := dev.Mem.Alloc(4*n, "x")
+	y, _ := dev.Mem.Alloc(4*n, "y")
+	var recs []gpu.Access
+	var ctr gpu.LaunchCounters
+	inst := p.Instantiate(gpu.RawFromFloat32(1), x.Addr, y.Addr, n)
+	err := inst.Execute(dev, gpu.Dim1(1), gpu.Dim1(n), func(a gpu.Access) { recs = append(recs, a) }, nil, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3*n {
+		t.Fatalf("records = %d, want %d", len(recs), 3*n)
+	}
+	for _, r := range recs {
+		if r.Kind != gpu.KindFloat {
+			t.Fatalf("record kind = %v, want float (from slicing)", r.Kind)
+		}
+	}
+}
+
+func TestPredicateNegation(t *testing.T) {
+	src := `
+.kernel negpred
+  param r1, 0
+  imm r2, 0
+  imm r3, 1
+  setp.eq p0, r2, r3   ; false
+  @!p0 imm r4, 7       ; executes
+  @p0  imm r4, 9       ; skipped
+  st.64 [r1+0], r4
+  exit
+`
+	p := assemble(t, src)
+	dev := gpu.New(gpu.A100)
+	out, _ := dev.Mem.Alloc(8, "out")
+	var ctr gpu.LaunchCounters
+	if err := p.Instantiate(out.Addr).Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := dev.Mem.LoadRaw(out.Addr, 8)
+	if raw != 7 {
+		t.Fatalf("out = %d, want 7", raw)
+	}
+}
+
+func TestFloatCompareAndConvert(t *testing.T) {
+	src := `
+.kernel fcvt
+  param r1, 0
+  imm r2, 3
+  i2d r3, r2       ; 3.0 (f64)
+  i2f r4, r2       ; 3.0f
+  f2d r5, r4       ; 3.0 (f64)
+  setp.eq.f64 p0, r3, r5
+  imm r6, 0
+  @p0 imm r6, 1
+  st.64 [r1+0], r6
+  d2f r7, r3
+  f2i r8, r7
+  st.64 [r1+8], r8
+  exit
+`
+	p := assemble(t, src)
+	dev := gpu.New(gpu.A100)
+	out, _ := dev.Mem.Alloc(16, "out")
+	var ctr gpu.LaunchCounters
+	if err := p.Instantiate(out.Addr).Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := dev.Mem.LoadRaw(out.Addr, 8)
+	rt, _ := dev.Mem.LoadRaw(out.Addr+8, 8)
+	if eq != 1 || rt != 3 {
+		t.Fatalf("eq=%d roundtrip=%d, want 1, 3", eq, rt)
+	}
+}
+
+func TestStoreTruncatesToWidth(t *testing.T) {
+	src := `
+.kernel trunc
+  param r1, 0
+  imm r2, 0x1FF
+  st.8 [r1+0], r2
+  exit
+`
+	p := assemble(t, src)
+	dev := gpu.New(gpu.A100)
+	out, _ := dev.Mem.Alloc(8, "out")
+	var ctr gpu.LaunchCounters
+	if err := p.Instantiate(out.Addr).Execute(dev, gpu.Dim1(1), gpu.Dim1(1), nil, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := dev.Mem.LoadRaw(out.Addr, 1)
+	if raw != 0xFF {
+		t.Fatalf("stored byte = %#x, want 0xFF", raw)
+	}
+}

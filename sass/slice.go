@@ -1,0 +1,154 @@
+package sass
+
+import "valueexpert/gpu"
+
+// This file implements the offline analyzer's access-type inference
+// (paper §5.1): a bidirectional slicing pass that derives each memory
+// instruction's value type from instructions with *known* types on its
+// def-use chains. Arithmetic and conversion instructions anchor the
+// lattice (FADD ⇒ f32, DADD ⇒ f64, IADD ⇒ int), and types propagate both
+// forward (from a load's definition to its uses) and backward (from a
+// store's operand to its producer) until a fixed point.
+//
+// The analysis is flow-insensitive over registers: each register gets the
+// join of every typed constraint placed on it anywhere in the function.
+// For compiler-shaped kernels (no aggressive register reuse across
+// unrelated types) this recovers exactly what the paper's def-use slicing
+// recovers; when a register genuinely carries conflicting types the
+// lattice answers Unknown, which the online analyzer treats as opaque
+// bits — the same fallback GVProf uses.
+
+// typeLattice values.
+type tclass uint8
+
+const (
+	tUnknown tclass = iota
+	tInt            // produced/consumed by integer ALU ops
+	tF32
+	tF64
+	tConflict
+)
+
+func join(a, b tclass) tclass {
+	switch {
+	case a == b:
+		return a
+	case a == tUnknown:
+		return b
+	case b == tUnknown:
+		return a
+	default:
+		return tConflict
+	}
+}
+
+// InferAccessTypes runs the slicing pass and returns the access type of
+// every Ld/St instruction, keyed by instruction index (PC).
+func InferAccessTypes(instrs []Instr) map[gpu.PC]gpu.AccessType {
+	regT := make([]tclass, NumRegs)
+
+	constrain := func(r uint8, t tclass) bool {
+		nt := join(regT[r], t)
+		if nt != regT[r] {
+			regT[r] = nt
+			return true
+		}
+		return false
+	}
+
+	// Fixed-point: each pass applies every instruction's constraints,
+	// including copy propagation through MOV and the load/store coupling.
+	for changed := true; changed; {
+		changed = false
+		for _, in := range instrs {
+			switch in.Op {
+			case OpIAdd, OpISub, OpIMul, OpAnd, OpOr, OpXor:
+				changed = constrain(in.Dst, tInt) || changed
+				changed = constrain(in.SrcA, tInt) || changed
+				changed = constrain(in.SrcB, tInt) || changed
+			case OpShl, OpShr:
+				changed = constrain(in.Dst, tInt) || changed
+				changed = constrain(in.SrcA, tInt) || changed
+			case OpFAdd, OpFMul, OpFFma:
+				changed = constrain(in.Dst, tF32) || changed
+				changed = constrain(in.SrcA, tF32) || changed
+				changed = constrain(in.SrcB, tF32) || changed
+			case OpDAdd, OpDMul, OpDFma:
+				changed = constrain(in.Dst, tF64) || changed
+				changed = constrain(in.SrcA, tF64) || changed
+				changed = constrain(in.SrcB, tF64) || changed
+			case OpI2F:
+				changed = constrain(in.SrcA, tInt) || changed
+				changed = constrain(in.Dst, tF32) || changed
+			case OpF2I:
+				changed = constrain(in.SrcA, tF32) || changed
+				changed = constrain(in.Dst, tInt) || changed
+			case OpI2D:
+				changed = constrain(in.SrcA, tInt) || changed
+				changed = constrain(in.Dst, tF64) || changed
+			case OpD2I:
+				changed = constrain(in.SrcA, tF64) || changed
+				changed = constrain(in.Dst, tInt) || changed
+			case OpF2D:
+				changed = constrain(in.SrcA, tF32) || changed
+				changed = constrain(in.Dst, tF64) || changed
+			case OpD2F:
+				changed = constrain(in.SrcA, tF64) || changed
+				changed = constrain(in.Dst, tF32) || changed
+			case OpSetp:
+				switch {
+				case in.Mod&setpF32 != 0:
+					changed = constrain(in.SrcA, tF32) || changed
+					changed = constrain(in.SrcB, tF32) || changed
+				case in.Mod&setpF64 != 0:
+					changed = constrain(in.SrcA, tF64) || changed
+					changed = constrain(in.SrcB, tF64) || changed
+				default:
+					changed = constrain(in.SrcA, tInt) || changed
+					changed = constrain(in.SrcB, tInt) || changed
+				}
+			case OpMov:
+				// Copies propagate type both directions (bidirectional).
+				changed = constrain(in.Dst, regT[in.SrcA]) || changed
+				changed = constrain(in.SrcA, regT[in.Dst]) || changed
+			case OpLd:
+				// Address register is integral; the loaded value's type
+				// flows backward from its uses via regT[Dst].
+				changed = constrain(in.SrcA, tInt) || changed
+			case OpSt:
+				changed = constrain(in.SrcA, tInt) || changed
+			}
+		}
+	}
+
+	out := make(map[gpu.PC]gpu.AccessType)
+	for pc, in := range instrs {
+		var valReg uint8
+		switch in.Op {
+		case OpLd:
+			valReg = in.Dst
+		case OpSt:
+			valReg = in.SrcB
+		default:
+			continue
+		}
+		out[gpu.PC(pc)] = gpu.AccessType{Kind: kindOf(regT[valReg], in.Mod), Size: in.Mod}
+	}
+	return out
+}
+
+func kindOf(t tclass, width uint8) gpu.ValueKind {
+	switch t {
+	case tF32:
+		if width == 4 {
+			return gpu.KindFloat
+		}
+	case tF64:
+		if width == 8 {
+			return gpu.KindFloat
+		}
+	case tInt:
+		return gpu.KindInt
+	}
+	return gpu.KindUnknown
+}

@@ -1,0 +1,152 @@
+// Package valueexpert is a Go implementation of ValueExpert, the value
+// profiling and analysis tool of Zhou, Hao, Mellor-Crummey, Meng, and Liu,
+// "ValueExpert: Exploring Value Patterns in GPU-Accelerated Applications"
+// (ASPLOS 2022).
+//
+// ValueExpert monitors a GPU-accelerated program's execution, captures the
+// values produced and used by every memory load and store in GPU kernels,
+// recognizes eight value patterns (redundant, duplicate, frequent, single
+// value, single zero, heavy type, structured, and approximate values), and
+// builds a program-wide value flow graph that pinpoints value-related
+// inefficiencies across GPU API invocations.
+//
+// Because this repository targets environments without NVIDIA hardware,
+// programs run on the simulated CUDA-like runtime of package cuda (see
+// DESIGN.md for the substitution argument). The profiler attaches to a
+// runtime and observes every GPU API:
+//
+//	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+//	p := valueexpert.Attach(rt, valueexpert.Config{Coarse: true, Fine: true})
+//	// ... run the GPU program against rt ...
+//	report := p.Report()
+//	fmt.Print(report.Text())
+//	os.WriteFile("flow.dot", []byte(p.Graph().DOT(valueexpert.DOTOptions{})), 0o644)
+package valueexpert
+
+import (
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/advisor"
+	"valueexpert/internal/core"
+	"valueexpert/internal/gui"
+	"valueexpert/internal/interval"
+	"valueexpert/internal/profile"
+	"valueexpert/internal/vflow"
+	"valueexpert/internal/vpattern"
+)
+
+// Config selects ValueExpert's analyses; see core.Config for field docs.
+type Config = core.Config
+
+// Profiler is an attached ValueExpert instance.
+type Profiler = core.Profiler
+
+// Attach installs ValueExpert on a runtime. Detach with Profiler.Detach.
+func Attach(rt *cuda.Runtime, cfg Config) *Profiler { return core.Attach(rt, cfg) }
+
+// Report is the annotated profile produced by Profiler.Report.
+type Report = profile.Report
+
+// ReadReport deserializes a profile written with Report.WriteJSON.
+var ReadReport = profile.ReadJSON
+
+// FineConfig tunes fine-grained pattern thresholds (𝒯, 𝒦, …).
+type FineConfig = vpattern.FineConfig
+
+// PatternKind enumerates the eight value patterns of the paper's §3.
+type PatternKind = vpattern.Kind
+
+// The eight value patterns.
+const (
+	RedundantValues   = vpattern.RedundantValues
+	DuplicateValues   = vpattern.DuplicateValues
+	FrequentValues    = vpattern.FrequentValues
+	SingleValue       = vpattern.SingleValue
+	SingleZero        = vpattern.SingleZero
+	HeavyType         = vpattern.HeavyType
+	StructuredValues  = vpattern.StructuredValues
+	ApproximateValues = vpattern.ApproximateValues
+	NumPatternKinds   = vpattern.NumKinds
+)
+
+// Graph is the value flow graph (Definition 5.1) with vertex slicing
+// (Definition 5.2), important-graph pruning (Definition 5.3), and DOT
+// rendering.
+type Graph = vflow.Graph
+
+// DOTOptions controls Graph.DOT rendering.
+type DOTOptions = vflow.DOTOptions
+
+// Importance carries the user-defined metrics I(v), I(e) of Definition 5.3.
+type Importance = vflow.Importance
+
+// Interval is a half-open byte range of accessed device memory.
+type Interval = interval.Interval
+
+// CopyStrategy selects how snapshots are refreshed (Figure 5).
+type CopyStrategy = interval.CopyStrategy
+
+// Snapshot copy strategies.
+const (
+	DirectCopy   = interval.DirectCopy
+	MinMaxCopy   = interval.MinMaxCopy
+	SegmentCopy  = interval.SegmentCopy
+	AdaptiveCopy = interval.AdaptiveCopy
+)
+
+// MergeIntervals merges overlapping and adjacent intervals using the
+// paper's data-parallel algorithm (Figure 4) on a pool of workers
+// (workers <= 0 selects one per CPU). The input is not modified.
+func MergeIntervals(ivs []Interval, workers int) []Interval {
+	return interval.NewMerger(workers).MergeParallel(ivs)
+}
+
+// MergeIntervalsSequential is the O(N log N) baseline merge the paper
+// compares against.
+func MergeIntervalsSequential(ivs []Interval) []Interval {
+	return interval.MergeSequential(ivs)
+}
+
+// Session profiles a multi-GPU program: one runtime and profiler per
+// device plus cross-device duplicate analysis (replicated tensors).
+type Session = core.Session
+
+// ObjectRef names a data object on one of a session's devices.
+type ObjectRef = core.ObjectRef
+
+// NewSession creates one runtime+profiler per device profile.
+func NewSession(cfg Config, devices ...gpu.Profile) *Session {
+	return core.NewSession(cfg, devices...)
+}
+
+// Suggestion is one ranked optimization opportunity derived from the
+// profile — the per-pattern playbook of paper §3 applied to the findings.
+type Suggestion = advisor.Suggestion
+
+// Suggest derives ranked optimization suggestions from a report and
+// (optionally) its value flow graph.
+func Suggest(rep *Report, graph *Graph) []Suggestion {
+	return advisor.Analyze(rep, graph)
+}
+
+// RenderSuggestions formats the top max suggestions (0 = all).
+func RenderSuggestions(sugs []Suggestion, max int) string {
+	return advisor.Render(sugs, max)
+}
+
+// HTMLOptions controls RenderHTML.
+type HTMLOptions = gui.Options
+
+// RenderHTML produces a self-contained HTML report — the GUI view of the
+// paper's Figure 2: the value flow graph as hover-annotated SVG plus the
+// pattern tables. graph may be nil to omit the graph section.
+func RenderHTML(rep *Report, graph *Graph, opts HTMLOptions) string {
+	return gui.RenderHTML(rep, graph, opts)
+}
+
+// PlanCopy computes the device-to-host byte ranges a snapshot refresh
+// would transfer for a data object spanning object, given its merged
+// accessed intervals, under the chosen strategy (Figure 5).
+func PlanCopy(strategy CopyStrategy, object Interval, merged []Interval) []Interval {
+	return interval.PlanCopy(strategy, object, merged)
+}

@@ -1,0 +1,148 @@
+package valueexpert
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+)
+
+// TestEndToEndQuickstart exercises the whole public API surface exactly
+// like the README's quickstart: allocate, initialize twice (the classic
+// redundancy), launch, profile, render, and export the graph.
+func TestEndToEndQuickstart(t *testing.T) {
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	p := Attach(rt, Config{Coarse: true, Fine: true, Program: "quickstart"})
+
+	const n = 4096
+	buf, err := rt.MallocF32(n, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memset(buf, 0, 4*n); err != nil {
+		t.Fatal(err)
+	}
+	zero := &gpu.GoKernel{
+		Name: "init_kernel",
+		Func: func(th *gpu.Thread) {
+			i := th.GlobalID()
+			if i >= n {
+				return
+			}
+			th.StoreF32(0, uint64(buf)+uint64(4*i), 0) // zeros over zeros
+		},
+	}
+	if err := rt.Launch(zero, gpu.Dim1(n/256), gpu.Dim1(256)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := p.Report()
+	pats := rep.PatternSet()
+	for _, want := range []PatternKind{RedundantValues, SingleValue, SingleZero} {
+		if !pats[want.String()] {
+			t.Fatalf("missing pattern %v in %v", want, pats)
+		}
+	}
+	if !strings.Contains(rep.Text(), "init_kernel") {
+		t.Fatal("report text missing kernel")
+	}
+
+	// JSON round trip through the public API.
+	var jsonBuf bytes.Buffer
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != "quickstart" {
+		t.Fatal("round trip lost program name")
+	}
+
+	// Graph export and analysis through the facade types.
+	g := p.Graph()
+	dot := g.DOT(DOTOptions{Title: "quickstart"})
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "color=red") {
+		t.Fatalf("graph DOT missing content:\n%s", dot)
+	}
+	gi := g.ImportantGraph(1, 1e18, Importance{})
+	if gi.NumEdges() == 0 {
+		t.Fatal("important graph lost everything")
+	}
+}
+
+func TestMergeIntervalsFacade(t *testing.T) {
+	ivs := []Interval{{Start: 8, End: 12}, {Start: 0, End: 4}, {Start: 4, End: 8}}
+	got := MergeIntervals(ivs, 2)
+	if len(got) != 1 || got[0] != (Interval{Start: 0, End: 12}) {
+		t.Fatalf("MergeIntervals = %v", got)
+	}
+	seq := MergeIntervalsSequential(ivs)
+	if len(seq) != 1 || seq[0] != got[0] {
+		t.Fatalf("sequential merge = %v", seq)
+	}
+}
+
+func TestCopyStrategyConstants(t *testing.T) {
+	names := map[CopyStrategy]string{
+		DirectCopy: "direct", MinMaxCopy: "min-max",
+		SegmentCopy: "segment", AdaptiveCopy: "adaptive",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%v != %s", s, want)
+		}
+	}
+}
+
+func TestPatternKindConstants(t *testing.T) {
+	kinds := []PatternKind{
+		RedundantValues, DuplicateValues, FrequentValues, SingleValue,
+		SingleZero, HeavyType, StructuredValues, ApproximateValues,
+	}
+	if len(kinds) != int(NumPatternKinds) {
+		t.Fatal("pattern kind count mismatch")
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if seen[k.String()] {
+			t.Fatalf("duplicate kind name %q", k)
+		}
+		seen[k.String()] = true
+	}
+}
+
+// TestFineConfigThresholds drives the public threshold knobs end to end.
+func TestFineConfigThresholds(t *testing.T) {
+	rt := cuda.NewRuntime(gpu.A100)
+	p := Attach(rt, Config{
+		Fine:       true,
+		FineConfig: FineConfig{FrequentThreshold: 0.95},
+		Program:    "thresholds",
+	})
+	const n = 1024
+	buf, _ := rt.MallocF32(n, "x")
+	k := &gpu.GoKernel{
+		Name: "writer",
+		Func: func(th *gpu.Thread) {
+			i := th.GlobalID()
+			if i >= n {
+				return
+			}
+			v := float32(0)
+			if i%10 == 0 { // 90% zeros: above 0.5, below 0.95
+				v = float32(i)
+			}
+			th.StoreF32(0, uint64(buf)+uint64(4*i), v)
+		},
+	}
+	if err := rt.Launch(k, gpu.Dim1(n/256), gpu.Dim1(256)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Report().PatternSet()["frequent values"] {
+		t.Fatal("90% hot value should be below the 95% threshold")
+	}
+}
