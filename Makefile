@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: verify build vet test race bench
+
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem

@@ -8,6 +8,7 @@
 //
 //	vxprof -workload Darknet [-device "RTX 2080 Ti"] [-coarse] [-fine]
 //	       [-kernels fill_kernel,gemm_kernel] [-sample 20]
+//	       [-workers 4] [-depth 4]
 //	       [-scale 8] [-json profile.json] [-dot flow.dot] [-optimized]
 package main
 
@@ -38,6 +39,8 @@ func main() {
 		dotOut    = flag.String("dot", "", "write the value flow graph as DOT to this file")
 		htmlOut   = flag.String("html", "", "write the GUI report (HTML with the SVG value flow graph) to this file")
 		reuseDist = flag.Bool("reuse", false, "additionally compute per-kernel reuse-distance histograms")
+		workers   = flag.Int("workers", 0, "analysis workers overlapping kernel execution (0 = synchronous)")
+		depth     = flag.Int("depth", 0, "flush-buffer pipeline depth (0 = workers+1 when pipelined, else 1)")
 		optimized = flag.Bool("optimized", false, "run the paper-optimized variant instead of the original")
 		recordOut = flag.String("record", "", "record the API+access trace to this file instead of analyzing")
 		replayIn  = flag.String("replay", "", "analyze a previously recorded trace instead of running a workload")
@@ -51,7 +54,7 @@ func main() {
 		return
 	}
 	if *replayIn != "" {
-		if err := replayRun(*replayIn, *device, *coarse, *fine, *reuseDist, *kernels, *sample, *jsonOut, *dotOut, *htmlOut); err != nil {
+		if err := replayRun(*replayIn, *device, *coarse, *fine, *reuseDist, *kernels, *sample, *workers, *depth, *jsonOut, *dotOut, *htmlOut); err != nil {
 			fmt.Fprintln(os.Stderr, "vxprof:", err)
 			os.Exit(1)
 		}
@@ -68,7 +71,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*workload, *device, *coarse, *fine, *reuseDist, *kernels, *sample, *scale, *jsonOut, *dotOut, *htmlOut, *optimized); err != nil {
+	if err := run(*workload, *device, *coarse, *fine, *reuseDist, *kernels, *sample, *scale, *workers, *depth, *jsonOut, *dotOut, *htmlOut, *optimized); err != nil {
 		fmt.Fprintln(os.Stderr, "vxprof:", err)
 		os.Exit(1)
 	}
@@ -110,7 +113,7 @@ func recordRun(workload, device string, scale int, out string, optimized bool) e
 }
 
 // replayRun analyzes a recorded trace offline.
-func replayRun(in, device string, coarse, fine, reuseDist bool, kernels string, sample int, jsonOut, dotOut, htmlOut string) error {
+func replayRun(in, device string, coarse, fine, reuseDist bool, kernels string, sample, workers, depth int, jsonOut, dotOut, htmlOut string) error {
 	prof, err := gpu.ProfileByName(device)
 	if err != nil {
 		return err
@@ -136,6 +139,8 @@ func replayRun(in, device string, coarse, fine, reuseDist bool, kernels string, 
 			KernelFilter:         filter,
 			KernelSamplingPeriod: sample,
 			BlockSamplingPeriod:  sample,
+			AnalysisWorkers:      workers,
+			PipelineDepth:        depth,
 			Program:              in,
 		})
 	})
@@ -148,7 +153,7 @@ func replayRun(in, device string, coarse, fine, reuseDist bool, kernels string, 
 	return writeArtifacts(p, rep, coarse, jsonOut, dotOut, htmlOut)
 }
 
-func run(workload, device string, coarse, fine, reuseDist bool, kernels string, sample, scale int, jsonOut, dotOut, htmlOut string, optimized bool) error {
+func run(workload, device string, coarse, fine, reuseDist bool, kernels string, sample, scale, workers, depth int, jsonOut, dotOut, htmlOut string, optimized bool) error {
 	w, err := workloads.ByName(workload)
 	if err != nil {
 		return err
@@ -178,6 +183,8 @@ func run(workload, device string, coarse, fine, reuseDist bool, kernels string, 
 		KernelFilter:         filter,
 		KernelSamplingPeriod: sample,
 		BlockSamplingPeriod:  sample,
+		AnalysisWorkers:      workers,
+		PipelineDepth:        depth,
 		Program:              w.Name(),
 	})
 

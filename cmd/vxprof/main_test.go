@@ -14,7 +14,7 @@ func TestRunProducesAllArtifacts(t *testing.T) {
 	htmlOut := filepath.Join(dir, "r.html")
 
 	err := run("Darknet", "RTX 2080 Ti", true, true, true,
-		"fill_kernel,gemm_kernel", 1, 64, jsonOut, dotOut, htmlOut, false)
+		"fill_kernel,gemm_kernel", 1, 64, 2, 2, jsonOut, dotOut, htmlOut, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestRunProducesAllArtifacts(t *testing.T) {
 
 func TestRunOptimizedVariant(t *testing.T) {
 	if err := run("PyTorch-Deepwave", "A100", true, false, false,
-		"", 1, 64, "", "", "", true); err != nil {
+		"", 1, 64, 0, 0, "", "", "", true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -49,23 +49,23 @@ func TestRecordAndReplay(t *testing.T) {
 		t.Fatalf("trace artifact: %v", err)
 	}
 	jsonOut := filepath.Join(dir, "replayed.json")
-	if err := replayRun(traceOut, "RTX 2080 Ti", true, true, false, "", 1, jsonOut, "", ""); err != nil {
+	if err := replayRun(traceOut, "RTX 2080 Ti", true, true, false, "", 1, 4, 2, jsonOut, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	js, err := os.ReadFile(jsonOut)
 	if err != nil || !strings.Contains(string(js), "redundant") {
 		t.Fatalf("replay analysis missing findings: %v", err)
 	}
-	if err := replayRun(filepath.Join(dir, "missing.trace"), "A100", true, false, false, "", 1, "", "", ""); err == nil {
+	if err := replayRun(filepath.Join(dir, "missing.trace"), "A100", true, false, false, "", 1, 0, 0, "", "", ""); err == nil {
 		t.Fatal("missing trace accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("NoSuchApp", "A100", true, true, false, "", 1, 64, "", "", "", false); err == nil {
+	if err := run("NoSuchApp", "A100", true, true, false, "", 1, 64, 0, 0, "", "", "", false); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	if err := run("Darknet", "H100", true, true, false, "", 1, 64, "", "", "", false); err == nil {
+	if err := run("Darknet", "H100", true, true, false, "", 1, 64, 0, 0, "", "", "", false); err == nil {
 		t.Fatal("unknown device accepted")
 	}
 }

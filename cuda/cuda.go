@@ -124,9 +124,28 @@ func NewRuntime(prof gpu.Profile) *Runtime {
 // Device exposes the underlying simulated device (memory and counters).
 func (r *Runtime) Device() *gpu.Device { return r.dev }
 
+// Drainer is an optional Interceptor extension for profilers that analyze
+// asynchronously: Drain blocks until every in-flight analysis batch has
+// been consumed and internal pipeline state is quiesced. The runtime
+// drains an interceptor when it is replaced or removed, and after a launch
+// whose kernel failed mid-execution (APIEnd never fires for that launch,
+// so a pipelined analyzer would otherwise be left holding a stale
+// in-flight launch).
+type Drainer interface {
+	Drain()
+}
+
 // SetInterceptor installs the profiler's interception hooks; nil removes
-// them (native execution).
-func (r *Runtime) SetInterceptor(i Interceptor) { r.icept = i }
+// them (native execution). A previously installed interceptor that
+// implements Drainer is drained before it is detached.
+func (r *Runtime) SetInterceptor(i Interceptor) {
+	if r.icept != nil && r.icept != i {
+		if d, ok := r.icept.(Drainer); ok {
+			d.Drain()
+		}
+	}
+	r.icept = i
+}
 
 // PushFrame appends a synthetic host stack frame; PopFrame removes it.
 // While any synthetic frames are pushed, API events carry the synthetic
@@ -299,6 +318,11 @@ func (r *Runtime) launch(stream int, k gpu.Kernel, grid, block gpu.Dim3) error {
 		hook, filter = r.icept.Instrumentation(k.KernelName())
 	}
 	if err := k.Execute(r.dev, grid, block, hook, filter, &ev.Counters); err != nil {
+		// APIEnd will not fire for this launch; let asynchronous analyzers
+		// discard whatever partial launch state they accumulated.
+		if d, ok := r.icept.(Drainer); ok {
+			d.Drain()
+		}
 		return fmt.Errorf("cudaLaunchKernel(%s): %w", k.KernelName(), err)
 	}
 	ev.Duration = r.dev.RecordLaunch(ev.Counters)

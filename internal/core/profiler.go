@@ -47,6 +47,20 @@ type Config struct {
 	// processing kernel" (<=0: default).
 	MergeWorkers int
 
+	// AnalysisWorkers is the number of concurrent workers draining flushed
+	// sanitizer buffers — the analog of §6.1's data-processing kernels
+	// running alongside collection. 0 analyzes each buffer synchronously on
+	// the kernel-execution goroutine. Any setting emits a byte-identical
+	// report: workers compact batches into independent partials that a
+	// single collector folds in flush order.
+	AnalysisWorkers int
+
+	// PipelineDepth is the number of flush buffers cycled between the
+	// collector and the analysis stage (§6.1's double buffering is depth
+	// 2). <=0 selects AnalysisWorkers+1 when pipelined, else 1 — the
+	// synchronous single-buffer behaviour.
+	PipelineDepth int
+
 	// ReuseDistance additionally computes per-kernel reuse-distance
 	// histograms from the instrumented access stream — the follow-on
 	// analysis the paper's conclusion proposes offloading onto this
@@ -94,6 +108,7 @@ type Profiler struct {
 // launchState accumulates one instrumented kernel launch.
 type launchState struct {
 	finish func()
+	pipe   *pipeline // nil when analysis is synchronous
 
 	readIvs  map[int][]interval.Interval
 	writeIvs map[int][]interval.Interval
@@ -105,6 +120,15 @@ type launchState struct {
 
 // Attach creates a profiler and installs it as rt's interceptor.
 func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
+	if cfg.PipelineDepth <= 0 {
+		if cfg.AnalysisWorkers > 0 {
+			// One buffer filling plus one per worker draining keeps every
+			// stage busy without unbounded buffering.
+			cfg.PipelineDepth = cfg.AnalysisWorkers + 1
+		} else {
+			cfg.PipelineDepth = 1
+		}
+	}
 	p := &Profiler{
 		cfg:    cfg,
 		rt:     rt,
@@ -122,6 +146,7 @@ func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
 	p.graph = vflow.New(p.tree)
 	p.san = sanitizer.New(sanitizer.Config{
 		BufferRecords:        cfg.BufferRecords,
+		PipelineDepth:        cfg.PipelineDepth,
 		KernelFilter:         cfg.KernelFilter,
 		KernelSamplingPeriod: cfg.KernelSamplingPeriod,
 		BlockSamplingPeriod:  cfg.BlockSamplingPeriod,
@@ -160,10 +185,16 @@ func (p *Profiler) APIBegin(ev *cuda.APIEvent) {
 }
 
 // Instrumentation implements cuda.Interceptor: it consults the sanitizer
-// engine for the upcoming launch and prepares per-launch analysis state.
+// engine for the upcoming launch and prepares per-launch analysis state,
+// including the analysis pipeline when AnalysisWorkers > 0.
 func (p *Profiler) Instrumentation(kernelName string) (gpu.AccessFunc, func(int32) bool) {
 	if !p.instrumenting() {
 		return nil, nil
+	}
+	// A leftover launch means the previous kernel failed mid-execution
+	// (its APIEnd never fired); discard its state before reusing buffers.
+	if p.launch != nil {
+		p.Drain()
 	}
 	ls := &launchState{
 		readIvs:  make(map[int][]interval.Interval),
@@ -177,133 +208,46 @@ func (p *Profiler) Instrumentation(kernelName string) (gpu.AccessFunc, func(int3
 	if p.cfg.ReuseDistance {
 		ls.reuse = reuse.NewAnalyzer()
 	}
+	mem := p.rt.Device().Mem
 	hook, filter, finish := p.san.Instrument(kernelName, func(recs []gpu.Access) {
+		// On the kernel-execution goroutine. Only flush-time capture and
+		// the hand-off run here; with workers, compaction and absorption
+		// overlap the kernel's continued execution.
 		start := time.Now()
-		p.processBatch(ls, recs)
+		b := &batch{recs: recs}
+		if ls.fineAcc != nil {
+			b.rangeVals = captureRangeLoads(mem, recs)
+		}
+		if ls.pipe != nil {
+			ls.pipe.submit(b)
+		} else {
+			p.absorb(ls, p.compactBatch(ls, b, false))
+		}
 		p.analysisTime += time.Since(start)
 	})
 	if hook == nil {
 		p.launch = nil
 		return nil, nil
 	}
+	if p.cfg.AnalysisWorkers > 0 {
+		// Started only for instrumented launches; the flush closure reads
+		// ls.pipe on first use, which is after this point.
+		ls.pipe = p.newPipeline(ls, p.cfg.AnalysisWorkers, p.cfg.PipelineDepth)
+	}
 	ls.finish = finish
 	p.launch = ls
 	return hook, filter
 }
 
-// activeRun is an open coalescing run for one (object, op) pair.
-type activeRun struct {
-	id    int
-	store bool
-	iv    interval.Interval
-	valid bool
-}
-
-// processBatch handles one flushed device buffer: warp-style compaction of
-// the batch's intervals per (object, operation), plus fine-grained value
-// accumulation. Consecutive records overwhelmingly hit the same data
-// object at adjacent addresses (coalesced warps), so compaction is a
-// linear pass that extends open runs — the cheap, GPU-friendly processing
-// §6.1 implements with warp shuffle primitives — with the final parallel
-// merge cleaning up whatever disorder remains.
-func (p *Profiler) processBatch(ls *launchState, recs []gpu.Access) {
-	mem := p.rt.Device().Mem
-	var cached *gpu.Allocation
-
-	// A handful of open runs covers the access interleavings real kernels
-	// produce (a few operands per loop body).
-	var runs [6]activeRun
-	flush := func(r *activeRun) {
-		if !r.valid {
-			return
-		}
-		if r.store {
-			ls.writeIvs[r.id] = append(ls.writeIvs[r.id], r.iv)
-		} else {
-			ls.readIvs[r.id] = append(ls.readIvs[r.id], r.iv)
-		}
-		r.valid = false
-	}
-
-	for _, a := range recs {
-		alloc := cached
-		if alloc == nil || !alloc.Contains(a.Addr) {
-			alloc = mem.Lookup(a.Addr)
-			cached = alloc
-		}
-		if alloc == nil {
-			continue // defensive: racing frees
-		}
-		id := alloc.ID
-		iv := interval.FromAccess(a)
-		if a.Store {
-			ls.writeB[id] += a.Bytes()
-		} else {
-			ls.readB[id] += a.Bytes()
-		}
-
-		// Extend an open run if the access touches or overlaps it.
-		merged := false
-		free := -1
-		for s := range runs {
-			r := &runs[s]
-			if !r.valid {
-				if free < 0 {
-					free = s
-				}
-				continue
-			}
-			if r.id == id && r.store == a.Store && iv.Start <= r.iv.End && iv.End >= r.iv.Start {
-				if iv.End > r.iv.End {
-					r.iv.End = iv.End
-				}
-				if iv.Start < r.iv.Start {
-					r.iv.Start = iv.Start
-				}
-				merged = true
-				break
-			}
-		}
-		if !merged {
-			if free < 0 {
-				// Evict the first run (oldest heuristic).
-				flush(&runs[0])
-				free = 0
-			}
-			runs[free] = activeRun{id: id, store: a.Store, iv: iv, valid: true}
-		}
-
-		if ls.reuse != nil {
-			// Range records touch consecutive lines; feed each line once.
-			for off := uint64(0); off < a.Bytes(); off += reuse.LineSize {
-				ls.reuse.Touch(a.Addr + off)
-			}
-		}
-
-		if ls.fineAcc != nil {
-			if a.Count > 1 {
-				// Expand compacted range records: fills repeat the stored
-				// value; load values are read back from the device.
-				elem := a
-				elem.Count = 1
-				for i := 0; i < a.Elems(); i++ {
-					elem.Addr = a.Addr + uint64(i)*uint64(a.Size)
-					if !a.Store {
-						raw, err := mem.LoadRaw(elem.Addr, a.Size)
-						if err != nil {
-							continue
-						}
-						elem.Raw = raw
-					}
-					ls.fineAcc.Add(id, elem)
-				}
-			} else {
-				ls.fineAcc.Add(id, a)
-			}
-		}
-	}
-	for s := range runs {
-		flush(&runs[s])
+// Drain implements cuda.Drainer: it quiesces and discards any in-flight
+// launch state. The runtime calls it when the interceptor is replaced or
+// a kernel fails mid-execution; the partial launch's buffers return to
+// the sanitizer pool and its analysis is dropped.
+func (p *Profiler) Drain() {
+	ls := p.launch
+	p.launch = nil
+	if ls != nil && ls.pipe != nil {
+		ls.pipe.drain()
 	}
 }
 
@@ -362,21 +306,43 @@ func (p *Profiler) refreshSnapshot(objID int, written []interval.Interval) vpatt
 		return vpattern.DiffResult{}
 	}
 	// Diff only over bytes whose previous value is defined; the rest of
-	// the written range counts as changed (first touch).
+	// the written range counts as changed (first touch). Large diffs chunk
+	// over the merger's pool; the combine is integer addition, so the
+	// result is exactly the sequential one.
 	writtenBytes := interval.TotalBytes(written)
 	diffable := interval.Intersect(written, p.defined[objID])
-	diff := vpattern.DiffSnapshots(snap, a.Data, diffable, a.Addr)
+	diff := vpattern.DiffSnapshotsParallel(p.merger.Pool(), snap, a.Data, diffable, a.Addr)
 	diff.WrittenBytes = writtenBytes
 	p.defined[objID] = interval.Union(p.defined[objID], written)
 
 	obj := interval.Interval{Start: a.Addr, End: a.End()}
 	plan := interval.PlanCopy(p.cfg.CopyStrategy, obj, written)
 	p.snapshotTime += p.copyModel.Cost(plan)
+	p.applyPlan(snap, a, plan)
+	p.dup.Observe(objID, snap)
+	return diff
+}
+
+// applyPlanChunkBytes is the span below which a snapshot copy plan is
+// applied serially; larger plans split into chunks spread over the pool.
+const applyPlanChunkBytes = 64 << 10
+
+// applyPlan copies the planned device ranges into the host snapshot. Plan
+// ranges are disjoint, so chunks copy into non-overlapping slices and the
+// application parallelizes freely.
+func (p *Profiler) applyPlan(snap []byte, a *gpu.Allocation, plan []interval.Interval) {
+	pool := p.merger.Pool()
+	if pool.Workers() > 1 && interval.TotalBytes(plan) >= 2*applyPlanChunkBytes {
+		chunks := interval.Split(plan, applyPlanChunkBytes)
+		pool.For(len(chunks), func(i int) {
+			iv := chunks[i]
+			copy(snap[iv.Start-a.Addr:iv.End-a.Addr], a.Data[iv.Start-a.Addr:iv.End-a.Addr])
+		})
+		return
+	}
 	for _, iv := range plan {
 		copy(snap[iv.Start-a.Addr:iv.End-a.Addr], a.Data[iv.Start-a.Addr:iv.End-a.Addr])
 	}
-	p.dup.Observe(objID, snap)
-	return diff
 }
 
 func (p *Profiler) onMemset(ev *cuda.APIEvent) {
@@ -467,6 +433,11 @@ func (p *Profiler) onLaunch(ev *cuda.APIEvent) {
 		return
 	}
 	ls.finish() // flush the final partial buffer
+	if ls.pipe != nil {
+		// Wait for in-flight batches; only analysis the pipeline failed to
+		// hide behind kernel execution is spent here.
+		ls.pipe.drain()
+	}
 
 	// The "data processing kernel": the parallel interval merge runs over
 	// each object's accumulated intervals.

@@ -200,8 +200,10 @@ func TestTable5Comparison(t *testing.T) {
 		t.Fatalf("overheads not measured: VE %.2f, GVProf %.2f", ve.GeomeanOverhead, gv.GeomeanOverhead)
 	}
 	// The paper's core claim: GVProf costs much more than ValueExpert
-	// (47.3× vs 7.8× geomean).
-	if gv.GeomeanOverhead <= ve.GeomeanOverhead {
+	// (47.3× vs 7.8× geomean). The race detector's per-access
+	// instrumentation skews the two tools' relative wall-clock costs, so
+	// the ordering is only asserted in uninstrumented builds.
+	if !raceEnabled && gv.GeomeanOverhead <= ve.GeomeanOverhead {
 		t.Errorf("GVProf overhead %.2f should exceed ValueExpert's %.2f",
 			gv.GeomeanOverhead, ve.GeomeanOverhead)
 	}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build.
+// Wall-clock comparisons between differently-structured tools are skewed
+// by its per-access instrumentation, so timing-ordering assertions are
+// relaxed when it is on.
+const raceEnabled = false

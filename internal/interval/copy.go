@@ -88,6 +88,40 @@ func density(merged []Interval) float64 {
 	return float64(TotalBytes(merged)) / float64(span)
 }
 
+// Clip restricts merged intervals to the object bounds, dropping empties.
+func Clip(obj Interval, merged []Interval) []Interval { return clip(obj, merged) }
+
+// Split subdivides intervals longer than maxBytes into consecutive pieces
+// of at most maxBytes each, preserving order and total coverage. It is the
+// chunking step that lets large snapshot diffs and copy plans spread over a
+// worker pool. maxBytes == 0 returns the input unchanged.
+func Split(ivs []Interval, maxBytes uint64) []Interval {
+	if maxBytes == 0 {
+		return ivs
+	}
+	needs := false
+	for _, iv := range ivs {
+		if iv.Len() > maxBytes {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return ivs
+	}
+	var out []Interval
+	for _, iv := range ivs {
+		for iv.Len() > maxBytes {
+			out = append(out, Interval{Start: iv.Start, End: iv.Start + maxBytes})
+			iv.Start += maxBytes
+		}
+		if iv.Valid() {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
 // clip restricts merged intervals to the object bounds, dropping empties.
 func clip(obj Interval, merged []Interval) []Interval {
 	var out []Interval

@@ -89,6 +89,10 @@ func NewMerger(workers int) *Merger {
 	return &Merger{pool: parallel.NewPool(workers)}
 }
 
+// Pool exposes the merger's worker pool so other analysis stages (snapshot
+// diffing, copy-plan application) can share its degree of parallelism.
+func (m *Merger) Pool() *parallel.Pool { return m.pool }
+
 // MergeParallel merges overlapping and adjacent intervals using the
 // paper's algorithm (Figure 4):
 //

@@ -77,6 +77,41 @@ func (p *Pool) ForChunks(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// MapChunks splits [0, n) into at most p.Workers() contiguous ranges, runs
+// fn(lo, hi) for each range on its own worker, and returns the per-range
+// results in range order — the map half of a map-reduce whose combine the
+// caller performs deterministically over the ordered partials.
+func MapChunks[T any](p *Pool, n int, fn func(lo, hi int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	nChunks := (n + chunk - 1) / chunk
+	out := make([]T, nChunks)
+	if nChunks == 1 {
+		out[0] = fn(0, n)
+		return out
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			out[c] = fn(lo, hi)
+		}(c)
+	}
+	wg.Wait()
+	return out
+}
+
 // InclusiveScan replaces each element of xs with the sum of all elements up
 // to and including it. It is the parallel prefix scan from Figure 4 of the
 // paper: per-chunk local scans, an exclusive scan of the chunk totals, and a

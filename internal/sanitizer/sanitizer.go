@@ -18,10 +18,16 @@ import (
 
 // Config controls instrumentation scope and cost.
 type Config struct {
-	// BufferRecords is the capacity of the device-side record buffer. When
-	// the buffer fills mid-kernel it is flushed to the analyzer and
-	// reused. Zero selects DefaultBufferRecords.
+	// BufferRecords is the capacity of each device-side record buffer. When
+	// the current buffer fills mid-kernel it is handed to the analyzer and
+	// swapped for an empty one. Zero selects DefaultBufferRecords.
 	BufferRecords int
+
+	// PipelineDepth is the number of flush buffers cycled between the
+	// collector and the analyzer (paper §6.1's double buffering is depth
+	// 2). With depth 1 the collector blocks until the analyzer recycles
+	// the single buffer — synchronous analysis. Zero selects 1.
+	PipelineDepth int
 
 	// KernelFilter, when non-nil, selects which kernels are instrumented
 	// by name. Nil instruments every kernel.
@@ -49,11 +55,19 @@ type Stats struct {
 	LaunchesProfiled int
 }
 
-// Engine instruments kernel launches. Not safe for concurrent use; the
-// runtime serializes launches.
+// Engine instruments kernel launches. Instrument/finish/hook calls happen
+// on the kernel-execution goroutine (the runtime serializes launches);
+// Recycle may be called from any goroutine.
 type Engine struct {
-	cfg      Config
-	buf      []gpu.Access
+	cfg Config
+
+	// free holds the idle flush buffers. The hook takes a buffer, fills
+	// it, hands it to the analyzer via flush, and takes the next one —
+	// blocking only when all PipelineDepth buffers are in flight, which is
+	// the pipeline's backpressure.
+	free chan []gpu.Access
+	cur  []gpu.Access
+
 	launches map[string]int
 	stats    Stats
 }
@@ -63,11 +77,18 @@ func New(cfg Config) *Engine {
 	if cfg.BufferRecords <= 0 {
 		cfg.BufferRecords = DefaultBufferRecords
 	}
-	return &Engine{
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 1
+	}
+	e := &Engine{
 		cfg:      cfg,
-		buf:      make([]gpu.Access, 0, cfg.BufferRecords),
+		free:     make(chan []gpu.Access, cfg.PipelineDepth),
 		launches: make(map[string]int),
 	}
+	for i := 0; i < cfg.PipelineDepth; i++ {
+		e.free <- make([]gpu.Access, 0, cfg.BufferRecords)
+	}
+	return e
 }
 
 // Stats returns accumulated instrumentation statistics.
@@ -76,8 +97,10 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Instrument decides whether the upcoming launch of kernelName is
 // monitored and, if so, returns the access hook, the block filter, and a
 // finish function that flushes the final partial buffer. flush receives
-// each full (or final) buffer; the slice is reused afterwards, so flush
-// must not retain it.
+// ownership of each full (or final) buffer; the consumer must hand the
+// slice back with Recycle once done with it (possibly from another
+// goroutine) or the collector eventually blocks waiting for a free
+// buffer.
 //
 // When the launch is filtered or sampled out, hook is nil and finish is a
 // no-op; the kernel still runs natively.
@@ -93,25 +116,42 @@ func (e *Engine) Instrument(kernelName string, flush func([]gpu.Access)) (hook g
 	}
 	e.stats.LaunchesProfiled++
 
-	e.buf = e.buf[:0]
+	if e.cur == nil {
+		e.cur = <-e.free
+	}
+	e.cur = e.cur[:0]
 	hook = func(a gpu.Access) {
-		e.buf = append(e.buf, a)
+		e.cur = append(e.cur, a)
 		e.stats.Records++
-		if len(e.buf) >= e.cfg.BufferRecords {
+		if len(e.cur) >= e.cfg.BufferRecords {
 			e.stats.Flushes++
-			flush(e.buf)
-			e.buf = e.buf[:0]
+			buf := e.cur
+			e.cur = nil
+			flush(buf)
+			e.cur = <-e.free
 		}
 	}
 	if p := e.cfg.BlockSamplingPeriod; p > 1 {
 		blockFilter = func(b int32) bool { return int(b)%p == 0 }
 	}
 	finish = func() {
-		if len(e.buf) > 0 {
+		if len(e.cur) > 0 {
 			e.stats.Flushes++
-			flush(e.buf)
-			e.buf = e.buf[:0]
+			buf := e.cur
+			e.cur = nil
+			flush(buf)
 		}
 	}
 	return hook, blockFilter, finish
+}
+
+// Recycle returns a buffer previously handed to flush to the free pool.
+// Safe to call from any goroutine. Each flushed buffer must be recycled
+// exactly once; a foreign or doubly-recycled slice that would overfill
+// the pool is dropped.
+func (e *Engine) Recycle(buf []gpu.Access) {
+	select {
+	case e.free <- buf[:0]:
+	default:
+	}
 }

@@ -11,6 +11,7 @@ func feed(t *testing.T, e *Engine, kernel string, n int) (flushed [][]gpu.Access
 	hook, filter, finish := e.Instrument(kernel, func(recs []gpu.Access) {
 		cp := append([]gpu.Access(nil), recs...)
 		flushed = append(flushed, cp)
+		e.Recycle(recs)
 	})
 	if hook == nil {
 		finish()
@@ -118,7 +119,62 @@ func TestBlockSampling(t *testing.T) {
 
 func TestDefaultBufferSize(t *testing.T) {
 	e := New(Config{})
-	if cap(e.buf) != DefaultBufferRecords {
-		t.Fatalf("default buffer = %d, want %d", cap(e.buf), DefaultBufferRecords)
+	buf := <-e.free
+	if cap(buf) != DefaultBufferRecords {
+		t.Fatalf("default buffer = %d, want %d", cap(buf), DefaultBufferRecords)
+	}
+	if len(e.free) != 0 {
+		t.Fatalf("default pool depth = %d buffers, want 1", len(e.free)+1)
+	}
+	e.Recycle(buf)
+}
+
+// TestPipelinedHandOff drives the buffer ring with an asynchronous
+// consumer: buffers are held across flushes and recycled out of order,
+// and collection must proceed as long as a free buffer exists.
+func TestPipelinedHandOff(t *testing.T) {
+	const depth = 3
+	e := New(Config{BufferRecords: 4, PipelineDepth: depth})
+	var held [][]gpu.Access
+	var total int
+	hook, _, finish := e.Instrument("k", func(recs []gpu.Access) {
+		total += len(recs)
+		held = append(held, recs)
+		if len(held) == depth-1 {
+			// Recycle the oldest held buffers out of order, keeping one in
+			// flight, before collection would otherwise block.
+			e.Recycle(held[1])
+			e.Recycle(held[0])
+			held = held[2:]
+		}
+	})
+	for i := 0; i < 41; i++ {
+		hook(gpu.Access{Addr: uint64(i)})
+	}
+	finish()
+	for _, b := range held {
+		e.Recycle(b)
+	}
+	if total != 41 {
+		t.Fatalf("flushed records = %d, want 41", total)
+	}
+	if s := e.Stats(); s.Records != 41 || s.Flushes != 11 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestBufferReuseAcrossLaunches checks that with a recycling consumer the
+// pool never grows: the same buffers serve many launches.
+func TestBufferReuseAcrossLaunches(t *testing.T) {
+	e := New(Config{BufferRecords: 8, PipelineDepth: 2})
+	for launch := 0; launch < 5; launch++ {
+		flushed, ok := feed(t, e, "k", 20)
+		if !ok || len(flushed) != 3 {
+			t.Fatalf("launch %d: flushes = %d, want 3", launch, len(flushed))
+		}
+	}
+	// All buffers eventually return to the pool (one may be parked as cur).
+	if got := len(e.free); got < 1 || got > 2 {
+		t.Fatalf("free pool = %d buffers, want 1 or 2", got)
 	}
 }

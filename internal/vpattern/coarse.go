@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"valueexpert/internal/interval"
+	"valueexpert/internal/parallel"
 )
 
 // RedundancyThreshold is the unchanged-fraction above which ValueExpert
@@ -66,6 +67,32 @@ func DiffSnapshots(before, after []byte, written []interval.Interval, objBase ui
 				d.UnchangedBytes++
 			}
 		}
+	}
+	return d
+}
+
+// diffChunkBytes is the interval-chunk granularity for parallel snapshot
+// diffing. Objects smaller than one chunk aren't worth spreading over the
+// pool; larger diffs split into chunks of this size.
+const diffChunkBytes = 64 << 10
+
+// DiffSnapshotsParallel is DiffSnapshots with the byte comparison spread
+// over a worker pool: written intervals are split into bounded chunks, each
+// chunk diffed independently, and the integer partial counts summed. The
+// result is exactly DiffSnapshots' (the combine is integer addition, so
+// chunking cannot change it).
+func DiffSnapshotsParallel(pool *parallel.Pool, before, after []byte, written []interval.Interval, objBase uint64) DiffResult {
+	if pool == nil || pool.Workers() <= 1 || interval.TotalBytes(written) < 2*diffChunkBytes {
+		return DiffSnapshots(before, after, written, objBase)
+	}
+	chunks := interval.Split(written, diffChunkBytes)
+	partials := parallel.MapChunks(pool, len(chunks), func(lo, hi int) DiffResult {
+		return DiffSnapshots(before, after, chunks[lo:hi], objBase)
+	})
+	var d DiffResult
+	for _, p := range partials {
+		d.WrittenBytes += p.WrittenBytes
+		d.UnchangedBytes += p.UnchangedBytes
 	}
 	return d
 }

@@ -64,14 +64,61 @@ func (c FineConfig) withDefaults() FineConfig {
 	return c
 }
 
+// valueHist is an insertion-ordered value histogram. Ordering by first
+// occurrence makes saturation behaviour and dominant-value selection
+// deterministic, and lets two partial histograms merge into exactly the
+// state one sequential pass over the concatenated streams would produce:
+// replaying a partial's entries in insertion order against the saturation
+// cap visits distinct values in global first-occurrence order.
+type valueHist struct {
+	idx     map[Value]int
+	entries []ValueCount
+}
+
+func newValueHist() *valueHist { return &valueHist{idx: make(map[Value]int)} }
+
+// add counts n occurrences of v, admitting at most maxTracked distinct
+// values. It reports whether v is tracked; untracked occurrences are the
+// caller's to account (overflow or silent drop).
+func (h *valueHist) add(v Value, n uint64, maxTracked int) bool {
+	if i, ok := h.idx[v]; ok {
+		h.entries[i].Count += n
+		return true
+	}
+	if len(h.entries) >= maxTracked {
+		return false
+	}
+	h.idx[v] = len(h.entries)
+	h.entries = append(h.entries, ValueCount{Value: v, Count: n})
+	return true
+}
+
+// trim re-applies a saturation cap to an insertion-ordered histogram,
+// returning the total count of evicted occurrences. Equivalent to
+// replaying the entries through add with the given cap.
+func (h *valueHist) trim(maxTracked int) uint64 {
+	if len(h.entries) <= maxTracked {
+		return 0
+	}
+	var evicted uint64
+	for _, e := range h.entries[maxTracked:] {
+		evicted += e.Count
+		delete(h.idx, e.Value)
+	}
+	h.entries = h.entries[:maxTracked]
+	return evicted
+}
+
+func (h *valueHist) len() int { return len(h.entries) }
+
 // objectState accumulates one data object's accesses during one GPU API.
 type objectState struct {
 	loads, stores uint64
 	bytes         uint64
 
 	// Exact and mantissa-truncated value histograms.
-	exact    map[Value]uint64
-	approx   map[Value]uint64
+	exact    *valueHist
+	approx   *valueHist
 	overflow uint64 // accesses whose value fell outside the tracked set
 
 	// Declared access type: the widest (kind, size) seen; a conflict in
@@ -95,6 +142,11 @@ type objectState struct {
 	sumX, sumY, sumXX, sumRes  float64
 	sumXY, sumYY               float64
 	minAddr, maxAddr, elemSize uint64
+
+	// fitSkew marks that merged partials derived element indices from
+	// different element sizes, so the combined least-squares sums are not
+	// over a common index axis and the structured fit must be skipped.
+	fitSkew bool
 }
 
 // FineReport is the fine-grained pattern result for one data object at one
@@ -158,7 +210,7 @@ func (fa *FineAccumulator) Add(objID int, a gpu.Access) {
 	st := fa.objs[objID]
 	if st == nil {
 		st = &objectState{
-			exact: make(map[Value]uint64), approx: make(map[Value]uint64),
+			exact: newValueHist(), approx: newValueHist(),
 			atConsist: true, allF64AsF32: true,
 			minI: math.MaxInt64, maxI: math.MinInt64,
 			minU:    math.MaxUint64,
@@ -185,22 +237,13 @@ func (fa *FineAccumulator) Add(objID int, a gpu.Access) {
 	}
 
 	// Exact histogram (capped).
-	if cnt, ok := st.exact[v]; ok {
-		st.exact[v] = cnt + 1
-	} else if len(st.exact) < fa.cfg.MaxTrackedValues {
-		st.exact[v] = 1
-	} else {
+	if !st.exact.add(v, 1, fa.cfg.MaxTrackedValues) {
 		st.overflow++
 	}
 
 	// Truncated histogram for approximate analysis (floats only).
 	if a.Kind == gpu.KindFloat {
-		tv := v.Truncate(fa.cfg.ApproxMantissaBits)
-		if cnt, ok := st.approx[tv]; ok {
-			st.approx[tv] = cnt + 1
-		} else if len(st.approx) < fa.cfg.MaxTrackedValues {
-			st.approx[tv] = 1
-		}
+		st.approx.add(v.Truncate(fa.cfg.ApproxMantissaBits), 1, fa.cfg.MaxTrackedValues)
 	}
 
 	// Range tracking for heavy type.
@@ -259,6 +302,112 @@ func (fa *FineAccumulator) Add(objID int, a gpu.Access) {
 	}
 }
 
+// Merge folds a partial accumulator into fa, producing exactly the state a
+// single accumulator would hold after ingesting fa's access stream followed
+// by other's. Pipelined analysis builds one uncapped partial per flushed
+// batch on worker goroutines and merges them here in batch order, so the
+// merged state — and hence the finalized report — is independent of worker
+// count and scheduling. Partials should be built with an effectively
+// unlimited MaxTrackedValues (saturation is re-applied against fa's cap
+// during the merge, preserving global first-occurrence eviction order).
+// Merge takes ownership of other's object states; other must not be used
+// afterwards.
+func (fa *FineAccumulator) Merge(other *FineAccumulator) {
+	for id, ob := range other.objs {
+		st := fa.objs[id]
+		if st == nil {
+			// Adopt wholesale, then re-apply fa's saturation cap: trimming
+			// an insertion-ordered histogram equals replaying it capped.
+			ob.overflow += ob.exact.trim(fa.cfg.MaxTrackedValues)
+			ob.approx.trim(fa.cfg.MaxTrackedValues) // approx drops silently
+			fa.objs[id] = ob
+			continue
+		}
+
+		st.loads += ob.loads
+		st.stores += ob.stores
+		st.bytes += ob.bytes
+
+		// Replay the partial's histograms in insertion order against fa's
+		// cap — identical saturation decisions to a sequential pass.
+		for _, e := range ob.exact.entries {
+			if !st.exact.add(e.Value, e.Count, fa.cfg.MaxTrackedValues) {
+				st.overflow += e.Count
+			}
+		}
+		st.overflow += ob.overflow
+		for _, e := range ob.approx.entries {
+			st.approx.add(e.Value, e.Count, fa.cfg.MaxTrackedValues)
+		}
+
+		// Declared access type: consistent only if both halves are
+		// internally consistent and agree; st.at stays first-seen.
+		if !ob.atConsist || st.at != ob.at {
+			st.atConsist = false
+		}
+
+		// Range tracking: the sentinels used at init make unconditional
+		// min/max folds correct even when one side never saw that kind.
+		if ob.minI < st.minI {
+			st.minI = ob.minI
+		}
+		if ob.maxI > st.maxI {
+			st.maxI = ob.maxI
+		}
+		if ob.minU < st.minU {
+			st.minU = ob.minU
+		}
+		if ob.maxU > st.maxU {
+			st.maxU = ob.maxU
+		}
+		st.allF64AsF32 = st.allF64AsF32 && ob.allF64AsF32
+		st.sawInt = st.sawInt || ob.sawInt
+		st.sawU = st.sawU || ob.sawU
+		st.sawFloat = st.sawFloat || ob.sawFloat
+
+		if ob.minAddr < st.minAddr {
+			st.minAddr = ob.minAddr
+		}
+		if ob.maxAddr > st.maxAddr {
+			st.maxAddr = ob.maxAddr
+		}
+		st.fitSkew = st.fitSkew || ob.fitSkew
+		if ob.elemSize != 0 && st.elemSize != 0 && ob.elemSize != st.elemSize {
+			// The two partials indexed elements on different strides; their
+			// least-squares sums cannot be placed on a common axis.
+			st.fitSkew = true
+		}
+		if st.elemSize == 0 {
+			st.elemSize = ob.elemSize
+		}
+
+		// Least-squares sums: shift the partial's element indices from its
+		// local origin ob.x0 onto st's axis (d = ob.x0 - st.x0, so each of
+		// ob's indices x becomes x + d), which rebases the sums in closed
+		// form.
+		if ob.x0set {
+			if !st.x0set {
+				st.x0, st.x0set = ob.x0, true
+				st.n += ob.n
+				st.sumX += ob.sumX
+				st.sumY += ob.sumY
+				st.sumXX += ob.sumXX
+				st.sumXY += ob.sumXY
+				st.sumYY += ob.sumYY
+			} else {
+				d := ob.x0 - st.x0
+				st.n += ob.n
+				st.sumX += ob.sumX + ob.n*d
+				st.sumY += ob.sumY
+				st.sumXX += ob.sumXX + 2*d*ob.sumX + ob.n*d*d
+				st.sumXY += ob.sumXY + d*ob.sumY
+				st.sumYY += ob.sumYY
+			}
+		}
+	}
+	other.objs = nil
+}
+
 // Objects returns the IDs with accumulated accesses.
 func (fa *FineAccumulator) Objects() []int {
 	ids := make([]int, 0, len(fa.objs))
@@ -286,21 +435,27 @@ func (fa *FineAccumulator) finalizeObject(id int, st *objectState) FineReport {
 	total := st.loads + st.stores
 	r := FineReport{
 		ObjectID: id, Accesses: total, Loads: st.loads, Stores: st.stores,
-		Bytes: st.bytes, DistinctValues: len(st.exact), Saturated: st.overflow > 0,
+		Bytes: st.bytes, DistinctValues: st.exact.len(), Saturated: st.overflow > 0,
 	}
 	if total == 0 {
 		return r
 	}
 
-	// Rank values by count.
-	for v, c := range st.exact {
-		r.TopValues = append(r.TopValues, ValueCount{Value: v, Count: c})
-	}
+	// Rank values by count, with a total order on ties so the ranking is
+	// reproducible across runs and worker configurations.
+	r.TopValues = append(r.TopValues, st.exact.entries...)
 	sort.Slice(r.TopValues, func(i, j int) bool {
-		if r.TopValues[i].Count != r.TopValues[j].Count {
-			return r.TopValues[i].Count > r.TopValues[j].Count
+		a, b := r.TopValues[i], r.TopValues[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
 		}
-		return r.TopValues[i].Value.Raw < r.TopValues[j].Value.Raw
+		if a.Value.Raw != b.Value.Raw {
+			return a.Value.Raw < b.Value.Raw
+		}
+		if a.Value.Size != b.Value.Size {
+			return a.Value.Size < b.Value.Size
+		}
+		return a.Value.Kind < b.Value.Kind
 	})
 	if len(r.TopValues) > 8 {
 		r.TopValues = r.TopValues[:8]
@@ -308,7 +463,7 @@ func (fa *FineAccumulator) finalizeObject(id int, st *objectState) FineReport {
 
 	// Single value / single zero / frequent values (Defs 3.3–3.5).
 	exactSingle := false
-	if len(st.exact) == 1 && st.overflow == 0 {
+	if st.exact.len() == 1 && st.overflow == 0 {
 		exactSingle = true
 		v := r.TopValues[0].Value
 		if v.IsZero() {
@@ -351,7 +506,7 @@ func (fa *FineAccumulator) finalizeObject(id int, st *objectState) FineReport {
 	}
 
 	// Structured values (Def 3.7): linear value↔address correlation.
-	if st.n >= float64(fa.cfg.StructuredMinCount) {
+	if st.n >= float64(fa.cfg.StructuredMinCount) && !st.fitSkew {
 		if m, ok := fa.structured(st); ok {
 			r.Patterns = append(r.Patterns, m)
 		}
@@ -359,7 +514,7 @@ func (fa *FineAccumulator) finalizeObject(id int, st *objectState) FineReport {
 
 	// Approximate values (Def 3.8): the truncated histogram exposes a
 	// single/frequent pattern the exact one does not.
-	if st.sawFloat && !exactSingle && len(st.approx) > 0 {
+	if st.sawFloat && !exactSingle && st.approx.len() > 0 {
 		if m, ok := fa.approximate(st, total); ok {
 			r.Patterns = append(r.Patterns, m)
 		}
@@ -389,14 +544,14 @@ func (fa *FineAccumulator) heavyType(st *objectState) (Match, bool) {
 	case st.sawFloat && declared.Size == 8 && st.allF64AsF32:
 		return Match{Kind: HeavyType, Fraction: 0.5,
 			Detail: "float64 values are exactly representable as float32"}, true
-	case st.sawFloat && len(st.exact) >= 2 && len(st.exact) <= 256 && st.overflow == 0 &&
-		st.loads+st.stores >= 4*uint64(len(st.exact)):
+	case st.sawFloat && st.exact.len() >= 2 && st.exact.len() <= 256 && st.overflow == 0 &&
+		st.loads+st.stores >= 4*uint64(st.exact.len()):
 		// A tiny dictionary of float values (e.g. lavaMD's rA drawn from
 		// {0.1..1.0}) can travel as uint8 indices (paper §8.6).
 		return Match{Kind: HeavyType,
 			Fraction: 1 - float64(1)/float64(declared.Size),
 			Detail: fmt.Sprintf("float%d values drawn from %d distinct values; index with uint8",
-				8*declared.Size, len(st.exact))}, true
+				8*declared.Size, st.exact.len())}, true
 	}
 	return Match{}, false
 }
@@ -450,19 +605,20 @@ func (fa *FineAccumulator) structured(st *objectState) (Match, bool) {
 }
 
 func (fa *FineAccumulator) approximate(st *objectState, total uint64) (Match, bool) {
-	// Find the dominant truncated value.
+	// Find the dominant truncated value; insertion order breaks ties, so
+	// the first value to reach the top count wins deterministically.
 	var best Value
 	var bestCnt uint64
-	for v, c := range st.approx {
-		if c > bestCnt {
-			best, bestCnt = v, c
+	for _, e := range st.approx.entries {
+		if e.Count > bestCnt {
+			best, bestCnt = e.Value, e.Count
 		}
 	}
 	frac := float64(bestCnt) / float64(total)
 	exactTop := uint64(0)
-	for _, c := range st.exact {
-		if c > exactTop {
-			exactTop = c
+	for _, e := range st.exact.entries {
+		if e.Count > exactTop {
+			exactTop = e.Count
 		}
 	}
 	exactFrac := float64(exactTop) / float64(total)
@@ -471,7 +627,7 @@ func (fa *FineAccumulator) approximate(st *objectState, total uint64) (Match, bo
 		return Match{}, false
 	}
 	kind := "frequent values"
-	if len(st.approx) == 1 {
+	if st.approx.len() == 1 {
 		kind = "single value"
 	}
 	return Match{Kind: ApproximateValues, Fraction: frac,
