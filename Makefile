@@ -1,8 +1,15 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench
+.PHONY: verify fmt build vet test race bench bench-smoke
 
-verify: build vet test race
+verify: fmt build vet test race bench-smoke
+
+# fmt fails if any file is not gofmt-clean.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -18,3 +25,9 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem
+
+# bench-smoke compiles and runs every benchmark for exactly one iteration
+# (no test functions), catching bit-rotted benchmarks without the cost of
+# real measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

@@ -53,8 +53,17 @@ func main() {
 		}
 		return
 	}
+	if err := validateFlags(*workers, *depth); err != nil {
+		fmt.Fprintln(os.Stderr, "vxprof:", err)
+		os.Exit(2)
+	}
+	o := &options{
+		device: *device, coarse: *coarse, fine: *fine, reuseDist: *reuseDist,
+		kernels: *kernels, sample: *sample, workers: *workers, depth: *depth,
+		jsonOut: *jsonOut, dotOut: *dotOut, htmlOut: *htmlOut,
+	}
 	if *replayIn != "" {
-		if err := replayRun(*replayIn, *device, *coarse, *fine, *reuseDist, *kernels, *sample, *workers, *depth, *jsonOut, *dotOut, *htmlOut); err != nil {
+		if err := replayRun(*replayIn, o); err != nil {
 			fmt.Fprintln(os.Stderr, "vxprof:", err)
 			os.Exit(1)
 		}
@@ -71,10 +80,69 @@ func main() {
 		}
 		return
 	}
-	if err := run(*workload, *device, *coarse, *fine, *reuseDist, *kernels, *sample, *scale, *workers, *depth, *jsonOut, *dotOut, *htmlOut, *optimized); err != nil {
+	if err := run(*workload, o, *scale, *optimized); err != nil {
 		fmt.Fprintln(os.Stderr, "vxprof:", err)
 		os.Exit(1)
 	}
+}
+
+// options carries the analysis settings shared by live runs and replays.
+type options struct {
+	device          string
+	coarse, fine    bool
+	reuseDist       bool
+	kernels         string
+	sample          int
+	workers, depth  int
+	jsonOut, dotOut string
+	htmlOut         string
+}
+
+// validateFlags rejects flag values with no meaningful interpretation.
+func validateFlags(workers, depth int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d (0 = synchronous analysis)", workers)
+	}
+	if depth < 0 {
+		return fmt.Errorf("-depth must be >= 0, got %d (0 = default pipeline depth)", depth)
+	}
+	return nil
+}
+
+// config builds the profiler configuration for the named program.
+func (o *options) config(program string) valueexpert.Config {
+	var filter func(string) bool
+	if o.kernels != "" {
+		set := map[string]bool{}
+		for _, k := range strings.Split(o.kernels, ",") {
+			set[strings.TrimSpace(k)] = true
+		}
+		filter = func(name string) bool { return set[name] }
+	}
+	return valueexpert.Config{
+		Coarse:               o.coarse,
+		Fine:                 o.fine,
+		ReuseDistance:        o.reuseDist,
+		KernelFilter:         filter,
+		KernelSamplingPeriod: o.sample,
+		BlockSamplingPeriod:  o.sample,
+		AnalysisWorkers:      o.workers,
+		PipelineDepth:        o.depth,
+		Program:              program,
+	}
+}
+
+// analyze profiles any event source — live workload or trace replay go
+// through this identical path — and emits the report and artifacts.
+func analyze(src valueexpert.EventSource, o *options, program string) error {
+	p, err := valueexpert.Profile(src, o.config(program))
+	if err != nil {
+		return err
+	}
+	rep := p.Report()
+	fmt.Print(rep.Text())
+	printSuggestions(p, rep, o.coarse)
+	return writeArtifacts(p, rep, o.coarse, o.jsonOut, o.dotOut, o.htmlOut)
 }
 
 // recordRun captures a workload's API+access trace for later analysis.
@@ -112,94 +180,45 @@ func recordRun(workload, device string, scale int, out string, optimized bool) e
 	return nil
 }
 
-// replayRun analyzes a recorded trace offline.
-func replayRun(in, device string, coarse, fine, reuseDist bool, kernels string, sample, workers, depth int, jsonOut, dotOut, htmlOut string) error {
-	prof, err := gpu.ProfileByName(device)
+// replayRun analyzes a recorded trace offline through the same analyze
+// path a live run uses.
+func replayRun(in string, o *options) error {
+	prof, err := gpu.ProfileByName(o.device)
 	if err != nil {
 		return err
-	}
-	var filter func(string) bool
-	if kernels != "" {
-		set := map[string]bool{}
-		for _, k := range strings.Split(kernels, ",") {
-			set[strings.TrimSpace(k)] = true
-		}
-		filter = func(name string) bool { return set[name] }
 	}
 	f, err := os.Open(in)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-
-	var p *valueexpert.Profiler
-	err = trace.Replay(f, prof, func(rt *cuda.Runtime) {
-		p = valueexpert.Attach(rt, valueexpert.Config{
-			Coarse: coarse, Fine: fine, ReuseDistance: reuseDist,
-			KernelFilter:         filter,
-			KernelSamplingPeriod: sample,
-			BlockSamplingPeriod:  sample,
-			AnalysisWorkers:      workers,
-			PipelineDepth:        depth,
-			Program:              in,
-		})
-	})
-	if err != nil {
-		return err
-	}
-	rep := p.Report()
-	fmt.Print(rep.Text())
-	printSuggestions(p, rep, coarse)
-	return writeArtifacts(p, rep, coarse, jsonOut, dotOut, htmlOut)
+	return analyze(trace.NewSource(f, prof), o, in)
 }
 
-func run(workload, device string, coarse, fine, reuseDist bool, kernels string, sample, scale, workers, depth int, jsonOut, dotOut, htmlOut string, optimized bool) error {
+// run profiles a live workload execution.
+func run(workload string, o *options, scale int, optimized bool) error {
 	w, err := workloads.ByName(workload)
 	if err != nil {
 		return err
 	}
-	prof, err := gpu.ProfileByName(device)
+	prof, err := gpu.ProfileByName(o.device)
 	if err != nil {
 		return err
 	}
 	if scale > 0 {
 		workloads.Scale = scale
 	}
-
-	var filter func(string) bool
-	if kernels != "" {
-		set := map[string]bool{}
-		for _, k := range strings.Split(kernels, ",") {
-			set[strings.TrimSpace(k)] = true
-		}
-		filter = func(name string) bool { return set[name] }
-	}
-
-	rt := cuda.NewRuntime(prof)
-	p := valueexpert.Attach(rt, valueexpert.Config{
-		Coarse:               coarse,
-		Fine:                 fine,
-		ReuseDistance:        reuseDist,
-		KernelFilter:         filter,
-		KernelSamplingPeriod: sample,
-		BlockSamplingPeriod:  sample,
-		AnalysisWorkers:      workers,
-		PipelineDepth:        depth,
-		Program:              w.Name(),
-	})
-
 	variant := workloads.Original
 	if optimized {
 		variant = workloads.Optimized
 	}
-	if err := w.Run(rt, variant); err != nil {
-		return fmt.Errorf("running %s: %w", w.Name(), err)
-	}
-
-	rep := p.Report()
-	fmt.Print(rep.Text())
-	printSuggestions(p, rep, coarse)
-	return writeArtifacts(p, rep, coarse, jsonOut, dotOut, htmlOut)
+	src := valueexpert.NewLiveSource(cuda.NewRuntime(prof), func(rt *cuda.Runtime) error {
+		if err := w.Run(rt, variant); err != nil {
+			return fmt.Errorf("running %s: %w", w.Name(), err)
+		}
+		return nil
+	})
+	return analyze(src, o, w.Name())
 }
 
 // printSuggestions runs the advisor over the findings.

@@ -13,9 +13,12 @@ func TestRunProducesAllArtifacts(t *testing.T) {
 	dotOut := filepath.Join(dir, "g.dot")
 	htmlOut := filepath.Join(dir, "r.html")
 
-	err := run("Darknet", "RTX 2080 Ti", true, true, true,
-		"fill_kernel,gemm_kernel", 1, 64, 2, 2, jsonOut, dotOut, htmlOut, false)
-	if err != nil {
+	o := &options{
+		device: "RTX 2080 Ti", coarse: true, fine: true, reuseDist: true,
+		kernels: "fill_kernel,gemm_kernel", sample: 1, workers: 2, depth: 2,
+		jsonOut: jsonOut, dotOut: dotOut, htmlOut: htmlOut,
+	}
+	if err := run("Darknet", o, 64, false); err != nil {
 		t.Fatal(err)
 	}
 	js, err := os.ReadFile(jsonOut)
@@ -33,8 +36,8 @@ func TestRunProducesAllArtifacts(t *testing.T) {
 }
 
 func TestRunOptimizedVariant(t *testing.T) {
-	if err := run("PyTorch-Deepwave", "A100", true, false, false,
-		"", 1, 64, 0, 0, "", "", "", true); err != nil {
+	o := &options{device: "A100", coarse: true, sample: 1}
+	if err := run("PyTorch-Deepwave", o, 64, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -49,23 +52,47 @@ func TestRecordAndReplay(t *testing.T) {
 		t.Fatalf("trace artifact: %v", err)
 	}
 	jsonOut := filepath.Join(dir, "replayed.json")
-	if err := replayRun(traceOut, "RTX 2080 Ti", true, true, false, "", 1, 4, 2, jsonOut, "", ""); err != nil {
+	o := &options{
+		device: "RTX 2080 Ti", coarse: true, fine: true,
+		sample: 1, workers: 4, depth: 2, jsonOut: jsonOut,
+	}
+	if err := replayRun(traceOut, o); err != nil {
 		t.Fatal(err)
 	}
 	js, err := os.ReadFile(jsonOut)
 	if err != nil || !strings.Contains(string(js), "redundant") {
 		t.Fatalf("replay analysis missing findings: %v", err)
 	}
-	if err := replayRun(filepath.Join(dir, "missing.trace"), "A100", true, false, false, "", 1, 0, 0, "", "", ""); err == nil {
+	missing := &options{device: "A100", coarse: true, sample: 1}
+	if err := replayRun(filepath.Join(dir, "missing.trace"), missing); err == nil {
 		t.Fatal("missing trace accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("NoSuchApp", "A100", true, true, false, "", 1, 64, 0, 0, "", "", "", false); err == nil {
+	o := &options{device: "A100", coarse: true, fine: true, sample: 1}
+	if err := run("NoSuchApp", o, 64, false); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	if err := run("Darknet", "H100", true, true, false, "", 1, 64, 0, 0, "", "", "", false); err == nil {
+	bad := &options{device: "H100", coarse: true, fine: true, sample: 1}
+	if err := run("Darknet", bad, 64, false); err == nil {
 		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(0, 0); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateFlags(4, 4); err != nil {
+		t.Fatalf("valid settings rejected: %v", err)
+	}
+	err := validateFlags(-1, 0)
+	if err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("negative -workers: %v", err)
+	}
+	err = validateFlags(0, -3)
+	if err == nil || !strings.Contains(err.Error(), "-depth") {
+		t.Fatalf("negative -depth: %v", err)
 	}
 }

@@ -1,0 +1,34 @@
+package cuda
+
+// EventSource produces a GPU API event stream into a runtime. It is the
+// seam between collection and the program driving the GPU: live
+// execution of a workload and offline replay of a recorded trace are
+// both sources, so a profiler attached to Runtime() observes the
+// identical stream either way and analysis code cannot tell them apart.
+type EventSource interface {
+	// Runtime returns the runtime the stream flows through. Attach
+	// interceptors to it before calling Run.
+	Runtime() *Runtime
+
+	// Run produces the full event stream, returning the first error the
+	// program or stream hits.
+	Run() error
+}
+
+// LiveSource adapts a live program — any function issuing GPU work
+// against a runtime — to the EventSource interface.
+type LiveSource struct {
+	rt  *Runtime
+	run func(rt *Runtime) error
+}
+
+// NewLiveSource wraps run as an event source executing against rt.
+func NewLiveSource(rt *Runtime, run func(rt *Runtime) error) *LiveSource {
+	return &LiveSource{rt: rt, run: run}
+}
+
+// Runtime implements EventSource.
+func (s *LiveSource) Runtime() *Runtime { return s.rt }
+
+// Run implements EventSource by executing the program.
+func (s *LiveSource) Run() error { return s.run(s.rt) }

@@ -128,6 +128,13 @@ func coarseSuggestions(rep *profile.Report) []Suggestion {
 		}
 		out = append(out, s)
 	}
+	// Deterministic order before the global sort.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Where != out[j].Where {
+			return out[i].Where < out[j].Where
+		}
+		return out[i].Title < out[j].Title
+	})
 	return out
 }
 

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"runtime"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/profile"
+	"valueexpert/internal/vpattern"
+)
+
+// fineStage is the fine-grained analyzer (§5.1): it accumulates every
+// instrumented access's value into per-object histograms and recognizes
+// the per-kernel value patterns (frequent, single value, single zero,
+// heavy type, structured, approximate).
+type fineStage struct {
+	cfg     vpattern.FineConfig
+	records []profile.FineRecord
+}
+
+func newFineStage(env Env) *fineStage { return &fineStage{cfg: env.Cfg.FineConfig} }
+
+func (s *fineStage) Name() string        { return "fine" }
+func (s *fineStage) NeedsAccesses() bool { return true }
+
+// NeedsValues: compacted load-range records carry no element values of
+// their own; the engine must capture them at flush time.
+func (s *fineStage) NeedsValues() bool { return true }
+
+func (s *fineStage) APIBegin(*cuda.APIEvent) {}
+func (s *fineStage) APIEnd(*cuda.APIEvent)   {}
+
+// fineLaunch accumulates one instrumented launch's values.
+type fineLaunch struct {
+	cfg vpattern.FineConfig
+	acc *vpattern.FineAccumulator
+}
+
+func (s *fineStage) LaunchBegin(string) LaunchAnalysis {
+	return &fineLaunch{cfg: s.cfg, acc: vpattern.NewFineAccumulator(s.cfg)}
+}
+
+// Compact accumulates the batch's values into an independent uncapped
+// shard. The shard must not saturate: the master re-applies the
+// configured cap during the in-order merge, reproducing global
+// first-occurrence eviction exactly (see FineAccumulator.Merge).
+func (la *fineLaunch) Compact(b *Batch) Partial {
+	shardCfg := la.cfg
+	shardCfg.MaxTrackedValues = math.MaxInt
+	shard := vpattern.NewFineAccumulator(shardCfg)
+	for i, a := range b.Recs {
+		if b.Yield {
+			runtime.Gosched()
+		}
+		id := b.IDs[i]
+		if id < 0 {
+			continue
+		}
+		if a.Count > 1 {
+			// Expand compacted range records: fills repeat the stored
+			// value; load values decode from the flush-time capture.
+			elem := a
+			elem.Count = 1
+			if a.Store {
+				for e := 0; e < a.Elems(); e++ {
+					elem.Addr = a.Addr + uint64(e)*uint64(a.Size)
+					shard.Add(id, elem)
+				}
+			} else if vals := b.RangeVals[i]; vals != nil {
+				for e := 0; e < a.Elems(); e++ {
+					off := uint64(e) * uint64(a.Size)
+					elem.Addr = a.Addr + off
+					elem.Raw = gpu.RawValue(vals[off:], a.Size)
+					shard.Add(id, elem)
+				}
+			}
+		} else {
+			shard.Add(id, a)
+		}
+	}
+	return shard
+}
+
+// Absorb merges a shard in flush order, re-applying the value cap.
+func (la *fineLaunch) Absorb(pt Partial) {
+	la.acc.Merge(pt.(*vpattern.FineAccumulator))
+}
+
+// LaunchEnd finalizes the launch's per-object pattern reports.
+func (s *fineStage) LaunchEnd(ev *cuda.APIEvent, la LaunchAnalysis) {
+	if la == nil {
+		return
+	}
+	for _, fr := range la.(*fineLaunch).acc.Finalize() {
+		rec := profile.FineRecord{
+			Seq: ev.Seq, Kernel: ev.Name, ObjectID: fr.ObjectID,
+			Accesses: fr.Accesses, Loads: fr.Loads, Stores: fr.Stores,
+			Bytes: fr.Bytes, Distinct: fr.DistinctValues, Saturated: fr.Saturated,
+		}
+		for _, vc := range fr.TopValues {
+			rec.TopValues = append(rec.TopValues, profile.ValueCount{
+				Value: vc.Value.Format(), Count: vc.Count,
+			})
+		}
+		for _, m := range fr.Patterns {
+			rec.Patterns = append(rec.Patterns, profile.Pattern{
+				Kind: m.Kind.String(), Fraction: m.Fraction, Detail: m.Detail,
+			})
+		}
+		s.records = append(s.records, rec)
+	}
+}
+
+// Finish contributes the fine records.
+func (s *fineStage) Finish(rep *profile.Report) {
+	rep.Fine = append([]profile.FineRecord(nil), s.records...)
+}

@@ -1,108 +1,170 @@
 // Asynchronous analysis pipeline: the reproduction of paper §6.1's
 // double-buffered overlap of data collection and online analysis. The
 // sanitizer cycles PipelineDepth flush buffers through a bounded hand-off
-// queue; AnalysisWorkers workers compact each flushed batch into an
-// independent partial (interval lists, byte counters, an uncapped
-// fine-accumulator shard); and a single ordered collector folds the
-// partials into the launch state in flush order, so the merged state — and
-// therefore the emitted report — is byte-identical for every worker/depth
-// setting, including the fully synchronous one.
+// queue; AnalysisWorkers workers compact each flushed batch into
+// independent per-stage partials; and a single ordered collector folds the
+// partials into each stage's launch state in flush order, so the merged
+// state — and therefore the emitted report — is byte-identical for every
+// worker/depth setting. Synchronous analysis is the degenerate pipeline:
+// with zero workers the same submit path compacts and absorbs inline on
+// the kernel-execution goroutine.
 package core
 
 import (
-	"math"
 	"runtime"
 	"sync"
 
 	"valueexpert/gpu"
-	"valueexpert/internal/interval"
-	"valueexpert/internal/reuse"
-	"valueexpert/internal/vpattern"
 )
 
-// batch is one flushed sanitizer buffer plus everything that must be
-// captured synchronously at flush time: device memory keeps mutating while
-// the kernel runs, so the values behind compacted load-range records are
-// snapshotted here, on the kernel-execution goroutine, with one bulk read
-// per record.
-type batch struct {
-	recs []gpu.Access
-	// rangeVals maps a record index (Count>1 load) to the bytes its range
-	// held at flush time.
-	rangeVals map[int][]byte
-}
-
-// batchResult is one batch's compacted partial, ready for in-order folding
-// into the launch state.
-type batchResult struct {
-	recs              []gpu.Access // original buffer; recycled after absorb
-	readIvs, writeIvs map[int][]interval.Interval
-	readB, writeB     map[int]uint64
-	fine              *vpattern.FineAccumulator // uncapped shard; nil if fine is off
-}
-
-// pendingBatch pairs a submitted batch with the slot its result arrives
-// in. The pending queue holds these in submission order, which is what
-// makes out-of-order workers safe: the collector waits on each slot in
-// turn.
+// pendingBatch pairs a submitted batch with the slot its per-stage
+// partials arrive in. The pending queue holds these in submission order,
+// which is what makes out-of-order workers safe: the collector waits on
+// each slot in turn.
 type pendingBatch struct {
-	b    *batch
-	done chan *batchResult
+	b    *Batch
+	done chan []Partial
 }
 
-// pipeline runs the analysis stages for one instrumented launch.
+// pipeline runs every registered stage's analysis for one instrumented
+// launch. With workers it owns a compaction worker pool and an ordered
+// collector; without, it executes inline.
 type pipeline struct {
+	p  *Profiler
+	ls *launchState
+
+	// work and pending are nil in inline mode.
 	work    chan *pendingBatch
 	pending chan *pendingBatch
 	workers sync.WaitGroup
 	// collected closes when the collector has absorbed every pending batch.
 	collected chan struct{}
+	drained   bool
 }
 
-// newPipeline starts workers compaction workers and the ordered collector
-// for launch state ls.
+// newPipeline builds the execution path for launch state ls: an inline
+// executor when workers <= 0, else workers compaction workers — each
+// leasing a slot from the shared scheduler around every batch — and the
+// ordered collector.
 func (p *Profiler) newPipeline(ls *launchState, workers, depth int) *pipeline {
-	pl := &pipeline{
-		work:      make(chan *pendingBatch, depth),
-		pending:   make(chan *pendingBatch, depth),
-		collected: make(chan struct{}),
+	pl := &pipeline{p: p, ls: ls}
+	if workers <= 0 {
+		return pl
 	}
+	pl.work = make(chan *pendingBatch, depth)
+	pl.pending = make(chan *pendingBatch, depth)
+	pl.collected = make(chan struct{})
 	for i := 0; i < workers; i++ {
 		pl.workers.Add(1)
 		go func() {
 			defer pl.workers.Done()
 			for pb := range pl.work {
-				pb.done <- p.compactBatch(ls, pb.b, true)
+				// Blocking acquire is deadlock-free here: compaction is
+				// finite leaf work that holds no other slot or lock, so
+				// every held slot is eventually released.
+				p.sched.Acquire()
+				parts := p.compact(pl.ls, pb.b)
+				p.sched.Release()
+				pb.done <- parts
 			}
 		}()
 	}
 	go func() {
 		defer close(pl.collected)
 		for pb := range pl.pending {
-			p.absorb(ls, <-pb.done)
+			p.absorbAll(pl.ls, pb.b, <-pb.done)
 		}
 	}()
 	return pl
 }
 
 // submit hands one flushed batch to the pipeline. Called on the
-// kernel-execution goroutine; backpressure comes from the sanitizer's
-// buffer pool, which bounds in-flight batches to the pipeline depth, so
-// neither channel send can block indefinitely.
-func (pl *pipeline) submit(b *batch) {
-	pb := &pendingBatch{b: b, done: make(chan *batchResult, 1)}
+// kernel-execution goroutine. Inline mode analyzes the batch before
+// returning; pipelined mode enqueues it, with backpressure from the
+// sanitizer's buffer pool bounding in-flight batches to the pipeline
+// depth, so neither channel send can block indefinitely.
+func (pl *pipeline) submit(b *Batch) {
+	if pl.work == nil {
+		pl.p.absorbAll(pl.ls, b, pl.p.compact(pl.ls, b))
+		return
+	}
+	b.Yield = true
+	pb := &pendingBatch{b: b, done: make(chan []Partial, 1)}
 	pl.pending <- pb
 	pl.work <- pb
 }
 
 // drain stops the workers and waits for the collector to absorb every
 // submitted batch. After drain returns, the launch state is complete and
-// owned by the caller's goroutine.
+// owned by the caller's goroutine. Idempotent: a launch drained on kernel
+// failure may be drained again by interceptor replacement.
 func (pl *pipeline) drain() {
+	if pl.drained {
+		return
+	}
+	pl.drained = true
+	if pl.work == nil {
+		return
+	}
 	close(pl.work)
 	pl.workers.Wait()
 	close(pl.pending)
 	<-pl.collected
+}
+
+// compact turns one flushed buffer into the per-stage partials: the
+// engine resolves each record's data object once (stages share the lookup
+// pass), then every participating stage compacts the batch independently.
+// compact only reads allocation metadata (stable while a kernel executes)
+// and the batch itself, so any number of calls may run concurrently.
+func (p *Profiler) compact(ls *launchState, b *Batch) []Partial {
+	p.resolveObjects(b)
+	parts := make([]Partial, len(ls.stages))
+	for i, la := range ls.stages {
+		if la != nil {
+			parts[i] = la.Compact(b)
+		}
+	}
+	return parts
+}
+
+// resolveObjects fills b.IDs with each record's containing data object.
+// Consecutive records overwhelmingly hit the same object (coalesced
+// warps), so one cached allocation covers almost every lookup.
+func (p *Profiler) resolveObjects(b *Batch) {
+	mem := p.rt.Device().Mem
+	b.IDs = make([]int, len(b.Recs))
+	var cached *gpu.Allocation
+	for i, a := range b.Recs {
+		if b.Yield {
+			runtime.Gosched()
+		}
+		alloc := cached
+		if alloc == nil || !alloc.Contains(a.Addr) {
+			alloc = mem.Lookup(a.Addr)
+			cached = alloc
+		}
+		if alloc == nil {
+			b.IDs[i] = -1 // defensive: racing frees
+			continue
+		}
+		b.IDs[i] = alloc.ID
+	}
+}
+
+// absorbAll folds one batch's partials into each stage's launch state, in
+// stage order, and recycles the buffer. Partials must be absorbed in
+// flush order: the fine-accumulator merge replays value
+// first-occurrences, and reuse-distance analysis is order-sensitive by
+// definition. In pipelined mode only the collector goroutine calls
+// absorbAll; in inline mode, the kernel goroutine.
+func (p *Profiler) absorbAll(ls *launchState, b *Batch, parts []Partial) {
+	for i, la := range ls.stages {
+		if la != nil && parts[i] != nil {
+			la.Absorb(parts[i])
+		}
+	}
+	p.san.Recycle(b.Recs)
 }
 
 // captureRangeLoads bulk-reads the device bytes behind every compacted
@@ -127,182 +189,4 @@ func captureRangeLoads(mem *gpu.Memory, recs []gpu.Access) map[int][]byte {
 		vals[i] = buf
 	}
 	return vals
-}
-
-// activeRun is an open coalescing run for one (object, op) pair.
-type activeRun struct {
-	id    int
-	store bool
-	iv    interval.Interval
-	valid bool
-}
-
-// compactBatch turns one flushed buffer into an independent partial:
-// warp-style compaction of the batch's intervals per (object, operation)
-// plus fine-grained value accumulation into an uncapped shard. Consecutive
-// records overwhelmingly hit the same data object at adjacent addresses
-// (coalesced warps), so compaction is a linear pass that extends open runs
-// — the cheap, GPU-friendly processing §6.1 implements with warp shuffle
-// primitives — with the final parallel merge cleaning up whatever disorder
-// remains. compactBatch only reads allocation metadata (stable while a
-// kernel executes) and the batch itself, so any number of calls may run
-// concurrently.
-//
-// yield marks calls from background workers: they give up the processor
-// between records so that, when GOMAXPROCS is no larger than the worker
-// count, the kernel-execution goroutine's timers and buffer hand-offs
-// stay prompt — background analysis must never stall collection.
-func (p *Profiler) compactBatch(ls *launchState, b *batch, yield bool) *batchResult {
-	mem := p.rt.Device().Mem
-	br := &batchResult{
-		recs:     b.recs,
-		readIvs:  make(map[int][]interval.Interval),
-		writeIvs: make(map[int][]interval.Interval),
-		readB:    make(map[int]uint64),
-		writeB:   make(map[int]uint64),
-	}
-	if ls.fineAcc != nil {
-		// The shard must not saturate: the master re-applies the configured
-		// cap during the in-order merge, reproducing global
-		// first-occurrence eviction exactly (see FineAccumulator.Merge).
-		shardCfg := p.cfg.FineConfig
-		shardCfg.MaxTrackedValues = math.MaxInt
-		br.fine = vpattern.NewFineAccumulator(shardCfg)
-	}
-
-	var cached *gpu.Allocation
-	// A handful of open runs covers the access interleavings real kernels
-	// produce (a few operands per loop body).
-	var runs [6]activeRun
-	flush := func(r *activeRun) {
-		if !r.valid {
-			return
-		}
-		if r.store {
-			br.writeIvs[r.id] = append(br.writeIvs[r.id], r.iv)
-		} else {
-			br.readIvs[r.id] = append(br.readIvs[r.id], r.iv)
-		}
-		r.valid = false
-	}
-
-	for i, a := range b.recs {
-		if yield {
-			runtime.Gosched()
-		}
-		alloc := cached
-		if alloc == nil || !alloc.Contains(a.Addr) {
-			alloc = mem.Lookup(a.Addr)
-			cached = alloc
-		}
-		if alloc == nil {
-			continue // defensive: racing frees
-		}
-		id := alloc.ID
-		iv := interval.FromAccess(a)
-		if a.Store {
-			br.writeB[id] += a.Bytes()
-		} else {
-			br.readB[id] += a.Bytes()
-		}
-
-		// Extend an open run if the access touches or overlaps it.
-		merged := false
-		free := -1
-		for s := range runs {
-			r := &runs[s]
-			if !r.valid {
-				if free < 0 {
-					free = s
-				}
-				continue
-			}
-			if r.id == id && r.store == a.Store && iv.Start <= r.iv.End && iv.End >= r.iv.Start {
-				if iv.End > r.iv.End {
-					r.iv.End = iv.End
-				}
-				if iv.Start < r.iv.Start {
-					r.iv.Start = iv.Start
-				}
-				merged = true
-				break
-			}
-		}
-		if !merged {
-			if free < 0 {
-				// Evict the first run (oldest heuristic).
-				flush(&runs[0])
-				free = 0
-			}
-			runs[free] = activeRun{id: id, store: a.Store, iv: iv, valid: true}
-		}
-
-		if br.fine != nil {
-			if a.Count > 1 {
-				// Expand compacted range records: fills repeat the stored
-				// value; load values decode from the flush-time capture.
-				elem := a
-				elem.Count = 1
-				if a.Store {
-					for e := 0; e < a.Elems(); e++ {
-						elem.Addr = a.Addr + uint64(e)*uint64(a.Size)
-						br.fine.Add(id, elem)
-					}
-				} else if vals := b.rangeVals[i]; vals != nil {
-					for e := 0; e < a.Elems(); e++ {
-						off := uint64(e) * uint64(a.Size)
-						elem.Addr = a.Addr + off
-						elem.Raw = gpu.RawValue(vals[off:], a.Size)
-						br.fine.Add(id, elem)
-					}
-				}
-			} else {
-				br.fine.Add(id, a)
-			}
-		}
-	}
-	for s := range runs {
-		flush(&runs[s])
-	}
-	return br
-}
-
-// absorb folds one batch's partial into the launch state and recycles its
-// buffer. Partials must be absorbed in flush order: the fine-accumulator
-// merge replays value first-occurrences, and reuse-distance analysis is
-// order-sensitive by definition. In pipelined mode only the collector
-// goroutine calls absorb; in synchronous mode, the kernel goroutine.
-func (p *Profiler) absorb(ls *launchState, br *batchResult) {
-	for id, ivs := range br.readIvs {
-		ls.readIvs[id] = append(ls.readIvs[id], ivs...)
-	}
-	for id, ivs := range br.writeIvs {
-		ls.writeIvs[id] = append(ls.writeIvs[id], ivs...)
-	}
-	for id, n := range br.readB {
-		ls.readB[id] += n
-	}
-	for id, n := range br.writeB {
-		ls.writeB[id] += n
-	}
-	if ls.fineAcc != nil && br.fine != nil {
-		ls.fineAcc.Merge(br.fine)
-	}
-	if ls.reuse != nil {
-		// Touch every cache line a record covers exactly once: align the
-		// start down to a line boundary so records straddling lines
-		// neither miss their trailing line nor double-count.
-		const mask = ^uint64(reuse.LineSize - 1)
-		for _, a := range br.recs {
-			if a.Bytes() == 0 {
-				continue
-			}
-			first := a.Addr & mask
-			last := (a.Addr + a.Bytes() - 1) & mask
-			for line := first; line <= last; line += reuse.LineSize {
-				ls.reuse.Touch(line)
-			}
-		}
-	}
-	p.san.Recycle(br.recs)
 }

@@ -1,8 +1,10 @@
-// Package core implements ValueExpert itself: the data collector that
-// overloads GPU APIs, the online analyzer that maintains value snapshots,
-// merges accessed intervals, recognizes value patterns, and builds the
-// value flow graph, and the offline analyzer's association of access
-// types and source lines (paper §4, Figure 1).
+// Package core implements ValueExpert itself as a staged
+// collection→analysis engine. The engine owns data collection — GPU API
+// interception, sanitizer buffers, the batch pipeline — and drives
+// pluggable Analysis stages (paper §4, Figure 1): the coarse analyzer
+// maintains value snapshots and the value flow graph, the fine analyzer
+// recognizes per-access value patterns, and the reuse-distance analyzer
+// rides the same instrumented stream.
 package core
 
 import (
@@ -13,8 +15,8 @@ import (
 	"valueexpert/cuda"
 	"valueexpert/gpu"
 	"valueexpert/internal/interval"
+	"valueexpert/internal/parallel"
 	"valueexpert/internal/profile"
-	"valueexpert/internal/reuse"
 	"valueexpert/internal/sanitizer"
 	"valueexpert/internal/vflow"
 	"valueexpert/internal/vpattern"
@@ -50,9 +52,9 @@ type Config struct {
 	// AnalysisWorkers is the number of concurrent workers draining flushed
 	// sanitizer buffers — the analog of §6.1's data-processing kernels
 	// running alongside collection. 0 analyzes each buffer synchronously on
-	// the kernel-execution goroutine. Any setting emits a byte-identical
-	// report: workers compact batches into independent partials that a
-	// single collector folds in flush order.
+	// the kernel-execution goroutine (the degenerate inline pipeline). Any
+	// setting emits a byte-identical report: workers compact batches into
+	// independent partials that a single collector folds in flush order.
 	AnalysisWorkers int
 
 	// PipelineDepth is the number of flush buffers cycled between the
@@ -67,55 +69,47 @@ type Config struct {
 	// measurement pipeline. Requires Coarse or Fine.
 	ReuseDistance bool
 
+	// Analyses registers additional custom stages after the built-in ones.
+	// Each factory runs once per attached profiler, so every device gets
+	// fresh stage state.
+	Analyses []AnalysisFactory
+
 	// Program names the profiled application in reports.
 	Program string
 }
 
-// Profiler is a ValueExpert instance attached to one runtime.
+// Profiler is a ValueExpert instance attached to one runtime. It is the
+// collection engine: stages do the analysis.
 type Profiler struct {
 	cfg Config
 	rt  *cuda.Runtime
 
-	tree   *callpath.Tree
-	graph  *vflow.Graph
-	san    *sanitizer.Engine
-	merger *interval.Merger
-	dup    *vpattern.DuplicateTracker
+	tree  *callpath.Tree
+	graph *vflow.Graph
+	san   *sanitizer.Engine
+	sched *parallel.Scheduler
 
-	// snapshots maintains each data object's value snapshot on the host
-	// (§5.1: "a data object's value snapshot ... is maintained on the CPU
-	// to reduce the GPU memory consumption").
-	snapshots map[int][]byte
-
-	// defined tracks, per object, the byte ranges written at least once
-	// since allocation. cudaMalloc memory is undefined, so a first write
-	// is never redundant; only bytes with a defined previous value count
-	// toward the unchanged fraction.
-	defined map[int][]interval.Interval
+	// stages are the registered analyses, lifecycle-driven in this order.
+	stages []Analysis
+	// coarse is the built-in coarse stage when Config.Coarse is set; the
+	// Session's cross-device duplicate analysis reads its snapshot hashes.
+	coarse *coarseStage
 
 	objects []profile.Object
-	coarse  []profile.CoarseRecord
-	fine    []profile.FineRecord
-	reuse   []profile.ReuseRecord
 
 	launch *launchState
 
 	analysisTime time.Duration
-	copyModel    interval.CopyCostModel
-	snapshotTime time.Duration
 }
 
-// launchState accumulates one instrumented kernel launch.
+// launchState tracks one instrumented kernel launch in flight: the
+// sanitizer's finish hook, the pipeline executing the analysis, and each
+// stage's per-launch accumulator (indexed like Profiler.stages; nil for
+// stages sitting this launch out).
 type launchState struct {
 	finish func()
-	pipe   *pipeline // nil when analysis is synchronous
-
-	readIvs  map[int][]interval.Interval
-	writeIvs map[int][]interval.Interval
-	readB    map[int]uint64
-	writeB   map[int]uint64
-	fineAcc  *vpattern.FineAccumulator
-	reuse    *reuse.Analyzer
+	pipe   *pipeline
+	stages []LaunchAnalysis
 }
 
 // Attach creates a profiler and installs it as rt's interceptor.
@@ -130,20 +124,28 @@ func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
 		}
 	}
 	p := &Profiler{
-		cfg:    cfg,
-		rt:     rt,
-		tree:   callpath.NewTree(),
-		merger: interval.NewMerger(cfg.MergeWorkers),
-		dup:    vpattern.NewDuplicateTracker(),
-
-		snapshots: make(map[int][]byte),
-		defined:   make(map[int][]interval.Interval),
-		copyModel: interval.CopyCostModel{
-			PerCall:   rt.Device().Prof.CopyLatency,
-			Bandwidth: rt.Device().Prof.PCIeBandwidth,
-		},
+		cfg:   cfg,
+		rt:    rt,
+		tree:  callpath.NewTree(),
+		sched: parallel.Shared(),
 	}
 	p.graph = vflow.New(p.tree)
+
+	env := Env{RT: rt, Tree: p.tree, Graph: p.graph, Cfg: &p.cfg}
+	if cfg.Coarse {
+		p.coarse = newCoarseStage(env)
+		p.stages = append(p.stages, p.coarse)
+	}
+	if cfg.Fine {
+		p.stages = append(p.stages, newFineStage(env))
+	}
+	if cfg.ReuseDistance {
+		p.stages = append(p.stages, newReuseStage(env))
+	}
+	for _, f := range cfg.Analyses {
+		p.stages = append(p.stages, f(env))
+	}
+
 	p.san = sanitizer.New(sanitizer.Config{
 		BufferRecords:        cfg.BufferRecords,
 		PipelineDepth:        cfg.PipelineDepth,
@@ -153,6 +155,17 @@ func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
 	})
 	rt.SetInterceptor(p)
 	return p
+}
+
+// Profile attaches a profiler configured by cfg to src's runtime and runs
+// the source's event stream through it. Live execution and trace replay
+// are both event sources, so this is the one entry point for either mode;
+// the profiler is returned even on error, holding whatever the stream
+// produced before failing.
+func Profile(src cuda.EventSource, cfg Config) (*Profiler, error) {
+	p := Attach(src.Runtime(), cfg)
+	err := src.Run()
+	return p, err
 }
 
 // Detach removes the profiler from its runtime.
@@ -168,25 +181,32 @@ func (p *Profiler) Tree() *callpath.Tree { return p.tree }
 // accounting for Figure 6).
 func (p *Profiler) AnalysisTime() time.Duration { return p.analysisTime }
 
-// instrumenting reports whether any per-access analysis is on.
+// instrumenting reports whether any registered stage consumes per-access
+// records.
 func (p *Profiler) instrumenting() bool {
-	return p.cfg.Coarse || p.cfg.Fine || p.cfg.ReuseDistance
+	for _, st := range p.stages {
+		if st.NeedsAccesses() {
+			return true
+		}
+	}
+	return false
 }
 
-// APIBegin implements cuda.Interceptor. Frees are handled here, while the
-// allocation is still addressable.
+// APIBegin implements cuda.Interceptor: stages observe the event before
+// its device effect (frees are still addressable).
 func (p *Profiler) APIBegin(ev *cuda.APIEvent) {
-	if ev.Kind == cuda.APIFree {
-		if id := p.objectAt(ev.Dst); id >= 0 {
-			delete(p.snapshots, id)
-			delete(p.defined, id)
-		}
+	if ev.Kind == cuda.APILaunch {
+		return
+	}
+	for _, st := range p.stages {
+		st.APIBegin(ev)
 	}
 }
 
 // Instrumentation implements cuda.Interceptor: it consults the sanitizer
-// engine for the upcoming launch and prepares per-launch analysis state,
-// including the analysis pipeline when AnalysisWorkers > 0.
+// engine for the upcoming launch, opens each stage's per-launch
+// accumulator, and builds the analysis pipeline the flushed buffers flow
+// through.
 func (p *Profiler) Instrumentation(kernelName string) (gpu.AccessFunc, func(int32) bool) {
 	if !p.instrumenting() {
 		return nil, nil
@@ -196,17 +216,16 @@ func (p *Profiler) Instrumentation(kernelName string) (gpu.AccessFunc, func(int3
 	if p.launch != nil {
 		p.Drain()
 	}
-	ls := &launchState{
-		readIvs:  make(map[int][]interval.Interval),
-		writeIvs: make(map[int][]interval.Interval),
-		readB:    make(map[int]uint64),
-		writeB:   make(map[int]uint64),
-	}
-	if p.cfg.Fine {
-		ls.fineAcc = vpattern.NewFineAccumulator(p.cfg.FineConfig)
-	}
-	if p.cfg.ReuseDistance {
-		ls.reuse = reuse.NewAnalyzer()
+	ls := &launchState{stages: make([]LaunchAnalysis, len(p.stages))}
+	needVals := false
+	for i, st := range p.stages {
+		if !st.NeedsAccesses() {
+			continue
+		}
+		ls.stages[i] = st.LaunchBegin(kernelName)
+		if ls.stages[i] != nil && st.NeedsValues() {
+			needVals = true
+		}
 	}
 	mem := p.rt.Device().Mem
 	hook, filter, finish := p.san.Instrument(kernelName, func(recs []gpu.Access) {
@@ -214,26 +233,19 @@ func (p *Profiler) Instrumentation(kernelName string) (gpu.AccessFunc, func(int3
 		// the hand-off run here; with workers, compaction and absorption
 		// overlap the kernel's continued execution.
 		start := time.Now()
-		b := &batch{recs: recs}
-		if ls.fineAcc != nil {
-			b.rangeVals = captureRangeLoads(mem, recs)
+		b := &Batch{Recs: recs}
+		if needVals {
+			b.RangeVals = captureRangeLoads(mem, recs)
 		}
-		if ls.pipe != nil {
-			ls.pipe.submit(b)
-		} else {
-			p.absorb(ls, p.compactBatch(ls, b, false))
-		}
+		ls.pipe.submit(b)
 		p.analysisTime += time.Since(start)
 	})
 	if hook == nil {
 		p.launch = nil
 		return nil, nil
 	}
-	if p.cfg.AnalysisWorkers > 0 {
-		// Started only for instrumented launches; the flush closure reads
-		// ls.pipe on first use, which is after this point.
-		ls.pipe = p.newPipeline(ls, p.cfg.AnalysisWorkers, p.cfg.PipelineDepth)
-	}
+	// The flush closure reads ls.pipe on first use, after this point.
+	ls.pipe = p.newPipeline(ls, p.cfg.AnalysisWorkers, p.cfg.PipelineDepth)
 	ls.finish = finish
 	p.launch = ls
 	return hook, filter
@@ -242,42 +254,40 @@ func (p *Profiler) Instrumentation(kernelName string) (gpu.AccessFunc, func(int3
 // Drain implements cuda.Drainer: it quiesces and discards any in-flight
 // launch state. The runtime calls it when the interceptor is replaced or
 // a kernel fails mid-execution; the partial launch's buffers return to
-// the sanitizer pool and its analysis is dropped.
+// the sanitizer pool and its analysis is dropped. Safe with no launch in
+// flight, and idempotent.
 func (p *Profiler) Drain() {
 	ls := p.launch
 	p.launch = nil
-	if ls != nil && ls.pipe != nil {
-		ls.pipe.drain()
+	if ls == nil {
+		return
 	}
+	ls.pipe.drain()
 }
 
-// APIEnd implements cuda.Interceptor: the coarse analyzer's per-API work.
+// APIEnd implements cuda.Interceptor: launches are finalized through the
+// stages' LaunchEnd, every other event is forwarded to their APIEnd.
 func (p *Profiler) APIEnd(ev *cuda.APIEvent) {
 	start := time.Now()
 	defer func() { p.analysisTime += time.Since(start) }()
 
-	switch ev.Kind {
-	case cuda.APIMalloc:
-		p.onMalloc(ev)
-	case cuda.APIMemset:
-		p.onMemset(ev)
-	case cuda.APIMemcpy:
-		p.onMemcpy(ev)
-	case cuda.APILaunch:
+	if ev.Kind == cuda.APILaunch {
 		p.onLaunch(ev)
+		return
+	}
+	if ev.Kind == cuda.APIMalloc {
+		p.onMalloc(ev)
+	}
+	for _, st := range p.stages {
+		st.APIEnd(ev)
 	}
 }
 
-func (p *Profiler) objectAt(addr uint64) int {
-	if a := p.rt.Device().Mem.Lookup(addr); a != nil {
-		return a.ID
-	}
-	return -1
-}
-
+// onMalloc records the new data object in the engine-level object table;
+// stage-specific allocation work (snapshots, graph vertices) happens in
+// the stages' APIEnd.
 func (p *Profiler) onMalloc(ev *cuda.APIEvent) {
-	mem := p.rt.Device().Mem
-	a := mem.Lookup(ev.Dst)
+	a := p.rt.Device().Mem.Lookup(ev.Dst)
 	if a == nil {
 		return
 	}
@@ -285,275 +295,32 @@ func (p *Profiler) onMalloc(ev *cuda.APIEvent) {
 	p.objects = append(p.objects, profile.Object{
 		ID: a.ID, Tag: a.Tag, Size: a.Size, CallPath: p.tree.Format(ctx),
 	})
-	if !p.cfg.Coarse {
-		return
-	}
-	v := p.graph.Touch(vflow.KindAlloc, a.Tag, ev.Frames)
-	p.graph.RecordAlloc(v, a.ID)
-	snap := make([]byte, a.Size)
-	copy(snap, a.Data)
-	p.snapshots[a.ID] = snap
 }
 
-// refreshSnapshot diffs the object's stored snapshot against current
-// device contents over the written intervals, then updates the snapshot
-// using the configured copy strategy, charging the simulated copy cost.
-func (p *Profiler) refreshSnapshot(objID int, written []interval.Interval) vpattern.DiffResult {
-	mem := p.rt.Device().Mem
-	a := mem.LookupID(objID)
-	snap := p.snapshots[objID]
-	if a == nil || !a.Live || snap == nil {
-		return vpattern.DiffResult{}
-	}
-	// Diff only over bytes whose previous value is defined; the rest of
-	// the written range counts as changed (first touch). Large diffs chunk
-	// over the merger's pool; the combine is integer addition, so the
-	// result is exactly the sequential one.
-	writtenBytes := interval.TotalBytes(written)
-	diffable := interval.Intersect(written, p.defined[objID])
-	diff := vpattern.DiffSnapshotsParallel(p.merger.Pool(), snap, a.Data, diffable, a.Addr)
-	diff.WrittenBytes = writtenBytes
-	p.defined[objID] = interval.Union(p.defined[objID], written)
-
-	obj := interval.Interval{Start: a.Addr, End: a.End()}
-	plan := interval.PlanCopy(p.cfg.CopyStrategy, obj, written)
-	p.snapshotTime += p.copyModel.Cost(plan)
-	p.applyPlan(snap, a, plan)
-	p.dup.Observe(objID, snap)
-	return diff
-}
-
-// applyPlanChunkBytes is the span below which a snapshot copy plan is
-// applied serially; larger plans split into chunks spread over the pool.
-const applyPlanChunkBytes = 64 << 10
-
-// applyPlan copies the planned device ranges into the host snapshot. Plan
-// ranges are disjoint, so chunks copy into non-overlapping slices and the
-// application parallelizes freely.
-func (p *Profiler) applyPlan(snap []byte, a *gpu.Allocation, plan []interval.Interval) {
-	pool := p.merger.Pool()
-	if pool.Workers() > 1 && interval.TotalBytes(plan) >= 2*applyPlanChunkBytes {
-		chunks := interval.Split(plan, applyPlanChunkBytes)
-		pool.For(len(chunks), func(i int) {
-			iv := chunks[i]
-			copy(snap[iv.Start-a.Addr:iv.End-a.Addr], a.Data[iv.Start-a.Addr:iv.End-a.Addr])
-		})
-		return
-	}
-	for _, iv := range plan {
-		copy(snap[iv.Start-a.Addr:iv.End-a.Addr], a.Data[iv.Start-a.Addr:iv.End-a.Addr])
-	}
-}
-
-func (p *Profiler) onMemset(ev *cuda.APIEvent) {
-	if !p.cfg.Coarse {
-		return
-	}
-	objID := p.objectAt(ev.Dst)
-	if objID < 0 {
-		return
-	}
-	written := []interval.Interval{{Start: ev.Dst, End: ev.Dst + ev.Bytes}}
-	diff := p.refreshSnapshot(objID, written)
-	v := p.graph.Touch(vflow.KindMemset, ev.Name, ev.Frames)
-	p.graph.RecordWrite(v, objID, diff.WrittenBytes, diff.UnchangedBytes)
-	p.graph.AddTime(v, ev.Duration)
-	p.appendCoarse(ev, []profile.ObjectAccess{{
-		ObjectID: objID, WrittenBytes: diff.WrittenBytes,
-		UnchangedBytes: diff.UnchangedBytes, Redundant: diff.Redundant(),
-	}})
-}
-
-func (p *Profiler) onMemcpy(ev *cuda.APIEvent) {
-	if !p.cfg.Coarse {
-		return
-	}
-	var accesses []profile.ObjectAccess
-	v := p.graph.Touch(vflow.KindMemcpy, ev.Name, ev.Frames)
-	p.graph.AddTime(v, ev.Duration)
-
-	switch ev.CopyKind {
-	case gpu.CopyHostToDevice:
-		objID := p.objectAt(ev.Dst)
-		if objID < 0 {
-			return
-		}
-		written := []interval.Interval{{Start: ev.Dst, End: ev.Dst + ev.Bytes}}
-		diff := p.refreshSnapshot(objID, written)
-		// A copy of uniform host bytes is the "use cudaMemset instead"
-		// inefficiency even on first touch; mark the edge redundant so the
-		// value flow graph paints it red (Darknet Inefficiency II).
-		uniform := uniformBytes(ev.HostSrc)
-		redundantBytes := diff.UnchangedBytes
-		if uniform && ev.Bytes > 0 {
-			redundantBytes = diff.WrittenBytes
-		}
-		p.graph.RecordWrite(v, objID, diff.WrittenBytes, redundantBytes)
-		accesses = append(accesses, profile.ObjectAccess{
-			ObjectID: objID, WrittenBytes: diff.WrittenBytes,
-			UnchangedBytes: diff.UnchangedBytes, Redundant: diff.Redundant(),
-			UniformCopy: uniform && ev.Bytes > 0,
-		})
-	case gpu.CopyDeviceToHost:
-		objID := p.objectAt(ev.Src)
-		if objID < 0 {
-			return
-		}
-		p.graph.RecordRead(v, objID, ev.Bytes)
-		p.graph.RecordHostSink(objID, ev.Bytes)
-		accesses = append(accesses, profile.ObjectAccess{ObjectID: objID, ReadBytes: ev.Bytes})
-	case gpu.CopyDeviceToDevice:
-		srcID, dstID := p.objectAt(ev.Src), p.objectAt(ev.Dst)
-		if srcID >= 0 {
-			p.graph.RecordRead(v, srcID, ev.Bytes)
-			accesses = append(accesses, profile.ObjectAccess{ObjectID: srcID, ReadBytes: ev.Bytes})
-		}
-		if dstID >= 0 {
-			written := []interval.Interval{{Start: ev.Dst, End: ev.Dst + ev.Bytes}}
-			diff := p.refreshSnapshot(dstID, written)
-			p.graph.RecordWrite(v, dstID, diff.WrittenBytes, diff.UnchangedBytes)
-			accesses = append(accesses, profile.ObjectAccess{
-				ObjectID: dstID, WrittenBytes: diff.WrittenBytes,
-				UnchangedBytes: diff.UnchangedBytes, Redundant: diff.Redundant(),
-			})
-		}
-	}
-	p.appendCoarse(ev, accesses)
-}
-
+// onLaunch completes a kernel launch: the pipeline drains so every
+// stage's accumulator is fully absorbed and exclusively owned, then each
+// stage finalizes in registration order.
 func (p *Profiler) onLaunch(ev *cuda.APIEvent) {
 	ls := p.launch
 	p.launch = nil
-	if ls == nil {
-		// Launch filtered or sampled out: record presence only.
-		if p.cfg.Coarse {
-			v := p.graph.Touch(vflow.KindKernel, ev.Name, ev.Frames)
-			p.graph.AddTime(v, ev.Duration)
-		}
-		return
-	}
-	ls.finish() // flush the final partial buffer
-	if ls.pipe != nil {
+	if ls != nil {
+		ls.finish() // flush the final partial buffer
 		// Wait for in-flight batches; only analysis the pipeline failed to
 		// hide behind kernel execution is spent here.
 		ls.pipe.drain()
 	}
-
-	// The "data processing kernel": the parallel interval merge runs over
-	// each object's accumulated intervals.
-	mergedW := make(map[int][]interval.Interval, len(ls.writeIvs))
-	for id, ivs := range ls.writeIvs {
-		mergedW[id] = p.merger.MergeParallel(ivs)
-	}
-	mergedR := make(map[int][]interval.Interval, len(ls.readIvs))
-	for id, ivs := range ls.readIvs {
-		mergedR[id] = p.merger.MergeParallel(ivs)
-	}
-
-	if p.cfg.Coarse {
-		v := p.graph.Touch(vflow.KindKernel, ev.Name, ev.Frames)
-		p.graph.AddTime(v, ev.Duration)
-		var accesses []profile.ObjectAccess
-		for _, id := range sortedKeys(mergedR, mergedW) {
-			if id == 0 {
-				continue // shared memory: per-kernel scratch, no global flow
-			}
-			readB := ls.readB[id]
-			if readB > 0 {
-				p.graph.RecordRead(v, id, readB)
-			}
-			var diff vpattern.DiffResult
-			if len(mergedW[id]) > 0 {
-				diff = p.refreshSnapshot(id, mergedW[id])
-				p.graph.RecordWrite(v, id, diff.WrittenBytes, diff.UnchangedBytes)
-			}
-			if readB > 0 || diff.WrittenBytes > 0 {
-				accesses = append(accesses, profile.ObjectAccess{
-					ObjectID: id, ReadBytes: readB,
-					WrittenBytes:   diff.WrittenBytes,
-					UnchangedBytes: diff.UnchangedBytes,
-					Redundant:      diff.Redundant(),
-				})
-			}
+	for i, st := range p.stages {
+		var la LaunchAnalysis
+		if ls != nil {
+			la = ls.stages[i]
 		}
-		p.appendCoarse(ev, accesses)
-	}
-
-	if ls.reuse != nil {
-		h := ls.reuse.Histogram()
-		p.reuse = append(p.reuse, profile.ReuseRecord{
-			Seq: ev.Seq, Kernel: ev.Name,
-			Accesses: h.Total, ColdMisses: h.Cold,
-			Buckets:       append([]uint64(nil), h.Buckets[:]...),
-			L1HitFraction: h.HitFraction(4 << 10),
-			L2HitFraction: h.HitFraction(128 << 10),
-		})
-	}
-
-	if ls.fineAcc != nil {
-		for _, fr := range ls.fineAcc.Finalize() {
-			rec := profile.FineRecord{
-				Seq: ev.Seq, Kernel: ev.Name, ObjectID: fr.ObjectID,
-				Accesses: fr.Accesses, Loads: fr.Loads, Stores: fr.Stores,
-				Bytes: fr.Bytes, Distinct: fr.DistinctValues, Saturated: fr.Saturated,
-			}
-			for _, vc := range fr.TopValues {
-				rec.TopValues = append(rec.TopValues, profile.ValueCount{
-					Value: vc.Value.Format(), Count: vc.Count,
-				})
-			}
-			for _, m := range fr.Patterns {
-				rec.Patterns = append(rec.Patterns, profile.Pattern{
-					Kind: m.Kind.String(), Fraction: m.Fraction, Detail: m.Detail,
-				})
-			}
-			p.fine = append(p.fine, rec)
-		}
+		st.LaunchEnd(ev, la)
 	}
 }
 
-// uniformBytes reports whether all bytes of b share one value.
-func uniformBytes(b []byte) bool {
-	if len(b) == 0 {
-		return false
-	}
-	for _, c := range b[1:] {
-		if c != b[0] {
-			return false
-		}
-	}
-	return true
-}
-
-func sortedKeys(ms ...map[int][]interval.Interval) []int {
-	seen := make(map[int]bool)
-	var out []int
-	for _, m := range ms {
-		for id := range m {
-			if !seen[id] {
-				seen[id] = true
-				out = append(out, id)
-			}
-		}
-	}
-	// insertion sort: key counts are small
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
-
-func (p *Profiler) appendCoarse(ev *cuda.APIEvent, accesses []profile.ObjectAccess) {
-	ctx := p.tree.Intern(ev.Frames)
-	p.coarse = append(p.coarse, profile.CoarseRecord{
-		Seq: ev.Seq, API: ev.Kind.String(), Name: ev.Name,
-		CallPath: p.tree.Format(ctx), Duration: ev.Duration, Objects: accesses,
-	})
-}
-
-// Report assembles the annotated profile.
+// Report assembles the annotated profile: the engine contributes the run
+// header, object table, and collection statistics; each stage contributes
+// its findings.
 func (p *Profiler) Report() *profile.Report {
 	dev := p.rt.Device()
 	st := dev.Stats()
@@ -561,9 +328,6 @@ func (p *Profiler) Report() *profile.Report {
 	rep := &profile.Report{
 		Tool: "ValueExpert", Device: dev.Prof.Name, Program: p.cfg.Program,
 		Objects: append([]profile.Object(nil), p.objects...),
-		Coarse:  append([]profile.CoarseRecord(nil), p.coarse...),
-		Fine:    append([]profile.FineRecord(nil), p.fine...),
-		Reuse:   append([]profile.ReuseRecord(nil), p.reuse...),
 		Stats: profile.RunStats{
 			KernelLaunches:   st.KernelLaunches,
 			LaunchesProfiled: sanSt.LaunchesProfiled,
@@ -577,15 +341,20 @@ func (p *Profiler) Report() *profile.Report {
 			AnalysisTime:     p.analysisTime,
 		},
 	}
-	if p.cfg.Coarse {
-		rep.DuplicateGroups = p.dup.EverGroups()
+	for _, stg := range p.stages {
+		stg.Finish(rep)
 	}
 	return rep
 }
 
 // SnapshotCopyTime reports the simulated cost of snapshot maintenance
 // under the configured copy strategy (the Figure 5 metric).
-func (p *Profiler) SnapshotCopyTime() time.Duration { return p.snapshotTime }
+func (p *Profiler) SnapshotCopyTime() time.Duration {
+	if p.coarse == nil {
+		return 0
+	}
+	return p.coarse.snapshotTime
+}
 
 // String summarizes the profiler configuration.
 func (p *Profiler) String() string {

@@ -331,13 +331,13 @@ func TestObjectMetadataAndCallPaths(t *testing.T) {
 func TestFreeDropsSnapshot(t *testing.T) {
 	rt, p := newProfiled(t, Config{Coarse: true})
 	x, _ := rt.MallocF32(16, "x")
-	if len(p.snapshots) != 1 {
+	if len(p.coarse.snapshots) != 1 {
 		t.Fatal("snapshot not created")
 	}
 	if err := rt.Free(x); err != nil {
 		t.Fatal(err)
 	}
-	if len(p.snapshots) != 0 {
+	if len(p.coarse.snapshots) != 0 {
 		t.Fatal("snapshot not dropped on free")
 	}
 }

@@ -78,8 +78,11 @@ func (r ObjectRef) String() string {
 func (s *Session) CrossDeviceDuplicates() [][]ObjectRef {
 	byHash := make(map[vpattern.SnapshotHash][]ObjectRef)
 	for di, p := range s.profs {
+		if p.coarse == nil {
+			continue
+		}
 		mem := s.rts[di].Device().Mem
-		for id, h := range p.dup.Hashes() {
+		for id, h := range p.coarse.dup.Hashes() {
 			ref := ObjectRef{Device: di, DeviceID: s.rts[di].Device().Prof.Name, ObjectID: id}
 			if a := mem.LookupID(id); a != nil {
 				ref.Tag = a.Tag

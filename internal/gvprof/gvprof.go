@@ -66,6 +66,15 @@ type Profiler struct {
 	copiedBytes  uint64
 }
 
+// Profile attaches GVProf to src's runtime and runs the source's event
+// stream through it — the same entry point shape as ValueExpert's, so
+// the overhead comparison drives both tools from one source.
+func Profile(src cuda.EventSource) (*Profiler, error) {
+	p := Attach(src.Runtime())
+	err := src.Run()
+	return p, err
+}
+
 // Attach installs GVProf on the runtime.
 func Attach(rt *cuda.Runtime) *Profiler {
 	p := &Profiler{

@@ -3,14 +3,17 @@
 // scans, radix sorts, reductions, and a chunked parallel-for.
 //
 // On real hardware these run as data-processing kernels occupying dedicated
-// streaming multiprocessors (paper §6.1); here they are implemented with a
-// fixed pool of goroutine workers so the algorithms keep the same structure
-// (block-local work + cross-block combine) and the same asymptotics.
+// streaming multiprocessors (paper §6.1); here they are implemented over a
+// process-wide bounded Scheduler: each operation keeps the same structure
+// (block-local work + cross-block combine) and the same asymptotics, while
+// the goroutines actually executing the blocks are leased from one shared
+// CPU budget so concurrent profilers cannot oversubscribe the host.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultWorkers is the degree of parallelism used when a Pool is created
@@ -18,23 +21,93 @@ import (
 // processor.
 var DefaultWorkers = runtime.GOMAXPROCS(0)
 
-// Pool is a reusable set of workers that executes data-parallel operations.
-// The zero value is not usable; construct with NewPool.
+// Pool partitions data-parallel operations into chunks. The chunk layout —
+// and therefore every result — depends only on the pool's configured
+// width, never on how many scheduler slots happen to be free: helpers only
+// change which goroutine executes a chunk. The zero value is not usable;
+// construct with NewPool.
 type Pool struct {
 	workers int
+	sched   *Scheduler
 }
 
-// NewPool returns a Pool with the given degree of parallelism. workers <= 0
-// selects DefaultWorkers.
-func NewPool(workers int) *Pool {
+// NewPool returns a Pool with the given degree of parallelism drawing
+// helpers from the shared process-wide scheduler. workers <= 0 selects
+// DefaultWorkers.
+func NewPool(workers int) *Pool { return NewPoolOn(Shared(), workers) }
+
+// NewPoolOn returns a Pool leasing helpers from the given scheduler.
+func NewPoolOn(s *Scheduler, workers int) *Pool {
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
-	return &Pool{workers: workers}
+	return &Pool{workers: workers, sched: s}
 }
 
 // Workers reports the pool's degree of parallelism.
 func (p *Pool) Workers() int { return p.workers }
+
+// run executes fn(c) for every chunk index in [0, nChunks). The calling
+// goroutine always participates; up to min(workers, nChunks)-1 helpers are
+// leased from the scheduler without blocking, so a fully loaded scheduler
+// degrades to sequential execution on the caller. Chunks are claimed from
+// a shared counter, which is safe because every operation writes each
+// chunk's result to a slot determined by the chunk index alone.
+func (p *Pool) run(nChunks int, fn func(c int)) {
+	if nChunks <= 0 {
+		return
+	}
+	helpers := p.workers - 1
+	if helpers > nChunks-1 {
+		helpers = nChunks - 1
+	}
+	if helpers <= 0 {
+		for c := 0; c < nChunks; c++ {
+			fn(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < helpers; i++ {
+		if !p.sched.TryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.sched.Release()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				fn(c)
+			}
+		}()
+	}
+	for {
+		c := int(next.Add(1)) - 1
+		if c >= nChunks {
+			break
+		}
+		fn(c)
+	}
+	wg.Wait()
+}
+
+// chunking returns the chunk size and count for n items: at most Workers
+// contiguous ranges, identical to the layout used since the pool was
+// per-goroutine, so results are bit-stable across scheduler load.
+func (p *Pool) chunking(n int) (chunk, nChunks int) {
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	chunk = (n + w - 1) / w
+	nChunks = (n + chunk - 1) / chunk
+	return chunk, nChunks
+}
 
 // For runs fn(i) for every i in [0, n), partitioning the index space into
 // contiguous chunks, one per worker. fn must be safe to call concurrently
@@ -48,67 +121,38 @@ func (p *Pool) For(n int, fn func(i int)) {
 }
 
 // ForChunks splits [0, n) into at most Workers contiguous ranges and runs
-// fn(lo, hi) for each range on its own worker.
+// fn(lo, hi) for each range.
 func (p *Pool) ForChunks(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	w := p.workers
-	if w > n {
-		w = n
-	}
-	if w == 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
+	chunk, nChunks := p.chunking(n)
+	p.run(nChunks, func(c int) {
+		lo, hi := c*chunk, (c+1)*chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+		fn(lo, hi)
+	})
 }
 
 // MapChunks splits [0, n) into at most p.Workers() contiguous ranges, runs
-// fn(lo, hi) for each range on its own worker, and returns the per-range
-// results in range order — the map half of a map-reduce whose combine the
-// caller performs deterministically over the ordered partials.
+// fn(lo, hi) for each range, and returns the per-range results in range
+// order — the map half of a map-reduce whose combine the caller performs
+// deterministically over the ordered partials.
 func MapChunks[T any](p *Pool, n int, fn func(lo, hi int) T) []T {
 	if n <= 0 {
 		return nil
 	}
-	w := p.workers
-	if w > n {
-		w = n
-	}
-	chunk := (n + w - 1) / w
-	nChunks := (n + chunk - 1) / chunk
+	chunk, nChunks := p.chunking(n)
 	out := make([]T, nChunks)
-	if nChunks == 1 {
-		out[0] = fn(0, n)
-		return out
-	}
-	var wg sync.WaitGroup
-	for c := 0; c < nChunks; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			lo, hi := c*chunk, (c+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			out[c] = fn(lo, hi)
-		}(c)
-	}
-	wg.Wait()
+	p.run(nChunks, func(c int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		out[c] = fn(lo, hi)
+	})
 	return out
 }
 
@@ -121,11 +165,8 @@ func (p *Pool) InclusiveScan(xs []int64) {
 	if n == 0 {
 		return
 	}
-	w := p.workers
-	if w > n {
-		w = n
-	}
-	if w == 1 {
+	chunk, nChunks := p.chunking(n)
+	if nChunks == 1 {
 		var run int64
 		for i := range xs {
 			run += xs[i]
@@ -133,28 +174,19 @@ func (p *Pool) InclusiveScan(xs []int64) {
 		}
 		return
 	}
-	chunk := (n + w - 1) / w
-	nChunks := (n + chunk - 1) / chunk
 	totals := make([]int64, nChunks)
-
-	var wg sync.WaitGroup
-	for c := 0; c < nChunks; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			lo, hi := c*chunk, (c+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			var run int64
-			for i := lo; i < hi; i++ {
-				run += xs[i]
-				xs[i] = run
-			}
-			totals[c] = run
-		}(c)
-	}
-	wg.Wait()
+	p.run(nChunks, func(c int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		var run int64
+		for i := lo; i < hi; i++ {
+			run += xs[i]
+			xs[i] = run
+		}
+		totals[c] = run
+	})
 
 	// Exclusive scan of chunk totals (small; sequential).
 	var run int64
@@ -164,21 +196,17 @@ func (p *Pool) InclusiveScan(xs []int64) {
 		run += t
 	}
 
-	for c := 1; c < nChunks; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			lo, hi := c*chunk, (c+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			off := totals[c]
-			for i := lo; i < hi; i++ {
-				xs[i] += off
-			}
-		}(c)
-	}
-	wg.Wait()
+	p.run(nChunks-1, func(c int) {
+		c++ // chunk 0 needs no fix-up
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		off := totals[c]
+		for i := lo; i < hi; i++ {
+			xs[i] += off
+		}
+	})
 }
 
 // ExclusiveScan replaces xs[i] with the sum of xs[0:i] and returns the total
@@ -201,29 +229,13 @@ func (p *Pool) Reduce(xs []int64) int64 {
 	if n == 0 {
 		return 0
 	}
-	w := p.workers
-	if w > n {
-		w = n
-	}
-	partials := make([]int64, w)
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for c := 0; c*chunk < n; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			lo, hi := c*chunk, (c+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			var s int64
-			for i := lo; i < hi; i++ {
-				s += xs[i]
-			}
-			partials[c] = s
-		}(c)
-	}
-	wg.Wait()
+	partials := MapChunks(p, n, func(lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		return s
+	})
 	var total int64
 	for _, s := range partials {
 		total += s
@@ -237,31 +249,15 @@ func (p *Pool) MaxUint64(xs []uint64) uint64 {
 	if n == 0 {
 		return 0
 	}
-	w := p.workers
-	if w > n {
-		w = n
-	}
-	partials := make([]uint64, w)
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for c := 0; c*chunk < n; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			lo, hi := c*chunk, (c+1)*chunk
-			if hi > n {
-				hi = n
+	partials := MapChunks(p, n, func(lo, hi int) uint64 {
+		m := xs[lo]
+		for i := lo + 1; i < hi; i++ {
+			if xs[i] > m {
+				m = xs[i]
 			}
-			m := xs[lo]
-			for i := lo + 1; i < hi; i++ {
-				if xs[i] > m {
-					m = xs[i]
-				}
-			}
-			partials[c] = m
-		}(c)
-	}
-	wg.Wait()
+		}
+		return m
+	})
 	m := partials[0]
 	for _, v := range partials[1:] {
 		if v > m {

@@ -1,11 +1,9 @@
 package parallel
 
-import "sync"
-
 // RadixSortUint64 sorts keys ascending using a parallel least-significant-
 // digit radix sort with 8-bit digits. This is the O(N) key sort that gives
 // the paper's parallel interval merge its O(log N) depth on a PRAM; here the
-// histogram and scatter phases run across the worker pool.
+// histogram and scatter phases run across scheduler-leased workers.
 //
 // The sort is stable, which the interval merge relies on: for equal
 // addresses, record order decides whether an end marker lands after a start
@@ -23,12 +21,7 @@ func (p *Pool) RadixSortUint64(keys []uint64) {
 	buf := make([]uint64, n)
 	src, dst := keys, buf
 
-	w := p.workers
-	if w > n {
-		w = n
-	}
-	chunk := (n + w - 1) / w
-	nChunks := (n + chunk - 1) / chunk
+	chunk, nChunks := p.chunking(n)
 
 	// hist[c][d] = count of digit d in chunk c.
 	hist := make([][256]int64, nChunks)
@@ -39,23 +32,17 @@ func (p *Pool) RadixSortUint64(keys []uint64) {
 		if shift > 0 && maxKey>>shift == 0 {
 			break // all remaining digits are zero
 		}
-		var wg sync.WaitGroup
-		for c := 0; c < nChunks; c++ {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				lo, hi := c*chunk, (c+1)*chunk
-				if hi > n {
-					hi = n
-				}
-				var h [256]int64
-				for i := lo; i < hi; i++ {
-					h[byte(src[i]>>shift)]++
-				}
-				hist[c] = h
-			}(c)
-		}
-		wg.Wait()
+		p.run(nChunks, func(c int) {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			var h [256]int64
+			for i := lo; i < hi; i++ {
+				h[byte(src[i]>>shift)]++
+			}
+			hist[c] = h
+		})
 
 		// Exclusive scan over (digit, chunk) in digit-major order so the
 		// scatter is stable.
@@ -68,23 +55,18 @@ func (p *Pool) RadixSortUint64(keys []uint64) {
 			}
 		}
 
-		for c := 0; c < nChunks; c++ {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				lo, hi := c*chunk, (c+1)*chunk
-				if hi > n {
-					hi = n
-				}
-				offs := hist[c]
-				for i := lo; i < hi; i++ {
-					d := byte(src[i] >> shift)
-					dst[offs[d]] = src[i]
-					offs[d]++
-				}
-			}(c)
-		}
-		wg.Wait()
+		p.run(nChunks, func(c int) {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			offs := hist[c]
+			for i := lo; i < hi; i++ {
+				d := byte(src[i] >> shift)
+				dst[offs[d]] = src[i]
+				offs[d]++
+			}
+		})
 
 		src, dst = dst, src
 	}

@@ -1,0 +1,70 @@
+package parallel
+
+import "runtime"
+
+// Scheduler is a process-wide budget of analysis worker slots. Every
+// source of host-side analysis parallelism — interval-merge pool chunks,
+// pipeline batch-compaction workers, snapshot-diff chunks — leases slots
+// from one shared scheduler, so N concurrent profilers (or a multi-GPU
+// Session) divide one CPU budget between them instead of each spawning
+// GOMAXPROCS workers and oversubscribing the machine.
+//
+// Two leasing disciplines keep the scheduler deadlock-free by
+// construction:
+//
+//   - Pool operations use TryAcquire for their helper goroutines: the
+//     calling goroutine always participates in the work, so when no slots
+//     are free the operation degrades to sequential execution on the
+//     caller. A pool helper never blocks on the scheduler.
+//   - Pipeline workers use the blocking Acquire, but only around one
+//     batch's compaction — a finite, leaf computation that performs no
+//     scheduler calls of its own — and release the slot before waiting
+//     for more work.
+//
+// Every slot holder therefore runs straight-line work to completion, so
+// slots always recirculate and no lease can wait on another lease.
+type Scheduler struct {
+	slots chan struct{}
+}
+
+// NewScheduler creates a scheduler with the given number of slots.
+// capacity <= 0 selects GOMAXPROCS.
+func NewScheduler(capacity int) *Scheduler {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{slots: make(chan struct{}, capacity)}
+	for i := 0; i < capacity; i++ {
+		s.slots <- struct{}{}
+	}
+	return s
+}
+
+// shared is the process-wide scheduler all pools and pipelines default to.
+var shared = NewScheduler(0)
+
+// Shared returns the process-wide scheduler.
+func Shared() *Scheduler { return shared }
+
+// Capacity reports the total number of slots.
+func (s *Scheduler) Capacity() int { return cap(s.slots) }
+
+// Idle reports the number of currently unleased slots.
+func (s *Scheduler) Idle() int { return len(s.slots) }
+
+// TryAcquire leases a slot if one is free, without blocking.
+func (s *Scheduler) TryAcquire() bool {
+	select {
+	case <-s.slots:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire leases a slot, blocking until one frees. Callers must hold the
+// slot only across finite leaf work that itself makes no Acquire calls.
+func (s *Scheduler) Acquire() { <-s.slots }
+
+// Release returns a leased slot.
+func (s *Scheduler) Release() { s.slots <- struct{}{} }

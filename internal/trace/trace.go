@@ -185,17 +185,28 @@ func (k *replayKernel) Execute(dev *gpu.Device, _, _ gpu.Dim3, hook gpu.AccessFu
 	return nil
 }
 
-// Replay re-executes a recorded trace against a fresh runtime with the
-// given interceptor-style consumer attached before the stream starts.
-// attach receives the runtime (e.g. to attach a profiler) and runs before
-// the first event. Allocation order is replayed exactly, so object IDs
-// and device addresses match the recording.
-func Replay(rd io.Reader, prof gpu.Profile, attach func(rt *cuda.Runtime)) error {
-	rt := cuda.NewRuntime(prof)
-	if attach != nil {
-		attach(rt)
-	}
-	dec := json.NewDecoder(rd)
+// Source replays a recorded trace as a cuda.EventSource: the offline
+// counterpart of cuda.LiveSource. Allocation order is replayed exactly,
+// so object IDs and device addresses match the recording, and any
+// consumer attached to Runtime() before Run observes the same stream the
+// live program produced.
+type Source struct {
+	rt *cuda.Runtime
+	rd io.Reader
+}
+
+// NewSource creates a replay source reading the trace from rd into a
+// fresh runtime simulating prof.
+func NewSource(rd io.Reader, prof gpu.Profile) *Source {
+	return &Source{rt: cuda.NewRuntime(prof), rd: rd}
+}
+
+// Runtime implements cuda.EventSource.
+func (s *Source) Runtime() *cuda.Runtime { return s.rt }
+
+// Run implements cuda.EventSource by re-executing the recorded stream.
+func (s *Source) Run() error {
+	dec := json.NewDecoder(s.rd)
 	for i := 0; ; i++ {
 		var e event
 		if err := dec.Decode(&e); err == io.EOF {
@@ -204,16 +215,28 @@ func Replay(rd io.Reader, prof gpu.Profile, attach func(rt *cuda.Runtime)) error
 			return fmt.Errorf("trace: decode event %d: %w", i, err)
 		}
 		for _, f := range e.Frames {
-			rt.PushFrame(f)
+			s.rt.PushFrame(f)
 		}
-		err := applyEvent(rt, &e)
+		err := applyEvent(s.rt, &e)
 		for range e.Frames {
-			rt.PopFrame()
+			s.rt.PopFrame()
 		}
 		if err != nil {
 			return fmt.Errorf("trace: replay event %d (%s %s): %w", i, e.Kind, e.Name, err)
 		}
 	}
+}
+
+// Replay re-executes a recorded trace against a fresh runtime with the
+// given interceptor-style consumer attached before the stream starts.
+// attach receives the runtime (e.g. to attach a profiler) and runs before
+// the first event.
+func Replay(rd io.Reader, prof gpu.Profile, attach func(rt *cuda.Runtime)) error {
+	src := NewSource(rd, prof)
+	if attach != nil {
+		attach(src.Runtime())
+	}
+	return src.Run()
 }
 
 func applyEvent(rt *cuda.Runtime, e *event) error {

@@ -44,6 +44,37 @@ type Profiler = core.Profiler
 // Attach installs ValueExpert on a runtime. Detach with Profiler.Detach.
 func Attach(rt *cuda.Runtime, cfg Config) *Profiler { return core.Attach(rt, cfg) }
 
+// EventSource is a producer of a GPU API event stream — live execution
+// (NewLiveSource) or trace replay (trace.NewSource) — that profilers
+// consume identically.
+type EventSource = cuda.EventSource
+
+// NewLiveSource adapts a live program issuing GPU work against rt to the
+// EventSource interface.
+func NewLiveSource(rt *cuda.Runtime, run func(rt *cuda.Runtime) error) EventSource {
+	return cuda.NewLiveSource(rt, run)
+}
+
+// Profile attaches a profiler to src's runtime and runs the source's
+// event stream through it. The profiler is returned even on error,
+// holding whatever the stream produced before failing.
+func Profile(src EventSource, cfg Config) (*Profiler, error) {
+	return core.Profile(src, cfg)
+}
+
+// Analysis is one pluggable stage of the analysis engine; register custom
+// stages through Config.Analyses. BaseStage supplies no-op defaults for
+// the optional lifecycle methods.
+type (
+	Analysis        = core.Analysis
+	AnalysisFactory = core.AnalysisFactory
+	AnalysisEnv     = core.Env
+	LaunchAnalysis  = core.LaunchAnalysis
+	Batch           = core.Batch
+	Partial         = core.Partial
+	BaseStage       = core.BaseStage
+)
+
 // Report is the annotated profile produced by Profiler.Report.
 type Report = profile.Report
 
