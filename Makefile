@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: verify fmt build vet test race bench bench-smoke
+# Minimum statement coverage for the analysis heart of the tool. Both
+# packages sit above 90% today; the floor leaves room for small drift but
+# catches untested growth.
+COVER_FLOOR ?= 85.0
+COVER_PKGS  ?= ./internal/vpattern ./internal/core
 
-verify: fmt build vet test race bench-smoke
+.PHONY: verify fmt build vet test race bench bench-smoke cover
+
+verify: fmt build vet test race bench-smoke cover
 
 # fmt fails if any file is not gofmt-clean.
 fmt:
@@ -31,3 +37,14 @@ bench:
 # real measurement.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# cover enforces COVER_FLOOR percent statement coverage on COVER_PKGS.
+cover:
+	@$(GO) test -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) '\
+	{ print } \
+	/coverage:/ { \
+		for (i = 1; i <= NF; i++) if ($$i == "coverage:") pct = $$(i+1); \
+		sub(/%/, "", pct); \
+		if (pct + 0 < floor + 0) { bad = 1; print "FAIL: " $$2 " coverage " pct "% below floor " floor "%" } \
+	} \
+	END { exit bad }'

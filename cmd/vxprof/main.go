@@ -8,7 +8,7 @@
 //
 //	vxprof -workload Darknet [-device "RTX 2080 Ti"] [-coarse] [-fine]
 //	       [-kernels fill_kernel,gemm_kernel] [-sample 20]
-//	       [-workers 4] [-depth 4]
+//	       [-patterns "single zero,heavy type"] [-workers 4] [-depth 4]
 //	       [-scale 8] [-json profile.json] [-dot flow.dot] [-optimized]
 package main
 
@@ -33,6 +33,7 @@ func main() {
 		coarse    = flag.Bool("coarse", true, "enable coarse-grained value pattern analysis")
 		fine      = flag.Bool("fine", true, "enable fine-grained value pattern analysis")
 		kernels   = flag.String("kernels", "", "comma-separated kernel filter for fine analysis")
+		patterns  = flag.String("patterns", "", "comma-separated pattern detectors to run (default: all; unknown names list the valid set)")
 		sample    = flag.Int("sample", 1, "kernel/block sampling period for fine analysis")
 		scale     = flag.Int("scale", 8, "problem-size divisor (1 = full scale)")
 		jsonOut   = flag.String("json", "", "write the profile as JSON to this file")
@@ -53,13 +54,19 @@ func main() {
 		}
 		return
 	}
-	if err := validateFlags(*workers, *depth); err != nil {
+	if err := validateFlags(*workers, *depth, *sample, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "vxprof:", err)
+		os.Exit(2)
+	}
+	patternList, err := parsePatterns(*patterns)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vxprof:", err)
 		os.Exit(2)
 	}
 	o := &options{
 		device: *device, coarse: *coarse, fine: *fine, reuseDist: *reuseDist,
-		kernels: *kernels, sample: *sample, workers: *workers, depth: *depth,
+		kernels: *kernels, patterns: patternList, sample: *sample,
+		workers: *workers, depth: *depth,
 		jsonOut: *jsonOut, dotOut: *dotOut, htmlOut: *htmlOut,
 	}
 	if *replayIn != "" {
@@ -92,6 +99,7 @@ type options struct {
 	coarse, fine    bool
 	reuseDist       bool
 	kernels         string
+	patterns        []string
 	sample          int
 	workers, depth  int
 	jsonOut, dotOut string
@@ -99,14 +107,39 @@ type options struct {
 }
 
 // validateFlags rejects flag values with no meaningful interpretation.
-func validateFlags(workers, depth int) error {
+func validateFlags(workers, depth, sample, scale int) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d (0 = synchronous analysis)", workers)
 	}
 	if depth < 0 {
 		return fmt.Errorf("-depth must be >= 0, got %d (0 = default pipeline depth)", depth)
 	}
+	if sample < 1 {
+		return fmt.Errorf("-sample must be >= 1, got %d (1 = profile every kernel and block)", sample)
+	}
+	if scale < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d (1 = full problem size)", scale)
+	}
 	return nil
+}
+
+// parsePatterns turns the -patterns flag into a validated name list. The
+// empty flag selects the registry's default set (nil); unknown names are
+// rejected with the valid set listed.
+func parsePatterns(flagVal string) ([]string, error) {
+	if strings.TrimSpace(flagVal) == "" {
+		return nil, nil
+	}
+	names := []string{}
+	for _, n := range strings.Split(flagVal, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if _, err := valueexpert.ParsePatternSet(names); err != nil {
+		return nil, fmt.Errorf("-patterns: %w", err)
+	}
+	return names, nil
 }
 
 // config builds the profiler configuration for the named program.
@@ -123,6 +156,7 @@ func (o *options) config(program string) valueexpert.Config {
 		Coarse:               o.coarse,
 		Fine:                 o.fine,
 		ReuseDistance:        o.reuseDist,
+		Patterns:             o.patterns,
 		KernelFilter:         filter,
 		KernelSamplingPeriod: o.sample,
 		BlockSamplingPeriod:  o.sample,

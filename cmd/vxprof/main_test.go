@@ -81,18 +81,83 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(0, 0); err != nil {
+	if err := validateFlags(0, 0, 1, 8); err != nil {
 		t.Fatalf("defaults rejected: %v", err)
 	}
-	if err := validateFlags(4, 4); err != nil {
+	if err := validateFlags(4, 4, 20, 1); err != nil {
 		t.Fatalf("valid settings rejected: %v", err)
 	}
-	err := validateFlags(-1, 0)
+	err := validateFlags(-1, 0, 1, 8)
 	if err == nil || !strings.Contains(err.Error(), "-workers") {
 		t.Fatalf("negative -workers: %v", err)
 	}
-	err = validateFlags(0, -3)
+	err = validateFlags(0, -3, 1, 8)
 	if err == nil || !strings.Contains(err.Error(), "-depth") {
 		t.Fatalf("negative -depth: %v", err)
+	}
+	err = validateFlags(0, 0, 0, 8)
+	if err == nil || !strings.Contains(err.Error(), "-sample") {
+		t.Fatalf("zero -sample: %v", err)
+	}
+	err = validateFlags(0, 0, -5, 8)
+	if err == nil || !strings.Contains(err.Error(), "-sample") {
+		t.Fatalf("negative -sample: %v", err)
+	}
+	err = validateFlags(0, 0, 1, 0)
+	if err == nil || !strings.Contains(err.Error(), "-scale") {
+		t.Fatalf("zero -scale: %v", err)
+	}
+}
+
+func TestParsePatterns(t *testing.T) {
+	names, err := parsePatterns("")
+	if err != nil || names != nil {
+		t.Fatalf("empty flag: %v %v", names, err)
+	}
+	names, err = parsePatterns(" single zero , heavy type ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "single zero" || names[1] != "heavy type" {
+		t.Fatalf("parsed names: %v", names)
+	}
+	_, err = parsePatterns("single zero,bogus pattern")
+	if err == nil || !strings.Contains(err.Error(), `"bogus pattern"`) {
+		t.Fatalf("unknown pattern accepted: %v", err)
+	}
+	// The rejection must teach the user the valid vocabulary.
+	if !strings.Contains(err.Error(), "valid:") || !strings.Contains(err.Error(), "heavy type") {
+		t.Fatalf("error does not list valid set: %v", err)
+	}
+}
+
+func TestRunWithPatternSubset(t *testing.T) {
+	dir := t.TempDir()
+	jsonOut := filepath.Join(dir, "p.json")
+	o := &options{
+		device: "RTX 2080 Ti", coarse: true, fine: true, sample: 1,
+		patterns: []string{"redundant values", "single zero"},
+		jsonOut:  jsonOut,
+	}
+	if err := run("Darknet", o, 64, false); err != nil {
+		t.Fatal(err)
+	}
+	js, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), "\"enabled_patterns\"") {
+		t.Fatalf("non-default selection not recorded in report")
+	}
+	// Disabled detectors must leave no rows: Darknet's default report has
+	// "single value" and "heavy type" fine findings; the subset run must
+	// not.
+	for _, gone := range []string{"single value", "heavy type", "structured values"} {
+		if strings.Contains(string(js), `"kind": "`+gone+`"`) {
+			t.Fatalf("disabled pattern %q still reported", gone)
+		}
+	}
+	if !strings.Contains(string(js), `"kind": "single zero"`) {
+		t.Fatalf("enabled pattern missing from report")
 	}
 }

@@ -31,14 +31,7 @@ func (d Dim3) Count() int {
 
 // Flat returns the linearized index of coordinate c within extent d.
 func (d Dim3) Flat(c Dim3) int {
-	return (c.Z*maxInt(d.Y, 1)+c.Y)*maxInt(d.X, 1) + c.X
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return (c.Z*max(d.Y, 1)+c.Y)*max(d.X, 1) + c.X
 }
 
 // WarpSize is the number of threads per warp, as on all NVIDIA parts the
@@ -424,8 +417,8 @@ func (k *GoKernel) Execute(dev *Device, grid, block Dim3, hook AccessFunc, block
 }
 
 func unflatten(d Dim3, flat int) Dim3 {
-	x := maxInt(d.X, 1)
-	y := maxInt(d.Y, 1)
+	x := max(d.X, 1)
+	y := max(d.Y, 1)
 	return Dim3{X: flat % x, Y: (flat / x) % y, Z: flat / (x * y)}
 }
 

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"valueexpert/internal/profile"
 	"valueexpert/internal/vflow"
+	"valueexpert/internal/vpattern"
 )
 
 // Suggestion is one optimization opportunity.
@@ -49,12 +51,48 @@ func (s Suggestion) String() string {
 	return out
 }
 
+// Rule derives one pattern kind's suggestions from a whole report — the
+// report-level counterpart of a registration's per-match FineAdvice, used
+// by patterns whose evidence spans records (coarse tables, duplicate
+// groups). Rules registered for kinds absent from the report emit
+// nothing.
+type Rule func(rep *profile.Report) []Suggestion
+
+var rules = struct {
+	sync.RWMutex
+	m map[vpattern.Kind]Rule
+}{m: make(map[vpattern.Kind]Rule)}
+
+// RegisterRule installs the report-level suggestion rule for pattern kind
+// k, replacing any previous rule. Analyze runs rules in the pattern
+// registry's registration order, so suggestion order tracks the registry
+// like report rows do.
+func RegisterRule(k vpattern.Kind, r Rule) {
+	rules.Lock()
+	defer rules.Unlock()
+	rules.m[k] = r
+}
+
+func init() {
+	RegisterRule(vpattern.RedundantValues, coarseSuggestions)
+	RegisterRule(vpattern.DuplicateValues, duplicateSuggestions)
+}
+
 // Analyze derives suggestions from a report (and optionally its value
-// flow graph for flow-level evidence), ranked by estimated benefit.
+// flow graph for flow-level evidence), ranked by estimated benefit. Each
+// registered pattern contributes through its report-level Rule or its
+// registration's per-match FineAdvice; flow-level evidence rides the
+// redundant-values findings.
 func Analyze(rep *profile.Report, graph *vflow.Graph) []Suggestion {
 	var out []Suggestion
-	out = append(out, coarseSuggestions(rep)...)
-	out = append(out, duplicateSuggestions(rep)...)
+	for _, reg := range vpattern.All() {
+		rules.RLock()
+		rule := rules.m[reg.Kind]
+		rules.RUnlock()
+		if rule != nil {
+			out = append(out, rule(rep)...)
+		}
+	}
 	out = append(out, fineSuggestions(rep)...)
 	if graph != nil {
 		out = append(out, flowSuggestions(rep, graph)...)
@@ -175,27 +213,23 @@ func fineSuggestions(rep *profile.Report) []Suggestion {
 	best := map[key]Suggestion{}
 	for _, f := range rep.Fine {
 		for _, p := range f.Patterns {
+			// The registry's per-kind advice replaces the old hard-wired
+			// switch: any registered pattern with a FineAdvice — including
+			// out-of-tree ones — turns its matches into suggestions.
+			reg, regOK := vpattern.LookupName(p.Kind)
+			if !regOK || reg.Advise == nil {
+				continue
+			}
+			m := vpattern.Match{Kind: reg.Kind, Fraction: p.Fraction, Detail: p.Detail}
+			title, benefit, ok := reg.Advise(m, f.Bytes)
+			if !ok {
+				continue
+			}
 			obj := objName(rep, f.ObjectID)
 			where := fmt.Sprintf("kernel %s accessing %s", f.Kernel, obj)
-			s := Suggestion{Pattern: p.Kind, Where: where, Detail: p.Detail, Benefit: f.Bytes}
-			switch p.Kind {
-			case "single zero":
-				s.Title = "conditionally bypass computation and stores when the operand is zero"
-			case "single value":
-				s.Title = "contract the array to a scalar (all accessed values identical)"
-			case "frequent values":
-				s.Title = "add conditional computation for the hot value(s) to skip redundant work"
-				s.Benefit = uint64(float64(f.Bytes) * p.Fraction)
-			case "heavy type":
-				s.Title = "demote the element type to shrink memory traffic"
-				s.Benefit = uint64(float64(f.Bytes) * p.Fraction)
-			case "structured values":
-				s.Title = "compute values from array indices instead of loading them"
-			case "approximate values":
-				s.Title = "exploit the pattern after mantissa relaxation (accuracy budget permitting)"
-				s.Benefit = uint64(float64(f.Bytes) * p.Fraction * 0.5)
-			default:
-				continue
+			s := Suggestion{
+				Pattern: p.Kind, Where: where, Detail: p.Detail,
+				Title: title, Benefit: benefit,
 			}
 			k := key{f.Kernel, obj, p.Kind}
 			if old, ok := best[k]; !ok || s.Benefit > old.Benefit {

@@ -6,6 +6,7 @@ import (
 	"valueexpert/gpu"
 	"valueexpert/internal/profile"
 	"valueexpert/internal/vflow"
+	"valueexpert/internal/vpattern"
 )
 
 // Batch is one flushed sanitizer buffer plus everything that must be
@@ -113,6 +114,9 @@ type Env struct {
 	Tree  *callpath.Tree
 	Graph *vflow.Graph
 	Cfg   *Config
+	// Patterns is the resolved enabled-pattern set (nil: registry
+	// defaults). Stages consult it so a disabled pattern costs no work.
+	Patterns vpattern.Set
 }
 
 // AnalysisFactory builds one stage instance per attached profiler. A

@@ -25,6 +25,12 @@ type coarseStage struct {
 	merger *interval.Merger
 	dup    *vpattern.DuplicateTracker
 
+	// redundant/duplicate gate the two coarse-grained patterns on the
+	// registry's enabled set: with both off, no snapshots are kept and no
+	// diffing or hashing runs — only byte accounting and the flow graph.
+	redundant bool
+	duplicate bool
+
 	// snapshots maintains each data object's value snapshot on the host
 	// (§5.1: "a data object's value snapshot ... is maintained on the CPU
 	// to reduce the GPU memory consumption").
@@ -50,6 +56,8 @@ func newCoarseStage(env Env) *coarseStage {
 		graph:     env.Graph,
 		merger:    interval.NewMerger(env.Cfg.MergeWorkers),
 		dup:       vpattern.NewDuplicateTracker(),
+		redundant: env.Patterns.Enabled(vpattern.RedundantValues),
+		duplicate: env.Patterns.Enabled(vpattern.DuplicateValues),
 		snapshots: make(map[int][]byte),
 		defined:   make(map[int][]interval.Interval),
 		copyModel: interval.CopyCostModel{
@@ -99,9 +107,11 @@ func (s *coarseStage) onMalloc(ev *cuda.APIEvent) {
 	}
 	v := s.graph.Touch(vflow.KindAlloc, a.Tag, ev.Frames)
 	s.graph.RecordAlloc(v, a.ID)
-	snap := make([]byte, a.Size)
-	copy(snap, a.Data)
-	s.snapshots[a.ID] = snap
+	if s.redundant || s.duplicate {
+		snap := make([]byte, a.Size)
+		copy(snap, a.Data)
+		s.snapshots[a.ID] = snap
+	}
 }
 
 // refreshSnapshot diffs the object's stored snapshot against current
@@ -112,23 +122,33 @@ func (s *coarseStage) refreshSnapshot(objID int, written []interval.Interval) vp
 	a := mem.LookupID(objID)
 	snap := s.snapshots[objID]
 	if a == nil || !a.Live || snap == nil {
+		// No snapshot is kept when both coarse patterns are disabled;
+		// written bytes still feed the flow graph's traffic accounting.
+		if a != nil && a.Live && !s.redundant && !s.duplicate {
+			return vpattern.DiffResult{WrittenBytes: interval.TotalBytes(written)}
+		}
 		return vpattern.DiffResult{}
 	}
-	// Diff only over bytes whose previous value is defined; the rest of
-	// the written range counts as changed (first touch). Large diffs chunk
-	// over the merger's pool; the combine is integer addition, so the
-	// result is exactly the sequential one.
-	writtenBytes := interval.TotalBytes(written)
-	diffable := interval.Intersect(written, s.defined[objID])
-	diff := vpattern.DiffSnapshotsParallel(s.merger.Pool(), snap, a.Data, diffable, a.Addr)
-	diff.WrittenBytes = writtenBytes
-	s.defined[objID] = interval.Union(s.defined[objID], written)
+	var diff vpattern.DiffResult
+	diff.WrittenBytes = interval.TotalBytes(written)
+	if s.redundant {
+		// Diff only over bytes whose previous value is defined; the rest of
+		// the written range counts as changed (first touch). Large diffs chunk
+		// over the merger's pool; the combine is integer addition, so the
+		// result is exactly the sequential one.
+		diffable := interval.Intersect(written, s.defined[objID])
+		d := vpattern.DiffSnapshotsParallel(s.merger.Pool(), snap, a.Data, diffable, a.Addr)
+		diff.UnchangedBytes = d.UnchangedBytes
+		s.defined[objID] = interval.Union(s.defined[objID], written)
+	}
 
 	obj := interval.Interval{Start: a.Addr, End: a.End()}
 	plan := interval.PlanCopy(s.cfg.CopyStrategy, obj, written)
 	s.snapshotTime += s.copyModel.Cost(plan)
 	s.applyPlan(snap, a, plan)
-	s.dup.Observe(objID, snap)
+	if s.duplicate {
+		s.dup.Observe(objID, snap)
+	}
 	return diff
 }
 
@@ -185,8 +205,9 @@ func (s *coarseStage) onMemcpy(ev *cuda.APIEvent) {
 		diff := s.refreshSnapshot(objID, written)
 		// A copy of uniform host bytes is the "use cudaMemset instead"
 		// inefficiency even on first touch; mark the edge redundant so the
-		// value flow graph paints it red (Darknet Inefficiency II).
-		uniform := uniformBytes(ev.HostSrc)
+		// value flow graph paints it red (Darknet Inefficiency II). This is
+		// a redundant-values finding, so it obeys that pattern's gate.
+		uniform := s.redundant && uniformBytes(ev.HostSrc)
 		redundantBytes := diff.UnchangedBytes
 		if uniform && ev.Bytes > 0 {
 			redundantBytes = diff.WrittenBytes

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"runtime"
 
 	"valueexpert/cuda"
@@ -11,15 +10,20 @@ import (
 )
 
 // fineStage is the fine-grained analyzer (§5.1): it accumulates every
-// instrumented access's value into per-object histograms and recognizes
-// the per-kernel value patterns (frequent, single value, single zero,
-// heavy type, structured, approximate).
+// instrumented access's value into per-object histograms and fans each
+// access out to the registry's enabled fine-grained detectors (frequent,
+// single value, single zero, heavy type, structured, approximate, plus
+// any out-of-tree registrations). A detector disabled in Env.Patterns is
+// never constructed, so it costs nothing in Compact or Absorb.
 type fineStage struct {
 	cfg     vpattern.FineConfig
+	regs    []vpattern.Registration
 	records []profile.FineRecord
 }
 
-func newFineStage(env Env) *fineStage { return &fineStage{cfg: env.Cfg.FineConfig} }
+func newFineStage(env Env) *fineStage {
+	return &fineStage{cfg: env.Cfg.FineConfig, regs: vpattern.FineDetectors(env.Patterns)}
+}
 
 func (s *fineStage) Name() string        { return "fine" }
 func (s *fineStage) NeedsAccesses() bool { return true }
@@ -33,22 +37,20 @@ func (s *fineStage) APIEnd(*cuda.APIEvent)   {}
 
 // fineLaunch accumulates one instrumented launch's values.
 type fineLaunch struct {
-	cfg vpattern.FineConfig
 	acc *vpattern.FineAccumulator
 }
 
 func (s *fineStage) LaunchBegin(string) LaunchAnalysis {
-	return &fineLaunch{cfg: s.cfg, acc: vpattern.NewFineAccumulator(s.cfg)}
+	return &fineLaunch{acc: vpattern.NewFineAccumulatorWith(s.cfg, s.regs)}
 }
 
 // Compact accumulates the batch's values into an independent uncapped
-// shard. The shard must not saturate: the master re-applies the
-// configured cap during the in-order merge, reproducing global
-// first-occurrence eviction exactly (see FineAccumulator.Merge).
+// shard running the same detector lineup. The shard must not saturate:
+// the master re-applies the configured cap during the in-order merge,
+// reproducing global first-occurrence eviction exactly (see
+// FineAccumulator.Merge).
 func (la *fineLaunch) Compact(b *Batch) Partial {
-	shardCfg := la.cfg
-	shardCfg.MaxTrackedValues = math.MaxInt
-	shard := vpattern.NewFineAccumulator(shardCfg)
+	shard := la.acc.NewShard()
 	for i, a := range b.Recs {
 		if b.Yield {
 			runtime.Gosched()

@@ -35,6 +35,14 @@ type Config struct {
 	// FineConfig tunes fine-grained recognition thresholds.
 	FineConfig vpattern.FineConfig
 
+	// Patterns selects the value-pattern detectors to run, by registry
+	// name (vpattern.Names). nil runs every pattern enabled by default;
+	// an empty non-nil slice disables them all. A pattern left out is
+	// never constructed — it costs no per-access work, emits no report
+	// rows, and yields no suggestions. Unknown names panic in Attach;
+	// callers taking user input validate with vpattern.ParseSet first.
+	Patterns []string
+
 	// Instrumentation scope and sampling (§6.2).
 	BufferRecords        int
 	KernelFilter         func(name string) bool
@@ -81,8 +89,9 @@ type Config struct {
 // Profiler is a ValueExpert instance attached to one runtime. It is the
 // collection engine: stages do the analysis.
 type Profiler struct {
-	cfg Config
-	rt  *cuda.Runtime
+	cfg      Config
+	patterns vpattern.Set
+	rt       *cuda.Runtime
 
 	tree  *callpath.Tree
 	graph *vflow.Graph
@@ -123,15 +132,20 @@ func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
 			cfg.PipelineDepth = 1
 		}
 	}
+	patterns, err := vpattern.ParseSet(cfg.Patterns)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
 	p := &Profiler{
-		cfg:   cfg,
-		rt:    rt,
-		tree:  callpath.NewTree(),
-		sched: parallel.Shared(),
+		cfg:      cfg,
+		patterns: patterns,
+		rt:       rt,
+		tree:     callpath.NewTree(),
+		sched:    parallel.Shared(),
 	}
 	p.graph = vflow.New(p.tree)
 
-	env := Env{RT: rt, Tree: p.tree, Graph: p.graph, Cfg: &p.cfg}
+	env := Env{RT: rt, Tree: p.tree, Graph: p.graph, Cfg: &p.cfg, Patterns: patterns}
 	if cfg.Coarse {
 		p.coarse = newCoarseStage(env)
 		p.stages = append(p.stages, p.coarse)
@@ -340,6 +354,12 @@ func (p *Profiler) Report() *profile.Report {
 			MemoryTime:       st.MemoryTime(),
 			AnalysisTime:     p.analysisTime,
 		},
+	}
+	// Record a non-default detector selection so report consumers know
+	// which patterns ran; the default set stays implicit, keeping the
+	// default-config report unchanged.
+	if p.cfg.Patterns != nil {
+		rep.EnabledPatterns = p.patterns.Names()
 	}
 	for _, stg := range p.stages {
 		stg.Finish(rep)

@@ -140,13 +140,6 @@ func abbrev(s string) string {
 	return s
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // ---------------------------------------------------------------------------
 // Table 3 / Table 4 — optimization speedups.
 // ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@ import (
 	"html"
 	"math"
 	"strings"
+	"sync"
 
 	"valueexpert/internal/advisor"
 	"valueexpert/internal/layout"
@@ -68,8 +69,41 @@ func RenderHTML(rep *profile.Report, graph *vflow.Graph, opts Options) string {
 	renderDuplicates(&b, rep)
 	renderFine(&b, rep, opts.MaxFineRows)
 	renderReuse(&b, rep)
+	renderRegisteredSections(&b, rep)
 	b.WriteString("</body></html>\n")
 	return b.String()
+}
+
+// sections are the registered extra report sections, rendered after the
+// built-in tables in registration order.
+var sections = struct {
+	sync.RWMutex
+	order []string
+	m     map[string]func(rep *profile.Report) string
+}{m: make(map[string]func(rep *profile.Report) string)}
+
+// RegisterSection installs an extra report section — the hook out-of-tree
+// pattern detectors use to give their findings a dedicated view without
+// touching the renderer. render returns an HTML fragment (typically an
+// <h2> heading plus a table); returning "" omits the section for that
+// report, so a section registered for a pattern that never fired leaves
+// the page unchanged. name must be unique.
+func RegisterSection(name string, render func(rep *profile.Report) string) {
+	sections.Lock()
+	defer sections.Unlock()
+	if _, dup := sections.m[name]; dup {
+		panic(fmt.Sprintf("gui: section %q registered twice", name))
+	}
+	sections.order = append(sections.order, name)
+	sections.m[name] = render
+}
+
+func renderRegisteredSections(b *strings.Builder, rep *profile.Report) {
+	sections.RLock()
+	defer sections.RUnlock()
+	for _, name := range sections.order {
+		b.WriteString(sections.m[name](rep))
+	}
 }
 
 func renderSuggestions(b *strings.Builder, rep *profile.Report, graph *vflow.Graph) {

@@ -113,6 +113,11 @@ type Report struct {
 	Device  string `json:"device"`
 	Program string `json:"program"`
 
+	// EnabledPatterns records a non-default detector selection (the
+	// engine's Config.Patterns); empty when the default registry set ran,
+	// so default-config reports are unchanged.
+	EnabledPatterns []string `json:"enabled_patterns,omitempty"`
+
 	Objects         []Object       `json:"objects"`
 	Coarse          []CoarseRecord `json:"coarse,omitempty"`
 	Fine            []FineRecord   `json:"fine,omitempty"`

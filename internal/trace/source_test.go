@@ -26,64 +26,86 @@ func reportBytes(t *testing.T, p *core.Profiler) []byte {
 
 // TestSourcesByteIdentical drives the identical configuration through
 // both event sources — live execution and trace replay — and requires
-// byte-identical reports: the unified stream contract. The pipelined
-// configuration (workers=4, depth=4) makes this also a determinism check
-// across the collection modes.
+// byte-identical reports: the unified stream contract. Each workload runs
+// under the synchronous engine (workers=0) and the pipelined one
+// (workers=4, depth=4); beyond live==replay per setting, the reports must
+// also agree across settings, proving the concurrent Compact/Absorb path
+// is observationally identical to the serial one.
 func TestSourcesByteIdentical(t *testing.T) {
 	old := workloads.Scale
 	workloads.Scale = 64
 	defer func() { workloads.Scale = old }()
-	w, err := workloads.ByName("Darknet")
-	if err != nil {
-		t.Fatal(err)
-	}
 
-	// Both live executions — the recording one and the profiled one — run
-	// from this single goroutine entry, so API events capture identical
-	// host call paths; the replay then re-emits the recorded ones.
-	var wg sync.WaitGroup
-	runLive := func(attach func(rt *cuda.Runtime)) {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			src := cuda.NewLiveSource(cuda.NewRuntime(gpu.RTX2080Ti), func(rt *cuda.Runtime) error {
-				return w.Run(rt, workloads.Original)
-			})
-			attach(src.Runtime())
-			if err := src.Run(); err != nil {
-				t.Error(err)
+	for _, name := range []string{"Darknet", "PyTorch-Bert"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			// Both live executions — the recording one and the profiled
+			// ones — run from this single goroutine entry, so API events
+			// capture identical host call paths; the replay then re-emits
+			// the recorded ones.
+			var wg sync.WaitGroup
+			runLive := func(attach func(rt *cuda.Runtime)) {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					src := cuda.NewLiveSource(cuda.NewRuntime(gpu.RTX2080Ti), func(rt *cuda.Runtime) error {
+						return w.Run(rt, workloads.Original)
+					})
+					attach(src.Runtime())
+					if err := src.Run(); err != nil {
+						t.Error(err)
+					}
+				}()
+				wg.Wait()
 			}
-		}()
-		wg.Wait()
-	}
 
-	var rec *Recorder
-	runLive(func(rt *cuda.Runtime) { rec = Record(rt) })
-	var data bytes.Buffer
-	if _, err := rec.WriteTo(&data); err != nil {
-		t.Fatal(err)
-	}
+			var rec *Recorder
+			runLive(func(rt *cuda.Runtime) { rec = Record(rt) })
+			var data bytes.Buffer
+			if _, err := rec.WriteTo(&data); err != nil {
+				t.Fatal(err)
+			}
 
-	cfg := core.Config{
-		Coarse: true, Fine: true,
-		BufferRecords:   512,
-		AnalysisWorkers: 4,
-		PipelineDepth:   4,
-		Program:         "Darknet",
-	}
+			var perSetting [][]byte
+			for _, setting := range []struct {
+				label          string
+				workers, depth int
+			}{
+				{"w0", 0, 0},
+				{"w4-d4", 4, 4},
+			} {
+				cfg := core.Config{
+					Coarse: true, Fine: true,
+					BufferRecords:   512,
+					AnalysisWorkers: setting.workers,
+					PipelineDepth:   setting.depth,
+					Program:         name,
+				}
 
-	var pLive *core.Profiler
-	runLive(func(rt *cuda.Runtime) { pLive = core.Attach(rt, cfg) })
+				var pLive *core.Profiler
+				runLive(func(rt *cuda.Runtime) { pLive = core.Attach(rt, cfg) })
 
-	pReplay, err := core.Profile(NewSource(bytes.NewReader(data.Bytes()), gpu.RTX2080Ti), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+				pReplay, err := core.Profile(NewSource(bytes.NewReader(data.Bytes()), gpu.RTX2080Ti), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
 
-	liveJSON := reportBytes(t, pLive)
-	replayJSON := reportBytes(t, pReplay)
-	if !bytes.Equal(liveJSON, replayJSON) {
-		t.Fatalf("live and replayed reports differ (%d vs %d bytes)", len(liveJSON), len(replayJSON))
+				liveJSON := reportBytes(t, pLive)
+				replayJSON := reportBytes(t, pReplay)
+				if !bytes.Equal(liveJSON, replayJSON) {
+					t.Fatalf("%s: live and replayed reports differ (%d vs %d bytes)",
+						setting.label, len(liveJSON), len(replayJSON))
+				}
+				perSetting = append(perSetting, liveJSON)
+			}
+			if !bytes.Equal(perSetting[0], perSetting[1]) {
+				t.Fatalf("synchronous and pipelined reports differ (%d vs %d bytes)",
+					len(perSetting[0]), len(perSetting[1]))
+			}
+		})
 	}
 }
 

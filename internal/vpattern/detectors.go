@@ -1,0 +1,458 @@
+package vpattern
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"valueexpert/gpu"
+)
+
+// The six builtin fine-grained detectors. The stateless ones (single
+// zero, single value, frequent values) read everything they need from the
+// shared observation context at Finalize; the stateful ones (heavy type,
+// structured values, approximate values) keep only the per-object state
+// their own definition requires.
+
+// singleZeroDetector recognizes Def 3.5: every accessed value is zero.
+type singleZeroDetector struct{}
+
+func newSingleZeroDetector(FineConfig) Detector { return singleZeroDetector{} }
+
+func (singleZeroDetector) Observe(int, gpu.Access) {}
+func (singleZeroDetector) Merge(Detector)          {}
+
+func (singleZeroDetector) Finalize(_ int, sh *ObjectShared) (Match, bool) {
+	if v, ok := sh.Single(); ok && v.IsZero() {
+		return Match{Kind: SingleZero, Fraction: 1,
+			Detail: "all accessed values are zero"}, true
+	}
+	return Match{}, false
+}
+
+// singleValueDetector recognizes Def 3.4: every access sees one value.
+type singleValueDetector struct{}
+
+func newSingleValueDetector(FineConfig) Detector { return singleValueDetector{} }
+
+func (singleValueDetector) Observe(int, gpu.Access) {}
+func (singleValueDetector) Merge(Detector)          {}
+
+func (singleValueDetector) Finalize(_ int, sh *ObjectShared) (Match, bool) {
+	if v, ok := sh.Single(); ok {
+		return Match{Kind: SingleValue, Fraction: 1,
+			Detail: fmt.Sprintf("all accesses see value %s", v.Format())}, true
+	}
+	return Match{}, false
+}
+
+// frequentDetector recognizes Def 3.3: "accesses to one or more
+// particular values" — the smallest set of hot values (capped at 8) whose
+// cumulative access share reaches the threshold 𝒯. A single value
+// subsumes it.
+type frequentDetector struct{ cfg FineConfig }
+
+func newFrequentDetector(cfg FineConfig) Detector { return frequentDetector{cfg: cfg} }
+
+func (frequentDetector) Observe(int, gpu.Access) {}
+func (frequentDetector) Merge(Detector)          {}
+
+func (d frequentDetector) Finalize(_ int, sh *ObjectShared) (Match, bool) {
+	if _, single := sh.Single(); single {
+		return Match{}, false
+	}
+	top := sh.Top()
+	if len(top) == 0 {
+		return Match{}, false
+	}
+	total := sh.Accesses()
+	var cum uint64
+	hot := 0
+	for _, vc := range top {
+		cum += vc.Count
+		hot++
+		if float64(cum)/float64(total) >= d.cfg.FrequentThreshold {
+			break
+		}
+	}
+	frac := float64(cum) / float64(total)
+	if frac < d.cfg.FrequentThreshold {
+		return Match{}, false
+	}
+	names := make([]string, 0, 3)
+	for _, vc := range top[:min(hot, 3)] {
+		names = append(names, vc.Value.Format())
+	}
+	return Match{Kind: FrequentValues, Fraction: frac,
+		Detail: fmt.Sprintf("%d hot value(s) {%s%s} account for %.1f%% of accesses",
+			hot, strings.Join(names, ", "), ellipsis(hot > 3), 100*frac)}, true
+}
+
+// heavyState is one object's range/type tracking for heavy type.
+type heavyState struct {
+	// Declared access type: the (kind, size) all accesses agree on; a
+	// conflict downgrades to unknown.
+	at        gpu.AccessType
+	atConsist bool
+
+	minI, maxI   int64
+	minU, maxU   uint64
+	allF64AsF32  bool
+	sawInt, sawU bool
+	sawFloat     bool
+}
+
+// heavyTypeDetector recognizes Def 3.6: values declared wide but
+// narrow-representable.
+type heavyTypeDetector struct {
+	objs map[int]*heavyState
+}
+
+func newHeavyTypeDetector(FineConfig) Detector {
+	return &heavyTypeDetector{objs: make(map[int]*heavyState)}
+}
+
+func (d *heavyTypeDetector) Observe(objID int, a gpu.Access) {
+	at := gpu.AccessType{Kind: a.Kind, Size: a.Size}
+	st := d.objs[objID]
+	if st == nil {
+		st = &heavyState{
+			at: at, atConsist: true, allF64AsF32: true,
+			minI: math.MaxInt64, maxI: math.MinInt64,
+			minU: math.MaxUint64,
+		}
+		d.objs[objID] = st
+	} else if st.at != at {
+		st.atConsist = false
+	}
+	switch a.Kind {
+	case gpu.KindInt:
+		st.sawInt = true
+		s := signExtend(a.Raw, a.Size)
+		if s < st.minI {
+			st.minI = s
+		}
+		if s > st.maxI {
+			st.maxI = s
+		}
+	case gpu.KindUint:
+		st.sawU = true
+		if a.Raw < st.minU {
+			st.minU = a.Raw
+		}
+		if a.Raw > st.maxU {
+			st.maxU = a.Raw
+		}
+	case gpu.KindFloat:
+		st.sawFloat = true
+		if a.Size == 8 {
+			f := gpu.Float64FromRaw(a.Raw)
+			if float64(float32(f)) != f {
+				st.allF64AsF32 = false
+			}
+		}
+	}
+}
+
+func (d *heavyTypeDetector) Merge(partial Detector) {
+	o := partial.(*heavyTypeDetector)
+	for id, ob := range o.objs {
+		st := d.objs[id]
+		if st == nil {
+			d.objs[id] = ob
+			continue
+		}
+		// Declared access type: consistent only if both halves are
+		// internally consistent and agree; st.at stays first-seen.
+		if !ob.atConsist || st.at != ob.at {
+			st.atConsist = false
+		}
+		// The sentinels used at init make unconditional min/max folds
+		// correct even when one side never saw that kind.
+		if ob.minI < st.minI {
+			st.minI = ob.minI
+		}
+		if ob.maxI > st.maxI {
+			st.maxI = ob.maxI
+		}
+		if ob.minU < st.minU {
+			st.minU = ob.minU
+		}
+		if ob.maxU > st.maxU {
+			st.maxU = ob.maxU
+		}
+		st.allF64AsF32 = st.allF64AsF32 && ob.allF64AsF32
+		st.sawInt = st.sawInt || ob.sawInt
+		st.sawU = st.sawU || ob.sawU
+		st.sawFloat = st.sawFloat || ob.sawFloat
+	}
+	o.objs = nil
+}
+
+func (d *heavyTypeDetector) Finalize(objID int, sh *ObjectShared) (Match, bool) {
+	st := d.objs[objID]
+	if st == nil || !st.atConsist {
+		return Match{}, false
+	}
+	declared := st.at
+	switch {
+	case st.sawInt && declared.Size >= 2:
+		need := intWidth(st.minI, st.maxI)
+		if need < declared.Size {
+			return Match{Kind: HeavyType,
+				Fraction: 1 - float64(need)/float64(declared.Size),
+				Detail: fmt.Sprintf("int%d values fit in int%d (range [%d,%d])",
+					8*declared.Size, 8*need, st.minI, st.maxI)}, true
+		}
+	case st.sawU && declared.Size >= 2:
+		need := uintWidth(st.maxU)
+		if need < declared.Size {
+			return Match{Kind: HeavyType,
+				Fraction: 1 - float64(need)/float64(declared.Size),
+				Detail: fmt.Sprintf("uint%d values fit in uint%d (max %d)",
+					8*declared.Size, 8*need, st.maxU)}, true
+		}
+	case st.sawFloat && declared.Size == 8 && st.allF64AsF32:
+		return Match{Kind: HeavyType, Fraction: 0.5,
+			Detail: "float64 values are exactly representable as float32"}, true
+	case st.sawFloat && sh.Distinct() >= 2 && sh.Distinct() <= 256 && !sh.Saturated() &&
+		sh.Accesses() >= 4*uint64(sh.Distinct()):
+		// A tiny dictionary of float values (e.g. lavaMD's rA drawn from
+		// {0.1..1.0}) can travel as uint8 indices (paper §8.6).
+		return Match{Kind: HeavyType,
+			Fraction: 1 - float64(1)/float64(declared.Size),
+			Detail: fmt.Sprintf("float%d values drawn from %d distinct values; index with uint8",
+				8*declared.Size, sh.Distinct())}, true
+	}
+	return Match{}, false
+}
+
+func intWidth(lo, hi int64) uint8 {
+	for _, w := range []uint8{1, 2, 4} {
+		floor := -(int64(1) << (8*w - 1))
+		ceil := int64(1)<<(8*w-1) - 1
+		if lo >= floor && hi <= ceil {
+			return w
+		}
+	}
+	return 8
+}
+
+func uintWidth(hi uint64) uint8 {
+	switch {
+	case hi <= math.MaxUint8:
+		return 1
+	case hi <= math.MaxUint16:
+		return 2
+	case hi <= math.MaxUint32:
+		return 4
+	}
+	return 8
+}
+
+// structState holds one object's streaming sums for the structured-values
+// least-squares fit (x = element index relative to the first accessed
+// address, keeping magnitudes small enough that the sums stay numerically
+// stable).
+type structState struct {
+	n            float64
+	x0           float64
+	x0set        bool
+	sumX, sumY   float64
+	sumXX, sumXY float64
+	sumYY        float64
+	elemSize     uint64
+	// fitSkew marks that merged partials derived element indices from
+	// different element sizes, so the combined least-squares sums are not
+	// over a common index axis and the structured fit must be skipped.
+	fitSkew bool
+}
+
+// structuredDetector recognizes Def 3.7: linear value↔address correlation.
+type structuredDetector struct {
+	cfg  FineConfig
+	objs map[int]*structState
+}
+
+func newStructuredDetector(cfg FineConfig) Detector {
+	return &structuredDetector{cfg: cfg, objs: make(map[int]*structState)}
+}
+
+func (d *structuredDetector) Observe(objID int, a gpu.Access) {
+	st := d.objs[objID]
+	if st == nil {
+		st = &structState{}
+		d.objs[objID] = st
+	}
+	if st.elemSize == 0 {
+		st.elemSize = uint64(a.Size)
+	}
+	if !st.x0set {
+		st.x0 = float64(a.Addr / st.elemSize)
+		st.x0set = true
+	}
+	x := float64(a.Addr/st.elemSize) - st.x0 // monotone in address
+	y := Value{Raw: a.Raw, Size: a.Size, Kind: a.Kind}.Numeric()
+	if !math.IsNaN(y) && !math.IsInf(y, 0) {
+		st.n++
+		st.sumX += x
+		st.sumY += y
+		st.sumXX += x * x
+		st.sumXY += x * y
+		st.sumYY += y * y
+	}
+}
+
+func (d *structuredDetector) Merge(partial Detector) {
+	o := partial.(*structuredDetector)
+	for id, ob := range o.objs {
+		st := d.objs[id]
+		if st == nil {
+			d.objs[id] = ob
+			continue
+		}
+		st.fitSkew = st.fitSkew || ob.fitSkew
+		if ob.elemSize != 0 && st.elemSize != 0 && ob.elemSize != st.elemSize {
+			// The two partials indexed elements on different strides; their
+			// least-squares sums cannot be placed on a common axis.
+			st.fitSkew = true
+		}
+		if st.elemSize == 0 {
+			st.elemSize = ob.elemSize
+		}
+		// Shift the partial's element indices from its local origin ob.x0
+		// onto st's axis (d = ob.x0 - st.x0, so each of ob's indices x
+		// becomes x + d), which rebases the sums in closed form.
+		if ob.x0set {
+			if !st.x0set {
+				st.x0, st.x0set = ob.x0, true
+				st.n += ob.n
+				st.sumX += ob.sumX
+				st.sumY += ob.sumY
+				st.sumXX += ob.sumXX
+				st.sumXY += ob.sumXY
+				st.sumYY += ob.sumYY
+			} else {
+				shift := ob.x0 - st.x0
+				st.n += ob.n
+				st.sumX += ob.sumX + ob.n*shift
+				st.sumY += ob.sumY
+				st.sumXX += ob.sumXX + 2*shift*ob.sumX + ob.n*shift*shift
+				st.sumXY += ob.sumXY + shift*ob.sumY
+				st.sumYY += ob.sumYY
+			}
+		}
+	}
+	o.objs = nil
+}
+
+func (d *structuredDetector) Finalize(objID int, _ *ObjectShared) (Match, bool) {
+	st := d.objs[objID]
+	if st == nil || st.n < float64(d.cfg.StructuredMinCount) || st.fitSkew {
+		return Match{}, false
+	}
+	n := st.n
+	den := n*st.sumXX - st.sumX*st.sumX
+	if den == 0 {
+		return Match{}, false
+	}
+	varY := n*st.sumYY - st.sumY*st.sumY
+	if varY <= 0 {
+		// Constant values: that's single value, not structured.
+		return Match{}, false
+	}
+	slope := (n*st.sumXY - st.sumX*st.sumY) / den
+	// Intercept at the first accessed element (index 0 of the fit),
+	// which for whole-array sweeps is the object's first element.
+	intercept := (st.sumY - slope*st.sumX) / n
+	r := (n*st.sumXY - st.sumX*st.sumY) / math.Sqrt(den*varY)
+	r2 := r * r
+	if math.IsNaN(r2) || r2 < d.cfg.StructuredMinR2 || slope == 0 {
+		return Match{}, false
+	}
+	return Match{Kind: StructuredValues, Fraction: r2,
+		Detail: fmt.Sprintf("value ≈ %.6g·index %+.6g (r²=%.4f, index from first accessed element)",
+			slope, intercept, r2)}, true
+}
+
+// approxDetector recognizes Def 3.8: mantissa truncation exposes a
+// single/frequent pattern the exact histogram does not. Per-object state
+// exists only for objects that saw float values.
+type approxDetector struct {
+	cfg  FineConfig
+	objs map[int]*valueHist
+}
+
+func newApproxDetector(cfg FineConfig) Detector {
+	return &approxDetector{cfg: cfg, objs: make(map[int]*valueHist)}
+}
+
+func (d *approxDetector) Observe(objID int, a gpu.Access) {
+	if a.Kind != gpu.KindFloat {
+		return
+	}
+	h := d.objs[objID]
+	if h == nil {
+		h = newValueHist()
+		d.objs[objID] = h
+	}
+	v := Value{Raw: a.Raw, Size: a.Size, Kind: a.Kind}
+	h.add(v.Truncate(d.cfg.ApproxMantissaBits), 1, d.cfg.MaxTrackedValues)
+}
+
+func (d *approxDetector) Merge(partial Detector) {
+	o := partial.(*approxDetector)
+	for id, oh := range o.objs {
+		h := d.objs[id]
+		if h == nil {
+			// Adopt, re-applying d's cap; approximate overflow drops
+			// silently (trim == capped replay).
+			oh.trim(d.cfg.MaxTrackedValues)
+			d.objs[id] = oh
+			continue
+		}
+		for _, e := range oh.entries {
+			h.add(e.Value, e.Count, d.cfg.MaxTrackedValues)
+		}
+	}
+	o.objs = nil
+}
+
+func (d *approxDetector) Finalize(objID int, sh *ObjectShared) (Match, bool) {
+	h := d.objs[objID]
+	if h == nil || h.len() == 0 {
+		return Match{}, false
+	}
+	if _, single := sh.Single(); single {
+		return Match{}, false
+	}
+	// Find the dominant truncated value; insertion order breaks ties, so
+	// the first value to reach the top count wins deterministically.
+	var best Value
+	var bestCnt uint64
+	for _, e := range h.entries {
+		if e.Count > bestCnt {
+			best, bestCnt = e.Value, e.Count
+		}
+	}
+	total := sh.Accesses()
+	frac := float64(bestCnt) / float64(total)
+	exactTop := uint64(0)
+	for _, e := range sh.Values() {
+		if e.Count > exactTop {
+			exactTop = e.Count
+		}
+	}
+	exactFrac := float64(exactTop) / float64(total)
+	// The relaxation must *expose* something exact analysis missed.
+	if frac < d.cfg.FrequentThreshold || exactFrac >= d.cfg.FrequentThreshold {
+		return Match{}, false
+	}
+	kind := "frequent values"
+	if h.len() == 1 {
+		kind = "single value"
+	}
+	return Match{Kind: ApproximateValues, Fraction: frac,
+		Detail: fmt.Sprintf("with %d mantissa bits, %s pattern emerges around %s (%.1f%% of accesses)",
+			d.cfg.ApproxMantissaBits, kind, best.Format(), 100*frac)}, true
+}

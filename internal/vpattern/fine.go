@@ -1,20 +1,11 @@
 package vpattern
 
 import (
-	"fmt"
 	"math"
 	"sort"
-	"strings"
 
 	"valueexpert/gpu"
 )
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
 
 func ellipsis(yes bool) string {
 	if yes {
@@ -111,42 +102,73 @@ func (h *valueHist) trim(maxTracked int) uint64 {
 
 func (h *valueHist) len() int { return len(h.entries) }
 
-// objectState accumulates one data object's accesses during one GPU API.
-type objectState struct {
-	loads, stores uint64
-	bytes         uint64
+// ObjectShared is one data object's shared observation context: the
+// access counters and exact-value histogram the accumulator maintains
+// once per access, read by every detector at Finalize. Keeping the
+// histogram here — rather than per detector — is what lets six detectors
+// coexist at the cost the old monolith paid for one.
+type ObjectShared struct {
+	// Loads and Stores count accesses by direction.
+	Loads, Stores uint64
+	// Bytes is the total bytes accessed.
+	Bytes uint64
+	// Overflow counts accesses whose value fell outside the tracked set.
+	Overflow uint64
 
-	// Exact and mantissa-truncated value histograms.
-	exact    *valueHist
-	approx   *valueHist
-	overflow uint64 // accesses whose value fell outside the tracked set
+	exact *valueHist
+	top   []ValueCount
+}
 
-	// Declared access type: the widest (kind, size) seen; a conflict in
-	// kinds downgrades to unknown.
-	at        gpu.AccessType
-	atConsist bool
+// Accesses returns the total access count.
+func (sh *ObjectShared) Accesses() uint64 { return sh.Loads + sh.Stores }
 
-	// Value-range tracking for heavy type.
-	minI, maxI   int64
-	minU, maxU   uint64
-	allF64AsF32  bool
-	sawInt, sawU bool
-	sawFloat     bool
+// Distinct returns the number of distinct exact values tracked (capped).
+func (sh *ObjectShared) Distinct() int { return sh.exact.len() }
 
-	// Streaming sums for the structured-values least-squares fit
-	// (x = element index relative to the first accessed address, keeping
-	// magnitudes small enough that the sums stay numerically stable).
-	n                          float64
-	x0                         float64
-	x0set                      bool
-	sumX, sumY, sumXX, sumRes  float64
-	sumXY, sumYY               float64
-	minAddr, maxAddr, elemSize uint64
+// Saturated reports whether the histogram cap was reached, making
+// distinct/top counts lower bounds.
+func (sh *ObjectShared) Saturated() bool { return sh.Overflow > 0 }
 
-	// fitSkew marks that merged partials derived element indices from
-	// different element sizes, so the combined least-squares sums are not
-	// over a common index axis and the structured fit must be skipped.
-	fitSkew bool
+// Values returns the exact histogram in first-occurrence order. The
+// slice is shared; callers must not mutate it.
+func (sh *ObjectShared) Values() []ValueCount { return sh.exact.entries }
+
+// Top returns the ranked most-frequent values (descending count, capped
+// at 8), valid during Finalize. The slice is shared; callers must not
+// mutate it.
+func (sh *ObjectShared) Top() []ValueCount { return sh.top }
+
+// Single returns the object's only value when exactly one distinct value
+// was observed and the histogram never saturated.
+func (sh *ObjectShared) Single() (Value, bool) {
+	if sh.exact.len() == 1 && sh.Overflow == 0 {
+		return sh.exact.entries[0].Value, true
+	}
+	return Value{}, false
+}
+
+// rank computes the top values: by count descending, with a total order
+// on ties so the ranking is reproducible across runs and worker
+// configurations.
+func (sh *ObjectShared) rank() {
+	top := append([]ValueCount(nil), sh.exact.entries...)
+	sort.Slice(top, func(i, j int) bool {
+		a, b := top[i], top[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.Value.Raw != b.Value.Raw {
+			return a.Value.Raw < b.Value.Raw
+		}
+		if a.Value.Size != b.Value.Size {
+			return a.Value.Size < b.Value.Size
+		}
+		return a.Value.Kind < b.Value.Kind
+	})
+	if len(top) > 8 {
+		top = top[:8]
+	}
+	sh.top = top
 }
 
 // FineReport is the fine-grained pattern result for one data object at one
@@ -193,219 +215,106 @@ func (r *FineReport) Pattern(k Kind) (Match, bool) {
 
 // FineAccumulator ingests instrumented accesses grouped by data object and
 // produces per-object fine-grained pattern reports for the current GPU
-// API. Reset between APIs (the online analyzer finalizes at each kernel
-// exit).
+// API. It maintains the shared observation context (counters + exact
+// histogram) and fans each access out to its detector lineup; matches are
+// emitted in detector registration order. Reset between APIs (the online
+// analyzer finalizes at each kernel exit).
 type FineAccumulator struct {
 	cfg  FineConfig
-	objs map[int]*objectState
+	regs []Registration
+	dets []Detector
+	objs map[int]*ObjectShared
 }
 
-// NewFineAccumulator creates an accumulator with the given configuration.
+// NewFineAccumulator creates an accumulator running every fine-grained
+// detector enabled by default in the registry.
 func NewFineAccumulator(cfg FineConfig) *FineAccumulator {
-	return &FineAccumulator{cfg: cfg.withDefaults(), objs: make(map[int]*objectState)}
+	return NewFineAccumulatorWith(cfg, FineDetectors(nil))
+}
+
+// NewFineAccumulatorWith creates an accumulator running exactly the given
+// detector registrations. A detector left out costs nothing per access.
+func NewFineAccumulatorWith(cfg FineConfig, regs []Registration) *FineAccumulator {
+	fa := &FineAccumulator{cfg: cfg.withDefaults(), regs: regs, objs: make(map[int]*ObjectShared)}
+	fa.dets = make([]Detector, len(regs))
+	for i, r := range regs {
+		fa.dets[i] = r.New(fa.cfg)
+	}
+	return fa
+}
+
+// NewShard creates an empty accumulator with the same detector lineup and
+// an effectively unlimited histogram cap — the partial a pipeline worker
+// fills over one flushed batch and hands back to Merge (which re-applies
+// fa's cap, preserving global first-occurrence eviction order).
+func (fa *FineAccumulator) NewShard() *FineAccumulator {
+	cfg := fa.cfg
+	cfg.MaxTrackedValues = math.MaxInt
+	return NewFineAccumulatorWith(cfg, fa.regs)
 }
 
 // Add records one access belonging to the data object objID.
 func (fa *FineAccumulator) Add(objID int, a gpu.Access) {
-	st := fa.objs[objID]
-	if st == nil {
-		st = &objectState{
-			exact: newValueHist(), approx: newValueHist(),
-			atConsist: true, allF64AsF32: true,
-			minI: math.MaxInt64, maxI: math.MinInt64,
-			minU:    math.MaxUint64,
-			minAddr: math.MaxUint64,
-		}
-		fa.objs[objID] = st
+	sh := fa.objs[objID]
+	if sh == nil {
+		sh = &ObjectShared{exact: newValueHist()}
+		fa.objs[objID] = sh
 	}
 	if a.Store {
-		st.stores++
+		sh.Stores++
 	} else {
-		st.loads++
+		sh.Loads++
 	}
-	st.bytes += uint64(a.Size)
-
-	v := Value{Raw: a.Raw, Size: a.Size, Kind: a.Kind}
-
-	// Access-type consistency: the object-level declared type is the one
-	// all accesses agree on; disagreement means opaque bits.
-	at := gpu.AccessType{Kind: a.Kind, Size: a.Size}
-	if st.loads+st.stores == 1 {
-		st.at = at
-	} else if st.at != at {
-		st.atConsist = false
-	}
+	sh.Bytes += uint64(a.Size)
 
 	// Exact histogram (capped).
-	if !st.exact.add(v, 1, fa.cfg.MaxTrackedValues) {
-		st.overflow++
+	v := Value{Raw: a.Raw, Size: a.Size, Kind: a.Kind}
+	if !sh.exact.add(v, 1, fa.cfg.MaxTrackedValues) {
+		sh.Overflow++
 	}
 
-	// Truncated histogram for approximate analysis (floats only).
-	if a.Kind == gpu.KindFloat {
-		st.approx.add(v.Truncate(fa.cfg.ApproxMantissaBits), 1, fa.cfg.MaxTrackedValues)
-	}
-
-	// Range tracking for heavy type.
-	switch a.Kind {
-	case gpu.KindInt:
-		st.sawInt = true
-		s := signExtend(a.Raw, a.Size)
-		if s < st.minI {
-			st.minI = s
-		}
-		if s > st.maxI {
-			st.maxI = s
-		}
-	case gpu.KindUint:
-		st.sawU = true
-		if a.Raw < st.minU {
-			st.minU = a.Raw
-		}
-		if a.Raw > st.maxU {
-			st.maxU = a.Raw
-		}
-	case gpu.KindFloat:
-		st.sawFloat = true
-		if a.Size == 8 {
-			f := gpu.Float64FromRaw(a.Raw)
-			if float64(float32(f)) != f {
-				st.allF64AsF32 = false
-			}
-		}
-	}
-
-	// Structured-values sums: x is the element index derived from the
-	// address, y the numeric value.
-	if st.elemSize == 0 {
-		st.elemSize = uint64(a.Size)
-	}
-	if a.Addr < st.minAddr {
-		st.minAddr = a.Addr
-	}
-	if a.Addr > st.maxAddr {
-		st.maxAddr = a.Addr
-	}
-	if !st.x0set {
-		st.x0 = float64(a.Addr / st.elemSize)
-		st.x0set = true
-	}
-	x := float64(a.Addr/st.elemSize) - st.x0 // monotone in address
-	y := v.Numeric()
-	if !math.IsNaN(y) && !math.IsInf(y, 0) {
-		st.n++
-		st.sumX += x
-		st.sumY += y
-		st.sumXX += x * x
-		st.sumXY += x * y
-		st.sumYY += y * y
+	for _, d := range fa.dets {
+		d.Observe(objID, a)
 	}
 }
 
 // Merge folds a partial accumulator into fa, producing exactly the state a
 // single accumulator would hold after ingesting fa's access stream followed
 // by other's. Pipelined analysis builds one uncapped partial per flushed
-// batch on worker goroutines and merges them here in batch order, so the
-// merged state — and hence the finalized report — is independent of worker
-// count and scheduling. Partials should be built with an effectively
-// unlimited MaxTrackedValues (saturation is re-applied against fa's cap
-// during the merge, preserving global first-occurrence eviction order).
-// Merge takes ownership of other's object states; other must not be used
-// afterwards.
+// batch on worker goroutines (NewShard) and merges them here in batch
+// order, so the merged state — and hence the finalized report — is
+// independent of worker count and scheduling. Merge requires other to run
+// the same detector lineup and takes ownership of its state; other must
+// not be used afterwards.
 func (fa *FineAccumulator) Merge(other *FineAccumulator) {
 	for id, ob := range other.objs {
-		st := fa.objs[id]
-		if st == nil {
+		sh := fa.objs[id]
+		if sh == nil {
 			// Adopt wholesale, then re-apply fa's saturation cap: trimming
 			// an insertion-ordered histogram equals replaying it capped.
-			ob.overflow += ob.exact.trim(fa.cfg.MaxTrackedValues)
-			ob.approx.trim(fa.cfg.MaxTrackedValues) // approx drops silently
+			ob.Overflow += ob.exact.trim(fa.cfg.MaxTrackedValues)
 			fa.objs[id] = ob
 			continue
 		}
 
-		st.loads += ob.loads
-		st.stores += ob.stores
-		st.bytes += ob.bytes
+		sh.Loads += ob.Loads
+		sh.Stores += ob.Stores
+		sh.Bytes += ob.Bytes
 
-		// Replay the partial's histograms in insertion order against fa's
+		// Replay the partial's histogram in insertion order against fa's
 		// cap — identical saturation decisions to a sequential pass.
 		for _, e := range ob.exact.entries {
-			if !st.exact.add(e.Value, e.Count, fa.cfg.MaxTrackedValues) {
-				st.overflow += e.Count
+			if !sh.exact.add(e.Value, e.Count, fa.cfg.MaxTrackedValues) {
+				sh.Overflow += e.Count
 			}
 		}
-		st.overflow += ob.overflow
-		for _, e := range ob.approx.entries {
-			st.approx.add(e.Value, e.Count, fa.cfg.MaxTrackedValues)
-		}
-
-		// Declared access type: consistent only if both halves are
-		// internally consistent and agree; st.at stays first-seen.
-		if !ob.atConsist || st.at != ob.at {
-			st.atConsist = false
-		}
-
-		// Range tracking: the sentinels used at init make unconditional
-		// min/max folds correct even when one side never saw that kind.
-		if ob.minI < st.minI {
-			st.minI = ob.minI
-		}
-		if ob.maxI > st.maxI {
-			st.maxI = ob.maxI
-		}
-		if ob.minU < st.minU {
-			st.minU = ob.minU
-		}
-		if ob.maxU > st.maxU {
-			st.maxU = ob.maxU
-		}
-		st.allF64AsF32 = st.allF64AsF32 && ob.allF64AsF32
-		st.sawInt = st.sawInt || ob.sawInt
-		st.sawU = st.sawU || ob.sawU
-		st.sawFloat = st.sawFloat || ob.sawFloat
-
-		if ob.minAddr < st.minAddr {
-			st.minAddr = ob.minAddr
-		}
-		if ob.maxAddr > st.maxAddr {
-			st.maxAddr = ob.maxAddr
-		}
-		st.fitSkew = st.fitSkew || ob.fitSkew
-		if ob.elemSize != 0 && st.elemSize != 0 && ob.elemSize != st.elemSize {
-			// The two partials indexed elements on different strides; their
-			// least-squares sums cannot be placed on a common axis.
-			st.fitSkew = true
-		}
-		if st.elemSize == 0 {
-			st.elemSize = ob.elemSize
-		}
-
-		// Least-squares sums: shift the partial's element indices from its
-		// local origin ob.x0 onto st's axis (d = ob.x0 - st.x0, so each of
-		// ob's indices x becomes x + d), which rebases the sums in closed
-		// form.
-		if ob.x0set {
-			if !st.x0set {
-				st.x0, st.x0set = ob.x0, true
-				st.n += ob.n
-				st.sumX += ob.sumX
-				st.sumY += ob.sumY
-				st.sumXX += ob.sumXX
-				st.sumXY += ob.sumXY
-				st.sumYY += ob.sumYY
-			} else {
-				d := ob.x0 - st.x0
-				st.n += ob.n
-				st.sumX += ob.sumX + ob.n*d
-				st.sumY += ob.sumY
-				st.sumXX += ob.sumXX + 2*d*ob.sumX + ob.n*d*d
-				st.sumXY += ob.sumXY + d*ob.sumY
-				st.sumYY += ob.sumYY
-			}
-		}
+		sh.Overflow += ob.Overflow
+	}
+	for i, d := range fa.dets {
+		d.Merge(other.dets[i])
 	}
 	other.objs = nil
+	other.dets = nil
 }
 
 // Objects returns the IDs with accumulated accesses.
@@ -419,7 +328,12 @@ func (fa *FineAccumulator) Objects() []int {
 }
 
 // Reset clears all accumulated state for the next GPU API.
-func (fa *FineAccumulator) Reset() { fa.objs = make(map[int]*objectState) }
+func (fa *FineAccumulator) Reset() {
+	fa.objs = make(map[int]*ObjectShared)
+	for i, r := range fa.regs {
+		fa.dets[i] = r.New(fa.cfg)
+	}
+}
 
 // Finalize computes fine-grained pattern reports for every accumulated
 // object, ordered by object ID.
@@ -431,206 +345,21 @@ func (fa *FineAccumulator) Finalize() []FineReport {
 	return out
 }
 
-func (fa *FineAccumulator) finalizeObject(id int, st *objectState) FineReport {
-	total := st.loads + st.stores
+func (fa *FineAccumulator) finalizeObject(id int, sh *ObjectShared) FineReport {
+	total := sh.Accesses()
 	r := FineReport{
-		ObjectID: id, Accesses: total, Loads: st.loads, Stores: st.stores,
-		Bytes: st.bytes, DistinctValues: st.exact.len(), Saturated: st.overflow > 0,
+		ObjectID: id, Accesses: total, Loads: sh.Loads, Stores: sh.Stores,
+		Bytes: sh.Bytes, DistinctValues: sh.Distinct(), Saturated: sh.Saturated(),
 	}
 	if total == 0 {
 		return r
 	}
-
-	// Rank values by count, with a total order on ties so the ranking is
-	// reproducible across runs and worker configurations.
-	r.TopValues = append(r.TopValues, st.exact.entries...)
-	sort.Slice(r.TopValues, func(i, j int) bool {
-		a, b := r.TopValues[i], r.TopValues[j]
-		if a.Count != b.Count {
-			return a.Count > b.Count
-		}
-		if a.Value.Raw != b.Value.Raw {
-			return a.Value.Raw < b.Value.Raw
-		}
-		if a.Value.Size != b.Value.Size {
-			return a.Value.Size < b.Value.Size
-		}
-		return a.Value.Kind < b.Value.Kind
-	})
-	if len(r.TopValues) > 8 {
-		r.TopValues = r.TopValues[:8]
-	}
-
-	// Single value / single zero / frequent values (Defs 3.3–3.5).
-	exactSingle := false
-	if st.exact.len() == 1 && st.overflow == 0 {
-		exactSingle = true
-		v := r.TopValues[0].Value
-		if v.IsZero() {
-			r.Patterns = append(r.Patterns, Match{Kind: SingleZero, Fraction: 1,
-				Detail: "all accessed values are zero"})
-		}
-		r.Patterns = append(r.Patterns, Match{Kind: SingleValue, Fraction: 1,
-			Detail: fmt.Sprintf("all accesses see value %s", v.Format())})
-	}
-	if !exactSingle && len(r.TopValues) > 0 {
-		// Frequent values (Def 3.3): "accesses to one or more particular
-		// values" — the smallest set of hot values (capped at 8) whose
-		// cumulative access share reaches the threshold 𝒯.
-		var cum uint64
-		hot := 0
-		for _, vc := range r.TopValues {
-			cum += vc.Count
-			hot++
-			if float64(cum)/float64(total) >= fa.cfg.FrequentThreshold {
-				break
-			}
-		}
-		frac := float64(cum) / float64(total)
-		if frac >= fa.cfg.FrequentThreshold {
-			names := make([]string, 0, 3)
-			for _, vc := range r.TopValues[:min(hot, 3)] {
-				names = append(names, vc.Value.Format())
-			}
-			r.Patterns = append(r.Patterns, Match{Kind: FrequentValues, Fraction: frac,
-				Detail: fmt.Sprintf("%d hot value(s) {%s%s} account for %.1f%% of accesses",
-					hot, strings.Join(names, ", "), ellipsis(hot > 3), 100*frac)})
-		}
-	}
-
-	// Heavy type (Def 3.6).
-	if st.atConsist {
-		if m, ok := fa.heavyType(st); ok {
-			r.Patterns = append(r.Patterns, m)
-		}
-	}
-
-	// Structured values (Def 3.7): linear value↔address correlation.
-	if st.n >= float64(fa.cfg.StructuredMinCount) && !st.fitSkew {
-		if m, ok := fa.structured(st); ok {
-			r.Patterns = append(r.Patterns, m)
-		}
-	}
-
-	// Approximate values (Def 3.8): the truncated histogram exposes a
-	// single/frequent pattern the exact one does not.
-	if st.sawFloat && !exactSingle && st.approx.len() > 0 {
-		if m, ok := fa.approximate(st, total); ok {
+	sh.rank()
+	r.TopValues = sh.top
+	for _, d := range fa.dets {
+		if m, ok := d.Finalize(id, sh); ok {
 			r.Patterns = append(r.Patterns, m)
 		}
 	}
 	return r
-}
-
-func (fa *FineAccumulator) heavyType(st *objectState) (Match, bool) {
-	declared := st.at
-	switch {
-	case st.sawInt && declared.Size >= 2:
-		need := intWidth(st.minI, st.maxI)
-		if need < declared.Size {
-			return Match{Kind: HeavyType,
-				Fraction: 1 - float64(need)/float64(declared.Size),
-				Detail: fmt.Sprintf("int%d values fit in int%d (range [%d,%d])",
-					8*declared.Size, 8*need, st.minI, st.maxI)}, true
-		}
-	case st.sawU && declared.Size >= 2:
-		need := uintWidth(st.maxU)
-		if need < declared.Size {
-			return Match{Kind: HeavyType,
-				Fraction: 1 - float64(need)/float64(declared.Size),
-				Detail: fmt.Sprintf("uint%d values fit in uint%d (max %d)",
-					8*declared.Size, 8*need, st.maxU)}, true
-		}
-	case st.sawFloat && declared.Size == 8 && st.allF64AsF32:
-		return Match{Kind: HeavyType, Fraction: 0.5,
-			Detail: "float64 values are exactly representable as float32"}, true
-	case st.sawFloat && st.exact.len() >= 2 && st.exact.len() <= 256 && st.overflow == 0 &&
-		st.loads+st.stores >= 4*uint64(st.exact.len()):
-		// A tiny dictionary of float values (e.g. lavaMD's rA drawn from
-		// {0.1..1.0}) can travel as uint8 indices (paper §8.6).
-		return Match{Kind: HeavyType,
-			Fraction: 1 - float64(1)/float64(declared.Size),
-			Detail: fmt.Sprintf("float%d values drawn from %d distinct values; index with uint8",
-				8*declared.Size, st.exact.len())}, true
-	}
-	return Match{}, false
-}
-
-func intWidth(lo, hi int64) uint8 {
-	for _, w := range []uint8{1, 2, 4} {
-		min := -(int64(1) << (8*w - 1))
-		max := int64(1)<<(8*w-1) - 1
-		if lo >= min && hi <= max {
-			return w
-		}
-	}
-	return 8
-}
-
-func uintWidth(hi uint64) uint8 {
-	switch {
-	case hi <= math.MaxUint8:
-		return 1
-	case hi <= math.MaxUint16:
-		return 2
-	case hi <= math.MaxUint32:
-		return 4
-	}
-	return 8
-}
-
-func (fa *FineAccumulator) structured(st *objectState) (Match, bool) {
-	n := st.n
-	den := n*st.sumXX - st.sumX*st.sumX
-	if den == 0 {
-		return Match{}, false
-	}
-	varY := n*st.sumYY - st.sumY*st.sumY
-	if varY <= 0 {
-		// Constant values: that's single value, not structured.
-		return Match{}, false
-	}
-	slope := (n*st.sumXY - st.sumX*st.sumY) / den
-	// Intercept at the first accessed element (index 0 of the fit),
-	// which for whole-array sweeps is the object's first element.
-	intercept := (st.sumY - slope*st.sumX) / n
-	r := (n*st.sumXY - st.sumX*st.sumY) / math.Sqrt(den*varY)
-	r2 := r * r
-	if math.IsNaN(r2) || r2 < fa.cfg.StructuredMinR2 || slope == 0 {
-		return Match{}, false
-	}
-	return Match{Kind: StructuredValues, Fraction: r2,
-		Detail: fmt.Sprintf("value ≈ %.6g·index %+.6g (r²=%.4f, index from first accessed element)",
-			slope, intercept, r2)}, true
-}
-
-func (fa *FineAccumulator) approximate(st *objectState, total uint64) (Match, bool) {
-	// Find the dominant truncated value; insertion order breaks ties, so
-	// the first value to reach the top count wins deterministically.
-	var best Value
-	var bestCnt uint64
-	for _, e := range st.approx.entries {
-		if e.Count > bestCnt {
-			best, bestCnt = e.Value, e.Count
-		}
-	}
-	frac := float64(bestCnt) / float64(total)
-	exactTop := uint64(0)
-	for _, e := range st.exact.entries {
-		if e.Count > exactTop {
-			exactTop = e.Count
-		}
-	}
-	exactFrac := float64(exactTop) / float64(total)
-	// The relaxation must *expose* something exact analysis missed.
-	if frac < fa.cfg.FrequentThreshold || exactFrac >= fa.cfg.FrequentThreshold {
-		return Match{}, false
-	}
-	kind := "frequent values"
-	if st.approx.len() == 1 {
-		kind = "single value"
-	}
-	return Match{Kind: ApproximateValues, Fraction: frac,
-		Detail: fmt.Sprintf("with %d mantissa bits, %s pattern emerges around %s (%.1f%% of accesses)",
-			fa.cfg.ApproxMantissaBits, kind, best.Format(), 100*frac)}, true
 }

@@ -37,8 +37,12 @@ var kindNames = [...]string{
 	"single zero", "heavy type", "structured values", "approximate values",
 }
 
-// String returns the paper's pattern name.
+// String returns the registered pattern name (for the builtins, the
+// paper's name).
 func (k Kind) String() string {
+	if r, ok := Lookup(k); ok {
+		return r.Name
+	}
 	if int(k) < len(kindNames) {
 		return kindNames[k]
 	}

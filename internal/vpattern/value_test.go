@@ -1,0 +1,153 @@
+package vpattern
+
+import (
+	"math"
+	"testing"
+
+	"valueexpert/gpu"
+)
+
+func TestIsZeroNegativeZero(t *testing.T) {
+	// IEEE negative zero: sign bit set, everything else clear. The raw
+	// bits are non-zero, so only the float interpretation sees zero.
+	neg32 := Value{Raw: uint64(gpu.RawFromFloat32(float32(math.Copysign(0, -1)))), Size: 4, Kind: gpu.KindFloat}
+	if neg32.Raw != 0x8000_0000 {
+		t.Fatalf("-0.0f raw = %#x", neg32.Raw)
+	}
+	if !neg32.IsZero() {
+		t.Fatal("4-byte -0.0 not zero")
+	}
+	neg64 := Value{Raw: gpu.RawFromFloat64(math.Copysign(0, -1)), Size: 8, Kind: gpu.KindFloat}
+	if neg64.Raw != 0x8000_0000_0000_0000 {
+		t.Fatalf("-0.0 raw = %#x", neg64.Raw)
+	}
+	if !neg64.IsZero() {
+		t.Fatal("8-byte -0.0 not zero")
+	}
+	// The same bit patterns reinterpreted as integers are huge values.
+	if (Value{Raw: neg32.Raw, Size: 4, Kind: gpu.KindUint}).IsZero() {
+		t.Fatal("uint 0x80000000 treated as zero")
+	}
+	if (Value{Raw: neg64.Raw, Size: 8, Kind: gpu.KindInt}).IsZero() {
+		t.Fatal("int64 min treated as zero")
+	}
+	if !(Value{Raw: 0, Size: 4, Kind: gpu.KindUint}).IsZero() {
+		t.Fatal("raw zero not zero")
+	}
+}
+
+func TestNumericSignExtension(t *testing.T) {
+	cases := []struct {
+		raw  uint64
+		size uint8
+		want float64
+	}{
+		// 1-byte: 0xFF is -1, 0x80 the minimum, 0x7F the maximum.
+		{0xFF, 1, -1},
+		{0x80, 1, -128},
+		{0x7F, 1, 127},
+		// 2-byte boundaries.
+		{0xFFFF, 2, -1},
+		{0x8000, 2, -32768},
+		{0x7FFF, 2, 32767},
+		// 4-byte boundaries.
+		{0xFFFF_FFFF, 4, -1},
+		{0x8000_0000, 4, math.MinInt32},
+		{0x7FFF_FFFF, 4, math.MaxInt32},
+		// High garbage bits above the value's width must be ignored: only
+		// the low size*8 bits carry the value.
+		{0xDEAD_0000_00FF, 1, -1},
+	}
+	for _, c := range cases {
+		v := Value{Raw: c.raw, Size: c.size, Kind: gpu.KindInt}
+		if got := v.Numeric(); got != c.want {
+			t.Fatalf("Numeric(int%d raw %#x) = %v, want %v", 8*c.size, c.raw, got, c.want)
+		}
+	}
+	// Unsigned stays unsigned.
+	if got := (Value{Raw: 0xFF, Size: 1, Kind: gpu.KindUint}).Numeric(); got != 255 {
+		t.Fatalf("uint8 0xFF = %v", got)
+	}
+}
+
+func TestTruncateKeepBitsBoundaries(t *testing.T) {
+	f32 := Value{Raw: uint64(gpu.RawFromFloat32(1.2345678)), Size: 4, Kind: gpu.KindFloat}
+	f64 := Value{Raw: gpu.RawFromFloat64(1.23456789012345), Size: 8, Kind: gpu.KindFloat}
+
+	// keepBits 0 drops the full mantissa (23 bits for float32, 52 for
+	// float64), leaving sign+exponent only.
+	t32 := f32.Truncate(0)
+	if t32.Raw != f32.Raw&^uint64(1<<23-1)&0xffff_ffff {
+		t.Fatalf("float32 Truncate(0) raw = %#x", t32.Raw)
+	}
+	if gpu.Float32FromRaw(t32.Raw) != 1.0 {
+		t.Fatalf("float32 Truncate(0) = %v, want exponent-only 1.0", gpu.Float32FromRaw(t32.Raw))
+	}
+	t64 := f64.Truncate(0)
+	if t64.Raw != f64.Raw&^uint64(1<<52-1) {
+		t.Fatalf("float64 Truncate(0) raw = %#x", t64.Raw)
+	}
+	if gpu.Float64FromRaw(t64.Raw) != 1.0 {
+		t.Fatalf("float64 Truncate(0) = %v", gpu.Float64FromRaw(t64.Raw))
+	}
+
+	// keepBits at the mantissa width is the identity (drop <= 0).
+	if f32.Truncate(23) != f32 {
+		t.Fatal("float32 Truncate(23) changed the value")
+	}
+	if f64.Truncate(52) != f64 {
+		t.Fatal("float64 Truncate(52) changed the value")
+	}
+	// float32 at the float64 boundary: 52 > 23, still identity.
+	if f32.Truncate(52) != f32 {
+		t.Fatal("float32 Truncate(52) changed the value")
+	}
+
+	// One bit under the boundary clears exactly the lowest mantissa bit.
+	if got, want := f32.Truncate(22).Raw, f32.Raw&^uint64(1); got != want {
+		t.Fatalf("float32 Truncate(22) raw = %#x, want %#x", got, want)
+	}
+	if got, want := f64.Truncate(51).Raw, f64.Raw&^uint64(1); got != want {
+		t.Fatalf("float64 Truncate(51) raw = %#x, want %#x", got, want)
+	}
+}
+
+func TestEverGroupsSubsetPruning(t *testing.T) {
+	tr := NewDuplicateTracker()
+	a := []byte{1, 1, 1, 1}
+	b := []byte{2, 2, 2, 2}
+	c := []byte{3, 3, 3, 3}
+
+	// Objects 1,2,3 hash identical at some API: ever-group {1,2,3}.
+	tr.Observe(1, a)
+	tr.Observe(2, a)
+	tr.Observe(3, a)
+	// Later 1 and 2 alone share new content: {1,2} ⊂ {1,2,3} — pruned.
+	tr.Observe(1, b)
+	tr.Observe(2, b)
+	// 3 and 4 share other content: overlaps {1,2,3} but is no subset —
+	// kept.
+	tr.Observe(3, c)
+	tr.Observe(4, c)
+
+	got := tr.EverGroups()
+	if len(got) != 2 {
+		t.Fatalf("ever groups = %v, want [[1 2 3] [3 4]]", got)
+	}
+	if len(got[0]) != 3 || got[0][0] != 1 || got[0][1] != 2 || got[0][2] != 3 {
+		t.Fatalf("largest group = %v", got[0])
+	}
+	if len(got[1]) != 2 || got[1][0] != 3 || got[1][1] != 4 {
+		t.Fatalf("overlapping group = %v", got[1])
+	}
+
+	// A later observation reproducing an exact subset also prunes.
+	tr2 := NewDuplicateTracker()
+	tr2.Observe(5, a)
+	tr2.Observe(6, a)
+	tr2.Observe(5, b)
+	tr2.Observe(6, b)
+	if got := tr2.EverGroups(); len(got) != 1 {
+		t.Fatalf("identical pair groups not deduplicated: %v", got)
+	}
+}

@@ -84,7 +84,8 @@ var ReadReport = profile.ReadJSON
 // FineConfig tunes fine-grained pattern thresholds (𝒯, 𝒦, …).
 type FineConfig = vpattern.FineConfig
 
-// PatternKind enumerates the eight value patterns of the paper's §3.
+// PatternKind enumerates the value patterns: the paper's eight builtins
+// plus any out-of-tree kinds allocated through RegisterPattern.
 type PatternKind = vpattern.Kind
 
 // The eight value patterns.
@@ -99,6 +100,72 @@ const (
 	ApproximateValues = vpattern.ApproximateValues
 	NumPatternKinds   = vpattern.NumKinds
 )
+
+// The pattern registry: pattern detection is a pluggable seam. A
+// PatternRegistration ties together everything one pattern kind needs —
+// name, grain, detector factory, advisor advice — and registering it is
+// all it takes for the engine, report, advisor, and GUI to carry the new
+// pattern; Config.Patterns (or vxprof -patterns) then enables it by name.
+type (
+	// PatternRegistration describes one value-pattern kind; see
+	// vpattern.Registration for field docs.
+	PatternRegistration = vpattern.Registration
+	// PatternDetector recognizes one fine-grained pattern over an
+	// instrumented access stream (Observe/Merge/Finalize).
+	PatternDetector = vpattern.Detector
+	// PatternMatch is one detected pattern instance on a data object.
+	PatternMatch = vpattern.Match
+	// PatternGrain classifies a pattern as coarse (snapshot-based) or
+	// fine (access-stream-based).
+	PatternGrain = vpattern.Grain
+	// ObjectObservation is the shared per-object observation context
+	// (access counters + exact-value histogram) handed to detectors.
+	ObjectObservation = vpattern.ObjectShared
+	// PatternAdvice derives the advisor suggestion for one fine match.
+	PatternAdvice = vpattern.FineAdvice
+)
+
+const (
+	// CoarseGrain marks snapshot-based patterns.
+	CoarseGrain = vpattern.GrainCoarse
+	// FineGrain marks access-stream-based patterns.
+	FineGrain = vpattern.GrainFine
+	// AutoPatternKind asks RegisterPattern to allocate the next free kind.
+	AutoPatternKind = vpattern.KindAuto
+)
+
+// RegisterPattern adds a pattern kind to the global registry and returns
+// its (possibly allocated) kind. Call from package init; the kind's name
+// becomes selectable via Config.Patterns and vxprof -patterns.
+func RegisterPattern(r PatternRegistration) PatternKind { return vpattern.Register(r) }
+
+// PatternNames returns every registered pattern name in registration
+// order.
+func PatternNames() []string { return vpattern.Names() }
+
+// DefaultPatternNames returns the names of the patterns enabled when
+// Config.Patterns is unset.
+func DefaultPatternNames() []string { return vpattern.DefaultNames() }
+
+// ParsePatternSet validates a Config.Patterns-style name list against the
+// registry; unknown names are rejected with the valid set listed.
+func ParsePatternSet(names []string) (vpattern.Set, error) { return vpattern.ParseSet(names) }
+
+// RegisterSuggestionRule installs a report-level advisor rule for pattern
+// kind k — the hook coarse-style patterns use for suggestions that span
+// records (per-match advice for fine patterns instead rides the
+// registration's PatternAdvice).
+func RegisterSuggestionRule(k PatternKind, rule func(rep *Report) []Suggestion) {
+	advisor.RegisterRule(k, rule)
+}
+
+// RegisterReportSection installs an extra HTML report section rendered
+// after the built-in tables — the hook out-of-tree detectors use to give
+// their findings a dedicated view. render returns an HTML fragment; ""
+// omits the section for that report.
+func RegisterReportSection(name string, render func(rep *Report) string) {
+	gui.RegisterSection(name, render)
+}
 
 // Graph is the value flow graph (Definition 5.1) with vertex slicing
 // (Definition 5.2), important-graph pruning (Definition 5.3), and DOT
