@@ -34,9 +34,11 @@ bench:
 
 # bench-smoke compiles and runs every benchmark for exactly one iteration
 # (no test functions), catching bit-rotted benchmarks without the cost of
-# real measurement.
+# real measurement, then refreshes the pipeline-overhead trajectory file
+# from the telemetry export (ms/op per worker setting).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/vxpipebench -out BENCH_pipeline.json
 
 # cover enforces COVER_FLOOR percent statement coverage on COVER_PKGS.
 cover:

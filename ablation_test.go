@@ -81,8 +81,11 @@ func BenchmarkAblationCopyStrategy(b *testing.B) {
 // relative to the native run.
 func BenchmarkAblationReuseDistance(b *testing.B) {
 	b.Run("native", func(b *testing.B) { runWorkload(b, "Rodinia/hotspot", 4, nil) })
-	b.Run("reuse", func(b *testing.B) {
-		runWorkload(b, "Rodinia/hotspot", 4, &core.Config{ReuseDistance: true})
+	b.Run("fine", func(b *testing.B) {
+		runWorkload(b, "Rodinia/hotspot", 4, &core.Config{Fine: true})
+	})
+	b.Run("fine+reuse", func(b *testing.B) {
+		runWorkload(b, "Rodinia/hotspot", 4, &core.Config{Fine: true, ReuseDistance: true})
 	})
 	b.Run("coarse+reuse", func(b *testing.B) {
 		runWorkload(b, "Rodinia/hotspot", 4, &core.Config{Coarse: true, ReuseDistance: true})

@@ -1,0 +1,165 @@
+// Command vxpipebench measures the profiler's own overhead across
+// analysis-worker settings and writes the result as JSON — the perf
+// trajectory file (BENCH_pipeline.json) maintained by make verify's
+// bench-smoke step. Each entry times one instrumented run of a bundled
+// workload and attributes the cost from the telemetry metrics export:
+// collection (sanitizer flush capture + buffer waits) vs. analysis vs.
+// snapshot maintenance, the same split the paper's §6 overhead tables
+// use.
+//
+// Usage:
+//
+//	vxpipebench [-workload Darknet] [-scale 64] [-workers 0,2,4]
+//	            [-iters 1] [-out BENCH_pipeline.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"valueexpert"
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/workloads"
+)
+
+// setting is one measured pipeline configuration.
+type setting struct {
+	Workers int `json:"workers"`
+	Depth   int `json:"depth"`
+
+	// WallMSPerOp is total instrumented wall time per profiled run.
+	WallMSPerOp float64 `json:"wall_ms_per_op"`
+
+	// Overhead attribution from the telemetry export, ms per run.
+	CollectionMSPerOp float64 `json:"collection_ms_per_op"`
+	AnalysisMSPerOp   float64 `json:"analysis_ms_per_op"`
+	SnapshotMSPerOp   float64 `json:"snapshot_ms_per_op"`
+
+	// Volume counters for context (totals over all iterations).
+	SanitizerFlushes uint64 `json:"sanitizer_flushes"`
+	SanitizerRecords uint64 `json:"sanitizer_records"`
+	StageBatches     uint64 `json:"stage_batches"`
+}
+
+// trajectory is the file schema: one benchmark run of the pipeline at
+// each worker setting.
+type trajectory struct {
+	Workload string    `json:"workload"`
+	Scale    int       `json:"scale"`
+	Iters    int       `json:"iters"`
+	Settings []setting `json:"settings"`
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "Darknet", "workload to instrument")
+		scale    = flag.Int("scale", 64, "problem-size divisor")
+		workerss = flag.String("workers", "0,2,4", "comma-separated worker settings to measure")
+		iters    = flag.Int("iters", 1, "profiled runs per setting")
+		out      = flag.String("out", "BENCH_pipeline.json", "output file")
+	)
+	flag.Parse()
+
+	settings, err := parseWorkers(*workerss)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxpipebench:", err)
+		os.Exit(2)
+	}
+	traj := trajectory{Workload: *workload, Scale: *scale, Iters: *iters}
+	for _, w := range settings {
+		s, err := measure(*workload, *scale, w, *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vxpipebench:", err)
+			os.Exit(1)
+		}
+		traj.Settings = append(traj.Settings, s)
+		fmt.Fprintf(os.Stderr, "workers=%d: %.2f ms/op (collection %.2f, analysis %.2f, snapshots %.2f)\n",
+			s.Workers, s.WallMSPerOp, s.CollectionMSPerOp, s.AnalysisMSPerOp, s.SnapshotMSPerOp)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxpipebench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(traj); err != nil {
+		fmt.Fprintln(os.Stderr, "vxpipebench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-workers: bad setting %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// measure profiles the workload iters times at the given worker count
+// and averages the telemetry-attributed overhead per run.
+func measure(workload string, scale, workers, iters int) (setting, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return setting{}, err
+	}
+	workloads.Scale = scale
+	depth := 0
+	if workers > 0 {
+		depth = workers
+	}
+	s := setting{Workers: workers, Depth: depth}
+
+	var wall, collection, analysis, snapshot time.Duration
+	for i := 0; i < iters; i++ {
+		tel := valueexpert.NewTelemetry()
+		cfg := valueexpert.Config{
+			Coarse: true, Fine: true,
+			AnalysisWorkers: workers, PipelineDepth: depth,
+			Telemetry: tel, Program: workload,
+		}
+		src := valueexpert.NewLiveSource(cuda.NewRuntime(gpu.RTX2080Ti), func(rt *cuda.Runtime) error {
+			return w.Run(rt, workloads.Original)
+		})
+		start := time.Now()
+		p, err := valueexpert.Profile(src, cfg)
+		if err != nil {
+			return setting{}, err
+		}
+		wall += time.Since(start)
+		ov := p.Overhead()
+		collection += ov.CollectionTime
+		analysis += ov.AnalysisTime
+		snapshot += ov.SnapshotTime
+		m := tel.Metrics()
+		s.SanitizerFlushes += m.Counters["sanitizer.flushes"]
+		s.SanitizerRecords += m.Counters["sanitizer.records"]
+		for name, v := range m.Counters {
+			if strings.HasPrefix(name, "stage.") && strings.HasSuffix(name, ".batches") {
+				s.StageBatches += v
+			}
+		}
+		p.Detach()
+	}
+	perOp := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / 1000 / float64(iters)
+	}
+	s.WallMSPerOp = perOp(wall)
+	s.CollectionMSPerOp = perOp(collection)
+	s.AnalysisMSPerOp = perOp(analysis)
+	s.SnapshotMSPerOp = perOp(snapshot)
+	return s, nil
+}

@@ -10,9 +10,11 @@
 //	       [-kernels fill_kernel,gemm_kernel] [-sample 20]
 //	       [-patterns "single zero,heavy type"] [-workers 4] [-depth 4]
 //	       [-scale 8] [-json profile.json] [-dot flow.dot] [-optimized]
+//	       [-metrics m.json] [-selftrace t.json] [-overhead]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +47,9 @@ func main() {
 		optimized = flag.Bool("optimized", false, "run the paper-optimized variant instead of the original")
 		recordOut = flag.String("record", "", "record the API+access trace to this file instead of analyzing")
 		replayIn  = flag.String("replay", "", "analyze a previously recorded trace instead of running a workload")
+		metrics   = flag.String("metrics", "", "write the profiler's own per-stage metrics as JSON to this file")
+		selftrace = flag.String("selftrace", "", "write a Chrome trace-event self-trace (load in Perfetto) to this file")
+		overhead  = flag.Bool("overhead", false, "append the profiler-overhead section to the report")
 	)
 	flag.Parse()
 
@@ -68,6 +73,7 @@ func main() {
 		kernels: *kernels, patterns: patternList, sample: *sample,
 		workers: *workers, depth: *depth,
 		jsonOut: *jsonOut, dotOut: *dotOut, htmlOut: *htmlOut,
+		metricsOut: *metrics, selftraceOut: *selftrace, overhead: *overhead,
 	}
 	if *replayIn != "" {
 		if err := replayRun(*replayIn, o); err != nil {
@@ -104,21 +110,57 @@ type options struct {
 	workers, depth  int
 	jsonOut, dotOut string
 	htmlOut         string
+
+	// Self-observability outputs. Enabling them attaches a telemetry
+	// recorder to the run; the default report stays byte-identical.
+	metricsOut, selftraceOut string
+	overhead                 bool
+}
+
+// telemetryEnabled reports whether any self-observability output needs a
+// recorder threaded through the engine.
+func (o *options) telemetryEnabled() bool {
+	return o.metricsOut != "" || o.selftraceOut != "" || o.overhead
+}
+
+// flagForField maps Config.Validate's typed field names back to the
+// vxprof flags that set them, so validation errors speak the CLI's
+// vocabulary.
+var flagForField = map[string]string{
+	"AnalysisWorkers":      "-workers",
+	"PipelineDepth":        "-depth",
+	"KernelSamplingPeriod": "-sample",
+	"BlockSamplingPeriod":  "-sample",
+	"Patterns":             "-patterns",
 }
 
 // validateFlags rejects flag values with no meaningful interpretation.
+// Engine settings (-workers, -depth) go through Config.Validate — the
+// same validator Profile and NewSession run — with the typed ConfigError
+// field mapped back to the flag name; CLI-only constraints (-sample >= 1,
+// -scale) stay local because the engine treats 0 as "default" where the
+// CLI has no such spelling.
 func validateFlags(workers, depth, sample, scale int) error {
-	if workers < 0 {
-		return fmt.Errorf("-workers must be >= 0, got %d (0 = synchronous analysis)", workers)
-	}
-	if depth < 0 {
-		return fmt.Errorf("-depth must be >= 0, got %d (0 = default pipeline depth)", depth)
-	}
 	if sample < 1 {
 		return fmt.Errorf("-sample must be >= 1, got %d (1 = profile every kernel and block)", sample)
 	}
 	if scale < 1 {
 		return fmt.Errorf("-scale must be >= 1, got %d (1 = full problem size)", scale)
+	}
+	cfg := valueexpert.Config{
+		AnalysisWorkers:      workers,
+		PipelineDepth:        depth,
+		KernelSamplingPeriod: sample,
+		BlockSamplingPeriod:  sample,
+	}
+	if err := cfg.Validate(); err != nil {
+		var ce *valueexpert.ConfigError
+		if errors.As(err, &ce) {
+			if f, ok := flagForField[ce.Field]; ok {
+				return fmt.Errorf("%s %s", f, ce.Reason)
+			}
+		}
+		return err
 	}
 	return nil
 }
@@ -169,14 +211,58 @@ func (o *options) config(program string) valueexpert.Config {
 // analyze profiles any event source — live workload or trace replay go
 // through this identical path — and emits the report and artifacts.
 func analyze(src valueexpert.EventSource, o *options, program string) error {
-	p, err := valueexpert.Profile(src, o.config(program))
+	cfg := o.config(program)
+	var tel *valueexpert.Telemetry
+	var traceBuf *valueexpert.TraceBuffer
+	if o.telemetryEnabled() {
+		tel = valueexpert.NewTelemetry()
+		if o.selftraceOut != "" {
+			traceBuf = valueexpert.NewTraceBuffer()
+			tel.AttachTrace(traceBuf)
+		}
+		cfg.Telemetry = tel
+	}
+	p, err := valueexpert.Profile(src, cfg)
 	if err != nil {
 		return err
 	}
 	rep := p.Report()
+	if o.overhead {
+		rep.Overhead = p.Overhead()
+	}
 	fmt.Print(rep.Text())
 	printSuggestions(p, rep, o.coarse)
-	return writeArtifacts(p, rep, o.coarse, o.jsonOut, o.dotOut, o.htmlOut)
+	if err := writeArtifacts(p, rep, o.coarse, o.jsonOut, o.dotOut, o.htmlOut); err != nil {
+		return err
+	}
+	return writeTelemetry(tel, traceBuf, o)
+}
+
+// writeTelemetry emits the optional self-observability artifacts.
+func writeTelemetry(tel *valueexpert.Telemetry, traceBuf *valueexpert.TraceBuffer, o *options) error {
+	if o.metricsOut != "" {
+		f, err := os.Create(o.metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tel.WriteMetrics(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", o.metricsOut)
+	}
+	if o.selftraceOut != "" {
+		f, err := os.Create(o.selftraceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := traceBuf.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (load in Perfetto / chrome://tracing)\n", o.selftraceOut)
+	}
+	return nil
 }
 
 // recordRun captures a workload's API+access trace for later analysis.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -106,6 +107,67 @@ func TestValidateFlags(t *testing.T) {
 	err = validateFlags(0, 0, 1, 0)
 	if err == nil || !strings.Contains(err.Error(), "-scale") {
 		t.Fatalf("zero -scale: %v", err)
+	}
+}
+
+func TestTelemetryArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	metricsOut := filepath.Join(dir, "m.json")
+	selftraceOut := filepath.Join(dir, "t.json")
+	o := &options{
+		device: "RTX 2080 Ti", coarse: true, fine: true, sample: 1,
+		workers: 4, depth: 4,
+		metricsOut: metricsOut, selftraceOut: selftraceOut, overhead: true,
+	}
+	if err := run("Darknet", o, 64, false); err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Program  string            `json:"program"`
+		Counters map[string]uint64 `json:"counters"`
+	}
+	raw, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if m.Counters["sanitizer.flushes"] == 0 {
+		t.Fatal("metrics export empty")
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			TID int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	raw, err = os.ReadFile(selftraceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("self-trace not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("self-trace empty")
+	}
+	lanes := map[int]bool{}
+	for _, ev := range tr.TraceEvents {
+		lanes[ev.TID] = true
+	}
+	// Kernel lane (0) plus at least one analysis-worker lane (>= 2).
+	if !lanes[0] {
+		t.Fatal("self-trace missing kernel lane")
+	}
+	workerLane := false
+	for tid := range lanes {
+		if tid >= 2 {
+			workerLane = true
+		}
+	}
+	if !workerLane {
+		t.Fatalf("self-trace missing worker lanes, got %v", lanes)
 	}
 }
 

@@ -15,6 +15,19 @@ type EventSource interface {
 	Run() error
 }
 
+// Drive is the single profiling entry path: it attaches the interceptor
+// built by attach to src's runtime, runs the source's event stream
+// through it, and returns the interceptor — even on a stream error, so
+// the caller keeps whatever the stream produced before failing. Every
+// profiler (ValueExpert's core engine, the GVProf baseline, custom
+// interceptors) drives sources through this one function, which is what
+// makes the path instrumentable in one place.
+func Drive[I Interceptor](src EventSource, attach func(*Runtime) I) (I, error) {
+	p := attach(src.Runtime())
+	err := src.Run()
+	return p, err
+}
+
 // LiveSource adapts a live program — any function issuing GPU work
 // against a runtime — to the EventSource interface.
 type LiveSource struct {

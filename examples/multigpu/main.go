@@ -24,10 +24,13 @@ const (
 
 func main() {
 	// A 2-GPU node, like one slice of the paper's evaluation cluster.
-	sess := valueexpert.NewSession(
+	sess, err := valueexpert.NewSession(
 		valueexpert.Config{Coarse: true, Fine: true, Program: "ddp-train"},
 		gpu.RTX2080Ti, gpu.RTX2080Ti,
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	weights := make([]float32, params)
 	for i := range weights {

@@ -5,6 +5,7 @@ import (
 	"valueexpert/cuda"
 	"valueexpert/gpu"
 	"valueexpert/internal/profile"
+	"valueexpert/internal/telemetry"
 	"valueexpert/internal/vflow"
 	"valueexpert/internal/vpattern"
 )
@@ -117,6 +118,10 @@ type Env struct {
 	// Patterns is the resolved enabled-pattern set (nil: registry
 	// defaults). Stages consult it so a disabled pattern costs no work.
 	Patterns vpattern.Set
+	// Tel is the run's telemetry recorder, nil when self-observation is
+	// off. Recorder methods are nil-safe, so stages create probes
+	// unconditionally and get no-ops when telemetry is disabled.
+	Tel *telemetry.Recorder
 }
 
 // AnalysisFactory builds one stage instance per attached profiler. A

@@ -9,6 +9,7 @@ import (
 	"valueexpert/gpu"
 	"valueexpert/internal/interval"
 	"valueexpert/internal/profile"
+	"valueexpert/internal/telemetry"
 	"valueexpert/internal/vflow"
 	"valueexpert/internal/vpattern"
 )
@@ -46,10 +47,18 @@ type coarseStage struct {
 
 	copyModel    interval.CopyCostModel
 	snapshotTime time.Duration
+
+	// Telemetry probes (nil/no-op when self-observation is off): host
+	// wall time spent diffing and applying snapshot refreshes, and copy
+	// traffic attributed to the concrete strategy each plan resolved to.
+	diffTimer  *telemetry.Timer
+	applyTimer *telemetry.Timer
+	copyBytes  [interval.AdaptiveCopy + 1]*telemetry.Counter
+	copyCalls  [interval.AdaptiveCopy + 1]*telemetry.Counter
 }
 
 func newCoarseStage(env Env) *coarseStage {
-	return &coarseStage{
+	s := &coarseStage{
 		rt:        env.RT,
 		cfg:       env.Cfg,
 		tree:      env.Tree,
@@ -65,6 +74,23 @@ func newCoarseStage(env Env) *coarseStage {
 			Bandwidth: env.RT.Device().Prof.PCIeBandwidth,
 		},
 	}
+	s.diffTimer = env.Tel.Timer("snapshot.diff")
+	s.applyTimer = env.Tel.Timer("snapshot.apply")
+	if env.Tel != nil {
+		// Adaptive plans resolve to min-max or segment, so only the three
+		// concrete strategies accumulate traffic; create the configured
+		// strategy's keys eagerly so the export names it even when unused.
+		for _, st := range []interval.CopyStrategy{interval.DirectCopy, interval.MinMaxCopy, interval.SegmentCopy} {
+			s.copyBytes[st] = env.Tel.Counter("snapshot.copy_bytes." + st.String())
+			s.copyCalls[st] = env.Tel.Counter("snapshot.copy_calls." + st.String())
+		}
+	}
+	s.merger.SetProbes(interval.MergeProbes{
+		Time:   env.Tel.Timer("merge.time"),
+		Input:  env.Tel.Counter("merge.input_intervals"),
+		Output: env.Tel.Counter("merge.output_intervals"),
+	})
+	return s
 }
 
 func (s *coarseStage) Name() string        { return "coarse" }
@@ -136,16 +162,23 @@ func (s *coarseStage) refreshSnapshot(objID int, written []interval.Interval) vp
 		// the written range counts as changed (first touch). Large diffs chunk
 		// over the merger's pool; the combine is integer addition, so the
 		// result is exactly the sequential one.
+		dsw := s.diffTimer.Start()
 		diffable := interval.Intersect(written, s.defined[objID])
 		d := vpattern.DiffSnapshotsParallel(s.merger.Pool(), snap, a.Data, diffable, a.Addr)
 		diff.UnchangedBytes = d.UnchangedBytes
 		s.defined[objID] = interval.Union(s.defined[objID], written)
+		dsw.Stop()
 	}
 
 	obj := interval.Interval{Start: a.Addr, End: a.End()}
 	plan := interval.PlanCopy(s.cfg.CopyStrategy, obj, written)
 	s.snapshotTime += s.copyModel.Cost(plan)
+	resolved := interval.ResolveStrategy(s.cfg.CopyStrategy, obj, written)
+	s.copyCalls[resolved].Add(uint64(len(plan)))
+	s.copyBytes[resolved].Add(interval.TotalBytes(plan))
+	asw := s.applyTimer.Start()
 	s.applyPlan(snap, a, plan)
+	asw.Stop()
 	if s.duplicate {
 		s.dup.Observe(objID, snap)
 	}

@@ -132,7 +132,10 @@ func TestConcurrentSessionsByteIdentical(t *testing.T) {
 		}
 		c := cfg
 		c.Program = name
-		s := NewSession(c, gpu.RTX2080Ti)
+		s, err := NewSession(c, gpu.RTX2080Ti)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := w.Run(s.Runtime(0), workloads.Original); err != nil {
 			t.Error(err)
 			return nil

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"valueexpert/gpu"
+	"valueexpert/internal/telemetry"
 )
 
 // pendingBatch pairs a submitted batch with the slot its per-stage
@@ -56,6 +57,7 @@ func (p *Profiler) newPipeline(ls *launchState, workers, depth int) *pipeline {
 	pl.collected = make(chan struct{})
 	for i := 0; i < workers; i++ {
 		pl.workers.Add(1)
+		lane := telemetry.LaneWorker0 + i
 		go func() {
 			defer pl.workers.Done()
 			for pb := range pl.work {
@@ -63,7 +65,9 @@ func (p *Profiler) newPipeline(ls *launchState, workers, depth int) *pipeline {
 				// finite leaf work that holds no other slot or lock, so
 				// every held slot is eventually released.
 				p.sched.Acquire()
+				sp := p.tel.Span(lane, "analysis", "compact")
 				parts := p.compact(pl.ls, pb.b)
+				sp.End()
 				p.sched.Release()
 				pb.done <- parts
 			}
@@ -72,7 +76,10 @@ func (p *Profiler) newPipeline(ls *launchState, workers, depth int) *pipeline {
 	go func() {
 		defer close(pl.collected)
 		for pb := range pl.pending {
-			p.absorbAll(pl.ls, pb.b, <-pb.done)
+			parts := <-pb.done
+			sp := p.tel.Span(telemetry.LaneCollector, "analysis", "absorb")
+			p.absorbAll(pl.ls, pb.b, parts)
+			sp.End()
 		}
 	}()
 	return pl
@@ -85,13 +92,20 @@ func (p *Profiler) newPipeline(ls *launchState, workers, depth int) *pipeline {
 // depth, so neither channel send can block indefinitely.
 func (pl *pipeline) submit(b *Batch) {
 	if pl.work == nil {
+		// Inline (zero-worker) analysis runs on the kernel goroutine but
+		// traces on the collector lane, where absorbs always appear.
+		sp := pl.p.tel.Span(telemetry.LaneCollector, "analysis", "analyze")
 		pl.p.absorbAll(pl.ls, b, pl.p.compact(pl.ls, b))
+		sp.End()
 		return
 	}
 	b.Yield = true
 	pb := &pendingBatch{b: b, done: make(chan []Partial, 1)}
 	pl.pending <- pb
 	pl.work <- pb
+	// Queue length after enqueue samples how full the pipeline runs —
+	// its occupancy, bounded by the sanitizer's buffer pool.
+	pl.p.probes.occupancy.Observe(int64(len(pl.pending)))
 }
 
 // drain stops the workers and waits for the collector to absorb every
@@ -122,7 +136,10 @@ func (p *Profiler) compact(ls *launchState, b *Batch) []Partial {
 	parts := make([]Partial, len(ls.stages))
 	for i, la := range ls.stages {
 		if la != nil {
+			sw := p.probes.compact[i].Start()
 			parts[i] = la.Compact(b)
+			sw.Stop()
+			p.probes.batches[i].Inc()
 		}
 	}
 	return parts
@@ -161,7 +178,9 @@ func (p *Profiler) resolveObjects(b *Batch) {
 func (p *Profiler) absorbAll(ls *launchState, b *Batch, parts []Partial) {
 	for i, la := range ls.stages {
 		if la != nil && parts[i] != nil {
+			sw := p.probes.absorb[i].Start()
 			la.Absorb(parts[i])
+			sw.Stop()
 		}
 	}
 	p.san.Recycle(b.Recs)

@@ -321,7 +321,7 @@ func TestBulkRangeLoadValues(t *testing.T) {
 // stepped from the unaligned start and missed the trailing line).
 func TestReuseLineAccountingUnaligned(t *testing.T) {
 	rt := cuda.NewRuntime(gpu.RTX2080Ti)
-	p := Attach(rt, Config{ReuseDistance: true})
+	p := Attach(rt, Config{Fine: true, ReuseDistance: true})
 	x, err := rt.MallocF32(64, "x") // 256-aligned base
 	if err != nil {
 		t.Fatal(err)

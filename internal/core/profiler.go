@@ -18,6 +18,7 @@ import (
 	"valueexpert/internal/parallel"
 	"valueexpert/internal/profile"
 	"valueexpert/internal/sanitizer"
+	"valueexpert/internal/telemetry"
 	"valueexpert/internal/vflow"
 	"valueexpert/internal/vpattern"
 )
@@ -82,6 +83,14 @@ type Config struct {
 	// fresh stage state.
 	Analyses []AnalysisFactory
 
+	// Telemetry, when non-nil, threads self-observation probes through
+	// every engine layer: per-stage timers and counters, pipeline and
+	// scheduler gauges, and (with a trace sink attached to the recorder)
+	// a Chrome trace-event self-trace. nil — the default — keeps the
+	// engine's hot paths probe-free; enabling telemetry never perturbs
+	// the emitted report.
+	Telemetry *telemetry.Recorder
+
 	// Program names the profiled application in reports.
 	Program string
 }
@@ -109,20 +118,36 @@ type Profiler struct {
 	launch *launchState
 
 	analysisTime time.Duration
+
+	// tel and probes are the self-observability layer; tel is nil (and
+	// every probe a no-op) unless Config.Telemetry carries a recorder.
+	tel    *telemetry.Recorder
+	probes engineProbes
+	// schedProbes remembers that this profiler attached probes to the
+	// shared scheduler, so Detach can remove them.
+	schedProbes bool
 }
 
 // launchState tracks one instrumented kernel launch in flight: the
-// sanitizer's finish hook, the pipeline executing the analysis, and each
+// sanitizer's finish hook, the pipeline executing the analysis, each
 // stage's per-launch accumulator (indexed like Profiler.stages; nil for
-// stages sitting this launch out).
+// stages sitting this launch out), and the launch's self-trace span on
+// the kernel-execution lane.
 type launchState struct {
 	finish func()
 	pipe   *pipeline
 	stages []LaunchAnalysis
+	span   telemetry.Span
 }
 
-// Attach creates a profiler and installs it as rt's interceptor.
+// Attach creates a profiler and installs it as rt's interceptor. The
+// configuration must pass Validate; Attach panics on an invalid one (the
+// historical contract — error-returning callers go through Profile or
+// NewSession, which route the same validator's error back).
 func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
+	if err := cfg.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
 	if cfg.PipelineDepth <= 0 {
 		if cfg.AnalysisWorkers > 0 {
 			// One buffer filling plus one per worker draining keeps every
@@ -145,7 +170,7 @@ func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
 	}
 	p.graph = vflow.New(p.tree)
 
-	env := Env{RT: rt, Tree: p.tree, Graph: p.graph, Cfg: &p.cfg, Patterns: patterns}
+	env := Env{RT: rt, Tree: p.tree, Graph: p.graph, Cfg: &p.cfg, Patterns: patterns, Tel: cfg.Telemetry}
 	if cfg.Coarse {
 		p.coarse = newCoarseStage(env)
 		p.stages = append(p.stages, p.coarse)
@@ -160,12 +185,14 @@ func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
 		p.stages = append(p.stages, f(env))
 	}
 
+	p.initTelemetry()
 	p.san = sanitizer.New(sanitizer.Config{
 		BufferRecords:        cfg.BufferRecords,
 		PipelineDepth:        cfg.PipelineDepth,
 		KernelFilter:         cfg.KernelFilter,
 		KernelSamplingPeriod: cfg.KernelSamplingPeriod,
 		BlockSamplingPeriod:  cfg.BlockSamplingPeriod,
+		Probes:               p.sanitizerProbes(),
 	})
 	rt.SetInterceptor(p)
 	return p
@@ -173,17 +200,26 @@ func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
 
 // Profile attaches a profiler configured by cfg to src's runtime and runs
 // the source's event stream through it. Live execution and trace replay
-// are both event sources, so this is the one entry point for either mode;
-// the profiler is returned even on error, holding whatever the stream
-// produced before failing.
+// are both event sources, so this is the one entry point for either mode.
+// An invalid configuration returns its validation error with a nil
+// profiler; once attached, the profiler is returned even on a stream
+// error, holding whatever the stream produced before failing.
 func Profile(src cuda.EventSource, cfg Config) (*Profiler, error) {
-	p := Attach(src.Runtime(), cfg)
-	err := src.Run()
-	return p, err
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cuda.Drive(src, func(rt *cuda.Runtime) *Profiler { return Attach(rt, cfg) })
 }
 
-// Detach removes the profiler from its runtime.
-func (p *Profiler) Detach() { p.rt.SetInterceptor(nil) }
+// Detach removes the profiler from its runtime and releases any probes
+// it attached to shared infrastructure.
+func (p *Profiler) Detach() {
+	p.rt.SetInterceptor(nil)
+	if p.schedProbes {
+		p.sched.SetProbes(nil)
+		p.schedProbes = false
+	}
+}
 
 // Graph returns the program-wide value flow graph built so far.
 func (p *Profiler) Graph() *vflow.Graph { return p.graph }
@@ -247,11 +283,14 @@ func (p *Profiler) Instrumentation(kernelName string) (gpu.AccessFunc, func(int3
 		// the hand-off run here; with workers, compaction and absorption
 		// overlap the kernel's continued execution.
 		start := time.Now()
+		sw := p.probes.flushCapture.Start()
+		p.tel.Instant(telemetry.LaneKernel, "sanitizer", "flush")
 		b := &Batch{Recs: recs}
 		if needVals {
 			b.RangeVals = captureRangeLoads(mem, recs)
 		}
 		ls.pipe.submit(b)
+		sw.Stop()
 		p.analysisTime += time.Since(start)
 	})
 	if hook == nil {
@@ -261,6 +300,7 @@ func (p *Profiler) Instrumentation(kernelName string) (gpu.AccessFunc, func(int3
 	// The flush closure reads ls.pipe on first use, after this point.
 	ls.pipe = p.newPipeline(ls, p.cfg.AnalysisWorkers, p.cfg.PipelineDepth)
 	ls.finish = finish
+	ls.span = p.tel.Span(telemetry.LaneKernel, "kernel", kernelName)
 	p.launch = ls
 	return hook, filter
 }
@@ -276,6 +316,7 @@ func (p *Profiler) Drain() {
 	if ls == nil {
 		return
 	}
+	ls.span.End() // the aborted kernel still shows on its trace lane
 	ls.pipe.drain()
 }
 
@@ -318,10 +359,15 @@ func (p *Profiler) onLaunch(ev *cuda.APIEvent) {
 	ls := p.launch
 	p.launch = nil
 	if ls != nil {
-		ls.finish() // flush the final partial buffer
+		ls.span.End() // close the kernel-execution trace lane
+		ls.finish()   // flush the final partial buffer
 		// Wait for in-flight batches; only analysis the pipeline failed to
 		// hide behind kernel execution is spent here.
+		sw := p.probes.drainWait.Start()
+		dsp := p.tel.Span(telemetry.LaneKernel, "pipeline", "drain")
 		ls.pipe.drain()
+		dsp.End()
+		sw.Stop()
 	}
 	for i, st := range p.stages {
 		var la LaunchAnalysis

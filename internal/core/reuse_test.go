@@ -14,7 +14,7 @@ import (
 // hit estimates.
 func TestReuseDistanceAnalysis(t *testing.T) {
 	rt := cuda.NewRuntime(gpu.RTX2080Ti)
-	p := Attach(rt, Config{ReuseDistance: true, Program: "reuse"})
+	p := Attach(rt, Config{Fine: true, ReuseDistance: true, Program: "reuse"})
 
 	const big = 1 << 20 // 1M floats = 4MB >> L1
 	buf, err := rt.MallocF32(big, "big")
@@ -91,7 +91,7 @@ func TestReuseDistanceAnalysis(t *testing.T) {
 // reuse analyzer line by line.
 func TestReuseWithBulkRecords(t *testing.T) {
 	rt := cuda.NewRuntime(gpu.A100)
-	p := Attach(rt, Config{ReuseDistance: true, Program: "reuse-bulk"})
+	p := Attach(rt, Config{Fine: true, ReuseDistance: true, Program: "reuse-bulk"})
 	const n = 4096
 	buf, _ := rt.MallocF32(n, "x")
 	k := &gpu.GoKernel{

@@ -24,15 +24,20 @@ type Session struct {
 	profs []*Profiler
 }
 
-// NewSession creates one runtime+profiler per device profile.
-func NewSession(cfg Config, devices ...gpu.Profile) *Session {
+// NewSession creates one runtime+profiler per device profile. An invalid
+// configuration returns its validation error instead of panicking in
+// Attach.
+func NewSession(cfg Config, devices ...gpu.Profile) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	s := &Session{cfg: cfg}
 	for _, d := range devices {
 		rt := cuda.NewRuntime(d)
 		s.rts = append(s.rts, rt)
 		s.profs = append(s.profs, Attach(rt, cfg))
 	}
-	return s
+	return s, nil
 }
 
 // Devices reports the number of devices in the session.

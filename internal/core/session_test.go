@@ -11,8 +11,11 @@ import (
 // tensor uploaded to two GPUs must form a cross-device duplicate group,
 // while per-device distinct tensors must not.
 func TestCrossDeviceDuplicates(t *testing.T) {
-	s := NewSession(Config{Coarse: true, Program: "ddp"},
+	s, err := NewSession(Config{Coarse: true, Program: "ddp"},
 		gpu.RTX2080Ti, gpu.RTX2080Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Devices() != 2 {
 		t.Fatalf("devices = %d", s.Devices())
 	}
@@ -72,7 +75,10 @@ func TestCrossDeviceDuplicates(t *testing.T) {
 // TestCrossDeviceExcludesSameDeviceGroups: two identical tensors on ONE
 // device are a per-device duplicate, not a cross-device one.
 func TestCrossDeviceExcludesSameDeviceGroups(t *testing.T) {
-	s := NewSession(Config{Coarse: true}, gpu.A100, gpu.A100)
+	s, err := NewSession(Config{Coarse: true}, gpu.A100, gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rt := s.Runtime(0)
 	zeros := make([]float32, 128)
 	for _, tag := range []string{"a", "b"} {

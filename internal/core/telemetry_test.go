@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/telemetry"
+)
+
+// TestTelemetryPreservesReportBytes is the tentpole's observer guarantee:
+// threading a recorder (with a trace sink attached) through the engine
+// must not perturb the report by a single byte, synchronous or
+// pipelined. The small buffer forces many flushes so every instrumented
+// path actually fires.
+func TestTelemetryPreservesReportBytes(t *testing.T) {
+	run := func(workers, depth int, tel *telemetry.Recorder) []byte {
+		rt := cuda.NewRuntime(gpu.RTX2080Ti)
+		p := Attach(rt, Config{
+			Coarse: true, Fine: true, ReuseDistance: true,
+			BufferRecords:   256,
+			AnalysisWorkers: workers,
+			PipelineDepth:   depth,
+			Telemetry:       tel,
+			Program:         "quickstart",
+		})
+		runQuickstart(t, rt)
+		p.Detach()
+		return reportJSON(t, p)
+	}
+	for _, s := range []struct{ workers, depth int }{{0, 0}, {4, 4}} {
+		// Both runs go through the one call site below so the allocation
+		// call paths the report captures (file:line frames) match.
+		var reports [][]byte
+		tel := telemetry.New()
+		tel.SetTrace(telemetry.NewBuffer())
+		for _, rec := range []*telemetry.Recorder{nil, tel} {
+			reports = append(reports, run(s.workers, s.depth, rec))
+		}
+		if !bytes.Equal(reports[0], reports[1]) {
+			t.Errorf("workers=%d depth=%d: telemetry perturbed the report", s.workers, s.depth)
+		}
+
+		// The recorder must actually have observed the run, or the
+		// identity above proves nothing.
+		m := tel.Metrics()
+		if m.Counters["sanitizer.flushes"] == 0 {
+			t.Errorf("workers=%d: no sanitizer flushes recorded", s.workers)
+		}
+		if m.Counters["stage.coarse.batches"] == 0 {
+			t.Errorf("workers=%d: no coarse batches recorded", s.workers)
+		}
+		if m.Timers["collector.flush_capture"].Count == 0 {
+			t.Errorf("workers=%d: flush capture timer never observed", s.workers)
+		}
+	}
+}
+
+// TestTelemetryPerStageMetrics checks the metric vocabulary the export
+// promises: per-stage timers, per-strategy snapshot counters, scheduler
+// and pipeline gauges.
+func TestTelemetryPerStageMetrics(t *testing.T) {
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	tel := telemetry.New()
+	p := Attach(rt, Config{
+		Coarse: true, Fine: true,
+		BufferRecords:   256,
+		AnalysisWorkers: 2, PipelineDepth: 2,
+		Telemetry: tel,
+		Program:   "quickstart",
+	})
+	runQuickstart(t, rt)
+	p.Detach()
+
+	m := tel.Metrics()
+	if m.Program != "quickstart" {
+		t.Errorf("program = %q", m.Program)
+	}
+	for _, timer := range []string{
+		"collector.flush_capture", "pipeline.drain_wait",
+		"stage.coarse.compact", "stage.coarse.absorb",
+		"stage.fine.compact", "stage.fine.absorb",
+		"scheduler.wait", "snapshot.diff", "snapshot.apply", "merge.time",
+	} {
+		if _, ok := m.Timers[timer]; !ok {
+			t.Errorf("timer %q missing from export (have %v)", timer, keys(m.Timers))
+		}
+	}
+	for _, counter := range []string{
+		"sanitizer.flushes", "sanitizer.records", "scheduler.acquires",
+		"stage.coarse.batches", "stage.fine.batches",
+		"snapshot.copy_bytes.direct", "snapshot.copy_calls.direct",
+		"merge.input_intervals", "merge.output_intervals",
+	} {
+		if _, ok := m.Counters[counter]; !ok {
+			t.Errorf("counter %q missing from export (have %v)", counter, keys(m.Counters))
+		}
+	}
+	for _, gauge := range []string{"pipeline.occupancy", "scheduler.in_use"} {
+		if _, ok := m.Gauges[gauge]; !ok {
+			t.Errorf("gauge %q missing from export (have %v)", gauge, keys(m.Gauges))
+		}
+	}
+	if m.Counters["sanitizer.records"] == 0 {
+		t.Error("no access records counted")
+	}
+	if m.Gauges["scheduler.in_use"].Count == 0 {
+		t.Error("scheduler utilization never sampled")
+	}
+
+	// The export must be valid JSON with the documented envelope.
+	var buf bytes.Buffer
+	if err := tel.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"program", "wall_ns", "counters", "timers", "gauges"} {
+		if _, ok := env[k]; !ok {
+			t.Errorf("export missing %q", k)
+		}
+	}
+}
+
+// TestSelfTraceLanes checks the Chrome-trace side: kernel spans on the
+// kernel lane, analysis spans on worker lanes, flush instants, and lane
+// metadata naming every thread.
+func TestSelfTraceLanes(t *testing.T) {
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	tel := telemetry.New()
+	buf := telemetry.NewBuffer()
+	tel.SetTrace(buf)
+	p := Attach(rt, Config{
+		Coarse: true, Fine: true,
+		BufferRecords:   256,
+		AnalysisWorkers: 2, PipelineDepth: 2,
+		Telemetry: tel,
+		Program:   "quickstart",
+	})
+	runQuickstart(t, rt)
+	p.Detach()
+
+	lanes := map[int]bool{}
+	var kernelSpans, analysisSpans, instants, meta int
+	for _, ev := range buf.Events() {
+		lanes[ev.TID] = true
+		switch {
+		case ev.Ph == "M":
+			meta++
+		case ev.Ph == "i":
+			instants++
+		case ev.Ph == "X" && ev.Cat == "kernel":
+			kernelSpans++
+			if ev.TID != telemetry.LaneKernel {
+				t.Errorf("kernel span on lane %d", ev.TID)
+			}
+		case ev.Ph == "X" && ev.Cat == "analysis":
+			analysisSpans++
+		}
+	}
+	if kernelSpans < 3 {
+		t.Errorf("kernel spans = %d, want >= 3 (quickstart launches 3)", kernelSpans)
+	}
+	if analysisSpans == 0 {
+		t.Error("no analysis spans")
+	}
+	if instants == 0 {
+		t.Error("no flush instants")
+	}
+	if meta < 3 {
+		t.Errorf("lane metadata events = %d, want kernel+collector+workers", meta)
+	}
+	if !lanes[telemetry.LaneKernel] || !lanes[telemetry.LaneWorker0] {
+		t.Errorf("expected kernel and worker lanes, got %v", lanes)
+	}
+}
+
+// TestOverheadSection: Overhead() attributes time only when asked, and
+// the report renders it; default reports never carry the section.
+func TestOverheadSection(t *testing.T) {
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	tel := telemetry.New()
+	p := Attach(rt, Config{Coarse: true, Fine: true, Telemetry: tel, Program: "quickstart"})
+	runQuickstart(t, rt)
+	p.Detach()
+
+	rep := p.Report()
+	if rep.Overhead != nil {
+		t.Fatal("default report carries an overhead section")
+	}
+	ov := p.Overhead()
+	if ov.AnalysisTime <= 0 {
+		t.Errorf("analysis time = %v", ov.AnalysisTime)
+	}
+	if ov.FlushCaptureTime <= 0 {
+		t.Errorf("flush capture time = %v (telemetry attached)", ov.FlushCaptureTime)
+	}
+	rep.Overhead = ov
+	text := rep.Text()
+	if !bytes.Contains([]byte(text), []byte("profiler overhead")) {
+		t.Error("text report missing overhead section")
+	}
+
+	// Without telemetry the coarse attribution still works.
+	rt2 := cuda.NewRuntime(gpu.RTX2080Ti)
+	p2 := Attach(rt2, Config{Coarse: true, Program: "quickstart"})
+	runQuickstart(t, rt2)
+	p2.Detach()
+	if ov2 := p2.Overhead(); ov2.AnalysisTime <= 0 {
+		t.Errorf("untelemetered analysis time = %v", ov2.AnalysisTime)
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -67,12 +67,13 @@ type Profiler struct {
 }
 
 // Profile attaches GVProf to src's runtime and runs the source's event
-// stream through it — the same entry point shape as ValueExpert's, so
-// the overhead comparison drives both tools from one source.
+// stream through it.
+//
+// Deprecated: both profilers now share one entry path; this is a thin
+// alias for cuda.Drive(src, Attach), kept so existing comparison
+// harnesses keep compiling. New code should call cuda.Drive directly.
 func Profile(src cuda.EventSource) (*Profiler, error) {
-	p := Attach(src.Runtime())
-	err := src.Run()
-	return p, err
+	return cuda.Drive(src, Attach)
 }
 
 // Attach installs GVProf on the runtime.

@@ -76,6 +76,21 @@ func PlanCopy(strategy CopyStrategy, obj Interval, merged []Interval) []Interval
 	return clipped
 }
 
+// ResolveStrategy returns the concrete strategy a plan executes under:
+// AdaptiveCopy resolves to the SegmentCopy/MinMaxCopy choice its policy
+// makes for these intervals (§6.1); every other strategy is itself. The
+// overhead accounting uses this to attribute copy traffic per strategy.
+func ResolveStrategy(strategy CopyStrategy, obj Interval, merged []Interval) CopyStrategy {
+	if strategy != AdaptiveCopy {
+		return strategy
+	}
+	clipped := clip(obj, merged)
+	if len(clipped) > adaptiveMaxSegments || density(clipped) > adaptiveDensity {
+		return MinMaxCopy
+	}
+	return SegmentCopy
+}
+
 // density is coveredBytes / span over the merged intervals.
 func density(merged []Interval) float64 {
 	if len(merged) == 0 {

@@ -11,6 +11,7 @@ import (
 
 	"valueexpert/gpu"
 	"valueexpert/internal/parallel"
+	"valueexpert/internal/telemetry"
 )
 
 // Interval is a half-open byte range [Start, End). Adjacent intervals
@@ -80,8 +81,21 @@ func MergeSequential(ivs []Interval) []Interval {
 // Merger runs the parallel interval merge of Figure 4 on a worker pool
 // standing in for the data-processing GPU kernel.
 type Merger struct {
-	pool *parallel.Pool
+	pool   *parallel.Pool
+	probes MergeProbes
 }
+
+// MergeProbes are the merger's telemetry hooks: merge time plus input
+// and output interval volumes, which together show how much the
+// Figure 4 "data processing kernel" compacts. Nil fields no-op.
+type MergeProbes struct {
+	Time   *telemetry.Timer
+	Input  *telemetry.Counter
+	Output *telemetry.Counter
+}
+
+// SetProbes attaches telemetry probes to the merger.
+func (m *Merger) SetProbes(p MergeProbes) { m.probes = p }
 
 // NewMerger creates a merger with the given parallelism (<=0 selects the
 // pool default).
@@ -110,6 +124,9 @@ func (m *Merger) MergeParallel(ivs []Interval) []Interval {
 	if n == 0 {
 		return nil
 	}
+	sw := m.probes.Time.Start()
+	defer sw.Stop()
+	m.probes.Input.Add(uint64(n))
 
 	// Step 1: build and sort (address, isEnd) keys. The low bit is the
 	// isEnd flag, so starts sort before ends at equal addresses and the
@@ -153,6 +170,7 @@ func (m *Merger) MergeParallel(ivs []Interval) []Interval {
 	m.pool.ExclusiveScan(endFlags)
 
 	// Steps 8–9: scatter.
+	m.probes.Output.Add(uint64(nMerged))
 	out := make([]Interval, nMerged)
 	m.pool.For(2*n, func(i int) {
 		addr := keys[i] >> 1

@@ -1,6 +1,11 @@
 package parallel
 
-import "runtime"
+import (
+	"runtime"
+	"sync/atomic"
+
+	"valueexpert/internal/telemetry"
+)
 
 // Scheduler is a process-wide budget of analysis worker slots. Every
 // source of host-side analysis parallelism — interval-merge pool chunks,
@@ -25,7 +30,31 @@ import "runtime"
 // slots always recirculate and no lease can wait on another lease.
 type Scheduler struct {
 	slots chan struct{}
+
+	// probes, when attached, observe slot traffic. The pointer is atomic
+	// because the shared scheduler serves every profiler in the process
+	// while any of them may attach telemetry.
+	probes atomic.Pointer[SchedProbes]
 }
+
+// SchedProbes are the scheduler's telemetry hooks: how often slots are
+// leased, how many are in use at each lease, and how long blocking
+// acquires wait. Individual fields may be nil (nil probes no-op).
+type SchedProbes struct {
+	// Acquires counts successful leases (blocking and try).
+	Acquires *telemetry.Counter
+	// InUse samples the number of leased slots after each lease — the
+	// scheduler's utilization gauge.
+	InUse *telemetry.Gauge
+	// Wait times blocking Acquire calls (contention for the CPU budget).
+	Wait *telemetry.Timer
+}
+
+// SetProbes attaches telemetry probes to the scheduler; nil detaches.
+// The process-wide shared scheduler is a singleton, so when several
+// profilers attach probes the last attachment wins — acceptable for the
+// common one-profiler case this instrument serves.
+func (s *Scheduler) SetProbes(p *SchedProbes) { s.probes.Store(p) }
 
 // NewScheduler creates a scheduler with the given number of slots.
 // capacity <= 0 selects GOMAXPROCS.
@@ -56,6 +85,7 @@ func (s *Scheduler) Idle() int { return len(s.slots) }
 func (s *Scheduler) TryAcquire() bool {
 	select {
 	case <-s.slots:
+		s.observeAcquire()
 		return true
 	default:
 		return false
@@ -64,7 +94,26 @@ func (s *Scheduler) TryAcquire() bool {
 
 // Acquire leases a slot, blocking until one frees. Callers must hold the
 // slot only across finite leaf work that itself makes no Acquire calls.
-func (s *Scheduler) Acquire() { <-s.slots }
+func (s *Scheduler) Acquire() {
+	p := s.probes.Load()
+	if p == nil {
+		<-s.slots
+		return
+	}
+	sw := p.Wait.Start()
+	<-s.slots
+	sw.Stop()
+	p.Acquires.Inc()
+	p.InUse.Observe(int64(cap(s.slots) - len(s.slots)))
+}
+
+// observeAcquire records a successful lease on the attached probes.
+func (s *Scheduler) observeAcquire() {
+	if p := s.probes.Load(); p != nil {
+		p.Acquires.Inc()
+		p.InUse.Observe(int64(cap(s.slots) - len(s.slots)))
+	}
+}
 
 // Release returns a leased slot.
 func (s *Scheduler) Release() { s.slots <- struct{}{} }

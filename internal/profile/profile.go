@@ -107,6 +107,30 @@ type RunStats struct {
 	AnalysisTime     time.Duration `json:"analysis_time_ns"`
 }
 
+// Overhead is the profiler's own cost breakdown — the §6-style
+// attribution of tool time to collection, analysis, and snapshot
+// maintenance. It is filled only on explicit request (Profiler.Overhead,
+// vxprof -overhead); Report never auto-populates it, so default reports
+// stay byte-identical whether or not telemetry runs.
+type Overhead struct {
+	// CollectionTime is kernel-goroutine time spent handing measurement
+	// data off: flush capture plus buffer-wait stalls. Requires the run
+	// to carry a telemetry recorder; zero otherwise.
+	CollectionTime time.Duration `json:"collection_ns"`
+	// AnalysisTime is wall time inside the analyzer (the engine's
+	// always-on accounting, same quantity as Stats.AnalysisTime).
+	AnalysisTime time.Duration `json:"analysis_ns"`
+	// SnapshotTime is the simulated device→host copy cost of snapshot
+	// maintenance under the configured strategy (Figure 5).
+	SnapshotTime time.Duration `json:"snapshot_ns"`
+
+	// Telemetry-derived components of CollectionTime plus the pipeline's
+	// launch-end drain wait (analysis not hidden behind the kernel).
+	FlushCaptureTime time.Duration `json:"flush_capture_ns,omitempty"`
+	BufferWaitTime   time.Duration `json:"buffer_wait_ns,omitempty"`
+	DrainWaitTime    time.Duration `json:"drain_wait_ns,omitempty"`
+}
+
 // Report is the complete annotated profile.
 type Report struct {
 	Tool    string `json:"tool"`
@@ -124,6 +148,11 @@ type Report struct {
 	Reuse           []ReuseRecord  `json:"reuse,omitempty"`
 	DuplicateGroups [][]int        `json:"duplicate_groups,omitempty"`
 	Stats           RunStats       `json:"stats"`
+
+	// Overhead is the optional self-observation section; nil (and absent
+	// from JSON and text) unless the caller filled it from
+	// Profiler.Overhead.
+	Overhead *Overhead `json:"overhead,omitempty"`
 }
 
 // PatternSet returns the set of pattern kind names present anywhere in
@@ -324,6 +353,15 @@ func (r *Report) Text() string {
 			fmt.Fprintf(&b, "  kernel %s: %d accesses, %d cold; est. hit fraction L1 %.0f%%, L2 %.0f%%\n",
 				rr.Kernel, rr.Accesses, rr.ColdMisses, 100*rr.L1HitFraction, 100*rr.L2HitFraction)
 		}
+	}
+
+	if r.Overhead != nil {
+		o := r.Overhead
+		fmt.Fprintf(&b, "\n-- profiler overhead --\n")
+		fmt.Fprintf(&b, "  collection %v (flush capture %v, buffer wait %v)\n",
+			o.CollectionTime, o.FlushCaptureTime, o.BufferWaitTime)
+		fmt.Fprintf(&b, "  analysis   %v (drain wait %v)\n", o.AnalysisTime, o.DrainWaitTime)
+		fmt.Fprintf(&b, "  snapshots  %v (simulated copy cost)\n", o.SnapshotTime)
 	}
 
 	if len(r.Fine) > 0 {

@@ -14,6 +14,7 @@ package sanitizer
 
 import (
 	"valueexpert/gpu"
+	"valueexpert/internal/telemetry"
 )
 
 // Config controls instrumentation scope and cost.
@@ -42,6 +43,23 @@ type Config struct {
 	// within an instrumented launch (hierarchical sampling level 2).
 	// Zero or one means every block.
 	BlockSamplingPeriod int
+
+	// Probes are the engine's telemetry hooks (zero-value fields no-op).
+	Probes Probes
+}
+
+// Probes are the sanitizer's telemetry hooks: instrumentation volume and
+// the pipeline stall the collector pays when every flush buffer is in
+// flight. Nil fields no-op, so the engine wires them unconditionally.
+type Probes struct {
+	// Flushes counts device→host buffer hand-offs.
+	Flushes *telemetry.Counter
+	// Records counts captured access records.
+	Records *telemetry.Counter
+	// BufferWait times how long the kernel-execution goroutine blocks
+	// waiting for a free flush buffer — the backpressure stall that
+	// bounds how far analysis can fall behind collection.
+	BufferWait *telemetry.Timer
 }
 
 // DefaultBufferRecords matches a few-megabyte device buffer.
@@ -117,7 +135,9 @@ func (e *Engine) Instrument(kernelName string, flush func([]gpu.Access)) (hook g
 	e.stats.LaunchesProfiled++
 
 	if e.cur == nil {
+		sw := e.cfg.Probes.BufferWait.Start()
 		e.cur = <-e.free
+		sw.Stop()
 	}
 	e.cur = e.cur[:0]
 	hook = func(a gpu.Access) {
@@ -127,8 +147,12 @@ func (e *Engine) Instrument(kernelName string, flush func([]gpu.Access)) (hook g
 			e.stats.Flushes++
 			buf := e.cur
 			e.cur = nil
+			e.cfg.Probes.Flushes.Inc()
+			e.cfg.Probes.Records.Add(uint64(len(buf)))
 			flush(buf)
+			sw := e.cfg.Probes.BufferWait.Start()
 			e.cur = <-e.free
+			sw.Stop()
 		}
 	}
 	if p := e.cfg.BlockSamplingPeriod; p > 1 {
@@ -139,6 +163,8 @@ func (e *Engine) Instrument(kernelName string, flush func([]gpu.Access)) (hook g
 			e.stats.Flushes++
 			buf := e.cur
 			e.cur = nil
+			e.cfg.Probes.Flushes.Inc()
+			e.cfg.Probes.Records.Add(uint64(len(buf)))
 			flush(buf)
 		}
 	}

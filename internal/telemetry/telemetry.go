@@ -1,0 +1,327 @@
+// Package telemetry is ValueExpert's self-observability layer: the
+// profiler profiling itself. The paper treats the tool's own overhead as
+// a first-class result (§6 attributes per-benchmark slowdowns to snapshot
+// copies, buffer flushes, and analysis), so the engine threads low-cost
+// probes — counters, timers, and sampled gauges — through every stage and
+// exports them as structured metrics plus an optional Chrome trace-event
+// self-trace (see trace.go).
+//
+// The off path is designed to cost nearly nothing: every probe method is
+// safe on a nil receiver and compiles to a pointer test, Timer.Start on a
+// nil timer never reads the clock, and a nil *Recorder hands out nil
+// probes. Engine code therefore instruments unconditionally — there is no
+// "telemetry enabled?" branching at call sites, and no allocation on any
+// hot path (guarded by an AllocsPerRun test).
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. All methods are
+// safe on a nil *Counter (no-ops) and safe for concurrent use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Timer accumulates observed durations: call count, total, and maximum.
+// All methods are safe on a nil *Timer and safe for concurrent use.
+type Timer struct {
+	count atomic.Uint64
+	ns    atomic.Int64
+	max   atomic.Int64
+}
+
+// Observe folds one duration into the timer.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.count.Add(1)
+	t.ns.Add(int64(d))
+	atomicMax(&t.max, int64(d))
+}
+
+// Start begins timing one operation. On a nil timer the returned
+// Stopwatch is inert and the clock is never read — Start/Stop on the off
+// path costs two pointer tests.
+func (t *Timer) Start() Stopwatch {
+	if t == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{t: t, start: time.Now()}
+}
+
+// Count returns the number of observations (0 on nil).
+func (t *Timer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the accumulated duration (0 on nil).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Max returns the longest single observation (0 on nil).
+func (t *Timer) Max() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.max.Load())
+}
+
+// Stopwatch is one in-flight Timer measurement. The zero Stopwatch
+// (from a nil Timer) no-ops on Stop.
+type Stopwatch struct {
+	t     *Timer
+	start time.Time
+}
+
+// Stop ends the measurement and folds it into the timer.
+func (sw Stopwatch) Stop() {
+	if sw.t == nil {
+		return
+	}
+	sw.t.Observe(time.Since(sw.start))
+}
+
+// Gauge samples an instantaneous quantity (queue depth, occupancy,
+// in-use worker slots): it keeps the sample count, sum, and maximum so
+// consumers can derive the mean. All methods are safe on a nil *Gauge
+// and safe for concurrent use.
+type Gauge struct {
+	count atomic.Uint64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// Observe records one sample.
+func (g *Gauge) Observe(v int64) {
+	if g == nil {
+		return
+	}
+	g.count.Add(1)
+	g.sum.Add(v)
+	atomicMax(&g.max, v)
+}
+
+// Count returns the number of samples (0 on nil).
+func (g *Gauge) Count() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.count.Load()
+}
+
+// Mean returns the average sample (0 on nil or no samples).
+func (g *Gauge) Mean() float64 {
+	if g == nil {
+		return 0
+	}
+	n := g.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.sum.Load()) / float64(n)
+}
+
+// Max returns the largest sample (0 on nil).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// atomicMax raises *p to at least v.
+func atomicMax(p *atomic.Int64, v int64) {
+	for {
+		cur := p.Load()
+		if v <= cur || p.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Recorder is one profiling run's telemetry registry: named probes plus
+// an optional trace sink. Probes are created once (typically at Attach)
+// and written lock-free afterwards; the registry lock is only taken on
+// creation and export. All methods are safe on a nil *Recorder — they
+// return nil probes and inert spans, making a disabled recorder
+// near-free to thread through the engine.
+type Recorder struct {
+	start time.Time
+
+	mu       sync.Mutex
+	program  string
+	counters map[string]*Counter
+	timers   map[string]*Timer
+	gauges   map[string]*Gauge
+	lanes    map[int]string
+
+	trace atomic.Pointer[sinkBox]
+}
+
+// sinkBox wraps the TraceSink interface value so it can live behind an
+// atomic.Pointer (interfaces are not directly atomically storable).
+type sinkBox struct{ sink TraceSink }
+
+// New creates an empty recorder; its wall clock starts now.
+func New() *Recorder {
+	return &Recorder{
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		timers:   make(map[string]*Timer),
+		gauges:   make(map[string]*Gauge),
+		lanes:    make(map[int]string),
+	}
+}
+
+// SetProgram names the profiled application in the metrics export.
+func (r *Recorder) SetProgram(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.program = name
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil recorder, which is itself a valid (no-op) probe.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns the named timer, creating it on first use (nil on a nil
+// recorder).
+func (r *Recorder) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.timers[name]
+	if t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// recorder).
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// TimerStats is a Timer's exported aggregate.
+type TimerStats struct {
+	Count   uint64 `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MaxNS   int64  `json:"max_ns"`
+}
+
+// GaugeStats is a Gauge's exported aggregate.
+type GaugeStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+}
+
+// Metrics is the structured metrics export: every probe's aggregate
+// keyed by name. encoding/json emits map keys sorted, so the export is
+// deterministic given deterministic values.
+type Metrics struct {
+	Program  string                `json:"program,omitempty"`
+	WallNS   int64                 `json:"wall_ns"`
+	Counters map[string]uint64     `json:"counters"`
+	Timers   map[string]TimerStats `json:"timers"`
+	Gauges   map[string]GaugeStats `json:"gauges"`
+}
+
+// Metrics snapshots every probe. Safe on nil (returns empty maps).
+func (r *Recorder) Metrics() Metrics {
+	m := Metrics{
+		Counters: map[string]uint64{},
+		Timers:   map[string]TimerStats{},
+		Gauges:   map[string]GaugeStats{},
+	}
+	if r == nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.Program = r.program
+	m.WallNS = int64(time.Since(r.start))
+	for name, c := range r.counters {
+		m.Counters[name] = c.Value()
+	}
+	for name, t := range r.timers {
+		m.Timers[name] = TimerStats{Count: t.Count(), TotalNS: int64(t.Total()), MaxNS: int64(t.Max())}
+	}
+	for name, g := range r.gauges {
+		m.Gauges[name] = GaugeStats{Count: g.Count(), Mean: g.Mean(), Max: g.Max()}
+	}
+	return m
+}
+
+// WriteMetrics serializes the metrics snapshot as indented JSON.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Metrics()); err != nil {
+		return fmt.Errorf("telemetry: encode metrics: %w", err)
+	}
+	return nil
+}

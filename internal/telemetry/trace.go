@@ -1,0 +1,210 @@
+// Self-tracing: the Recorder can emit a Chrome trace-event JSON stream
+// (the format chrome://tracing and Perfetto load) showing the engine's
+// own concurrency — kernel execution on one lane overlapped with the
+// collector and each analysis worker on theirs. Lanes are thread IDs in
+// the trace; DeclareLane names them with "M" metadata events so the
+// viewer shows "kernel execution", "collector", "worker 0", … instead of
+// bare numbers.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Well-known trace lanes. Worker lanes start at LaneWorker0 and extend
+// upward (worker i is LaneWorker0+i).
+const (
+	LaneKernel    = 0
+	LaneCollector = 1
+	LaneWorker0   = 2
+)
+
+// Event is one Chrome trace event. Ph "X" is a complete event (TS+Dur),
+// "i" an instant, "M" metadata (thread_name). Timestamps are in
+// microseconds from the recorder's start, per the trace-event spec.
+type Event struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	// S is the instant-event scope ("t" thread, "p" process, "g" global).
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceSink consumes trace events. Emit must be safe for concurrent use:
+// spans stop on the kernel goroutine, the collector, and every worker.
+type TraceSink interface {
+	Emit(Event)
+}
+
+// Buffer is an in-memory TraceSink that serializes to the Chrome
+// trace-event JSON object format ({"traceEvents": [...]}).
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewBuffer creates an empty trace buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Emit implements TraceSink.
+func (b *Buffer) Emit(ev Event) {
+	b.mu.Lock()
+	b.events = append(b.events, ev)
+	b.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events in emission order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// WriteJSON serializes the buffer as a Chrome trace-event JSON object,
+// loadable in Perfetto or chrome://tracing.
+func (b *Buffer) WriteJSON(w io.Writer) error {
+	b.mu.Lock()
+	events := append([]Event(nil), b.events...)
+	b.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}{TraceEvents: events}); err != nil {
+		return fmt.Errorf("telemetry: encode trace: %w", err)
+	}
+	return nil
+}
+
+// SetTrace attaches (or, with nil, detaches) the recorder's trace sink.
+// Span and Instant no-op while no sink is attached; attach before the
+// activity of interest. Safe on a nil recorder.
+func (r *Recorder) SetTrace(sink TraceSink) {
+	if r == nil {
+		return
+	}
+	if sink == nil {
+		r.trace.Store(nil)
+		return
+	}
+	r.trace.Store(&sinkBox{sink: sink})
+}
+
+// sink returns the attached TraceSink, or nil.
+func (r *Recorder) sink() TraceSink {
+	if r == nil {
+		return nil
+	}
+	if box := r.trace.Load(); box != nil {
+		return box.sink
+	}
+	return nil
+}
+
+// DeclareLane names a trace lane (thread ID). The name is replayed as a
+// thread_name metadata event to any sink attached now or later, so lanes
+// declared at Attach appear even when the sink arrives afterwards.
+func (r *Recorder) DeclareLane(tid int, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.lanes[tid] = name
+	r.mu.Unlock()
+	if s := r.sink(); s != nil {
+		s.Emit(metaEvent(tid, name))
+	}
+}
+
+// emitLaneMeta replays every declared lane's metadata into sink.
+func (r *Recorder) emitLaneMeta(sink TraceSink) {
+	r.mu.Lock()
+	lanes := make(map[int]string, len(r.lanes))
+	for tid, name := range r.lanes {
+		lanes[tid] = name
+	}
+	r.mu.Unlock()
+	// Deterministic order: lane IDs are small and dense.
+	for tid := 0; tid < LaneWorker0+64; tid++ {
+		if name, ok := lanes[tid]; ok {
+			sink.Emit(metaEvent(tid, name))
+		}
+	}
+}
+
+// AttachTrace couples SetTrace with a replay of the declared lane names,
+// the call sites use when the sink is supplied after probes exist.
+func (r *Recorder) AttachTrace(sink TraceSink) {
+	if r == nil || sink == nil {
+		return
+	}
+	r.SetTrace(sink)
+	r.emitLaneMeta(sink)
+}
+
+func metaEvent(tid int, name string) Event {
+	return Event{
+		Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// Span is one in-flight trace slice. The zero Span (no sink) no-ops.
+type Span struct {
+	r     *Recorder
+	sink  TraceSink
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+}
+
+// Span opens a complete-event slice on lane tid. When the recorder is
+// nil or no sink is attached, the returned Span is inert and the clock
+// is never read.
+func (r *Recorder) Span(tid int, cat, name string) Span {
+	s := r.sink()
+	if s == nil {
+		return Span{}
+	}
+	return Span{r: r, sink: s, name: name, cat: cat, tid: tid, start: time.Now()}
+}
+
+// End closes the span, emitting a ph "X" complete event.
+func (sp Span) End() {
+	if sp.sink == nil {
+		return
+	}
+	now := time.Now()
+	sp.sink.Emit(Event{
+		Name: sp.name, Cat: sp.cat, Ph: "X",
+		TS:  micros(sp.start.Sub(sp.r.start)),
+		Dur: micros(now.Sub(sp.start)),
+		PID: 1, TID: sp.tid,
+	})
+}
+
+// Instant emits a ph "i" instant event on lane tid (no-op without a
+// sink).
+func (r *Recorder) Instant(tid int, cat, name string) {
+	s := r.sink()
+	if s == nil {
+		return
+	}
+	s.Emit(Event{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		TS: micros(time.Since(r.start)), PID: 1, TID: tid,
+	})
+}
+
+// micros converts a duration to trace microseconds.
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }

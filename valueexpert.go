@@ -24,6 +24,8 @@
 package valueexpert
 
 import (
+	"io"
+
 	"valueexpert/cuda"
 	"valueexpert/gpu"
 	"valueexpert/internal/advisor"
@@ -31,6 +33,8 @@ import (
 	"valueexpert/internal/gui"
 	"valueexpert/internal/interval"
 	"valueexpert/internal/profile"
+	"valueexpert/internal/telemetry"
+	"valueexpert/internal/trace"
 	"valueexpert/internal/vflow"
 	"valueexpert/internal/vpattern"
 )
@@ -38,10 +42,17 @@ import (
 // Config selects ValueExpert's analyses; see core.Config for field docs.
 type Config = core.Config
 
+// ConfigError is the typed validation error Config.Validate returns:
+// Field names the offending Config field so front-ends can map it back
+// to their own option names.
+type ConfigError = core.ConfigError
+
 // Profiler is an attached ValueExpert instance.
 type Profiler = core.Profiler
 
 // Attach installs ValueExpert on a runtime. Detach with Profiler.Detach.
+// Attach panics on a configuration that fails Config.Validate; use
+// Profile or NewSession for the error-returning path.
 func Attach(rt *cuda.Runtime, cfg Config) *Profiler { return core.Attach(rt, cfg) }
 
 // EventSource is a producer of a GPU API event stream — live execution
@@ -78,8 +89,86 @@ type (
 // Report is the annotated profile produced by Profiler.Report.
 type Report = profile.Report
 
+// OverheadStats is the profiler's own cost breakdown (collection vs.
+// analysis vs. snapshot maintenance), produced by Profiler.Overhead and
+// attachable to a report's optional Overhead section.
+type OverheadStats = profile.Overhead
+
 // ReadReport deserializes a profile written with Report.WriteJSON.
 var ReadReport = profile.ReadJSON
+
+// Self-observability: the profiler profiling itself. A Telemetry
+// recorder threaded through Config.Telemetry collects per-stage metrics
+// (Metrics/WriteMetrics); attach a TraceSink (NewTraceBuffer) to it with
+// AttachTrace for a Chrome trace-event self-trace showing kernel
+// execution overlapped with the analysis workers. Enabling telemetry
+// never changes the emitted report.
+type (
+	// Telemetry is a per-run metrics registry and trace-span source.
+	Telemetry = telemetry.Recorder
+	// Metrics is the structured metrics snapshot Telemetry exports.
+	Metrics = telemetry.Metrics
+	// TraceSink consumes self-trace events.
+	TraceSink = telemetry.TraceSink
+	// TraceEvent is one Chrome trace event.
+	TraceEvent = telemetry.Event
+	// TraceBuffer is an in-memory TraceSink serializing to Chrome
+	// trace-event JSON (Perfetto-loadable).
+	TraceBuffer = telemetry.Buffer
+)
+
+// NewTelemetry creates an empty telemetry recorder for Config.Telemetry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewTraceBuffer creates an in-memory trace sink; attach it with
+// Telemetry.AttachTrace and serialize with TraceBuffer.WriteJSON.
+func NewTraceBuffer() *TraceBuffer { return telemetry.NewBuffer() }
+
+// Trace record/replay: capture one instrumented run's API+access stream
+// and re-analyze it offline with different settings through Profile —
+// no longer a vxprof-only facility.
+type (
+	// TraceRecorder captures a runtime's event stream (see Record).
+	TraceRecorder = trace.Recorder
+	// TraceSource replays a recorded trace as an EventSource.
+	TraceSource = trace.Source
+)
+
+// Recording is an in-progress trace capture started by Record. Close it
+// after the program ran to detach the recorder and serialize the
+// captured stream.
+type Recording struct {
+	rec *trace.Recorder
+	w   io.Writer
+}
+
+// Events reports the number of events captured so far.
+func (r *Recording) Events() int { return r.rec.Events() }
+
+// Close detaches the recorder from its runtime and writes the captured
+// trace to the recording's writer.
+func (r *Recording) Close() error {
+	r.rec.Detach()
+	_, err := r.rec.WriteTo(r.w)
+	return err
+}
+
+// Record attaches a trace recorder to rt that will serialize to w: run
+// the program against rt, then Close the recording.
+//
+//	rec := valueexpert.Record(rt, f)
+//	// ... run the GPU program against rt ...
+//	if err := rec.Close(); err != nil { ... }
+func Record(rt *cuda.Runtime, w io.Writer) *Recording {
+	return &Recording{rec: trace.Record(rt), w: w}
+}
+
+// NewTraceSource replays a trace previously serialized by a Recording
+// into a fresh runtime simulating device; feed it to Profile like any
+// live source.
+func NewTraceSource(r io.Reader, device gpu.Profile) *TraceSource {
+	return trace.NewSource(r, device)
+}
 
 // FineConfig tunes fine-grained pattern thresholds (𝒯, 𝒦, …).
 type FineConfig = vpattern.FineConfig
@@ -212,8 +301,9 @@ type Session = core.Session
 // ObjectRef names a data object on one of a session's devices.
 type ObjectRef = core.ObjectRef
 
-// NewSession creates one runtime+profiler per device profile.
-func NewSession(cfg Config, devices ...gpu.Profile) *Session {
+// NewSession creates one runtime+profiler per device profile. An invalid
+// configuration returns its validation error (see Config.Validate).
+func NewSession(cfg Config, devices ...gpu.Profile) (*Session, error) {
 	return core.NewSession(cfg, devices...)
 }
 

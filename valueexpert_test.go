@@ -74,6 +74,123 @@ func TestEndToEndQuickstart(t *testing.T) {
 	}
 }
 
+// TestRecordReplayFacade drives the promoted record/replay API: capture
+// a run through valueexpert.Record, replay it with NewTraceSource, and
+// check the offline analysis sees the same program.
+func TestRecordReplayFacade(t *testing.T) {
+	runProgram := func(rt *cuda.Runtime) {
+		const n = 1024
+		buf, err := rt.MallocF32(n, "data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Memset(buf, 0, 4*n); err != nil {
+			t.Fatal(err)
+		}
+		k := &gpu.GoKernel{
+			Name: "zero_again",
+			Func: func(th *gpu.Thread) {
+				i := th.GlobalID()
+				if i >= n {
+					return
+				}
+				th.StoreF32(0, uint64(buf)+uint64(4*i), 0)
+			},
+		}
+		if err := rt.Launch(k, gpu.Dim1(n/256), gpu.Dim1(256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var traceBuf bytes.Buffer
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	rec := Record(rt, &traceBuf)
+	runProgram(rt)
+	if rec.Events() == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if traceBuf.Len() == 0 {
+		t.Fatal("Close wrote no bytes")
+	}
+
+	src := NewTraceSource(bytes.NewReader(traceBuf.Bytes()), gpu.RTX2080Ti)
+	p, err := Profile(src, Config{Coarse: true, Fine: true, Program: "replayed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Report()
+	if !strings.Contains(rep.Text(), "zero_again") {
+		t.Fatal("replayed report missing the recorded kernel")
+	}
+	if !rep.PatternSet()[RedundantValues.String()] {
+		t.Fatal("replayed analysis lost the redundant memset finding")
+	}
+}
+
+// TestTelemetryFacade threads a recorder and trace buffer through the
+// public API and checks both exports carry data.
+func TestTelemetryFacade(t *testing.T) {
+	tel := NewTelemetry()
+	traceBuf := NewTraceBuffer()
+	tel.AttachTrace(traceBuf)
+
+	src := NewLiveSource(cuda.NewRuntime(gpu.A100), func(rt *cuda.Runtime) error {
+		const n = 512
+		buf, err := rt.MallocF32(n, "x")
+		if err != nil {
+			return err
+		}
+		return rt.CopyF32ToDevice(buf, make([]float32, n))
+	})
+	p, err := Profile(src, Config{Coarse: true, Telemetry: tel, Program: "facade"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Detach()
+
+	m := tel.Metrics()
+	if m.Program != "facade" {
+		t.Fatalf("metrics program = %q", m.Program)
+	}
+	var out bytes.Buffer
+	if err := tel.WriteMetrics(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\"counters\"") {
+		t.Fatal("metrics export missing counters")
+	}
+	out.Reset()
+	if err := traceBuf.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "traceEvents") {
+		t.Fatal("trace export missing traceEvents envelope")
+	}
+
+	var ov *OverheadStats = p.Overhead()
+	if ov == nil {
+		t.Fatal("no overhead stats")
+	}
+}
+
+// TestConfigValidateFacade: the validator and its typed error are part
+// of the public surface.
+func TestConfigValidateFacade(t *testing.T) {
+	good := Config{Coarse: true}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{AnalysisWorkers: -1}
+	err := bad.Validate()
+	ce, ok := err.(*ConfigError)
+	if !ok || ce.Field != "AnalysisWorkers" {
+		t.Fatalf("Validate error = %v", err)
+	}
+}
+
 func TestMergeIntervalsFacade(t *testing.T) {
 	ivs := []Interval{{Start: 8, End: 12}, {Start: 0, End: 4}, {Start: 4, End: 8}}
 	got := MergeIntervals(ivs, 2)
