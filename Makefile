@@ -6,9 +6,17 @@ GO ?= go
 COVER_FLOOR ?= 85.0
 COVER_PKGS  ?= ./internal/vpattern ./internal/core
 
-.PHONY: verify fmt build vet test race bench bench-smoke cover
+# Per-target budget for the fuzz gate; the Go fuzzer accepts one -fuzz
+# pattern per run, so each target gets its own invocation.
+FUZZTIME ?= 20s
 
-verify: fmt build vet test race bench-smoke cover
+# Seed count for the full property-based differential run (make proptest).
+# The verify/race gates run the default 10-seed smoke via `go test`.
+PROPTEST_SEEDS ?= 200
+
+.PHONY: verify fmt build vet test race bench bench-smoke cover fuzz proptest
+
+verify: fmt build vet test race bench-smoke cover fuzz
 
 # fmt fails if any file is not gofmt-clean.
 fmt:
@@ -39,6 +47,20 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/vxpipebench -out BENCH_pipeline.json
+
+# fuzz runs each sass fuzz target for FUZZTIME, growing the checked-in
+# seed corpus under sass/testdata/fuzz/. Plain `go test` replays the
+# corpus; this target explores beyond it.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./sass
+	$(GO) test -run='^$$' -fuzz='^FuzzReadModule$$' -fuzztime=$(FUZZTIME) ./sass
+	$(GO) test -run='^$$' -fuzz='^FuzzAssemble$$' -fuzztime=$(FUZZTIME) ./sass
+
+# proptest runs the property-based differential harness over
+# PROPTEST_SEEDS seeds under the race detector. A failure prints the
+# seed and the exact single-seed repro command.
+proptest:
+	VX_PROPTEST_SEEDS=$(PROPTEST_SEEDS) $(GO) test -race -run TestDifferentialHarness -v ./internal/proptest
 
 # cover enforces COVER_FLOOR percent statement coverage on COVER_PKGS.
 cover:

@@ -11,6 +11,7 @@
 //	       [-patterns "single zero,heavy type"] [-workers 4] [-depth 4]
 //	       [-scale 8] [-json profile.json] [-dot flow.dot] [-optimized]
 //	       [-metrics m.json] [-selftrace t.json] [-overhead]
+//	       [-faults malloc@2] [-faults seed=7,prob=0.05]
 package main
 
 import (
@@ -50,6 +51,7 @@ func main() {
 		metrics   = flag.String("metrics", "", "write the profiler's own per-stage metrics as JSON to this file")
 		selftrace = flag.String("selftrace", "", "write a Chrome trace-event self-trace (load in Perfetto) to this file")
 		overhead  = flag.Bool("overhead", false, "append the profiler-overhead section to the report")
+		faults    = flag.String("faults", "", "deterministic fault-injection spec, e.g. 'seed=7,prob=0.05' or 'malloc@1,launch@2+16' (see DESIGN.md §8)")
 	)
 	flag.Parse()
 
@@ -59,7 +61,7 @@ func main() {
 		}
 		return
 	}
-	if err := validateFlags(*workers, *depth, *sample, *scale); err != nil {
+	if err := validateFlags(*workers, *depth, *sample, *scale, *reuseDist, *coarse, *fine); err != nil {
 		fmt.Fprintln(os.Stderr, "vxprof:", err)
 		os.Exit(2)
 	}
@@ -68,10 +70,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vxprof:", err)
 		os.Exit(2)
 	}
+	faultPlan, err := parseFaults(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxprof:", err)
+		os.Exit(2)
+	}
 	o := &options{
 		device: *device, coarse: *coarse, fine: *fine, reuseDist: *reuseDist,
 		kernels: *kernels, patterns: patternList, sample: *sample,
-		workers: *workers, depth: *depth,
+		workers: *workers, depth: *depth, faults: faultPlan,
 		jsonOut: *jsonOut, dotOut: *dotOut, htmlOut: *htmlOut,
 		metricsOut: *metrics, selftraceOut: *selftrace, overhead: *overhead,
 	}
@@ -108,6 +115,7 @@ type options struct {
 	patterns        []string
 	sample          int
 	workers, depth  int
+	faults          *valueexpert.FaultPlan
 	jsonOut, dotOut string
 	htmlOut         string
 
@@ -131,16 +139,17 @@ var flagForField = map[string]string{
 	"PipelineDepth":        "-depth",
 	"KernelSamplingPeriod": "-sample",
 	"BlockSamplingPeriod":  "-sample",
+	"ReuseDistance":        "-reuse",
 	"Patterns":             "-patterns",
 }
 
 // validateFlags rejects flag values with no meaningful interpretation.
-// Engine settings (-workers, -depth) go through Config.Validate — the
-// same validator Profile and NewSession run — with the typed ConfigError
-// field mapped back to the flag name; CLI-only constraints (-sample >= 1,
-// -scale) stay local because the engine treats 0 as "default" where the
-// CLI has no such spelling.
-func validateFlags(workers, depth, sample, scale int) error {
+// Engine settings (-workers, -depth, -reuse) go through Config.Validate —
+// the same validator Profile and NewSession run — with the typed
+// ConfigError field mapped back to the flag name; CLI-only constraints
+// (-sample >= 1, -scale) stay local because the engine treats 0 as
+// "default" where the CLI has no such spelling.
+func validateFlags(workers, depth, sample, scale int, reuse, coarse, fine bool) error {
 	if sample < 1 {
 		return fmt.Errorf("-sample must be >= 1, got %d (1 = profile every kernel and block)", sample)
 	}
@@ -148,6 +157,9 @@ func validateFlags(workers, depth, sample, scale int) error {
 		return fmt.Errorf("-scale must be >= 1, got %d (1 = full problem size)", scale)
 	}
 	cfg := valueexpert.Config{
+		Coarse:               coarse,
+		Fine:                 fine,
+		ReuseDistance:        reuse,
 		AnalysisWorkers:      workers,
 		PipelineDepth:        depth,
 		KernelSamplingPeriod: sample,
@@ -184,6 +196,19 @@ func parsePatterns(flagVal string) ([]string, error) {
 	return names, nil
 }
 
+// parseFaults turns the -faults flag into an armed-ready fault plan; the
+// empty flag means no injection (nil plan).
+func parseFaults(spec string) (*valueexpert.FaultPlan, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	plan, err := valueexpert.ParseFaultSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	return plan, nil
+}
+
 // config builds the profiler configuration for the named program.
 func (o *options) config(program string) valueexpert.Config {
 	var filter func(string) bool
@@ -212,6 +237,11 @@ func (o *options) config(program string) valueexpert.Config {
 // through this identical path — and emits the report and artifacts.
 func analyze(src valueexpert.EventSource, o *options, program string) error {
 	cfg := o.config(program)
+	if o.faults != nil {
+		// Arm before Profile attaches so the sanitizer's delivery faults
+		// and the fault telemetry are wired.
+		src.Runtime().ArmFaults(o.faults)
+	}
 	var tel *valueexpert.Telemetry
 	var traceBuf *valueexpert.TraceBuffer
 	if o.telemetryEnabled() {
@@ -222,9 +252,14 @@ func analyze(src valueexpert.EventSource, o *options, program string) error {
 		}
 		cfg.Telemetry = tel
 	}
-	p, err := valueexpert.Profile(src, cfg)
-	if err != nil {
-		return err
+	p, runErr := valueexpert.Profile(src, cfg)
+	if p == nil {
+		return runErr
+	}
+	if runErr != nil {
+		// A failed program still yields a report — marked Degraded — so
+		// print what was collected before propagating the failure.
+		fmt.Fprintln(os.Stderr, "vxprof: program failed, profile below is partial:", runErr)
 	}
 	rep := p.Report()
 	if o.overhead {
@@ -235,7 +270,10 @@ func analyze(src valueexpert.EventSource, o *options, program string) error {
 	if err := writeArtifacts(p, rep, o.coarse, o.jsonOut, o.dotOut, o.htmlOut); err != nil {
 		return err
 	}
-	return writeTelemetry(tel, traceBuf, o)
+	if err := writeTelemetry(tel, traceBuf, o); err != nil {
+		return err
+	}
+	return runErr
 }
 
 // writeTelemetry emits the optional self-observability artifacts.

@@ -2,11 +2,47 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"valueexpert"
 )
+
+// TestMain lets the test binary impersonate the vxprof executable: when
+// re-executed with VXPROF_RUN_MAIN=1 it runs main() on VXPROF_ARGS, so
+// tests can assert real exit codes and stderr output.
+func TestMain(m *testing.M) {
+	if os.Getenv("VXPROF_RUN_MAIN") == "1" {
+		os.Args = append([]string{"vxprof"}, strings.Fields(os.Getenv("VXPROF_ARGS"))...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runVxprof re-executes the test binary as vxprof with args and returns
+// its exit code and stderr.
+func runVxprof(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"VXPROF_RUN_MAIN=1", "VXPROF_ARGS="+strings.Join(args, " "))
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	if err == nil {
+		return 0, errBuf.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return ee.ExitCode(), errBuf.String()
+}
 
 func TestRunProducesAllArtifacts(t *testing.T) {
 	dir := t.TempDir()
@@ -82,31 +118,139 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(0, 0, 1, 8); err != nil {
+	if err := validateFlags(0, 0, 1, 8, false, true, true); err != nil {
 		t.Fatalf("defaults rejected: %v", err)
 	}
-	if err := validateFlags(4, 4, 20, 1); err != nil {
+	if err := validateFlags(4, 4, 20, 1, true, true, false); err != nil {
 		t.Fatalf("valid settings rejected: %v", err)
 	}
-	err := validateFlags(-1, 0, 1, 8)
+	err := validateFlags(-1, 0, 1, 8, false, true, true)
 	if err == nil || !strings.Contains(err.Error(), "-workers") {
 		t.Fatalf("negative -workers: %v", err)
 	}
-	err = validateFlags(0, -3, 1, 8)
+	err = validateFlags(0, -3, 1, 8, false, true, true)
 	if err == nil || !strings.Contains(err.Error(), "-depth") {
 		t.Fatalf("negative -depth: %v", err)
 	}
-	err = validateFlags(0, 0, 0, 8)
+	err = validateFlags(0, 0, 0, 8, false, true, true)
 	if err == nil || !strings.Contains(err.Error(), "-sample") {
 		t.Fatalf("zero -sample: %v", err)
 	}
-	err = validateFlags(0, 0, -5, 8)
+	err = validateFlags(0, 0, -5, 8, false, true, true)
 	if err == nil || !strings.Contains(err.Error(), "-sample") {
 		t.Fatalf("negative -sample: %v", err)
 	}
-	err = validateFlags(0, 0, 1, 0)
+	err = validateFlags(0, 0, 1, 0, false, true, true)
 	if err == nil || !strings.Contains(err.Error(), "-scale") {
 		t.Fatalf("zero -scale: %v", err)
+	}
+	err = validateFlags(0, 0, 1, 8, true, false, false)
+	if err == nil || !strings.Contains(err.Error(), "-reuse") {
+		t.Fatalf("-reuse without analyses: %v", err)
+	}
+}
+
+// TestConfigErrorsExitNonZero covers every ConfigError field the
+// validator can return: fields with a CLI spelling must make vxprof exit
+// with status 2 and name the flag on stderr; library-only fields have no
+// flag mapping and are asserted through Config.Validate directly.
+func TestConfigErrorsExitNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	cli := []struct {
+		field string
+		args  []string
+		flag  string
+	}{
+		{"AnalysisWorkers", []string{"-workers=-1"}, "-workers"},
+		{"PipelineDepth", []string{"-depth=-2"}, "-depth"},
+		// Sampling-period errors are caught by the CLI-local -sample >= 1
+		// check, which fronts the same engine fields.
+		{"KernelSamplingPeriod", []string{"-sample=-1"}, "-sample"},
+		{"BlockSamplingPeriod", []string{"-sample=0"}, "-sample"},
+		{"ReuseDistance", []string{"-reuse", "-coarse=false", "-fine=false"}, "-reuse"},
+		{"Patterns", []string{"-patterns=bogus"}, "-patterns"},
+	}
+	for _, tc := range cli {
+		code, stderr := runVxprof(t, tc.args...)
+		if code != 2 {
+			t.Errorf("field %s: exit code %d, want 2 (stderr: %s)", tc.field, code, stderr)
+		}
+		if !strings.Contains(stderr, tc.flag) {
+			t.Errorf("field %s: stderr %q does not name %s", tc.field, stderr, tc.flag)
+		}
+	}
+
+	// Library-only fields: reachable through the API but not vxprof flags.
+	libOnly := []struct {
+		field string
+		cfg   valueexpert.Config
+	}{
+		{"MergeWorkers", valueexpert.Config{MergeWorkers: -1}},
+		{"BufferRecords", valueexpert.Config{BufferRecords: -64}},
+		{"CopyStrategy", valueexpert.Config{CopyStrategy: valueexpert.AdaptiveCopy + 1}},
+	}
+	for _, tc := range libOnly {
+		if _, ok := flagForField[tc.field]; ok {
+			t.Errorf("field %s: unexpectedly mapped to a flag; move it to the CLI table", tc.field)
+		}
+		var ce *valueexpert.ConfigError
+		if err := tc.cfg.Validate(); !errors.As(err, &ce) || ce.Field != tc.field {
+			t.Errorf("field %s: Validate() = %v", tc.field, err)
+		}
+	}
+}
+
+func TestFaultsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	code, stderr := runVxprof(t, "-faults=bogus@x")
+	if code != 2 || !strings.Contains(stderr, "-faults") {
+		t.Fatalf("bad spec: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	plan, err := parseFaults(" ")
+	if err != nil || plan != nil {
+		t.Fatalf("blank spec: %v %v", plan, err)
+	}
+	if _, err := parseFaults("seed=7,prob=0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFaults("malloc@0"); err == nil {
+		t.Fatal("invalid occurrence accepted")
+	}
+}
+
+// TestRunWithFaults: an injected allocation fault surfaces as a run
+// error, yet the partial profile is still emitted — with its Degraded
+// section recording the injection.
+func TestRunWithFaults(t *testing.T) {
+	plan, err := valueexpert.ParseFaultSpec("malloc@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	jsonOut := filepath.Join(dir, "p.json")
+	o := &options{
+		device: "RTX 2080 Ti", coarse: true, fine: true, sample: 1,
+		faults: plan, jsonOut: jsonOut,
+	}
+	if err := run("Darknet", o, 64, false); err == nil {
+		t.Fatal("injected malloc fault did not surface")
+	}
+	js, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatalf("partial profile not written: %v", err)
+	}
+	if !strings.Contains(string(js), "\"degraded\"") {
+		t.Fatal("partial profile lacks the degraded section")
+	}
+	if !strings.Contains(string(js), "malloc@1") {
+		t.Fatal("degraded section does not record the injection")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"valueexpert/callpath"
 	"valueexpert/gpu"
+	"valueexpert/internal/faultinject"
 )
 
 // DevPtr is a device global-memory address, the analog of a CUDA device
@@ -113,6 +114,9 @@ type Runtime struct {
 	// original application's frames in reports.
 	synthetic []callpath.Frame
 
+	// faults is the armed fault-injection plan; nil means nothing fires.
+	faults *faultinject.Plan
+
 	nextStream int
 }
 
@@ -123,6 +127,15 @@ func NewRuntime(prof gpu.Profile) *Runtime {
 
 // Device exposes the underlying simulated device (memory and counters).
 func (r *Runtime) Device() *gpu.Device { return r.dev }
+
+// ArmFaults installs a fault-injection plan on the runtime; nil disarms.
+// Arm before attaching a profiler so the profiler can wire the plan's
+// flush-delivery points and telemetry hooks. All faults the plan fires
+// surface as *Error values with Injected set.
+func (r *Runtime) ArmFaults(p *faultinject.Plan) { r.faults = p }
+
+// Faults returns the armed fault-injection plan, or nil.
+func (r *Runtime) Faults() *faultinject.Plan { return r.faults }
 
 // Drainer is an optional Interceptor extension for profilers that analyze
 // asynchronously: Drain blocks until every in-flight analysis batch has
@@ -204,9 +217,13 @@ func (r *Runtime) end(ev *APIEvent) {
 func (r *Runtime) Malloc(size uint64, tag string) (DevPtr, error) {
 	ev := APIEvent{Kind: APIMalloc, Name: "cudaMalloc", Bytes: size}
 	r.begin(&ev)
+	op := fmt.Sprintf("cudaMalloc(%q, %d)", tag, size)
+	if inj, ok := r.faults.Fire(faultinject.Malloc); ok {
+		return 0, injectedError(&ev, ErrOOM, op, inj)
+	}
 	a, err := r.dev.Mem.Alloc(size, tag)
 	if err != nil {
-		return 0, fmt.Errorf("cudaMalloc(%q, %d): %w", tag, size, err)
+		return 0, apiError(&ev, ErrOOM, op, err)
 	}
 	r.dev.RecordAlloc(size)
 	ev.Dst = a.Addr
@@ -219,7 +236,7 @@ func (r *Runtime) Free(p DevPtr) error {
 	ev := APIEvent{Kind: APIFree, Name: "cudaFree", Dst: uint64(p)}
 	r.begin(&ev)
 	if err := r.dev.Mem.Free(uint64(p)); err != nil {
-		return fmt.Errorf("cudaFree(%#x): %w", uint64(p), err)
+		return apiError(&ev, ErrInvalid, fmt.Sprintf("cudaFree(%#x)", uint64(p)), err)
 	}
 	r.end(&ev)
 	return nil
@@ -237,8 +254,11 @@ func (r *Runtime) memcpyH2D(stream int, dst DevPtr, src []byte) error {
 		CopyKind: gpu.CopyHostToDevice, HostSrc: src,
 	}
 	r.begin(&ev)
+	if inj, ok := r.faults.Fire(faultinject.Memcpy); ok {
+		return injectedError(&ev, ErrTransfer, "cudaMemcpy H2D", inj)
+	}
 	if err := r.dev.Mem.Write(uint64(dst), src); err != nil {
-		return fmt.Errorf("cudaMemcpy H2D: %w", err)
+		return apiError(&ev, ErrTransfer, "cudaMemcpy H2D", err)
 	}
 	ev.Duration = r.dev.RecordCopy(uint64(len(src)), gpu.CopyHostToDevice)
 	r.end(&ev)
@@ -253,8 +273,11 @@ func (r *Runtime) MemcpyD2H(dst []byte, src DevPtr) error {
 		CopyKind: gpu.CopyDeviceToHost,
 	}
 	r.begin(&ev)
+	if inj, ok := r.faults.Fire(faultinject.Memcpy); ok {
+		return injectedError(&ev, ErrTransfer, "cudaMemcpy D2H", inj)
+	}
 	if err := r.dev.Mem.Read(uint64(src), dst); err != nil {
-		return fmt.Errorf("cudaMemcpy D2H: %w", err)
+		return apiError(&ev, ErrTransfer, "cudaMemcpy D2H", err)
 	}
 	ev.Duration = r.dev.RecordCopy(uint64(len(dst)), gpu.CopyDeviceToHost)
 	r.end(&ev)
@@ -269,12 +292,15 @@ func (r *Runtime) MemcpyD2D(dst, src DevPtr, n uint64) error {
 		CopyKind: gpu.CopyDeviceToDevice,
 	}
 	r.begin(&ev)
+	if inj, ok := r.faults.Fire(faultinject.Memcpy); ok {
+		return injectedError(&ev, ErrTransfer, "cudaMemcpy D2D", inj)
+	}
 	buf := make([]byte, n)
 	if err := r.dev.Mem.Read(uint64(src), buf); err != nil {
-		return fmt.Errorf("cudaMemcpy D2D read: %w", err)
+		return apiError(&ev, ErrTransfer, "cudaMemcpy D2D read", err)
 	}
 	if err := r.dev.Mem.Write(uint64(dst), buf); err != nil {
-		return fmt.Errorf("cudaMemcpy D2D write: %w", err)
+		return apiError(&ev, ErrTransfer, "cudaMemcpy D2D write", err)
 	}
 	ev.Duration = r.dev.RecordCopy(n, gpu.CopyDeviceToDevice)
 	r.end(&ev)
@@ -292,8 +318,11 @@ func (r *Runtime) memset(stream int, p DevPtr, b byte, n uint64) error {
 		Dst: uint64(p), Bytes: n, MemsetValue: b,
 	}
 	r.begin(&ev)
+	if inj, ok := r.faults.Fire(faultinject.Memset); ok {
+		return injectedError(&ev, ErrTransfer, "cudaMemset", inj)
+	}
 	if err := r.dev.Mem.Set(uint64(p), b, n); err != nil {
-		return fmt.Errorf("cudaMemset: %w", err)
+		return apiError(&ev, ErrTransfer, "cudaMemset", err)
 	}
 	ev.Duration = r.dev.RecordMemset(n)
 	r.end(&ev)
@@ -312,22 +341,61 @@ func (r *Runtime) launch(stream int, k gpu.Kernel, grid, block gpu.Dim3) error {
 		Kernel: k, Grid: grid, Block: block,
 	}
 	r.begin(&ev)
+	op := fmt.Sprintf("cudaLaunchKernel(%s)", k.KernelName())
 	var hook gpu.AccessFunc
 	var filter func(int32) bool
 	if r.icept != nil {
 		hook, filter = r.icept.Instrumentation(k.KernelName())
 	}
-	if err := k.Execute(r.dev, grid, block, hook, filter, &ev.Counters); err != nil {
+	if inj, ok := r.faults.Fire(faultinject.Launch); ok {
+		if inj.Delay > 0 && hook != nil {
+			// Mid-execution abort: let the kernel run Delay more
+			// instrumented accesses, then kill it from inside the hook so
+			// the fault takes the same path as a real device fault.
+			inner, remaining := hook, inj.Delay
+			hook = func(a gpu.Access) {
+				inner(a)
+				if remaining--; remaining <= 0 {
+					gpu.Abort(injectedFault{inj})
+				}
+			}
+		} else {
+			// Boundary failure: the kernel never runs, APIEnd never fires.
+			if d, ok := r.icept.(Drainer); ok {
+				d.Drain()
+			}
+			return injectedError(&ev, ErrLaunch, op, inj)
+		}
+	}
+	if err := r.execute(k, grid, block, hook, filter, &ev.Counters); err != nil {
 		// APIEnd will not fire for this launch; let asynchronous analyzers
 		// discard whatever partial launch state they accumulated.
 		if d, ok := r.icept.(Drainer); ok {
 			d.Drain()
 		}
-		return fmt.Errorf("cudaLaunchKernel(%s): %w", k.KernelName(), err)
+		e := &Error{API: APILaunch, Code: ErrLaunch, Op: op, Injected: wasInjected(err), Err: err}
+		return e
 	}
 	ev.Duration = r.dev.RecordLaunch(ev.Counters)
 	r.end(&ev)
 	return nil
+}
+
+// execute runs the kernel with a recover backstop: kernel implementations
+// without their own fault recovery (trace replay, SASS programs) surface
+// gpu.Abort panics — from device-memory errors or injected mid-kernel
+// faults — as errors here instead of unwinding through the launch.
+func (r *Runtime) execute(k gpu.Kernel, grid, block gpu.Dim3, hook gpu.AccessFunc, filter func(int32) bool, ctr *gpu.LaunchCounters) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ferr, ok := gpu.FaultFrom(rec)
+			if !ok {
+				panic(rec)
+			}
+			err = fmt.Errorf("kernel %s: %w", k.KernelName(), ferr)
+		}
+	}()
+	return k.Execute(r.dev, grid, block, hook, filter, ctr)
 }
 
 // Synchronize waits for all device work; with serialized streams it only

@@ -1,0 +1,80 @@
+package cuda
+
+import (
+	"errors"
+
+	"valueexpert/internal/faultinject"
+)
+
+// ErrCode classifies runtime API failures, loosely mirroring cudaError_t.
+type ErrCode uint8
+
+// The error codes the simulated runtime produces.
+const (
+	// ErrUnspecified is the zero code; no API returns it.
+	ErrUnspecified ErrCode = iota
+	// ErrOOM is an allocation failure (cudaErrorMemoryAllocation).
+	ErrOOM
+	// ErrInvalid is a bad argument, e.g. freeing an unmapped pointer.
+	ErrInvalid
+	// ErrTransfer is a failed copy or memset.
+	ErrTransfer
+	// ErrLaunch is a failed kernel launch, at the boundary or mid-execution.
+	ErrLaunch
+)
+
+// String names the code.
+func (c ErrCode) String() string {
+	switch c {
+	case ErrOOM:
+		return "out of memory"
+	case ErrInvalid:
+		return "invalid value"
+	case ErrTransfer:
+		return "transfer failed"
+	case ErrLaunch:
+		return "launch failed"
+	}
+	return "unspecified"
+}
+
+// Error is the typed failure every runtime API returns: which API failed,
+// a coarse code, whether the fault-injection layer caused it, and the
+// underlying device error. Callers branch on Code/Injected with errors.As;
+// the rendered message keeps the "cudaX(args): cause" shape.
+type Error struct {
+	API      APIKind
+	Code     ErrCode
+	Op       string // rendered call, e.g. `cudaMalloc("a", 64)`
+	Injected bool   // true when the armed faultinject.Plan caused it
+	Err      error  // underlying cause, never nil
+}
+
+// Error implements error.
+func (e *Error) Error() string { return e.Op + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// injectedFault is the cause carried by errors the fault plan produced; it
+// survives intermediate wrapping (kernel aborts) so the launch boundary
+// can mark its outer Error as injected.
+type injectedFault struct{ inj faultinject.Injection }
+
+func (e injectedFault) Error() string { return "injected fault " + e.inj.String() }
+
+// apiError wraps a real device failure for the API described by ev.
+func apiError(ev *APIEvent, code ErrCode, op string, err error) error {
+	return &Error{API: ev.Kind, Code: code, Op: op, Err: err}
+}
+
+// injectedError builds the typed error for a fired injection.
+func injectedError(ev *APIEvent, code ErrCode, op string, inj faultinject.Injection) error {
+	return &Error{API: ev.Kind, Code: code, Op: op, Injected: true, Err: injectedFault{inj}}
+}
+
+// wasInjected reports whether err carries an injected-fault cause.
+func wasInjected(err error) bool {
+	var f injectedFault
+	return errors.As(err, &f)
+}

@@ -1,0 +1,220 @@
+package cuda
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"valueexpert/gpu"
+	"valueexpert/internal/faultinject"
+)
+
+// drainingInterceptor records events and counts Drain calls, standing in
+// for the profiler's pipelined analyzer.
+type drainingInterceptor struct {
+	recordingInterceptor
+	drains int
+}
+
+func (di *drainingInterceptor) Drain() { di.drains++ }
+
+func asCudaError(t *testing.T, err error) *Error {
+	t.Helper()
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v (%T) is not a *cuda.Error", err, err)
+	}
+	return ce
+}
+
+func TestInjectedMallocOOM(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	r.ArmFaults(faultinject.New().FailNth(faultinject.Malloc, 2))
+	if _, err := r.Malloc(64, "ok"); err != nil {
+		t.Fatalf("first malloc: %v", err)
+	}
+	_, err := r.Malloc(64, "doomed")
+	ce := asCudaError(t, err)
+	if ce.API != APIMalloc || ce.Code != ErrOOM || !ce.Injected {
+		t.Fatalf("error = %+v", ce)
+	}
+	if !strings.Contains(err.Error(), `cudaMalloc("doomed", 64)`) {
+		t.Fatalf("message = %q", err)
+	}
+	if got := r.Faults().TotalFired(); got != 1 {
+		t.Fatalf("TotalFired = %d", got)
+	}
+	if _, err := r.Malloc(64, "after"); err != nil {
+		t.Fatalf("runtime unusable after injected fault: %v", err)
+	}
+}
+
+func TestInjectedMemcpyAndMemset(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	p, _ := r.Malloc(64, "buf")
+	r.ArmFaults(faultinject.New().
+		FailNth(faultinject.Memcpy, 1).
+		FailNth(faultinject.Memcpy, 2).
+		FailNth(faultinject.Memcpy, 3).
+		FailNth(faultinject.Memset, 1))
+	for name, call := range map[string]func() error{
+		"H2D": func() error { return r.MemcpyH2D(p, make([]byte, 8)) },
+		"D2H": func() error { return r.MemcpyD2H(make([]byte, 8), p) },
+		"D2D": func() error { return r.MemcpyD2D(p, p.Offset(8), 8) },
+	} {
+		ce := asCudaError(t, call())
+		if ce.API != APIMemcpy || ce.Code != ErrTransfer || !ce.Injected {
+			t.Fatalf("%s error = %+v", name, ce)
+		}
+	}
+	ce := asCudaError(t, r.Memset(p, 0, 8))
+	if ce.API != APIMemset || ce.Code != ErrTransfer || !ce.Injected {
+		t.Fatalf("memset error = %+v", ce)
+	}
+	// The plan consumed, all later calls succeed.
+	if err := r.MemcpyH2D(p, make([]byte, 8)); err != nil {
+		t.Fatalf("post-fault H2D: %v", err)
+	}
+}
+
+func TestInjectedLaunchBoundary(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	di := &drainingInterceptor{}
+	r.SetInterceptor(di)
+	r.ArmFaults(faultinject.New().FailNth(faultinject.Launch, 1))
+	p, _ := r.Malloc(64, "buf")
+	err := r.Launch(fillKernel(p, 1, 16), gpu.Dim1(1), gpu.Dim1(16))
+	ce := asCudaError(t, err)
+	if ce.API != APILaunch || ce.Code != ErrLaunch || !ce.Injected {
+		t.Fatalf("error = %+v", ce)
+	}
+	if di.drains != 1 {
+		t.Fatalf("drains = %d, want 1 (failed launch must drain the analyzer)", di.drains)
+	}
+	if len(di.accesses) != 0 {
+		t.Fatalf("boundary fault ran the kernel: %d accesses", len(di.accesses))
+	}
+	// APIBegin fired (the launch was seen), APIEnd did not (it failed).
+	var beginLaunches, endLaunches int
+	for _, ev := range di.begins {
+		if ev.Kind == APILaunch {
+			beginLaunches++
+		}
+	}
+	for _, ev := range di.ends {
+		if ev.Kind == APILaunch {
+			endLaunches++
+		}
+	}
+	if beginLaunches != 1 || endLaunches != 0 {
+		t.Fatalf("launch begins=%d ends=%d", beginLaunches, endLaunches)
+	}
+}
+
+func TestInjectedLaunchMidKernel(t *testing.T) {
+	const delay = 5
+	r := NewRuntime(gpu.RTX2080Ti)
+	di := &drainingInterceptor{}
+	r.SetInterceptor(di)
+	r.ArmFaults(faultinject.New().FailLaunchNth(1, delay))
+	p, _ := r.Malloc(64, "buf")
+	err := r.Launch(fillKernel(p, 1, 16), gpu.Dim1(1), gpu.Dim1(16))
+	ce := asCudaError(t, err)
+	if ce.Code != ErrLaunch || !ce.Injected {
+		t.Fatalf("error = %+v", ce)
+	}
+	if len(di.accesses) != delay {
+		t.Fatalf("kernel made %d accesses before aborting, want %d", len(di.accesses), delay)
+	}
+	if di.drains != 1 {
+		t.Fatalf("drains = %d, want 1", di.drains)
+	}
+}
+
+// TestInjectedLaunchMidKernelUninstrumented: a delayed launch fault with no
+// interceptor has no hook to count accesses, so it degrades to a boundary
+// failure rather than silently not firing.
+func TestInjectedLaunchMidKernelUninstrumented(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	r.ArmFaults(faultinject.New().FailLaunchNth(1, 5))
+	p, _ := r.Malloc(64, "buf")
+	err := r.Launch(fillKernel(p, 1, 16), gpu.Dim1(1), gpu.Dim1(16))
+	ce := asCudaError(t, err)
+	if !ce.Injected {
+		t.Fatalf("error = %+v", ce)
+	}
+}
+
+// TestRealErrorsAreTyped: genuine device failures carry the same typed
+// error as injections, with Injected false and the legacy message shape.
+func TestRealErrorsAreTyped(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	_, err := r.Malloc(1<<40, "huge")
+	ce := asCudaError(t, err)
+	if ce.Code != ErrOOM || ce.Injected {
+		t.Fatalf("malloc error = %+v", ce)
+	}
+	if !strings.Contains(err.Error(), "cudaMalloc(") || !strings.Contains(err.Error(), "out of device memory") {
+		t.Fatalf("message = %q", err)
+	}
+	ce = asCudaError(t, r.Free(DevPtr(0xdead)))
+	if ce.Code != ErrInvalid || ce.Injected {
+		t.Fatalf("free error = %+v", ce)
+	}
+	ce = asCudaError(t, r.MemcpyH2D(DevPtr(0xdead), make([]byte, 8)))
+	if ce.Code != ErrTransfer {
+		t.Fatalf("memcpy error = %+v", ce)
+	}
+	ce = asCudaError(t, r.Memset(DevPtr(0xdead), 0, 8))
+	if ce.Code != ErrTransfer {
+		t.Fatalf("memset error = %+v", ce)
+	}
+}
+
+// TestKernelFaultIsTyped: a kernel touching unmapped memory fails the
+// launch with ErrLaunch, not Injected, and the device error is reachable.
+func TestKernelFaultIsTyped(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	k := &gpu.GoKernel{
+		Name: "wild",
+		Func: func(t *gpu.Thread) { t.StoreF32(0, 0x10, 1) },
+	}
+	err := r.Launch(k, gpu.Dim1(1), gpu.Dim1(1))
+	ce := asCudaError(t, err)
+	if ce.Code != ErrLaunch || ce.Injected {
+		t.Fatalf("error = %+v", ce)
+	}
+	if !strings.Contains(err.Error(), "unmapped device address") {
+		t.Fatalf("message = %q", err)
+	}
+}
+
+func TestMustMallocPanicsWithTypedError(t *testing.T) {
+	r := NewRuntime(gpu.RTX2080Ti)
+	r.ArmFaults(faultinject.New().FailNth(faultinject.Malloc, 1))
+	defer func() {
+		err, ok := recover().(error)
+		if !ok {
+			t.Fatalf("panic value is not an error: %v", err)
+		}
+		ce := asCudaError(t, err)
+		if ce.Code != ErrOOM || !ce.Injected {
+			t.Fatalf("panic error = %+v", ce)
+		}
+	}()
+	r.MustMalloc(64, "doomed")
+}
+
+func TestErrCodeStrings(t *testing.T) {
+	for code, want := range map[ErrCode]string{
+		ErrUnspecified: "unspecified",
+		ErrOOM:         "out of memory",
+		ErrInvalid:     "invalid value",
+		ErrTransfer:    "transfer failed",
+		ErrLaunch:      "launch failed",
+	} {
+		if got := code.String(); got != want {
+			t.Errorf("ErrCode(%d) = %q, want %q", code, got, want)
+		}
+	}
+}

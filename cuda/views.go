@@ -2,7 +2,6 @@ package cuda
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"valueexpert/gpu"
 )
@@ -98,11 +97,13 @@ func (r *Runtime) CopyU8FromDevice(dst []byte, src DevPtr) error {
 }
 
 // MustMalloc is Malloc that panics on failure; intended for examples and
-// workload setup where allocation failure is a programming error.
+// workload setup where allocation failure is a programming error. The
+// panic value is the typed *Error Malloc returned, so recovering callers
+// (fault-tolerant workloads) keep the code and injection flag.
 func (r *Runtime) MustMalloc(size uint64, tag string) DevPtr {
 	p, err := r.Malloc(size, tag)
 	if err != nil {
-		panic(fmt.Sprintf("cuda: %v", err))
+		panic(err)
 	}
 	return p
 }

@@ -216,13 +216,24 @@ func (m *Memory) Set(addr uint64, b byte, n uint64) error {
 // Raw load/store helpers. All device values are little-endian, matching
 // the NVIDIA targets the paper instruments.
 
+// AccessSizeError reports a load or store of a width the device does not
+// support. It flows back through the kernel-fault path like any other
+// device-memory error (launches fail with a typed error instead of a
+// process panic).
+type AccessSizeError struct{ Size uint8 }
+
+// Error implements error.
+func (e *AccessSizeError) Error() string {
+	return fmt.Sprintf("gpu: unsupported access size %d (want 1, 2, 4, or 8)", e.Size)
+}
+
 // LoadRaw reads a size-byte value (size in {1,2,4,8}) at addr.
 func (m *Memory) LoadRaw(addr uint64, size uint8) (uint64, error) {
 	buf, err := m.slice(addr, uint64(size))
 	if err != nil {
 		return 0, err
 	}
-	return rawLoad(buf, size), nil
+	return rawLoad(buf, size)
 }
 
 // StoreRaw writes a size-byte value (size in {1,2,4,8}) at addr.
@@ -231,31 +242,30 @@ func (m *Memory) StoreRaw(addr uint64, size uint8, v uint64) error {
 	if err != nil {
 		return err
 	}
-	rawStore(buf, size, v)
-	return nil
+	return rawStore(buf, size, v)
 }
 
 // RawValue decodes one size-byte little-endian value (size in {1,2,4,8})
 // from the front of buf. It is the decode half of a bulk Read: analyzers
 // copy an accessed device range once and slice values out of the host copy
 // instead of issuing one LoadRaw per element.
-func RawValue(buf []byte, size uint8) uint64 { return rawLoad(buf, size) }
+func RawValue(buf []byte, size uint8) (uint64, error) { return rawLoad(buf, size) }
 
-func rawLoad(buf []byte, size uint8) uint64 {
+func rawLoad(buf []byte, size uint8) (uint64, error) {
 	switch size {
 	case 1:
-		return uint64(buf[0])
+		return uint64(buf[0]), nil
 	case 2:
-		return uint64(binary.LittleEndian.Uint16(buf))
+		return uint64(binary.LittleEndian.Uint16(buf)), nil
 	case 4:
-		return uint64(binary.LittleEndian.Uint32(buf))
+		return uint64(binary.LittleEndian.Uint32(buf)), nil
 	case 8:
-		return binary.LittleEndian.Uint64(buf)
+		return binary.LittleEndian.Uint64(buf), nil
 	}
-	panic(fmt.Sprintf("gpu: unsupported access size %d", size))
+	return 0, &AccessSizeError{Size: size}
 }
 
-func rawStore(buf []byte, size uint8, v uint64) {
+func rawStore(buf []byte, size uint8, v uint64) error {
 	switch size {
 	case 1:
 		buf[0] = byte(v)
@@ -266,8 +276,9 @@ func rawStore(buf []byte, size uint8, v uint64) {
 	case 8:
 		binary.LittleEndian.PutUint64(buf, v)
 	default:
-		panic(fmt.Sprintf("gpu: unsupported access size %d", size))
+		return &AccessSizeError{Size: size}
 	}
+	return nil
 }
 
 // Float32FromRaw reinterprets the low 32 bits of raw as a float32.

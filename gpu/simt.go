@@ -355,6 +355,25 @@ func (t *Thread) CountInt(n int) { t.ctr.IntOps += uint64(n) }
 // launch boundary can distinguish it from programming-bug panics.
 type kernelFault struct{ err error }
 
+// Abort aborts the executing kernel with err: it panics with a kernel
+// fault that the launch boundary converts back into an error return.
+// Call it only from code running inside Kernel.Execute (thread functions,
+// access hooks); anywhere else the panic escapes. It is how the fault
+// injector kills a kernel mid-execution, and how custom instrumentation
+// can refuse to continue.
+func Abort(err error) { panic(kernelFault{err}) }
+
+// FaultFrom extracts the error carried by a recovered kernel-fault panic
+// value. Kernel implementations without their own recovery (and the
+// runtime's launch path, as a backstop) use it to translate Abort panics
+// into error returns while re-panicking everything else.
+func FaultFrom(r any) (error, bool) {
+	if f, ok := r.(kernelFault); ok {
+		return f.err, true
+	}
+	return nil, false
+}
+
 // GoKernel is a kernel written as a Go closure: the moral equivalent of a
 // compiled CUDA kernel whose memory instructions have been instrumented.
 // Access types are registered by the typed accessors as sites execute,

@@ -73,7 +73,11 @@ func (la *fineLaunch) Compact(b *Batch) Partial {
 				for e := 0; e < a.Elems(); e++ {
 					off := uint64(e) * uint64(a.Size)
 					elem.Addr = a.Addr + off
-					elem.Raw = gpu.RawValue(vals[off:], a.Size)
+					raw, err := gpu.RawValue(vals[off:], a.Size)
+					if err != nil {
+						continue // unsupported width: rejected upstream, skip defensively
+					}
+					elem.Raw = raw
 					shard.Add(id, elem)
 				}
 			}

@@ -117,6 +117,14 @@ type Profiler struct {
 
 	launch *launchState
 
+	// Degradation accounting: pending is the API event that has begun but
+	// not yet ended (APIEnd never firing means the API failed), failedAPIs
+	// collects those that never completed, skippedLaunches counts
+	// instrumented launches whose analysis Drain discarded.
+	pending         string
+	failedAPIs      []string
+	skippedLaunches int
+
 	analysisTime time.Duration
 
 	// tel and probes are the self-observability layer; tel is nil (and
@@ -193,6 +201,9 @@ func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
 		KernelSamplingPeriod: cfg.KernelSamplingPeriod,
 		BlockSamplingPeriod:  cfg.BlockSamplingPeriod,
 		Probes:               p.sanitizerProbes(),
+		// The runtime's armed fault plan (if any) also drives the
+		// sanitizer's buffer-delivery fault points — arm before Attach.
+		Faults: rt.Faults(),
 	})
 	rt.SetInterceptor(p)
 	return p
@@ -245,6 +256,12 @@ func (p *Profiler) instrumenting() bool {
 // APIBegin implements cuda.Interceptor: stages observe the event before
 // its device effect (frees are still addressable).
 func (p *Profiler) APIBegin(ev *cuda.APIEvent) {
+	// An API still pending from the previous Begin never ended: it failed.
+	if p.pending != "" {
+		p.failedAPIs = append(p.failedAPIs, p.pending)
+		p.probes.failedAPIs.Inc()
+	}
+	p.pending = fmt.Sprintf("%s %q (seq %d)", ev.Kind, ev.Name, ev.Seq)
 	if ev.Kind == cuda.APILaunch {
 		return
 	}
@@ -316,8 +333,16 @@ func (p *Profiler) Drain() {
 	if ls == nil {
 		return
 	}
+	// A launch still in flight here failed mid-execution (a completed one
+	// clears p.launch in onLaunch); its analysis is discarded, so the
+	// report must mark the run degraded.
+	p.skippedLaunches++
+	p.probes.skippedLaunches.Inc()
 	ls.span.End() // the aborted kernel still shows on its trace lane
 	ls.pipe.drain()
+	// Release the sanitizer's in-flight buffers (the partial current
+	// buffer and any delayed delivery) so the next launch starts clean.
+	p.san.Abort()
 }
 
 // APIEnd implements cuda.Interceptor: launches are finalized through the
@@ -326,6 +351,7 @@ func (p *Profiler) APIEnd(ev *cuda.APIEvent) {
 	start := time.Now()
 	defer func() { p.analysisTime += time.Since(start) }()
 
+	p.pending = "" // the API completed
 	if ev.Kind == cuda.APILaunch {
 		p.onLaunch(ev)
 		return
@@ -410,7 +436,33 @@ func (p *Profiler) Report() *profile.Report {
 	for _, stg := range p.stages {
 		stg.Finish(rep)
 	}
+	rep.Degraded = p.degradedSection()
 	return rep
+}
+
+// degradedSection assembles the report's Degraded section, or nil when
+// the run lost nothing — keeping clean-run reports byte-identical whether
+// or not fault plumbing was armed.
+func (p *Profiler) degradedSection() *profile.Degraded {
+	d := &profile.Degraded{
+		FailedAPIs:      append([]string(nil), p.failedAPIs...),
+		SkippedLaunches: p.skippedLaunches,
+	}
+	// An API still pending at report time began and never completed.
+	if p.pending != "" {
+		d.FailedAPIs = append(d.FailedAPIs, p.pending)
+	}
+	sanSt := p.san.Stats()
+	d.DroppedRecords = sanSt.DroppedRecords
+	d.DroppedFlushes = sanSt.DroppedFlushes
+	for _, inj := range p.rt.Faults().Fired() {
+		d.InjectedFaults = append(d.InjectedFaults, inj.String())
+	}
+	if len(d.FailedAPIs) == 0 && d.SkippedLaunches == 0 &&
+		d.DroppedRecords == 0 && d.DroppedFlushes == 0 && len(d.InjectedFaults) == 0 {
+		return nil
+	}
+	return d
 }
 
 // SnapshotCopyTime reports the simulated cost of snapshot maintenance

@@ -40,6 +40,16 @@ func NewSession(cfg Config, devices ...gpu.Profile) (*Session, error) {
 	return s, nil
 }
 
+// Close detaches every profiler from its runtime. Each detach drains the
+// profiler first (the runtime drains a Drainer interceptor on removal),
+// so closing is safe — and leak-free — even after a mid-pipeline fault
+// left a launch in flight. Reports remain readable after Close.
+func (s *Session) Close() {
+	for _, p := range s.profs {
+		p.Detach()
+	}
+}
+
 // Devices reports the number of devices in the session.
 func (s *Session) Devices() int { return len(s.rts) }
 

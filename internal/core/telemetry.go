@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"valueexpert/internal/faultinject"
 	"valueexpert/internal/parallel"
 	"valueexpert/internal/profile"
 	"valueexpert/internal/sanitizer"
@@ -35,6 +36,11 @@ type engineProbes struct {
 	compact []*telemetry.Timer
 	absorb  []*telemetry.Timer
 	batches []*telemetry.Counter
+
+	// failedAPIs counts runtime APIs that began but never completed;
+	// skippedLaunches counts instrumented launches Drain discarded.
+	failedAPIs      *telemetry.Counter
+	skippedLaunches *telemetry.Counter
 }
 
 // initTelemetry builds the probe set (and, with a recorder, the metric
@@ -57,6 +63,14 @@ func (p *Profiler) initTelemetry() {
 	p.probes.flushCapture = tel.Timer("collector.flush_capture")
 	p.probes.drainWait = tel.Timer("pipeline.drain_wait")
 	p.probes.occupancy = tel.Gauge("pipeline.occupancy")
+	p.probes.failedAPIs = tel.Counter("engine.failed_apis")
+	p.probes.skippedLaunches = tel.Counter("engine.skipped_launches")
+	if plan := p.rt.Faults(); plan != nil {
+		// Count fired injections as they happen. The plan must be armed
+		// before Attach for this wiring (and the sanitizer's) to exist.
+		injected := tel.Counter("faults.injected")
+		plan.SetOnFire(func(faultinject.Injection) { injected.Inc() })
+	}
 	for i, st := range p.stages {
 		p.probes.compact[i] = tel.Timer("stage." + st.Name() + ".compact")
 		p.probes.absorb[i] = tel.Timer("stage." + st.Name() + ".absorb")
@@ -83,9 +97,11 @@ func (p *Profiler) initTelemetry() {
 // (all nil with telemetry off — sanitizer probes no-op on nil).
 func (p *Profiler) sanitizerProbes() sanitizer.Probes {
 	return sanitizer.Probes{
-		Flushes:    p.tel.Counter("sanitizer.flushes"),
-		Records:    p.tel.Counter("sanitizer.records"),
-		BufferWait: p.tel.Timer("sanitizer.buffer_wait"),
+		Flushes:        p.tel.Counter("sanitizer.flushes"),
+		Records:        p.tel.Counter("sanitizer.records"),
+		BufferWait:     p.tel.Timer("sanitizer.buffer_wait"),
+		DroppedFlushes: p.tel.Counter("sanitizer.dropped_flushes"),
+		DroppedRecords: p.tel.Counter("sanitizer.dropped_records"),
 	}
 }
 

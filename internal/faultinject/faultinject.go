@@ -1,0 +1,351 @@
+// Package faultinject is the deterministic fault-injection layer armed on
+// the simulated runtime: a Plan names the points where the CUDA-like stack
+// can fail — allocation, transfers, memsets, kernel launches, sanitizer
+// buffer delivery — and decides, per occurrence, whether each one does.
+// Triggers are either fixed ("fail the 3rd cudaMalloc") or drawn from a
+// seeded generator, so every failing schedule is replayable from its spec
+// string alone (vxprof -faults, the differential harness's seeds).
+//
+// The layers under test consult the plan through Fire, which is nil-safe:
+// an unarmed runtime pays one pointer test per fault point.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Point is one place in the runtime stack where a fault can be injected.
+type Point uint8
+
+// The fault points, covering every failure mode a real Sanitizer/CUDA
+// stack exhibits: allocation failure, transfer errors, kernel faults, and
+// lost or late instrumentation buffers.
+const (
+	// Malloc fails a cudaMalloc with an out-of-memory error.
+	Malloc Point = iota
+	// Memcpy fails a host↔device or device↔device copy.
+	Memcpy
+	// Memset fails a device memset.
+	Memset
+	// Launch fails a kernel launch: at the launch boundary (Delay 0) or
+	// mid-execution after Delay instrumented accesses (a kernelFault).
+	Launch
+	// FlushDrop loses one sanitizer buffer delivery entirely.
+	FlushDrop
+	// FlushTruncate delivers only the first half of one buffer.
+	FlushTruncate
+	// FlushDelay holds one buffer back and delivers it before the next
+	// delivery (or at launch end) — late, but lossless and in order.
+	FlushDelay
+
+	numPoints
+)
+
+var pointNames = [numPoints]string{
+	"malloc", "memcpy", "memset", "launch",
+	"flush-drop", "flush-truncate", "flush-delay",
+}
+
+// String names the point as spelled in fault specs.
+func (p Point) String() string {
+	if int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("point(%d)", uint8(p))
+}
+
+// PointByName resolves a spec spelling back to its Point.
+func PointByName(name string) (Point, bool) {
+	for i, n := range pointNames {
+		if n == name {
+			return Point(i), true
+		}
+	}
+	return 0, false
+}
+
+// Points returns every fault point, for harnesses that sweep them all.
+func Points() []Point {
+	out := make([]Point, numPoints)
+	for i := range out {
+		out[i] = Point(i)
+	}
+	return out
+}
+
+// Injection describes one fired fault.
+type Injection struct {
+	Point      Point
+	Occurrence int // 1-based occurrence of the point that fired
+	// Delay applies to Launch only: the number of instrumented accesses
+	// the kernel completes before aborting. 0 fails the launch at its
+	// boundary (the kernel never runs).
+	Delay int
+}
+
+// String renders the injection in spec grammar ("launch@2+100"), so a
+// report's fault list doubles as a replayable spec.
+func (i Injection) String() string {
+	s := fmt.Sprintf("%s@%d", i.Point, i.Occurrence)
+	if i.Delay > 0 {
+		s += "+" + strconv.Itoa(i.Delay)
+	}
+	return s
+}
+
+// DefaultProbability is the per-occurrence fire probability of a seeded
+// plan that does not set its own.
+const DefaultProbability = 0.05
+
+// maxSeededDelay bounds the mid-kernel abort point a seeded plan draws.
+const maxSeededDelay = 512
+
+// Plan decides which fault points fire at which occurrences. Arm it on a
+// runtime with cuda.Runtime.ArmFaults before attaching a profiler; one
+// plan covers the runtime and the sanitizer engine of the profiler
+// attached to it. Methods are safe on a nil *Plan (nothing ever fires)
+// and guarded by a mutex, though the runtime serializes Fire calls, so
+// fixed and seeded decisions are deterministic for a given call sequence.
+type Plan struct {
+	mu sync.Mutex
+
+	seeded bool
+	seed   int64
+	prob   float64
+	rng    *rand.Rand
+
+	// fixed maps, per point, the 1-based occurrence to the launch delay
+	// (0 for non-launch points and boundary launch faults).
+	fixed [numPoints]map[int]int
+	seen  [numPoints]int
+
+	fired  []Injection
+	onFire func(Injection)
+}
+
+// New returns an empty plan: nothing fires until triggers are added.
+func New() *Plan { return &Plan{} }
+
+// Seeded returns a plan firing each point independently with
+// DefaultProbability per occurrence, driven by a deterministic generator:
+// the same seed against the same program yields the same faults.
+func Seeded(seed int64) *Plan {
+	return &Plan{seeded: true, seed: seed, prob: DefaultProbability,
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+// WithProbability sets a seeded plan's per-occurrence fire probability
+// and returns the plan. Panics if the plan is not seeded.
+func (p *Plan) WithProbability(prob float64) *Plan {
+	if !p.seeded {
+		panic("faultinject: WithProbability on a plan without a seed")
+	}
+	p.prob = prob
+	return p
+}
+
+// FailNth arms a fixed trigger: the nth (1-based) occurrence of pt fires.
+// For Launch this is a boundary failure; use FailLaunchNth for a
+// mid-execution abort. Returns the plan for chaining.
+func (p *Plan) FailNth(pt Point, nth int) *Plan { return p.failAt(pt, nth, 0) }
+
+// FailLaunchNth arms the nth kernel launch to abort after afterAccesses
+// instrumented accesses (0 = at the launch boundary).
+func (p *Plan) FailLaunchNth(nth, afterAccesses int) *Plan {
+	return p.failAt(Launch, nth, afterAccesses)
+}
+
+func (p *Plan) failAt(pt Point, nth, delay int) *Plan {
+	if nth < 1 {
+		panic(fmt.Sprintf("faultinject: occurrence must be >= 1, got %d", nth))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fixed[pt] == nil {
+		p.fixed[pt] = make(map[int]int)
+	}
+	p.fixed[pt][nth] = delay
+	return p
+}
+
+// SetOnFire installs a callback invoked (under the plan's lock) for every
+// fired injection — the hook the engine uses to count injected faults in
+// its telemetry. Nil-safe.
+func (p *Plan) SetOnFire(fn func(Injection)) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.onFire = fn
+	p.mu.Unlock()
+}
+
+// Fire consults the plan at one occurrence of pt, consuming the
+// occurrence. It reports whether a fault fires there and, for launches,
+// the abort delay. Safe on a nil plan (never fires).
+func (p *Plan) Fire(pt Point) (Injection, bool) {
+	if p == nil {
+		return Injection{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seen[pt]++
+	inj := Injection{Point: pt, Occurrence: p.seen[pt]}
+	fire := false
+	if delay, ok := p.fixed[pt][inj.Occurrence]; ok {
+		inj.Delay = delay
+		fire = true
+	} else if p.seeded && p.rng.Float64() < p.prob {
+		// The draw sequence depends only on the order of Fire calls, which
+		// the runtime serializes — so a seed replays exactly.
+		fire = true
+		if pt == Launch && p.rng.Intn(2) == 1 {
+			inj.Delay = 1 + p.rng.Intn(maxSeededDelay)
+		}
+	}
+	if !fire {
+		return Injection{}, false
+	}
+	p.fired = append(p.fired, inj)
+	if p.onFire != nil {
+		p.onFire(inj)
+	}
+	return inj, true
+}
+
+// Fired returns every injection fired so far, in fire order.
+func (p *Plan) Fired() []Injection {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Injection(nil), p.fired...)
+}
+
+// TotalFired reports how many injections have fired.
+func (p *Plan) TotalFired() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.fired)
+}
+
+// Seed returns the plan's generator seed; ok is false for purely fixed
+// plans.
+func (p *Plan) Seed() (seed int64, ok bool) {
+	if p == nil {
+		return 0, false
+	}
+	return p.seed, p.seeded
+}
+
+// String renders the plan's triggers in ParseSpec grammar.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var toks []string
+	if p.seeded {
+		toks = append(toks, "seed="+strconv.FormatInt(p.seed, 10))
+		if p.prob != DefaultProbability {
+			toks = append(toks, "prob="+strconv.FormatFloat(p.prob, 'g', -1, 64))
+		}
+	}
+	for pt := Point(0); pt < numPoints; pt++ {
+		occs := make([]int, 0, len(p.fixed[pt]))
+		for occ := range p.fixed[pt] {
+			occs = append(occs, occ)
+		}
+		sort.Ints(occs)
+		for _, occ := range occs {
+			toks = append(toks, Injection{Point: pt, Occurrence: occ, Delay: p.fixed[pt][occ]}.String())
+		}
+	}
+	return strings.Join(toks, ",")
+}
+
+// ParseSpec builds a plan from its comma-separated spec string — the
+// grammar vxprof -faults accepts and Injection.String emits:
+//
+//	seed=42            seeded plan (all points, DefaultProbability)
+//	prob=0.2           fire probability of the seeded plan
+//	malloc@3           fixed: fail the 3rd cudaMalloc
+//	launch@2+100       fixed: abort the 2nd launch after 100 accesses
+//	flush-drop@1       fixed: lose the 1st sanitizer buffer delivery
+//
+// Tokens combine: "seed=7,malloc@1" arms the fixed trigger on top of the
+// seeded ones.
+func ParseSpec(spec string) (*Plan, error) {
+	p := New()
+	armed := false
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(tok, "seed="); ok {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q", v)
+			}
+			p.seeded, p.seed = true, seed
+			armed = true
+			continue
+		}
+		if v, ok := strings.CutPrefix(tok, "prob="); ok {
+			prob, err := strconv.ParseFloat(v, 64)
+			if err != nil || prob <= 0 || prob > 1 {
+				return nil, fmt.Errorf("faultinject: probability must be in (0, 1], got %q", v)
+			}
+			p.prob = prob
+			continue
+		}
+		name, rest, ok := strings.Cut(tok, "@")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: bad trigger %q (want point@occurrence, seed=N, or prob=F)", tok)
+		}
+		pt, ok := PointByName(name)
+		if !ok {
+			return nil, fmt.Errorf("faultinject: unknown fault point %q (have %s)",
+				name, strings.Join(pointNames[:], ", "))
+		}
+		occStr, delayStr, hasDelay := strings.Cut(rest, "+")
+		occ, err := strconv.Atoi(occStr)
+		if err != nil || occ < 1 {
+			return nil, fmt.Errorf("faultinject: bad occurrence in %q (want a 1-based index)", tok)
+		}
+		delay := 0
+		if hasDelay {
+			if pt != Launch {
+				return nil, fmt.Errorf("faultinject: %q: only launch triggers take a +delay", tok)
+			}
+			if delay, err = strconv.Atoi(delayStr); err != nil || delay < 1 {
+				return nil, fmt.Errorf("faultinject: bad delay in %q (want accesses >= 1)", tok)
+			}
+		}
+		p.failAt(pt, occ, delay)
+		armed = true
+	}
+	if !armed {
+		return nil, fmt.Errorf("faultinject: empty spec %q arms nothing", spec)
+	}
+	if p.seeded {
+		if p.prob == 0 {
+			p.prob = DefaultProbability
+		}
+		p.rng = rand.New(rand.NewSource(p.seed))
+	} else if p.prob != 0 {
+		return nil, fmt.Errorf("faultinject: prob= requires seed=")
+	}
+	return p, nil
+}

@@ -1,0 +1,163 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNilPlanNeverFires(t *testing.T) {
+	var p *Plan
+	for _, pt := range Points() {
+		if _, ok := p.Fire(pt); ok {
+			t.Fatalf("nil plan fired at %s", pt)
+		}
+	}
+	if p.Fired() != nil || p.TotalFired() != 0 {
+		t.Fatal("nil plan reports fired injections")
+	}
+	if _, ok := p.Seed(); ok {
+		t.Fatal("nil plan has a seed")
+	}
+	p.SetOnFire(func(Injection) {}) // must not panic
+}
+
+func TestFixedTriggers(t *testing.T) {
+	p := New().FailNth(Malloc, 2).FailLaunchNth(1, 64)
+	if _, ok := p.Fire(Malloc); ok {
+		t.Fatal("first malloc fired")
+	}
+	inj, ok := p.Fire(Malloc)
+	if !ok || inj.Point != Malloc || inj.Occurrence != 2 || inj.Delay != 0 {
+		t.Fatalf("second malloc: %+v fired=%v", inj, ok)
+	}
+	if _, ok := p.Fire(Malloc); ok {
+		t.Fatal("third malloc fired")
+	}
+	inj, ok = p.Fire(Launch)
+	if !ok || inj.Delay != 64 {
+		t.Fatalf("launch: %+v fired=%v", inj, ok)
+	}
+	if got := p.TotalFired(); got != 2 {
+		t.Fatalf("TotalFired = %d", got)
+	}
+	want := []Injection{
+		{Point: Malloc, Occurrence: 2},
+		{Point: Launch, Occurrence: 1, Delay: 64},
+	}
+	if got := p.Fired(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Fired = %+v", got)
+	}
+}
+
+// TestSeededDeterminism: the same seed against the same Fire sequence
+// fires the same injections — the replayability the harness depends on.
+func TestSeededDeterminism(t *testing.T) {
+	sequence := func() []Injection {
+		p := Seeded(42).WithProbability(0.3)
+		for i := 0; i < 200; i++ {
+			p.Fire(Point(i % int(numPoints)))
+		}
+		return p.Fired()
+	}
+	a, b := sequence(), sequence()
+	if len(a) == 0 {
+		t.Fatal("0.3-probability plan never fired in 200 occurrences")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	p := Seeded(42)
+	if seed, ok := p.Seed(); !ok || seed != 42 {
+		t.Fatalf("Seed() = %d, %v", seed, ok)
+	}
+}
+
+func TestOnFireHook(t *testing.T) {
+	p := New().FailNth(Memcpy, 1)
+	var got []Injection
+	p.SetOnFire(func(i Injection) { got = append(got, i) })
+	p.Fire(Memcpy)
+	p.Fire(Memcpy)
+	if len(got) != 1 || got[0].Point != Memcpy {
+		t.Fatalf("hook saw %+v", got)
+	}
+}
+
+func TestInjectionString(t *testing.T) {
+	if s := (Injection{Point: Malloc, Occurrence: 3}).String(); s != "malloc@3" {
+		t.Fatalf("malloc string = %q", s)
+	}
+	if s := (Injection{Point: Launch, Occurrence: 2, Delay: 100}).String(); s != "launch@2+100" {
+		t.Fatalf("launch string = %q", s)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"seed=42",
+		"seed=7,prob=0.25",
+		"malloc@3",
+		"launch@2+100",
+		"malloc@1,memcpy@2,memset@1,launch@1,flush-drop@1,flush-truncate@2,flush-delay@1",
+		"seed=1,launch@1+5",
+	} {
+		p, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		if got := p.String(); got != spec {
+			t.Fatalf("round trip: %q -> %q", spec, got)
+		}
+	}
+}
+
+func TestParseSpecFires(t *testing.T) {
+	p, err := ParseSpec("malloc@2,launch@1+9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Fire(Malloc)
+	if inj, ok := p.Fire(Malloc); !ok || inj.Occurrence != 2 {
+		t.Fatalf("malloc@2: %+v %v", inj, ok)
+	}
+	if inj, ok := p.Fire(Launch); !ok || inj.Delay != 9 {
+		t.Fatalf("launch@1+9: %+v %v", inj, ok)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",               // arms nothing
+		" , ",            // arms nothing
+		"seed=x",         // bad seed
+		"prob=0.5",       // prob without seed
+		"seed=1,prob=0t", // bad float
+		"seed=1,prob=1.5",
+		"bogus@1",  // unknown point
+		"malloc",   // missing occurrence
+		"malloc@0", // occurrence < 1
+		"malloc@x",
+		"malloc@1+5", // delay on a non-launch point
+		"launch@1+0", // delay < 1
+		"launch@1+x",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestPointNames(t *testing.T) {
+	for _, pt := range Points() {
+		back, ok := PointByName(pt.String())
+		if !ok || back != pt {
+			t.Fatalf("point %d name %q does not round trip", pt, pt)
+		}
+	}
+	if _, ok := PointByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if s := Point(200).String(); s != "point(200)" {
+		t.Fatalf("out-of-range point string = %q", s)
+	}
+}

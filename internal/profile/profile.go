@@ -153,6 +153,29 @@ type Report struct {
 	// from JSON and text) unless the caller filled it from
 	// Profiler.Overhead.
 	Overhead *Overhead `json:"overhead,omitempty"`
+
+	// Degraded is present only when the run lost measurement data — failed
+	// APIs, skipped launches, dropped sanitizer buffers — so a clean run's
+	// report is byte-identical with or without fault plumbing armed, and a
+	// partial run can never masquerade as a complete one.
+	Degraded *Degraded `json:"degraded,omitempty"`
+}
+
+// Degraded names what a partial run lost. Consumers must treat any
+// non-nil Degraded section as "the numbers below are a lower bound".
+type Degraded struct {
+	// InjectedFaults lists the fault-injection triggers that fired, in
+	// spec grammar (replayable via vxprof -faults).
+	InjectedFaults []string `json:"injected_faults,omitempty"`
+	// FailedAPIs lists runtime APIs that began but never completed.
+	FailedAPIs []string `json:"failed_apis,omitempty"`
+	// SkippedLaunches counts instrumented launches whose analysis was
+	// discarded because the kernel failed mid-execution.
+	SkippedLaunches int `json:"skipped_launches,omitempty"`
+	// DroppedRecords/DroppedFlushes count access records and buffer
+	// deliveries lost between the device and the analyzer.
+	DroppedRecords uint64 `json:"dropped_records,omitempty"`
+	DroppedFlushes uint64 `json:"dropped_flushes,omitempty"`
 }
 
 // PatternSet returns the set of pattern kind names present anywhere in
@@ -301,6 +324,23 @@ func (r *Report) Text() string {
 	fmt.Fprintf(&b, "objects: %d, APIs profiled: %d coarse / %d fine records\n",
 		len(r.Objects), len(r.Coarse), len(r.Fine))
 	fmt.Fprintf(&b, "device time: kernels %v, memory ops %v\n", r.Stats.KernelTime, r.Stats.MemoryTime)
+
+	if d := r.Degraded; d != nil {
+		fmt.Fprintf(&b, "\n-- DEGRADED RUN: results below are a lower bound --\n")
+		if len(d.InjectedFaults) > 0 {
+			fmt.Fprintf(&b, "  injected faults: %s\n", strings.Join(d.InjectedFaults, ", "))
+		}
+		for _, api := range d.FailedAPIs {
+			fmt.Fprintf(&b, "  failed API: %s\n", api)
+		}
+		if d.SkippedLaunches > 0 {
+			fmt.Fprintf(&b, "  launches skipped by analysis: %d\n", d.SkippedLaunches)
+		}
+		if d.DroppedRecords > 0 || d.DroppedFlushes > 0 {
+			fmt.Fprintf(&b, "  lost instrumentation: %d records in %d dropped deliveries\n",
+				d.DroppedRecords, d.DroppedFlushes)
+		}
+	}
 
 	pats := r.PatternSet()
 	if len(pats) > 0 {

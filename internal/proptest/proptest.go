@@ -1,0 +1,261 @@
+// Package proptest is the property-based differential harness: for a
+// seed it generates a random GPU program (workloads.RandomProgram) and
+// checks engine-wide invariants across execution modes —
+//
+//	(a) the synchronous engine (workers=0) and the pipelined engine
+//	    (workers=4, depth=3) produce byte-identical reports;
+//	(b) profiling a live run and profiling its recorded trace produce
+//	    byte-identical reports;
+//	(c) under injected faults the engine either surfaces a typed error
+//	    or marks the report Degraded — it never returns a silently
+//	    different "clean" report;
+//	(d) every run, faulted or not, releases all its goroutines.
+//
+// CheckSeed runs all four for one seed and reports the first violation.
+// The harness is deliberately a plain function returning error so `make
+// proptest` can print the failing seed and a one-line repro command.
+package proptest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/core"
+	"valueexpert/internal/faultinject"
+	"valueexpert/internal/profile"
+	"valueexpert/internal/trace"
+	"valueexpert/internal/workloads"
+)
+
+// cfg builds the engine configuration used by every run of a seed. Small
+// buffers force several flushes per kernel so pipeline and fault paths
+// are actually exercised.
+func cfg(workers, depth int) core.Config {
+	return core.Config{
+		Coarse: true, Fine: true,
+		BufferRecords:   128,
+		AnalysisWorkers: workers,
+		PipelineDepth:   depth,
+		Program:         "proptest",
+	}
+}
+
+// seededProbability is the per-call fire probability of the randomized
+// fault plan each seed runs in addition to the fixed per-point plans.
+const seededProbability = 0.15
+
+// runOutcome captures everything one profiled execution produced.
+type runOutcome struct {
+	report   []byte
+	degraded *profile.Degraded
+	errs     []error
+	fired    int
+}
+
+// execute runs the seed's program on a fresh runtime from a fresh
+// goroutine entry, with attach installing whichever observer the caller
+// needs (profiler, trace recorder) before the program starts. Every
+// execution — profiled, recording, faulted — funnels through this one
+// call site so captured host call paths are identical across runs; the
+// byte-identity properties depend on this.
+func execute(seed int64, tolerant bool, attach func(rt *cuda.Runtime)) []error {
+	var (
+		errs []error
+		wg   sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rt := cuda.NewRuntime(gpu.RTX2080Ti)
+		attach(rt)
+		prog := &workloads.RandomProgram{Seed: seed, Tolerant: tolerant}
+		errs = prog.Run(rt)
+	}()
+	wg.Wait()
+	return errs
+}
+
+// runLive executes the seed's program with plan armed (nil = no faults)
+// and a profiler attached.
+func runLive(seed int64, plan *faultinject.Plan, c core.Config, tolerant bool) (runOutcome, error) {
+	var p *core.Profiler
+	errs := execute(seed, tolerant, func(rt *cuda.Runtime) {
+		rt.ArmFaults(plan)
+		p = core.Attach(rt, c)
+	})
+	p.Detach()
+	out := runOutcome{errs: errs, fired: plan.TotalFired()}
+	rep := p.Report()
+	out.degraded = rep.Degraded
+	var err error
+	out.report, err = reportBytes(rep)
+	return out, err
+}
+
+// recordAndReplay records the seed's clean run to a trace and profiles
+// the replayed trace under c.
+func recordAndReplay(seed int64, c core.Config) ([]byte, error) {
+	var rec *trace.Recorder
+	errs := execute(seed, true, func(rt *cuda.Runtime) { rec = trace.Record(rt) })
+	if len(errs) != 0 {
+		return nil, fmt.Errorf("recording run failed: %v", errs[0])
+	}
+	var data bytes.Buffer
+	if _, err := rec.WriteTo(&data); err != nil {
+		return nil, fmt.Errorf("trace serialization: %w", err)
+	}
+	p, err := core.Profile(trace.NewSource(bytes.NewReader(data.Bytes()), gpu.RTX2080Ti), c)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	return reportBytes(p.Report())
+}
+
+// reportBytes serializes a report with the one wall-clock field zeroed so
+// byte comparison tests semantic equality.
+func reportBytes(rep *profile.Report) ([]byte, error) {
+	rep.Stats.AnalysisTime = 0
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// awaitGoroutines waits for the goroutine count to settle back to base,
+// absorbing transient runtime goroutines; a count still above base after
+// the deadline is a leak.
+func awaitGoroutines(base int) error {
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutine leak: %d running, %d at start",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+// faultPlans enumerates the fault scenarios a seed is checked under: one
+// fixed single-shot plan per fault point (including a mid-kernel launch
+// fault) plus a seed-randomized plan firing everywhere with probability
+// seededProbability.
+func faultPlans(seed int64) []struct {
+	name string
+	plan *faultinject.Plan
+} {
+	return []struct {
+		name string
+		plan *faultinject.Plan
+	}{
+		{"malloc@1", faultinject.New().FailNth(faultinject.Malloc, 1)},
+		{"memcpy@1", faultinject.New().FailNth(faultinject.Memcpy, 1)},
+		{"memset@1", faultinject.New().FailNth(faultinject.Memset, 1)},
+		{"launch@1", faultinject.New().FailLaunchNth(1, 0)},
+		{"launch@1+7", faultinject.New().FailLaunchNth(1, 7)},
+		{"flush-drop@1", faultinject.New().FailNth(faultinject.FlushDrop, 1)},
+		{"flush-truncate@1", faultinject.New().FailNth(faultinject.FlushTruncate, 1)},
+		{"flush-delay@1", faultinject.New().FailNth(faultinject.FlushDelay, 1)},
+		{"seeded", faultinject.Seeded(seed).WithProbability(seededProbability)},
+	}
+}
+
+// CheckSeed verifies properties (a)–(d) for one seed and returns the
+// first violation found, nil if the seed holds.
+func CheckSeed(seed int64) error {
+	base := runtime.NumGoroutine()
+
+	// Baseline: clean run, synchronous engine.
+	baseline, err := runLive(seed, nil, cfg(0, 0), true)
+	if err != nil {
+		return fmt.Errorf("baseline run: %w", err)
+	}
+	if len(baseline.errs) != 0 {
+		return fmt.Errorf("baseline run reported API errors: %v", baseline.errs[0])
+	}
+	if baseline.degraded != nil {
+		return fmt.Errorf("baseline run without faults produced a Degraded report")
+	}
+	if err := awaitGoroutines(base); err != nil {
+		return fmt.Errorf("after baseline run: %w", err)
+	}
+
+	// (a) Pipelined engine is observationally identical to synchronous.
+	piped, err := runLive(seed, nil, cfg(4, 3), true)
+	if err != nil {
+		return fmt.Errorf("pipelined run: %w", err)
+	}
+	if !bytes.Equal(baseline.report, piped.report) {
+		return fmt.Errorf("property (a): workers=0 and workers=4/depth=3 reports differ (%d vs %d bytes)",
+			len(baseline.report), len(piped.report))
+	}
+	if err := awaitGoroutines(base); err != nil {
+		return fmt.Errorf("after pipelined run: %w", err)
+	}
+
+	// (b) Replaying a recorded trace reproduces the live report.
+	replayed, err := recordAndReplay(seed, cfg(0, 0))
+	if err != nil {
+		return fmt.Errorf("property (b): %w", err)
+	}
+	if !bytes.Equal(baseline.report, replayed) {
+		return fmt.Errorf("property (b): live and replayed reports differ (%d vs %d bytes)",
+			len(baseline.report), len(replayed))
+	}
+	if err := awaitGoroutines(base); err != nil {
+		return fmt.Errorf("after replay run: %w", err)
+	}
+
+	// (c) Faulted runs surface typed errors or a Degraded report — never
+	// a silently different clean report.
+	for _, fp := range faultPlans(seed) {
+		out, err := runLive(seed, fp.plan, cfg(0, 0), true)
+		if err != nil {
+			return fmt.Errorf("fault plan %s: %w", fp.name, err)
+		}
+		for _, e := range out.errs {
+			var ce *cuda.Error
+			if !errors.As(e, &ce) {
+				return fmt.Errorf("fault plan %s: untyped error %T: %v", fp.name, e, e)
+			}
+		}
+		switch {
+		case len(out.errs) > 0 || out.degraded != nil:
+			// Degradation was surfaced; fine.
+		case out.fired > 0:
+			return fmt.Errorf("fault plan %s: %d faults fired but the run reported neither an error nor a Degraded report",
+				fp.name, out.fired)
+		case !bytes.Equal(baseline.report, out.report):
+			return fmt.Errorf("property (c): plan %s never fired yet the report differs from baseline (%d vs %d bytes)",
+				fp.name, len(baseline.report), len(out.report))
+		}
+		if err := awaitGoroutines(base); err != nil {
+			return fmt.Errorf("after fault plan %s: %w", fp.name, err)
+		}
+	}
+
+	// Intolerant program under an allocation fault: the first error stops
+	// the program and is a typed *cuda.Error carrying the OOM code.
+	out, err := runLive(seed, faultinject.New().FailNth(faultinject.Malloc, 1), cfg(0, 0), false)
+	if err != nil {
+		return fmt.Errorf("intolerant run: %w", err)
+	}
+	if len(out.errs) != 1 {
+		return fmt.Errorf("intolerant run returned %d errors, want exactly 1", len(out.errs))
+	}
+	var ce *cuda.Error
+	if !errors.As(out.errs[0], &ce) || ce.Code != cuda.ErrOOM || !ce.Injected {
+		return fmt.Errorf("intolerant run error = %v, want injected OOM", out.errs[0])
+	}
+	if err := awaitGoroutines(base); err != nil {
+		return fmt.Errorf("after intolerant run: %w", err)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ package sanitizer
 
 import (
 	"valueexpert/gpu"
+	"valueexpert/internal/faultinject"
 	"valueexpert/internal/telemetry"
 )
 
@@ -46,6 +47,11 @@ type Config struct {
 
 	// Probes are the engine's telemetry hooks (zero-value fields no-op).
 	Probes Probes
+
+	// Faults, when non-nil, injects buffer-delivery failures (drop,
+	// truncate, delay) at the points the plan selects — the simulated
+	// analogue of losing device→host instrumentation traffic.
+	Faults *faultinject.Plan
 }
 
 // Probes are the sanitizer's telemetry hooks: instrumentation volume and
@@ -60,6 +66,10 @@ type Probes struct {
 	// waiting for a free flush buffer — the backpressure stall that
 	// bounds how far analysis can fall behind collection.
 	BufferWait *telemetry.Timer
+	// DroppedFlushes counts buffer deliveries lost to injected faults.
+	DroppedFlushes *telemetry.Counter
+	// DroppedRecords counts access records lost to injected faults.
+	DroppedRecords *telemetry.Counter
 }
 
 // DefaultBufferRecords matches a few-megabyte device buffer.
@@ -71,6 +81,11 @@ type Stats struct {
 	Flushes          uint64 // device->host buffer copies
 	LaunchesSeen     int
 	LaunchesProfiled int
+
+	// DroppedFlushes/DroppedRecords count deliveries and records lost to
+	// injected buffer faults; nonzero values mean the run is degraded.
+	DroppedFlushes uint64
+	DroppedRecords uint64
 }
 
 // Engine instruments kernel launches. Instrument/finish/hook calls happen
@@ -85,6 +100,10 @@ type Engine struct {
 	// the pipeline's backpressure.
 	free chan []gpu.Access
 	cur  []gpu.Access
+
+	// held is a delivery an injected flush-delay fault is holding back; it
+	// goes out (in order) before the next delivery or at launch end.
+	held []gpu.Access
 
 	launches map[string]int
 	stats    Stats
@@ -144,12 +163,9 @@ func (e *Engine) Instrument(kernelName string, flush func([]gpu.Access)) (hook g
 		e.cur = append(e.cur, a)
 		e.stats.Records++
 		if len(e.cur) >= e.cfg.BufferRecords {
-			e.stats.Flushes++
 			buf := e.cur
 			e.cur = nil
-			e.cfg.Probes.Flushes.Inc()
-			e.cfg.Probes.Records.Add(uint64(len(buf)))
-			flush(buf)
+			e.deliver(buf, flush)
 			sw := e.cfg.Probes.BufferWait.Start()
 			e.cur = <-e.free
 			sw.Stop()
@@ -160,15 +176,75 @@ func (e *Engine) Instrument(kernelName string, flush func([]gpu.Access)) (hook g
 	}
 	finish = func() {
 		if len(e.cur) > 0 {
-			e.stats.Flushes++
 			buf := e.cur
 			e.cur = nil
-			e.cfg.Probes.Flushes.Inc()
-			e.cfg.Probes.Records.Add(uint64(len(buf)))
-			flush(buf)
+			e.deliver(buf, flush)
+		}
+		// A delivery still delayed at launch end goes out now: delay is
+		// late, never lossy.
+		if e.held != nil {
+			h := e.held
+			e.held = nil
+			e.flushOut(h, flush)
 		}
 	}
 	return hook, blockFilter, finish
+}
+
+// deliver hands one full (or final) buffer to the analyzer, applying any
+// injected delivery faults: drop loses the buffer, truncate loses its
+// second half, delay holds it back until the next delivery or launch end.
+func (e *Engine) deliver(buf []gpu.Access, flush func([]gpu.Access)) {
+	if e.held != nil {
+		// Flush order is preserved: the delayed buffer goes out first.
+		h := e.held
+		e.held = nil
+		e.flushOut(h, flush)
+	}
+	if _, ok := e.cfg.Faults.Fire(faultinject.FlushDrop); ok {
+		e.stats.DroppedFlushes++
+		e.stats.DroppedRecords += uint64(len(buf))
+		e.cfg.Probes.DroppedFlushes.Inc()
+		e.cfg.Probes.DroppedRecords.Add(uint64(len(buf)))
+		e.Recycle(buf)
+		return
+	}
+	if _, ok := e.cfg.Faults.Fire(faultinject.FlushTruncate); ok {
+		lost := len(buf) - len(buf)/2
+		e.stats.DroppedRecords += uint64(lost)
+		e.cfg.Probes.DroppedRecords.Add(uint64(lost))
+		buf = buf[:len(buf)/2]
+	}
+	if _, ok := e.cfg.Faults.Fire(faultinject.FlushDelay); ok && len(e.free) > 0 {
+		// Hold the delivery back — but only while a spare buffer exists;
+		// at pipeline depth 1 holding the sole buffer would deadlock the
+		// collector's next buffer wait.
+		e.held = buf
+		return
+	}
+	e.flushOut(buf, flush)
+}
+
+// flushOut is the fault-free tail of a delivery: account and hand off.
+func (e *Engine) flushOut(buf []gpu.Access, flush func([]gpu.Access)) {
+	e.stats.Flushes++
+	e.cfg.Probes.Flushes.Inc()
+	e.cfg.Probes.Records.Add(uint64(len(buf)))
+	flush(buf)
+}
+
+// Abort discards the collector's in-flight state after a failed launch:
+// the held delayed delivery returns to the pool and the partial current
+// buffer is cleared. The records lost here belong to a launch the report
+// already counts as skipped, so they are not added to the dropped totals.
+func (e *Engine) Abort() {
+	if e.held != nil {
+		e.Recycle(e.held)
+		e.held = nil
+	}
+	if e.cur != nil {
+		e.cur = e.cur[:0]
+	}
 }
 
 // Recycle returns a buffer previously handed to flush to the free pool.

@@ -30,6 +30,7 @@ import (
 	"valueexpert/gpu"
 	"valueexpert/internal/advisor"
 	"valueexpert/internal/core"
+	"valueexpert/internal/faultinject"
 	"valueexpert/internal/gui"
 	"valueexpert/internal/interval"
 	"valueexpert/internal/profile"
@@ -169,6 +170,48 @@ func Record(rt *cuda.Runtime, w io.Writer) *Recording {
 func NewTraceSource(r io.Reader, device gpu.Profile) *TraceSource {
 	return trace.NewSource(r, device)
 }
+
+// Deterministic fault injection: a FaultPlan armed on a runtime
+// (Runtime.ArmFaults, before Attach) makes selected API calls, kernel
+// launches, and sanitizer buffer deliveries fail on demand, so the
+// engine's degradation paths can be exercised reproducibly. Partial runs
+// surface as typed *cuda.Error values and a report's Degraded section.
+type (
+	// FaultPlan schedules which operations fail; see faultinject.Plan.
+	FaultPlan = faultinject.Plan
+	// FaultPoint is one injectable failure site (FaultMalloc …).
+	FaultPoint = faultinject.Point
+	// FaultInjection describes one fired fault (Plan.Fired).
+	FaultInjection = faultinject.Injection
+)
+
+// The injectable fault points.
+const (
+	FaultMalloc        = faultinject.Malloc
+	FaultMemcpy        = faultinject.Memcpy
+	FaultMemset        = faultinject.Memset
+	FaultLaunch        = faultinject.Launch
+	FaultFlushDrop     = faultinject.FlushDrop
+	FaultFlushTruncate = faultinject.FlushTruncate
+	FaultFlushDelay    = faultinject.FlushDelay
+)
+
+// NewFaultPlan creates an empty plan; schedule failures with FailNth and
+// FailLaunchNth.
+func NewFaultPlan() *FaultPlan { return faultinject.New() }
+
+// SeededFaultPlan creates a plan whose fault points fire pseudo-randomly
+// from seed; tune the rate with WithProbability.
+func SeededFaultPlan(seed int64) *FaultPlan { return faultinject.Seeded(seed) }
+
+// ParseFaultSpec parses a textual plan like "seed=7,prob=0.05" or
+// "malloc@1,launch@2+16" — the vxprof -faults grammar.
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return faultinject.ParseSpec(spec) }
+
+// DegradedStats is a report's optional Degraded section: present exactly
+// when collection was incomplete (failed APIs, skipped launches, lost
+// sanitizer deliveries), marking the findings as a lower bound.
+type DegradedStats = profile.Degraded
 
 // FineConfig tunes fine-grained pattern thresholds (𝒯, 𝒦, …).
 type FineConfig = vpattern.FineConfig

@@ -2,6 +2,7 @@ package valueexpert
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -261,5 +262,77 @@ func TestFineConfigThresholds(t *testing.T) {
 	}
 	if p.Report().PatternSet()["frequent values"] {
 		t.Fatal("90% hot value should be below the 95% threshold")
+	}
+}
+
+// TestFaultInjectionFacade drives the fault-injection surface end to
+// end through the public API: arm a parsed plan, run a program that
+// tolerates the injected OOM, and read the Degraded section back from a
+// JSON round trip.
+func TestFaultInjectionFacade(t *testing.T) {
+	plan, err := ParseFaultSpec("malloc@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	rt.ArmFaults(plan)
+	p := Attach(rt, Config{Coarse: true, Fine: true, Program: "faulty"})
+	defer p.Detach()
+
+	const n = 1024
+	buf, err := rt.MallocF32(n, "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.MallocF32(n, "doomed"); err == nil {
+		t.Fatal("armed malloc fault did not fire")
+	} else {
+		var ce *cuda.Error
+		if !errors.As(err, &ce) || ce.Code != cuda.ErrOOM || !ce.Injected {
+			t.Fatalf("injected error = %v, want typed OOM", err)
+		}
+	}
+	if err := rt.Memset(buf, 0, 4*n); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := p.Report()
+	if rep.Degraded == nil {
+		t.Fatal("report of a faulted run is not marked Degraded")
+	}
+	if len(rep.Degraded.InjectedFaults) != 1 || rep.Degraded.InjectedFaults[0] != "malloc@2" {
+		t.Fatalf("InjectedFaults = %v", rep.Degraded.InjectedFaults)
+	}
+	var jsonBuf bytes.Buffer
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds *DegradedStats = back.Degraded
+	if ds == nil || len(ds.FailedAPIs) != 1 {
+		t.Fatalf("round trip lost the degraded section: %+v", ds)
+	}
+	if !strings.Contains(rep.Text(), "DEGRADED RUN") {
+		t.Fatal("text rendering missing the degraded banner")
+	}
+
+	// The plan's own accounting and the seeded/constructor facades.
+	if plan.TotalFired() != 1 {
+		t.Fatalf("TotalFired = %d", plan.TotalFired())
+	}
+	if NewFaultPlan().TotalFired() != 0 {
+		t.Fatal("NewFaultPlan not empty")
+	}
+	if _, ok := SeededFaultPlan(7).Seed(); !ok {
+		t.Fatal("SeededFaultPlan lost its seed")
+	}
+	for _, pt := range []FaultPoint{FaultMalloc, FaultMemcpy, FaultMemset,
+		FaultLaunch, FaultFlushDrop, FaultFlushTruncate, FaultFlushDelay} {
+		if pt.String() == "" {
+			t.Fatal("unnamed fault point")
+		}
 	}
 }
