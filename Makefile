@@ -43,10 +43,14 @@ bench:
 # bench-smoke compiles and runs every benchmark for exactly one iteration
 # (no test functions), catching bit-rotted benchmarks without the cost of
 # real measurement, then refreshes the pipeline-overhead trajectory file
-# from the telemetry export (ms/op per worker setting).
+# from the telemetry export (ms/op per worker setting), gating against
+# the checked-in trajectory: a wall or analysis ms/op regression beyond
+# BENCH_TOLERANCE at any worker setting fails the build.
+BENCH_TOLERANCE ?= 0.25
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/vxpipebench -out BENCH_pipeline.json
+	$(GO) run ./cmd/vxpipebench -iters 3 -baseline BENCH_pipeline.json \
+		-tolerance $(BENCH_TOLERANCE) -out BENCH_pipeline.json
 
 # fuzz runs each sass fuzz target for FUZZTIME, growing the checked-in
 # seed corpus under sass/testdata/fuzz/. Plain `go test` replays the

@@ -5,12 +5,20 @@
 // workload and attributes the cost from the telemetry metrics export:
 // collection (sanitizer flush capture + buffer waits) vs. analysis vs.
 // snapshot maintenance, the same split the paper's §6 overhead tables
-// use.
+// use, plus the analysis stage's own breakdown (worker-side compaction,
+// pre-combiner folds, the collector's serial absorbs, launch-end
+// finalization).
+//
+// With -baseline, the run is also a regression gate: each measured
+// setting is compared against the matching setting in the baseline file
+// and the command exits nonzero when wall or analysis ms/op regresses
+// beyond the tolerance.
 //
 // Usage:
 //
 //	vxpipebench [-workload Darknet] [-scale 64] [-workers 0,2,4]
 //	            [-iters 1] [-out BENCH_pipeline.json]
+//	            [-baseline BENCH_pipeline.json] [-tolerance 0.25]
 package main
 
 import (
@@ -41,6 +49,15 @@ type setting struct {
 	AnalysisMSPerOp   float64 `json:"analysis_ms_per_op"`
 	SnapshotMSPerOp   float64 `json:"snapshot_ms_per_op"`
 
+	// Analysis-stage breakdown (summed over stages), ms per run: where
+	// the analysis cost actually sits — parallel worker-side compaction,
+	// the pre-combiner's pairwise folds, the collector's serial absorbs,
+	// and launch-end finalization.
+	CompactMSPerOp  float64 `json:"compact_ms_per_op"`
+	CombineMSPerOp  float64 `json:"combine_ms_per_op"`
+	AbsorbMSPerOp   float64 `json:"absorb_ms_per_op"`
+	FinalizeMSPerOp float64 `json:"finalize_ms_per_op"`
+
 	// Volume counters for context (totals over all iterations).
 	SanitizerFlushes uint64 `json:"sanitizer_flushes"`
 	SanitizerRecords uint64 `json:"sanitizer_records"`
@@ -58,15 +75,22 @@ type trajectory struct {
 
 func main() {
 	var (
-		workload = flag.String("workload", "Darknet", "workload to instrument")
-		scale    = flag.Int("scale", 64, "problem-size divisor")
-		workerss = flag.String("workers", "0,2,4", "comma-separated worker settings to measure")
-		iters    = flag.Int("iters", 1, "profiled runs per setting")
-		out      = flag.String("out", "BENCH_pipeline.json", "output file")
+		workload  = flag.String("workload", "Darknet", "workload to instrument")
+		scale     = flag.Int("scale", 64, "problem-size divisor")
+		workerss  = flag.String("workers", "0,2,4", "comma-separated worker settings to measure")
+		iters     = flag.Int("iters", 1, "profiled runs per setting")
+		out       = flag.String("out", "BENCH_pipeline.json", "output file")
+		baseline  = flag.String("baseline", "", "baseline trajectory to gate against (skipped when absent)")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression vs the baseline")
 	)
 	flag.Parse()
 
 	settings, err := parseWorkers(*workerss)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxpipebench:", err)
+		os.Exit(2)
+	}
+	base, err := loadBaseline(*baseline)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vxpipebench:", err)
 		os.Exit(2)
@@ -79,22 +103,82 @@ func main() {
 			os.Exit(1)
 		}
 		traj.Settings = append(traj.Settings, s)
-		fmt.Fprintf(os.Stderr, "workers=%d: %.2f ms/op (collection %.2f, analysis %.2f, snapshots %.2f)\n",
-			s.Workers, s.WallMSPerOp, s.CollectionMSPerOp, s.AnalysisMSPerOp, s.SnapshotMSPerOp)
+		fmt.Fprintf(os.Stderr, "workers=%d: %.2f ms/op (collection %.2f, analysis %.2f [compact %.2f, combine %.2f, absorb %.2f, finalize %.2f], snapshots %.2f)\n",
+			s.Workers, s.WallMSPerOp, s.CollectionMSPerOp, s.AnalysisMSPerOp,
+			s.CompactMSPerOp, s.CombineMSPerOp, s.AbsorbMSPerOp, s.FinalizeMSPerOp,
+			s.SnapshotMSPerOp)
 	}
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vxpipebench:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(traj); err != nil {
+		f.Close()
 		fmt.Fprintln(os.Stderr, "vxpipebench:", err)
 		os.Exit(1)
 	}
+	f.Close()
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+
+	if base != nil {
+		if regressions := gate(base, traj, *tolerance); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "vxpipebench: REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "baseline gate passed (tolerance %.0f%%)\n", 100**tolerance)
+	}
+}
+
+// loadBaseline reads a prior trajectory. A missing file is not an error —
+// the first run of a fresh checkout has nothing to gate against.
+func loadBaseline(path string) (*trajectory, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "vxpipebench: no baseline %s, gate skipped\n", path)
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var t trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// gate compares each measured setting against the baseline setting with
+// the same worker count and reports every wall/analysis ms/op regression
+// beyond the tolerance. Settings absent from the baseline pass.
+func gate(base *trajectory, cur trajectory, tolerance float64) []string {
+	byWorkers := map[int]setting{}
+	for _, s := range base.Settings {
+		byWorkers[s.Workers] = s
+	}
+	var out []string
+	for _, s := range cur.Settings {
+		b, ok := byWorkers[s.Workers]
+		if !ok {
+			continue
+		}
+		check := func(metric string, was, now float64) {
+			if was > 0 && now > was*(1+tolerance) {
+				out = append(out, fmt.Sprintf("workers=%d %s %.2f → %.2f ms/op (+%.0f%%, tolerance %.0f%%)",
+					s.Workers, metric, was, now, 100*(now/was-1), 100*tolerance))
+			}
+		}
+		check("wall", b.WallMSPerOp, s.WallMSPerOp)
+		check("analysis", b.AnalysisMSPerOp, s.AnalysisMSPerOp)
+	}
+	return out
 }
 
 func parseWorkers(s string) ([]int, error) {
@@ -124,6 +208,7 @@ func measure(workload string, scale, workers, iters int) (setting, error) {
 	s := setting{Workers: workers, Depth: depth}
 
 	var wall, collection, analysis, snapshot time.Duration
+	var compact, combine, absorb, finalize time.Duration
 	for i := 0; i < iters; i++ {
 		tel := valueexpert.NewTelemetry()
 		cfg := valueexpert.Config{
@@ -152,6 +237,22 @@ func measure(workload string, scale, workers, iters int) (setting, error) {
 				s.StageBatches += v
 			}
 		}
+		for name, ts := range m.Timers {
+			if !strings.HasPrefix(name, "stage.") {
+				continue
+			}
+			d := time.Duration(ts.TotalNS)
+			switch {
+			case strings.HasSuffix(name, ".compact"):
+				compact += d
+			case strings.HasSuffix(name, ".combine"):
+				combine += d
+			case strings.HasSuffix(name, ".absorb"):
+				absorb += d
+			case strings.HasSuffix(name, ".finalize"):
+				finalize += d
+			}
+		}
 		p.Detach()
 	}
 	perOp := func(d time.Duration) float64 {
@@ -161,5 +262,9 @@ func measure(workload string, scale, workers, iters int) (setting, error) {
 	s.CollectionMSPerOp = perOp(collection)
 	s.AnalysisMSPerOp = perOp(analysis)
 	s.SnapshotMSPerOp = perOp(snapshot)
+	s.CompactMSPerOp = perOp(compact)
+	s.CombineMSPerOp = perOp(combine)
+	s.AbsorbMSPerOp = perOp(absorb)
+	s.FinalizeMSPerOp = perOp(finalize)
 	return s, nil
 }

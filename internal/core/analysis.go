@@ -17,8 +17,9 @@ import (
 // to a worker.
 type Batch struct {
 	// Recs is the flushed access-record buffer. Ownership passes with the
-	// batch; the engine recycles it to the sanitizer pool after every
-	// stage has absorbed the batch.
+	// batch; the engine recycles it to the sanitizer pool as soon as
+	// every stage has compacted the batch — a Partial must therefore be
+	// self-contained and never retain the batch or its record slice.
 	Recs []gpu.Access
 
 	// IDs holds, per record, the ID of the data object containing the
@@ -26,18 +27,42 @@ type Batch struct {
 	// resolves IDs once per batch so every stage shares one lookup pass.
 	IDs []int
 
-	// RangeVals maps a record index (Count>1 load) to the bytes its range
-	// held at flush time. Populated only when a participating stage
-	// reports NeedsValues.
-	RangeVals map[int][]byte
-
 	// Yield marks batches compacted on background workers: stages should
-	// give up the processor between records so that, when GOMAXPROCS is
-	// no larger than the worker count, the kernel-execution goroutine's
-	// timers and buffer hand-offs stay prompt — background analysis must
-	// never stall collection.
+	// give up the processor periodically (yieldStride records) so that,
+	// when GOMAXPROCS is no larger than the worker count, the
+	// kernel-execution goroutine's timers and buffer hand-offs stay
+	// prompt — background analysis must never stall collection.
 	Yield bool
+
+	// rangeIdx/rangeBytes hold flush-time captures of the bytes behind
+	// compacted load-range records (Count>1 loads), packed into one
+	// reusable buffer instead of one heap slice per record. Populated
+	// only when a participating stage reports NeedsValues; read through
+	// RangeVal. Batches recycle through a pool, so both keep their
+	// allocations across flushes.
+	rangeIdx   map[int]rangeRef
+	rangeBytes []byte
 }
+
+// rangeRef locates one captured range in Batch.rangeBytes.
+type rangeRef struct{ off, n int }
+
+// RangeVal returns the bytes record i's range held at flush time, or nil
+// when the record is not a captured load range. The slice aliases the
+// batch's capture buffer; it is valid until the batch is recycled.
+func (b *Batch) RangeVal(i int) []byte {
+	r, ok := b.rangeIdx[i]
+	if !ok {
+		return nil
+	}
+	return b.rangeBytes[r.off : r.off+r.n]
+}
+
+// yieldStride is how often Yield-marked work gives up the processor: a
+// runtime.Gosched every record measurably throttles the analysis on
+// small GOMAXPROCS, while every 1024 records still bounds scheduling
+// latency to microseconds.
+const yieldStride = 1024
 
 // Partial is one stage's compacted, order-independent result for one
 // batch, ready for in-order absorption into the stage's launch state.
@@ -105,6 +130,20 @@ type Analysis interface {
 type LaunchAnalysis interface {
 	Compact(b *Batch) Partial
 	Absorb(pt Partial)
+}
+
+// PartialCombiner is the optional LaunchAnalysis extension for stages
+// whose partials can be pre-folded off the collector's critical path.
+// Combine folds second — the partial of the batch flushed immediately
+// after first's — into first and returns the combined partial;
+// Absorb(Combine(first, second)) must leave the accumulator bit-identical
+// to Absorb(first); Absorb(second). The engine only combines adjacent
+// partials in flush order, never reorders them, and runs Combine on a
+// single goroutine, so implementations need no locking. A stage whose
+// fold is not exactly associative simply doesn't implement the interface
+// and keeps the strictly serial absorb path.
+type PartialCombiner interface {
+	Combine(first, second Partial) Partial
 }
 
 // Env is the engine state handed to an AnalysisFactory: the pieces a

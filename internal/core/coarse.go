@@ -339,7 +339,7 @@ func (*coarseLaunch) Compact(b *Batch) Partial {
 	}
 
 	for i, a := range b.Recs {
-		if b.Yield {
+		if b.Yield && i%yieldStride == 0 {
 			runtime.Gosched()
 		}
 		id := b.IDs[i]
@@ -407,6 +407,27 @@ func (la *coarseLaunch) Absorb(pt Partial) {
 	for id, n := range cp.writeB {
 		la.writeB[id] += n
 	}
+}
+
+// Combine folds the next batch's partial into this one off the
+// collector's critical path: per-object interval appends and additive
+// counters, so absorbing the combined partial is bit-identical to the
+// two sequential absorbs.
+func (*coarseLaunch) Combine(first, second Partial) Partial {
+	a, b := first.(*coarsePartial), second.(*coarsePartial)
+	for id, ivs := range b.readIvs {
+		a.readIvs[id] = append(a.readIvs[id], ivs...)
+	}
+	for id, ivs := range b.writeIvs {
+		a.writeIvs[id] = append(a.writeIvs[id], ivs...)
+	}
+	for id, n := range b.readB {
+		a.readB[id] += n
+	}
+	for id, n := range b.writeB {
+		a.writeB[id] += n
+	}
+	return a
 }
 
 // LaunchEnd finalizes a launch: the "data processing kernel" runs the

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"valueexpert/gpu"
+	"valueexpert/internal/parallel"
+)
+
+// testFineBatch synthesizes a resolved batch of n records over a handful
+// of objects, mixing plain accesses with compacted store ranges and one
+// captured load range, the shapes the fine stage expands.
+func testFineBatch(rng *rand.Rand, n int) *Batch {
+	b := &Batch{Recs: make([]gpu.Access, n), IDs: make([]int, n)}
+	for i := range b.Recs {
+		a := gpu.Access{
+			Addr: uint64(rng.Intn(1<<14)) * 4, Size: 4, Kind: gpu.KindFloat,
+			Raw: gpu.RawFromFloat32(float32(rng.Intn(32)) * 0.5), Store: rng.Intn(2) == 0,
+		}
+		if i%97 == 0 { // compacted store range: value repeats per element
+			a.Store = true
+			a.Count = 4
+		}
+		b.Recs[i] = a
+		b.IDs[i] = rng.Intn(4)
+	}
+	// One captured load range decoded from the batch's capture buffer.
+	b.Recs[1] = gpu.Access{Addr: 0x100, Size: 4, Kind: gpu.KindUint, Count: 3}
+	b.rangeBytes = []byte{1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0}
+	b.rangeIdx = map[int]rangeRef{1: {off: 0, n: 12}}
+	return b
+}
+
+func newTestFineStage() *fineStage {
+	return newFineStage(Env{Cfg: &Config{}})
+}
+
+// TestFineCompactAllocsFree: with the shard pool warmed, one
+// compact-absorb round trip over a batch must not allocate — the
+// engine-side half of the zero-alloc access path.
+func TestFineCompactAllocsFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates around sync.Pool")
+	}
+	st := newTestFineStage()
+	la := st.LaunchBegin("k").(*fineLaunch)
+	b := testFineBatch(rand.New(rand.NewSource(31)), 2048)
+	round := func() { la.Absorb(la.Compact(b)) }
+	round() // warm the pooled shard and the master accumulator
+	if allocs := testing.AllocsPerRun(20, round); allocs != 0 {
+		t.Fatalf("fine compact+absorb allocated %.1f times per warmed batch, want 0", allocs)
+	}
+}
+
+// TestChunkedCompactMatchesSequential: a large Yield batch compacted
+// through concurrent record-range sub-shards must finalize identically to
+// the sequential walk of the same records. Run under -race this also
+// exercises the sub-shard helpers and the shard pool concurrently —
+// including two launches chunk-compacting at once.
+func TestChunkedCompactMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n := 3*fineChunkRecords + 123
+	b := testFineBatch(rng, n)
+
+	seqStage := newTestFineStage()
+	seqLa := seqStage.LaunchBegin("k").(*fineLaunch)
+	seqLa.Absorb(seqLa.Compact(b))
+	want := seqLa.acc.Finalize()
+
+	chunked := newTestFineStage()
+	// A private wide scheduler so chunk helpers exist even on one CPU.
+	chunked.chunks = parallel.NewPoolOn(parallel.NewScheduler(4), 4)
+	b.Yield = true
+	defer func() { b.Yield = false }()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			la := chunked.LaunchBegin("k").(*fineLaunch)
+			for round := 0; round < 3; round++ { // reuse pooled shards across rounds
+				la.acc.Reset()
+				la.Absorb(la.Compact(b))
+				got := la.acc.Finalize()
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("round %d: chunked compact diverged from sequential", round)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,12 +2,15 @@
 // double-buffered overlap of data collection and online analysis. The
 // sanitizer cycles PipelineDepth flush buffers through a bounded hand-off
 // queue; AnalysisWorkers workers compact each flushed batch into
-// independent per-stage partials; and a single ordered collector folds the
-// partials into each stage's launch state in flush order, so the merged
-// state — and therefore the emitted report — is byte-identical for every
-// worker/depth setting. Synchronous analysis is the degenerate pipeline:
-// with zero workers the same submit path compacts and absorbs inline on
-// the kernel-execution goroutine.
+// independent per-stage partials (recycling the record buffer the moment
+// compaction ends, so buffers never wait on absorption); a pre-combiner
+// pairs adjacent partials in flush order and folds the exactly-mergeable
+// stages off the critical path; and a single ordered collector absorbs
+// what remains in flush order, so the merged state — and therefore the
+// emitted report — is byte-identical for every worker/depth setting.
+// Synchronous analysis is the degenerate pipeline: with zero workers the
+// same submit path compacts and absorbs inline on the kernel-execution
+// goroutine.
 package core
 
 import (
@@ -20,16 +23,25 @@ import (
 
 // pendingBatch pairs a submitted batch with the slot its per-stage
 // partials arrive in. The pending queue holds these in submission order,
-// which is what makes out-of-order workers safe: the collector waits on
-// each slot in turn.
+// which is what makes out-of-order workers safe: the pre-combiner waits
+// on each slot in turn.
 type pendingBatch struct {
 	b    *Batch
 	done chan []Partial
 }
 
+// combinedUnit is the pre-combiner's output: one or two batches' partials
+// ready for in-order absorption. For a fully combinable stage set rest is
+// nil and the collector absorbs one folded partial per pair; stages
+// without a combiner keep their second partial in rest, absorbed right
+// after first — still in flush order.
+type combinedUnit struct {
+	first, rest []Partial
+}
+
 // pipeline runs every registered stage's analysis for one instrumented
-// launch. With workers it owns a compaction worker pool and an ordered
-// collector; without, it executes inline.
+// launch. With workers it owns a compaction worker pool, the pre-combiner
+// and an ordered collector; without, it executes inline.
 type pipeline struct {
 	p  *Profiler
 	ls *launchState
@@ -37,6 +49,7 @@ type pipeline struct {
 	// work and pending are nil in inline mode.
 	work    chan *pendingBatch
 	pending chan *pendingBatch
+	ready   chan combinedUnit
 	workers sync.WaitGroup
 	// collected closes when the collector has absorbed every pending batch.
 	collected chan struct{}
@@ -45,8 +58,8 @@ type pipeline struct {
 
 // newPipeline builds the execution path for launch state ls: an inline
 // executor when workers <= 0, else workers compaction workers — each
-// leasing a slot from the shared scheduler around every batch — and the
-// ordered collector.
+// leasing a slot from the shared scheduler around every batch — plus the
+// pre-combiner and the ordered collector.
 func (p *Profiler) newPipeline(ls *launchState, workers, depth int) *pipeline {
 	pl := &pipeline{p: p, ls: ls}
 	if workers <= 0 {
@@ -54,6 +67,7 @@ func (p *Profiler) newPipeline(ls *launchState, workers, depth int) *pipeline {
 	}
 	pl.work = make(chan *pendingBatch, depth)
 	pl.pending = make(chan *pendingBatch, depth)
+	pl.ready = make(chan combinedUnit, depth)
 	pl.collected = make(chan struct{})
 	for i := 0; i < workers; i++ {
 		pl.workers.Add(1)
@@ -69,20 +83,79 @@ func (p *Profiler) newPipeline(ls *launchState, workers, depth int) *pipeline {
 				parts := p.compact(pl.ls, pb.b)
 				sp.End()
 				p.sched.Release()
+				// Partials are self-contained: the record buffer can
+				// return to the sanitizer before absorption, so holding
+				// partials downstream never starves collection.
+				p.releaseBatch(pb.b)
+				pb.b = nil
 				pb.done <- parts
 			}
 		}()
 	}
+	// Pre-combiner: receives partials in flush order and folds adjacent
+	// pairs for every stage implementing PartialCombiner, shrinking the
+	// collector's serial absorb to half the merges. Pairing is strictly
+	// consecutive (batch 2k with 2k+1), so the fold order — and with it
+	// the merged state — never depends on scheduling.
+	combine := make([]PartialCombiner, len(ls.stages))
+	for i, la := range ls.stages {
+		if c, ok := la.(PartialCombiner); ok {
+			combine[i] = c
+		}
+	}
+	combinerLane := telemetry.LaneWorker0 + workers
+	go func() {
+		defer close(pl.ready)
+		for pb := range pl.pending {
+			first := <-pb.done
+			pb2, ok := <-pl.pending
+			if !ok {
+				pl.ready <- combinedUnit{first: first}
+				return
+			}
+			second := <-pb2.done
+			sp := p.tel.Span(combinerLane, "analysis", "combine")
+			unit := p.combinePartials(combine, first, second)
+			sp.End()
+			pl.ready <- unit
+		}
+	}()
 	go func() {
 		defer close(pl.collected)
-		for pb := range pl.pending {
-			parts := <-pb.done
+		for unit := range pl.ready {
 			sp := p.tel.Span(telemetry.LaneCollector, "analysis", "absorb")
-			p.absorbAll(pl.ls, pb.b, parts)
+			p.absorbAll(pl.ls, unit.first)
+			if unit.rest != nil {
+				p.absorbAll(pl.ls, unit.rest)
+			}
 			sp.End()
 		}
 	}()
 	return pl
+}
+
+// combinePartials folds second's partials into first's for every
+// combinable stage; whatever can't combine stays in rest, absorbed right
+// after first.
+func (p *Profiler) combinePartials(combine []PartialCombiner, first, second []Partial) combinedUnit {
+	rest := false
+	for i := range first {
+		if second[i] == nil {
+			continue
+		}
+		if combine[i] != nil && first[i] != nil {
+			sw := p.probes.combine[i].Start()
+			first[i] = combine[i].Combine(first[i], second[i])
+			sw.Stop()
+			second[i] = nil
+		} else {
+			rest = true
+		}
+	}
+	if !rest {
+		return combinedUnit{first: first}
+	}
+	return combinedUnit{first: first, rest: second}
 }
 
 // submit hands one flushed batch to the pipeline. Called on the
@@ -95,7 +168,9 @@ func (pl *pipeline) submit(b *Batch) {
 		// Inline (zero-worker) analysis runs on the kernel goroutine but
 		// traces on the collector lane, where absorbs always appear.
 		sp := pl.p.tel.Span(telemetry.LaneCollector, "analysis", "analyze")
-		pl.p.absorbAll(pl.ls, b, pl.p.compact(pl.ls, b))
+		parts := pl.p.compact(pl.ls, b)
+		pl.p.releaseBatch(b)
+		pl.p.absorbAll(pl.ls, parts)
 		sp.End()
 		return
 	}
@@ -145,15 +220,20 @@ func (p *Profiler) compact(ls *launchState, b *Batch) []Partial {
 	return parts
 }
 
-// resolveObjects fills b.IDs with each record's containing data object.
-// Consecutive records overwhelmingly hit the same object (coalesced
-// warps), so one cached allocation covers almost every lookup.
+// resolveObjects fills b.IDs with each record's containing data object,
+// reusing the batch's slice across flushes. Consecutive records
+// overwhelmingly hit the same object (coalesced warps), so one cached
+// allocation covers almost every lookup.
 func (p *Profiler) resolveObjects(b *Batch) {
 	mem := p.rt.Device().Mem
-	b.IDs = make([]int, len(b.Recs))
+	if cap(b.IDs) < len(b.Recs) {
+		b.IDs = make([]int, len(b.Recs))
+	} else {
+		b.IDs = b.IDs[:len(b.Recs)]
+	}
 	var cached *gpu.Allocation
 	for i, a := range b.Recs {
-		if b.Yield {
+		if b.Yield && i%yieldStride == 0 {
 			runtime.Gosched()
 		}
 		alloc := cached
@@ -170,12 +250,12 @@ func (p *Profiler) resolveObjects(b *Batch) {
 }
 
 // absorbAll folds one batch's partials into each stage's launch state, in
-// stage order, and recycles the buffer. Partials must be absorbed in
-// flush order: the fine-accumulator merge replays value
-// first-occurrences, and reuse-distance analysis is order-sensitive by
-// definition. In pipelined mode only the collector goroutine calls
-// absorbAll; in inline mode, the kernel goroutine.
-func (p *Profiler) absorbAll(ls *launchState, b *Batch, parts []Partial) {
+// stage order. Partials must be absorbed in flush order: the
+// fine-accumulator merge replays value first-occurrences, and
+// reuse-distance analysis is order-sensitive by definition. In pipelined
+// mode only the collector goroutine calls absorbAll; in inline mode, the
+// kernel goroutine.
+func (p *Profiler) absorbAll(ls *launchState, parts []Partial) {
 	for i, la := range ls.stages {
 		if la != nil && parts[i] != nil {
 			sw := p.probes.absorb[i].Start()
@@ -183,29 +263,59 @@ func (p *Profiler) absorbAll(ls *launchState, b *Batch, parts []Partial) {
 			sw.Stop()
 		}
 	}
+}
+
+// newBatch wraps a flushed record buffer in a pooled Batch whose ID and
+// range-capture allocations carry over from earlier flushes.
+func (p *Profiler) newBatch(recs []gpu.Access) *Batch {
+	b, _ := p.batchPool.Get().(*Batch)
+	if b == nil {
+		b = &Batch{}
+	}
+	b.Recs = recs
+	return b
+}
+
+// releaseBatch returns the record buffer to the sanitizer pool and the
+// batch shell — IDs slice, range-capture buffer — to the batch pool.
+// Called the moment every stage has compacted the batch; partials are
+// self-contained, so nothing downstream reads the batch again.
+func (p *Profiler) releaseBatch(b *Batch) {
 	p.san.Recycle(b.Recs)
+	b.Recs = nil
+	b.IDs = b.IDs[:0]
+	b.rangeBytes = b.rangeBytes[:0]
+	clear(b.rangeIdx)
+	b.Yield = false
+	p.batchPool.Put(b)
 }
 
 // captureRangeLoads bulk-reads the device bytes behind every compacted
 // load-range record — one Memory.Read per record instead of one LoadRaw
 // per element — so workers can decode element values from a stable host
-// copy while the kernel keeps mutating device memory. A read that fails
-// (a malformed range straddling allocations) leaves no entry and the
-// record contributes no fine-grained values, in either analysis mode.
-func captureRangeLoads(mem *gpu.Memory, recs []gpu.Access) map[int][]byte {
-	var vals map[int][]byte
-	for i, a := range recs {
+// copy while the kernel keeps mutating device memory. Captures pack into
+// the batch's reusable buffer; a read that fails (a malformed range
+// straddling allocations) leaves no entry and the record contributes no
+// fine-grained values, in either analysis mode.
+func (b *Batch) captureRangeLoads(mem *gpu.Memory) {
+	for i, a := range b.Recs {
 		if a.Count <= 1 || a.Store {
 			continue
 		}
-		buf := make([]byte, a.Bytes())
-		if err := mem.Read(a.Addr, buf); err != nil {
+		n := int(a.Bytes())
+		off := len(b.rangeBytes)
+		if off+n <= cap(b.rangeBytes) {
+			b.rangeBytes = b.rangeBytes[:off+n]
+		} else {
+			b.rangeBytes = append(b.rangeBytes, make([]byte, n)...)
+		}
+		if err := mem.Read(a.Addr, b.rangeBytes[off:off+n]); err != nil {
+			b.rangeBytes = b.rangeBytes[:off]
 			continue
 		}
-		if vals == nil {
-			vals = make(map[int][]byte)
+		if b.rangeIdx == nil {
+			b.rangeIdx = make(map[int]rangeRef)
 		}
-		vals[i] = buf
+		b.rangeIdx[i] = rangeRef{off: off, n: n}
 	}
-	return vals
 }

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"valueexpert/callpath"
@@ -126,6 +127,10 @@ type Profiler struct {
 	skippedLaunches int
 
 	analysisTime time.Duration
+
+	// batchPool recycles Batch shells (ID slices, range-capture buffers)
+	// across flushes so the per-batch hot path stops allocating.
+	batchPool sync.Pool
 
 	// tel and probes are the self-observability layer; tel is nil (and
 	// every probe a no-op) unless Config.Telemetry carries a recorder.
@@ -302,9 +307,9 @@ func (p *Profiler) Instrumentation(kernelName string) (gpu.AccessFunc, func(int3
 		start := time.Now()
 		sw := p.probes.flushCapture.Start()
 		p.tel.Instant(telemetry.LaneKernel, "sanitizer", "flush")
-		b := &Batch{Recs: recs}
+		b := p.newBatch(recs)
 		if needVals {
-			b.RangeVals = captureRangeLoads(mem, recs)
+			b.captureRangeLoads(mem)
 		}
 		ls.pipe.submit(b)
 		sw.Stop()
@@ -400,7 +405,9 @@ func (p *Profiler) onLaunch(ev *cuda.APIEvent) {
 		if ls != nil {
 			la = ls.stages[i]
 		}
+		sw := p.probes.finalize[i].Start()
 		st.LaunchEnd(ev, la)
+		sw.Stop()
 	}
 }
 

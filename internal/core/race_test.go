@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled skips allocation-count guards when the race detector is
+// active: its instrumentation allocates (notably around sync.Pool), so
+// AllocsPerRun==0 only holds in normal builds.
+const raceEnabled = true

@@ -32,10 +32,14 @@ type engineProbes struct {
 	// occupancy samples the pending-batch queue length at each submit.
 	occupancy *telemetry.Gauge
 
-	// compact/absorb/batches instrument each stage's pipeline work.
-	compact []*telemetry.Timer
-	absorb  []*telemetry.Timer
-	batches []*telemetry.Counter
+	// compact/combine/absorb/finalize/batches instrument each stage's
+	// pipeline work: worker-side compaction, the pre-combiner's pairwise
+	// folds, the collector's serial absorbs, and launch-end finalization.
+	compact  []*telemetry.Timer
+	combine  []*telemetry.Timer
+	absorb   []*telemetry.Timer
+	finalize []*telemetry.Timer
+	batches  []*telemetry.Counter
 
 	// failedAPIs counts runtime APIs that began but never completed;
 	// skippedLaunches counts instrumented launches Drain discarded.
@@ -52,9 +56,11 @@ func (p *Profiler) initTelemetry() {
 	p.tel = tel
 	n := len(p.stages)
 	p.probes = engineProbes{
-		compact: make([]*telemetry.Timer, n),
-		absorb:  make([]*telemetry.Timer, n),
-		batches: make([]*telemetry.Counter, n),
+		compact:  make([]*telemetry.Timer, n),
+		combine:  make([]*telemetry.Timer, n),
+		absorb:   make([]*telemetry.Timer, n),
+		finalize: make([]*telemetry.Timer, n),
+		batches:  make([]*telemetry.Counter, n),
 	}
 	if tel == nil {
 		return
@@ -73,7 +79,9 @@ func (p *Profiler) initTelemetry() {
 	}
 	for i, st := range p.stages {
 		p.probes.compact[i] = tel.Timer("stage." + st.Name() + ".compact")
+		p.probes.combine[i] = tel.Timer("stage." + st.Name() + ".combine")
 		p.probes.absorb[i] = tel.Timer("stage." + st.Name() + ".absorb")
+		p.probes.finalize[i] = tel.Timer("stage." + st.Name() + ".finalize")
 		p.probes.batches[i] = tel.Counter("stage." + st.Name() + ".batches")
 	}
 
@@ -90,6 +98,9 @@ func (p *Profiler) initTelemetry() {
 	tel.DeclareLane(telemetry.LaneCollector, "collector")
 	for i := 0; i < p.cfg.AnalysisWorkers; i++ {
 		tel.DeclareLane(telemetry.LaneWorker0+i, fmt.Sprintf("analysis worker %d", i))
+	}
+	if p.cfg.AnalysisWorkers > 0 {
+		tel.DeclareLane(telemetry.LaneWorker0+p.cfg.AnalysisWorkers, "pre-combiner")
 	}
 }
 

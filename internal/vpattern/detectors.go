@@ -12,7 +12,8 @@ import (
 // zero, single value, frequent values) read everything they need from the
 // shared observation context at Finalize; the stateful ones (heavy type,
 // structured values, approximate values) keep only the per-object state
-// their own definition requires.
+// their own definition requires, in dense ID-indexed tables that reset in
+// place for shard reuse.
 
 // singleZeroDetector recognizes Def 3.5: every accessed value is zero.
 type singleZeroDetector struct{}
@@ -21,6 +22,7 @@ func newSingleZeroDetector(FineConfig) Detector { return singleZeroDetector{} }
 
 func (singleZeroDetector) Observe(int, gpu.Access) {}
 func (singleZeroDetector) Merge(Detector)          {}
+func (singleZeroDetector) Reset()                  {}
 
 func (singleZeroDetector) Finalize(_ int, sh *ObjectShared) (Match, bool) {
 	if v, ok := sh.Single(); ok && v.IsZero() {
@@ -37,6 +39,7 @@ func newSingleValueDetector(FineConfig) Detector { return singleValueDetector{} 
 
 func (singleValueDetector) Observe(int, gpu.Access) {}
 func (singleValueDetector) Merge(Detector)          {}
+func (singleValueDetector) Reset()                  {}
 
 func (singleValueDetector) Finalize(_ int, sh *ObjectShared) (Match, bool) {
 	if v, ok := sh.Single(); ok {
@@ -56,6 +59,7 @@ func newFrequentDetector(cfg FineConfig) Detector { return frequentDetector{cfg:
 
 func (frequentDetector) Observe(int, gpu.Access) {}
 func (frequentDetector) Merge(Detector)          {}
+func (frequentDetector) Reset()                  {}
 
 func (d frequentDetector) Finalize(_ int, sh *ObjectShared) (Match, bool) {
 	if _, single := sh.Single(); single {
@@ -103,25 +107,23 @@ type heavyState struct {
 }
 
 // heavyTypeDetector recognizes Def 3.6: values declared wide but
-// narrow-representable.
+// narrow-representable. Min/max and flag folds are exactly associative,
+// so its partials pre-combine (ExactMerge).
 type heavyTypeDetector struct {
-	objs map[int]*heavyState
+	objs table[heavyState]
 }
 
-func newHeavyTypeDetector(FineConfig) Detector {
-	return &heavyTypeDetector{objs: make(map[int]*heavyState)}
-}
+func newHeavyTypeDetector(FineConfig) Detector { return &heavyTypeDetector{} }
+
+func (d *heavyTypeDetector) Reset() { d.objs.reset(nil) }
 
 func (d *heavyTypeDetector) Observe(objID int, a gpu.Access) {
 	at := gpu.AccessType{Kind: a.Kind, Size: a.Size}
-	st := d.objs[objID]
-	if st == nil {
-		st = &heavyState{
-			at: at, atConsist: true, allF64AsF32: true,
-			minI: math.MaxInt64, maxI: math.MinInt64,
-			minU: math.MaxUint64,
-		}
-		d.objs[objID] = st
+	st, created := d.objs.at(objID)
+	if created {
+		st.at, st.atConsist, st.allF64AsF32 = at, true, true
+		st.minI, st.maxI = math.MaxInt64, math.MinInt64
+		st.minU = math.MaxUint64
 	} else if st.at != at {
 		st.atConsist = false
 	}
@@ -156,10 +158,11 @@ func (d *heavyTypeDetector) Observe(objID int, a gpu.Access) {
 
 func (d *heavyTypeDetector) Merge(partial Detector) {
 	o := partial.(*heavyTypeDetector)
-	for id, ob := range o.objs {
-		st := d.objs[id]
-		if st == nil {
-			d.objs[id] = ob
+	for _, id := range o.objs.ids {
+		ob := o.objs.get(id)
+		st, created := d.objs.at(id)
+		if created {
+			*st = *ob
 			continue
 		}
 		// Declared access type: consistent only if both halves are
@@ -186,11 +189,10 @@ func (d *heavyTypeDetector) Merge(partial Detector) {
 		st.sawU = st.sawU || ob.sawU
 		st.sawFloat = st.sawFloat || ob.sawFloat
 	}
-	o.objs = nil
 }
 
 func (d *heavyTypeDetector) Finalize(objID int, sh *ObjectShared) (Match, bool) {
-	st := d.objs[objID]
+	st := d.objs.get(objID)
 	if st == nil || !st.atConsist {
 		return Match{}, false
 	}
@@ -269,21 +271,23 @@ type structState struct {
 }
 
 // structuredDetector recognizes Def 3.7: linear value↔address correlation.
+// Its Merge rebases float sums (shift terms), which is NOT bitwise
+// associative — the registration leaves ExactMerge unset, so the engine
+// always feeds it whole batches sequentially and merges partials strictly
+// in flush order.
 type structuredDetector struct {
 	cfg  FineConfig
-	objs map[int]*structState
+	objs table[structState]
 }
 
 func newStructuredDetector(cfg FineConfig) Detector {
-	return &structuredDetector{cfg: cfg, objs: make(map[int]*structState)}
+	return &structuredDetector{cfg: cfg}
 }
 
+func (d *structuredDetector) Reset() { d.objs.reset(nil) }
+
 func (d *structuredDetector) Observe(objID int, a gpu.Access) {
-	st := d.objs[objID]
-	if st == nil {
-		st = &structState{}
-		d.objs[objID] = st
-	}
+	st, _ := d.objs.at(objID)
 	if st.elemSize == 0 {
 		st.elemSize = uint64(a.Size)
 	}
@@ -305,10 +309,11 @@ func (d *structuredDetector) Observe(objID int, a gpu.Access) {
 
 func (d *structuredDetector) Merge(partial Detector) {
 	o := partial.(*structuredDetector)
-	for id, ob := range o.objs {
-		st := d.objs[id]
-		if st == nil {
-			d.objs[id] = ob
+	for _, id := range o.objs.ids {
+		ob := o.objs.get(id)
+		st, created := d.objs.at(id)
+		if created {
+			*st = *ob
 			continue
 		}
 		st.fitSkew = st.fitSkew || ob.fitSkew
@@ -343,11 +348,10 @@ func (d *structuredDetector) Merge(partial Detector) {
 			}
 		}
 	}
-	o.objs = nil
 }
 
 func (d *structuredDetector) Finalize(objID int, _ *ObjectShared) (Match, bool) {
-	st := d.objs[objID]
+	st := d.objs.get(objID)
 	if st == nil || st.n < float64(d.cfg.StructuredMinCount) || st.fitSkew {
 		return Match{}, false
 	}
@@ -377,49 +381,43 @@ func (d *structuredDetector) Finalize(objID int, _ *ObjectShared) (Match, bool) 
 
 // approxDetector recognizes Def 3.8: mantissa truncation exposes a
 // single/frequent pattern the exact histogram does not. Per-object state
-// exists only for objects that saw float values.
+// exists only for objects that saw float values. Histogram folds replay
+// insertion order, which is exactly associative (ExactMerge).
 type approxDetector struct {
 	cfg  FineConfig
-	objs map[int]*valueHist
+	objs table[valueHist]
 }
 
 func newApproxDetector(cfg FineConfig) Detector {
-	return &approxDetector{cfg: cfg, objs: make(map[int]*valueHist)}
+	return &approxDetector{cfg: cfg}
 }
+
+func (d *approxDetector) Reset() { d.objs.reset((*valueHist).reset) }
 
 func (d *approxDetector) Observe(objID int, a gpu.Access) {
 	if a.Kind != gpu.KindFloat {
 		return
 	}
-	h := d.objs[objID]
-	if h == nil {
-		h = newValueHist()
-		d.objs[objID] = h
-	}
+	h, _ := d.objs.at(objID)
 	v := Value{Raw: a.Raw, Size: a.Size, Kind: a.Kind}
 	h.add(v.Truncate(d.cfg.ApproxMantissaBits), 1, d.cfg.MaxTrackedValues)
 }
 
 func (d *approxDetector) Merge(partial Detector) {
 	o := partial.(*approxDetector)
-	for id, oh := range o.objs {
-		h := d.objs[id]
-		if h == nil {
-			// Adopt, re-applying d's cap; approximate overflow drops
-			// silently (trim == capped replay).
-			oh.trim(d.cfg.MaxTrackedValues)
-			d.objs[id] = oh
-			continue
-		}
+	for _, id := range o.objs.ids {
+		oh := o.objs.get(id)
+		h, _ := d.objs.at(id)
+		// Replay in insertion order against d's cap; approximate overflow
+		// drops silently (capped replay == trim).
 		for _, e := range oh.entries {
 			h.add(e.Value, e.Count, d.cfg.MaxTrackedValues)
 		}
 	}
-	o.objs = nil
 }
 
 func (d *approxDetector) Finalize(objID int, sh *ObjectShared) (Match, bool) {
-	h := d.objs[objID]
+	h := d.objs.get(objID)
 	if h == nil || h.len() == 0 {
 		return Match{}, false
 	}

@@ -55,33 +55,88 @@ func (c FineConfig) withDefaults() FineConfig {
 	return c
 }
 
+// hash mixes a Value into a table index with a splitmix64-style finalizer.
+// Size and Kind fold into the high bits so values differing only in their
+// declared type still spread.
+func (v Value) hash() uint64 {
+	h := v.Raw ^ uint64(v.Size)<<56 ^ uint64(v.Kind)<<48
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+const histMinSlots = 16 // power of two
+
 // valueHist is an insertion-ordered value histogram. Ordering by first
 // occurrence makes saturation behaviour and dominant-value selection
 // deterministic, and lets two partial histograms merge into exactly the
 // state one sequential pass over the concatenated streams would produce:
 // replaying a partial's entries in insertion order against the saturation
 // cap visits distinct values in global first-occurrence order.
+//
+// Layout: entries is a flat arena in first-occurrence order; slots is an
+// open-addressing index over it (entry index + 1, 0 = empty, linear
+// probing, power-of-two sized). Lookups touch one cache line of int32
+// slots plus the entry itself — no per-value heap boxes — and a reset
+// keeps both allocations, so a reused histogram adds values without
+// allocating at all.
 type valueHist struct {
-	idx     map[Value]int
 	entries []ValueCount
+	slots   []int32
 }
-
-func newValueHist() *valueHist { return &valueHist{idx: make(map[Value]int)} }
 
 // add counts n occurrences of v, admitting at most maxTracked distinct
 // values. It reports whether v is tracked; untracked occurrences are the
 // caller's to account (overflow or silent drop).
 func (h *valueHist) add(v Value, n uint64, maxTracked int) bool {
-	if i, ok := h.idx[v]; ok {
-		h.entries[i].Count += n
-		return true
+	if len(h.slots) == 0 {
+		h.grow(histMinSlots)
+	}
+	mask := uint64(len(h.slots) - 1)
+	i := v.hash() & mask
+	for {
+		s := h.slots[i]
+		if s == 0 {
+			break
+		}
+		if e := &h.entries[s-1]; e.Value == v {
+			e.Count += n
+			return true
+		}
+		i = (i + 1) & mask
 	}
 	if len(h.entries) >= maxTracked {
 		return false
 	}
-	h.idx[v] = len(h.entries)
 	h.entries = append(h.entries, ValueCount{Value: v, Count: n})
+	h.slots[i] = int32(len(h.entries))
+	// Keep the load factor under 3/4 so probe chains stay short.
+	if 4*len(h.entries) >= 3*len(h.slots) {
+		h.grow(2 * len(h.slots))
+	}
 	return true
+}
+
+// grow resizes the slot index to n (a power of two) and reindexes every
+// entry. Also used to rebuild the index after trim.
+func (h *valueHist) grow(n int) {
+	if cap(h.slots) >= n {
+		h.slots = h.slots[:n]
+		clear(h.slots)
+	} else {
+		h.slots = make([]int32, n)
+	}
+	mask := uint64(n - 1)
+	for idx := range h.entries {
+		i := h.entries[idx].Value.hash() & mask
+		for h.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		h.slots[i] = int32(idx + 1)
+	}
 }
 
 // trim re-applies a saturation cap to an insertion-ordered histogram,
@@ -94,13 +149,97 @@ func (h *valueHist) trim(maxTracked int) uint64 {
 	var evicted uint64
 	for _, e := range h.entries[maxTracked:] {
 		evicted += e.Count
-		delete(h.idx, e.Value)
 	}
 	h.entries = h.entries[:maxTracked]
+	h.grow(len(h.slots))
 	return evicted
 }
 
+// reset empties the histogram keeping both allocations, so the next use
+// adds values without growing.
+func (h *valueHist) reset() {
+	h.entries = h.entries[:0]
+	clear(h.slots)
+}
+
 func (h *valueHist) len() int { return len(h.entries) }
+
+// table is a dense arena keyed by allocation ID: index maps an ID to its
+// arena slot + 1 (0 = absent), arena stores the states by value in
+// first-touch order, and ids remembers which IDs are present so reset and
+// iteration never scan the full index. Allocation IDs are small and dense
+// (a counter), so the index is a flat slice rather than a map — at() in
+// the steady state is two slice loads.
+//
+// reset keeps every allocation: the index stays at length (only touched
+// IDs are zeroed), the arena truncates but retains its slots' interior
+// capacities, and at() revives truncated slots by re-extending the arena.
+// The invariant making revival safe: reset clears each live slot before
+// truncating, so everything between len(arena) and cap(arena) is always
+// in its cleared state.
+type table[T any] struct {
+	index []int32
+	ids   []int
+	arena []T
+}
+
+// get returns id's state, or nil when absent.
+func (t *table[T]) get(id int) *T {
+	if id < 0 || id >= len(t.index) {
+		return nil
+	}
+	s := t.index[id]
+	if s == 0 {
+		return nil
+	}
+	return &t.arena[s-1]
+}
+
+// at returns id's state, creating a cleared one if absent. The pointer is
+// valid until the next at() call (arena growth may move states).
+func (t *table[T]) at(id int) (p *T, created bool) {
+	if id >= len(t.index) {
+		n := id + 1
+		if n < 2*len(t.index) {
+			n = 2 * len(t.index)
+		}
+		if n < 16 {
+			n = 16
+		}
+		idx := make([]int32, n)
+		copy(idx, t.index)
+		t.index = idx
+	}
+	if s := t.index[id]; s != 0 {
+		return &t.arena[s-1], false
+	}
+	t.ids = append(t.ids, id)
+	if len(t.arena) < cap(t.arena) {
+		t.arena = t.arena[:len(t.arena)+1] // revive a cleared slot, keeping its capacities
+	} else {
+		var zero T
+		t.arena = append(t.arena, zero)
+	}
+	t.index[id] = int32(len(t.arena))
+	return &t.arena[len(t.arena)-1], true
+}
+
+// reset empties the table in place. clearSlot, when non-nil, clears one
+// state preserving its interior allocations; nil zeroes states outright.
+func (t *table[T]) reset(clearSlot func(*T)) {
+	for _, id := range t.ids {
+		t.index[id] = 0
+	}
+	if clearSlot != nil {
+		for i := range t.arena {
+			clearSlot(&t.arena[i])
+		}
+	} else {
+		clear(t.arena)
+	}
+	t.arena = t.arena[:0]
+	t.ids = t.ids[:0]
+}
 
 // ObjectShared is one data object's shared observation context: the
 // access counters and exact-value histogram the accumulator maintains
@@ -115,8 +254,16 @@ type ObjectShared struct {
 	// Overflow counts accesses whose value fell outside the tracked set.
 	Overflow uint64
 
-	exact *valueHist
+	exact valueHist
 	top   []ValueCount
+}
+
+// clear empties the state keeping the histogram's and ranking's
+// allocations for reuse.
+func (sh *ObjectShared) clear() {
+	sh.Loads, sh.Stores, sh.Bytes, sh.Overflow = 0, 0, 0, 0
+	sh.exact.reset()
+	sh.top = sh.top[:0]
 }
 
 // Accesses returns the total access count.
@@ -147,26 +294,46 @@ func (sh *ObjectShared) Single() (Value, bool) {
 	return Value{}, false
 }
 
-// rank computes the top values: by count descending, with a total order
-// on ties so the ranking is reproducible across runs and worker
-// configurations.
+// rankBefore is the ranking's strict total order: count descending, then
+// raw/size/kind ascending, so the top set is reproducible across runs and
+// worker configurations.
+func rankBefore(a, b ValueCount) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	if a.Value.Raw != b.Value.Raw {
+		return a.Value.Raw < b.Value.Raw
+	}
+	if a.Value.Size != b.Value.Size {
+		return a.Value.Size < b.Value.Size
+	}
+	return a.Value.Kind < b.Value.Kind
+}
+
+// rank computes the top-8 values with one bounded-insertion pass over the
+// arena entries — no copy of the full histogram, no full sort. Because
+// rankBefore is a strict total order, the kept set and its order equal
+// those of a full sort truncated to 8.
 func (sh *ObjectShared) rank() {
-	top := append([]ValueCount(nil), sh.exact.entries...)
-	sort.Slice(top, func(i, j int) bool {
-		a, b := top[i], top[j]
-		if a.Count != b.Count {
-			return a.Count > b.Count
+	const topK = 8
+	top := sh.top[:0]
+	if cap(top) < topK {
+		top = make([]ValueCount, 0, topK)
+	}
+	for _, e := range sh.exact.entries {
+		if len(top) == topK && !rankBefore(e, top[topK-1]) {
+			continue
 		}
-		if a.Value.Raw != b.Value.Raw {
-			return a.Value.Raw < b.Value.Raw
+		// Insertion position: shift the tail right, drop the overflow.
+		pos := len(top)
+		for pos > 0 && rankBefore(e, top[pos-1]) {
+			pos--
 		}
-		if a.Value.Size != b.Value.Size {
-			return a.Value.Size < b.Value.Size
+		if len(top) < topK {
+			top = append(top, ValueCount{})
 		}
-		return a.Value.Kind < b.Value.Kind
-	})
-	if len(top) > 8 {
-		top = top[:8]
+		copy(top[pos+1:], top[pos:])
+		top[pos] = e
 	}
 	sh.top = top
 }
@@ -213,6 +380,14 @@ func (r *FineReport) Pattern(k Kind) (Match, bool) {
 	return Match{}, false
 }
 
+// Resetter is the optional detector extension that clears state in place,
+// letting the engine pool and reuse per-batch shard accumulators without
+// reallocating detector state. A detector without it is rebuilt from its
+// registration factory on every shard reset.
+type Resetter interface {
+	Reset()
+}
+
 // FineAccumulator ingests instrumented accesses grouped by data object and
 // produces per-object fine-grained pattern reports for the current GPU
 // API. It maintains the shared observation context (counters + exact
@@ -223,7 +398,20 @@ type FineAccumulator struct {
 	cfg  FineConfig
 	regs []Registration
 	dets []Detector
-	objs map[int]*ObjectShared
+	// assocDets and naDets split dets by Registration.ExactMerge, so the
+	// per-access fan-out and the combine machinery never test flags: the
+	// exactly-mergeable detectors can fold in any association, the
+	// order-sensitive rest only ever observe whole batches sequentially
+	// and merge strictly in flush order.
+	assocDets []Detector
+	naDets    []Detector
+	objs      table[ObjectShared]
+
+	// pending holds shards combined into this one (Combine) whose
+	// order-sensitive detector state could not be pre-folded; Merge
+	// replays them in flush order and TakePending hands them back to the
+	// engine's shard pool.
+	pending []*FineAccumulator
 }
 
 // NewFineAccumulator creates an accumulator running every fine-grained
@@ -235,12 +423,26 @@ func NewFineAccumulator(cfg FineConfig) *FineAccumulator {
 // NewFineAccumulatorWith creates an accumulator running exactly the given
 // detector registrations. A detector left out costs nothing per access.
 func NewFineAccumulatorWith(cfg FineConfig, regs []Registration) *FineAccumulator {
-	fa := &FineAccumulator{cfg: cfg.withDefaults(), regs: regs, objs: make(map[int]*ObjectShared)}
+	fa := &FineAccumulator{cfg: cfg.withDefaults(), regs: regs}
 	fa.dets = make([]Detector, len(regs))
 	for i, r := range regs {
 		fa.dets[i] = r.New(fa.cfg)
 	}
+	fa.splitDetectors()
 	return fa
+}
+
+// splitDetectors rebuilds the assoc/order-sensitive views over dets.
+func (fa *FineAccumulator) splitDetectors() {
+	fa.assocDets = fa.assocDets[:0]
+	fa.naDets = fa.naDets[:0]
+	for i, r := range fa.regs {
+		if r.ExactMerge {
+			fa.assocDets = append(fa.assocDets, fa.dets[i])
+		} else {
+			fa.naDets = append(fa.naDets, fa.dets[i])
+		}
+	}
 }
 
 // NewShard creates an empty accumulator with the same detector lineup and
@@ -253,13 +455,9 @@ func (fa *FineAccumulator) NewShard() *FineAccumulator {
 	return NewFineAccumulatorWith(cfg, fa.regs)
 }
 
-// Add records one access belonging to the data object objID.
-func (fa *FineAccumulator) Add(objID int, a gpu.Access) {
-	sh := fa.objs[objID]
-	if sh == nil {
-		sh = &ObjectShared{exact: newValueHist()}
-		fa.objs[objID] = sh
-	}
+// addShared folds one access into the object's shared observation context.
+func (fa *FineAccumulator) addShared(objID int, a gpu.Access) {
+	sh, _ := fa.objs.at(objID)
 	if a.Store {
 		sh.Stores++
 	} else {
@@ -272,37 +470,54 @@ func (fa *FineAccumulator) Add(objID int, a gpu.Access) {
 	if !sh.exact.add(v, 1, fa.cfg.MaxTrackedValues) {
 		sh.Overflow++
 	}
+}
 
-	for _, d := range fa.dets {
+// Add records one access belonging to the data object objID.
+func (fa *FineAccumulator) Add(objID int, a gpu.Access) {
+	fa.addShared(objID, a)
+	for _, d := range fa.assocDets {
+		d.Observe(objID, a)
+	}
+	for _, d := range fa.naDets {
 		d.Observe(objID, a)
 	}
 }
 
-// Merge folds a partial accumulator into fa, producing exactly the state a
-// single accumulator would hold after ingesting fa's access stream followed
-// by other's. Pipelined analysis builds one uncapped partial per flushed
-// batch on worker goroutines (NewShard) and merges them here in batch
-// order, so the merged state — and hence the finalized report — is
-// independent of worker count and scheduling. Merge requires other to run
-// the same detector lineup and takes ownership of its state; other must
-// not be used afterwards.
-func (fa *FineAccumulator) Merge(other *FineAccumulator) {
-	for id, ob := range other.objs {
-		sh := fa.objs[id]
-		if sh == nil {
-			// Adopt wholesale, then re-apply fa's saturation cap: trimming
-			// an insertion-ordered histogram equals replaying it capped.
-			ob.Overflow += ob.exact.trim(fa.cfg.MaxTrackedValues)
-			fa.objs[id] = ob
-			continue
-		}
+// AddAssoc records one access into the shared context and the
+// exactly-mergeable detectors only — the per-record work of an intra-batch
+// sub-shard. The order-sensitive detectors must then observe the whole
+// batch sequentially (ObserveOrderSensitive) on the shard the sub-shards
+// fold into, so their state is built by exactly the per-batch sequential
+// pass their Merge contract assumes.
+func (fa *FineAccumulator) AddAssoc(objID int, a gpu.Access) {
+	fa.addShared(objID, a)
+	for _, d := range fa.assocDets {
+		d.Observe(objID, a)
+	}
+}
 
+// ObserveOrderSensitive feeds one access to the order-sensitive detectors
+// only — the sequential whole-batch pass paired with AddAssoc.
+func (fa *FineAccumulator) ObserveOrderSensitive(objID int, a gpu.Access) {
+	for _, d := range fa.naDets {
+		d.Observe(objID, a)
+	}
+}
+
+// OrderSensitive reports whether the lineup contains detectors that
+// require the sequential whole-batch pass.
+func (fa *FineAccumulator) OrderSensitive() bool { return len(fa.naDets) > 0 }
+
+// foldShared replays other's shared per-object state into fa in insertion
+// order — identical saturation decisions to a sequential pass over fa's
+// stream followed by other's.
+func (fa *FineAccumulator) foldShared(other *FineAccumulator) {
+	for _, id := range other.objs.ids {
+		ob := other.objs.get(id)
+		sh, _ := fa.objs.at(id)
 		sh.Loads += ob.Loads
 		sh.Stores += ob.Stores
 		sh.Bytes += ob.Bytes
-
-		// Replay the partial's histogram in insertion order against fa's
-		// cap — identical saturation decisions to a sequential pass.
 		for _, e := range ob.exact.entries {
 			if !sh.exact.add(e.Value, e.Count, fa.cfg.MaxTrackedValues) {
 				sh.Overflow += e.Count
@@ -310,28 +525,92 @@ func (fa *FineAccumulator) Merge(other *FineAccumulator) {
 		}
 		sh.Overflow += ob.Overflow
 	}
-	for i, d := range fa.dets {
-		d.Merge(other.dets[i])
+}
+
+// FoldAssoc folds an intra-batch sub-shard built with AddAssoc into fa:
+// the shared context and the exactly-mergeable detectors. Sub-shards fold
+// in record-range order, reproducing the batch's sequential insertion
+// order; the order-sensitive detectors are untouched (they never observed
+// the sub-shard's records).
+func (fa *FineAccumulator) FoldAssoc(sub *FineAccumulator) {
+	fa.foldShared(sub)
+	for i, d := range fa.assocDets {
+		d.Merge(sub.assocDets[i])
 	}
-	other.objs = nil
-	other.dets = nil
+}
+
+// Combine pre-folds shard other — the batch flushed immediately after
+// fa's — into fa, off the collector's critical path. Everything exactly
+// mergeable (shared context, ExactMerge detectors) folds now; the
+// order-sensitive detectors' merges are deferred: other rides along in
+// fa.pending and Merge replays it in flush order, so the master's state
+// stays bit-identical to absorbing the two shards separately.
+func (fa *FineAccumulator) Combine(other *FineAccumulator) {
+	fa.foldShared(other)
+	for i, d := range fa.assocDets {
+		d.Merge(other.assocDets[i])
+	}
+	fa.pending = append(fa.pending, other)
+	fa.pending = append(fa.pending, other.pending...)
+	other.pending = other.pending[:0]
+}
+
+// TakePending returns and clears the shards combined into fa whose
+// order-sensitive detector state was deferred; after Merge(fa) the engine
+// recycles them alongside fa itself.
+func (fa *FineAccumulator) TakePending() []*FineAccumulator {
+	p := fa.pending
+	fa.pending = fa.pending[:0]
+	return p
+}
+
+// Merge folds a partial accumulator into fa, producing exactly the state a
+// single accumulator would hold after ingesting fa's access stream followed
+// by other's (and, in order, any shards Combined into other). Pipelined
+// analysis builds one uncapped partial per flushed batch on worker
+// goroutines (shard pool) and merges them here in batch order, so the
+// merged state — and hence the finalized report — is independent of worker
+// count and scheduling. Merge requires other to run the same detector
+// lineup; it reads other's state without consuming it, leaving the shard
+// to the engine's pool (Reset) or the collector's discard.
+func (fa *FineAccumulator) Merge(other *FineAccumulator) {
+	fa.foldShared(other)
+	for i, d := range fa.assocDets {
+		d.Merge(other.assocDets[i])
+	}
+	for i, d := range fa.naDets {
+		d.Merge(other.naDets[i])
+		for _, s := range other.pending {
+			d.Merge(s.naDets[i])
+		}
+	}
 }
 
 // Objects returns the IDs with accumulated accesses.
 func (fa *FineAccumulator) Objects() []int {
-	ids := make([]int, 0, len(fa.objs))
-	for id := range fa.objs {
-		ids = append(ids, id)
-	}
+	ids := append([]int(nil), fa.objs.ids...)
 	sort.Ints(ids)
 	return ids
 }
 
-// Reset clears all accumulated state for the next GPU API.
+// Reset clears all accumulated state for the next GPU API (or the next
+// batch, for pooled shards) — in place: the object table, histograms, and
+// detectors that implement Resetter keep their allocations, so a reused
+// accumulator's Add path is allocation-free in the steady state.
 func (fa *FineAccumulator) Reset() {
-	fa.objs = make(map[int]*ObjectShared)
-	for i, r := range fa.regs {
-		fa.dets[i] = r.New(fa.cfg)
+	fa.objs.reset((*ObjectShared).clear)
+	fa.pending = fa.pending[:0]
+	rebuilt := false
+	for i, d := range fa.dets {
+		if r, ok := d.(Resetter); ok {
+			r.Reset()
+		} else {
+			fa.dets[i] = fa.regs[i].New(fa.cfg)
+			rebuilt = true
+		}
+	}
+	if rebuilt {
+		fa.splitDetectors()
 	}
 }
 
@@ -340,7 +619,7 @@ func (fa *FineAccumulator) Reset() {
 func (fa *FineAccumulator) Finalize() []FineReport {
 	var out []FineReport
 	for _, id := range fa.Objects() {
-		out = append(out, fa.finalizeObject(id, fa.objs[id]))
+		out = append(out, fa.finalizeObject(id, fa.objs.get(id)))
 	}
 	return out
 }

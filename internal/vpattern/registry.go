@@ -50,7 +50,8 @@ type Detector interface {
 
 	// Merge folds a partial detector of the same concrete type — built
 	// over one flushed batch on a pipeline worker — into this one, in
-	// batch order. Merge takes ownership of the partial's state.
+	// batch order. Merge reads the partial's state without consuming it;
+	// the engine resets (Resetter) or discards the partial afterwards.
 	Merge(partial Detector)
 
 	// Finalize reports objID's match, if the pattern holds. sh is the
@@ -87,6 +88,15 @@ type Registration struct {
 	// New builds the launch detector (fine kinds). nil for coarse kinds,
 	// whose snapshot machinery lives in the engine's coarse stage.
 	New func(cfg FineConfig) Detector
+	// ExactMerge declares the detector's Merge exactly associative:
+	// folding partials A then B into an empty detector and merging the
+	// result must equal merging A then B directly, bit for bit. Only
+	// such detectors participate in shard pre-combining and intra-batch
+	// chunked compaction; the rest (e.g. structured values, whose merge
+	// rebases floating-point sums) always observe whole batches
+	// sequentially and merge strictly in flush order. Leave unset when
+	// in doubt — it only costs the pre-combine shortcut.
+	ExactMerge bool
 	// Advise derives the advisor suggestion for one match (fine kinds);
 	// nil emits no per-match suggestions.
 	Advise FineAdvice
