@@ -14,9 +14,9 @@ FUZZTIME ?= 20s
 # The verify/race gates run the default 10-seed smoke via `go test`.
 PROPTEST_SEEDS ?= 200
 
-.PHONY: verify fmt build vet test race bench bench-smoke cover fuzz proptest
+.PHONY: verify fmt build vet test race bench bench-smoke cover fuzz proptest daemon-smoke
 
-verify: fmt build vet test race bench-smoke cover fuzz
+verify: fmt build vet test race bench-smoke cover fuzz daemon-smoke
 
 # fmt fails if any file is not gofmt-clean.
 fmt:
@@ -65,6 +65,14 @@ fuzz:
 # seed and the exact single-seed repro command.
 proptest:
 	VX_PROPTEST_SEEDS=$(PROPTEST_SEEDS) $(GO) test -race -run TestDifferentialHarness -v ./internal/proptest
+
+# daemon-smoke drives the vxprofd serving path end to end: start the
+# service, attach two workloads as sessions over HTTP, fetch
+# /sessions/{id}/report and /metrics, and diff each per-session report
+# against the equivalent one-shot run — plus a real SIGTERM drain of the
+# re-executed binary.
+daemon-smoke:
+	$(GO) test -count=1 -run 'TestDaemonSmoke|TestGracefulSIGTERM' -v ./cmd/vxprofd
 
 # cover enforces COVER_FLOOR percent statement coverage on COVER_PKGS.
 cover:

@@ -15,44 +15,35 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"valueexpert"
 	"valueexpert/cuda"
 	"valueexpert/gpu"
+	"valueexpert/internal/cliconfig"
 	"valueexpert/internal/trace"
 	"valueexpert/internal/workloads"
 )
 
 func main() {
+	o := &options{}
+	o.Register(flag.CommandLine)
 	var (
 		workload  = flag.String("workload", "", "workload name (see -list)")
 		list      = flag.Bool("list", false, "list available workloads and exit")
-		device    = flag.String("device", "RTX 2080 Ti", "device profile: 'RTX 2080 Ti' or 'A100'")
-		coarse    = flag.Bool("coarse", true, "enable coarse-grained value pattern analysis")
-		fine      = flag.Bool("fine", true, "enable fine-grained value pattern analysis")
-		kernels   = flag.String("kernels", "", "comma-separated kernel filter for fine analysis")
-		patterns  = flag.String("patterns", "", "comma-separated pattern detectors to run (default: all; unknown names list the valid set)")
-		sample    = flag.Int("sample", 1, "kernel/block sampling period for fine analysis")
-		scale     = flag.Int("scale", 8, "problem-size divisor (1 = full scale)")
-		jsonOut   = flag.String("json", "", "write the profile as JSON to this file")
-		dotOut    = flag.String("dot", "", "write the value flow graph as DOT to this file")
-		htmlOut   = flag.String("html", "", "write the GUI report (HTML with the SVG value flow graph) to this file")
-		reuseDist = flag.Bool("reuse", false, "additionally compute per-kernel reuse-distance histograms")
-		workers   = flag.Int("workers", 0, "analysis workers overlapping kernel execution (0 = synchronous)")
-		depth     = flag.Int("depth", 0, "flush-buffer pipeline depth (0 = workers+1 when pipelined, else 1)")
 		optimized = flag.Bool("optimized", false, "run the paper-optimized variant instead of the original")
 		recordOut = flag.String("record", "", "record the API+access trace to this file instead of analyzing")
 		replayIn  = flag.String("replay", "", "analyze a previously recorded trace instead of running a workload")
-		metrics   = flag.String("metrics", "", "write the profiler's own per-stage metrics as JSON to this file")
-		selftrace = flag.String("selftrace", "", "write a Chrome trace-event self-trace (load in Perfetto) to this file")
-		overhead  = flag.Bool("overhead", false, "append the profiler-overhead section to the report")
-		faults    = flag.String("faults", "", "deterministic fault-injection spec, e.g. 'seed=7,prob=0.05' or 'malloc@1,launch@2+16' (see DESIGN.md §8)")
 	)
+	flag.StringVar(&o.device, "device", "RTX 2080 Ti", "device profile: 'RTX 2080 Ti' or 'A100'")
+	flag.StringVar(&o.jsonOut, "json", "", "write the profile as JSON to this file")
+	flag.StringVar(&o.dotOut, "dot", "", "write the value flow graph as DOT to this file")
+	flag.StringVar(&o.htmlOut, "html", "", "write the GUI report (HTML with the SVG value flow graph) to this file")
+	flag.StringVar(&o.metricsOut, "metrics", "", "write the profiler's own per-stage metrics as JSON to this file")
+	flag.StringVar(&o.selftraceOut, "selftrace", "", "write a Chrome trace-event self-trace (load in Perfetto) to this file")
+	flag.BoolVar(&o.overhead, "overhead", false, "append the profiler-overhead section to the report")
 	flag.Parse()
 
 	if *list {
@@ -61,26 +52,12 @@ func main() {
 		}
 		return
 	}
-	if err := validateFlags(*workers, *depth, *sample, *scale, *reuseDist, *coarse, *fine); err != nil {
+	// The shared validator covers the engine flags (-workers, -depth,
+	// -sample, -scale, -reuse, -patterns, -faults) with errors that speak
+	// flag names — the same surface vxprofd validates per session.
+	if err := o.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "vxprof:", err)
 		os.Exit(2)
-	}
-	patternList, err := parsePatterns(*patterns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vxprof:", err)
-		os.Exit(2)
-	}
-	faultPlan, err := parseFaults(*faults)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vxprof:", err)
-		os.Exit(2)
-	}
-	o := &options{
-		device: *device, coarse: *coarse, fine: *fine, reuseDist: *reuseDist,
-		kernels: *kernels, patterns: patternList, sample: *sample,
-		workers: *workers, depth: *depth, faults: faultPlan,
-		jsonOut: *jsonOut, dotOut: *dotOut, htmlOut: *htmlOut,
-		metricsOut: *metrics, selftraceOut: *selftrace, overhead: *overhead,
 	}
 	if *replayIn != "" {
 		if err := replayRun(*replayIn, o); err != nil {
@@ -94,28 +71,25 @@ func main() {
 		os.Exit(2)
 	}
 	if *recordOut != "" {
-		if err := recordRun(*workload, *device, *scale, *recordOut, *optimized); err != nil {
+		if err := recordRun(*workload, o.device, o.Scale, *recordOut, *optimized); err != nil {
 			fmt.Fprintln(os.Stderr, "vxprof:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*workload, o, *scale, *optimized); err != nil {
+	if err := run(*workload, o, o.Scale, *optimized); err != nil {
 		fmt.Fprintln(os.Stderr, "vxprof:", err)
 		os.Exit(1)
 	}
 }
 
-// options carries the analysis settings shared by live runs and replays.
+// options carries the analysis settings shared by live runs and replays:
+// the engine flags live in the embedded cliconfig.Options (shared with
+// vxprofd), the output artifacts are vxprof's own.
 type options struct {
+	cliconfig.Options
+
 	device          string
-	coarse, fine    bool
-	reuseDist       bool
-	kernels         string
-	patterns        []string
-	sample          int
-	workers, depth  int
-	faults          *valueexpert.FaultPlan
 	jsonOut, dotOut string
 	htmlOut         string
 
@@ -131,116 +105,24 @@ func (o *options) telemetryEnabled() bool {
 	return o.metricsOut != "" || o.selftraceOut != "" || o.overhead
 }
 
-// flagForField maps Config.Validate's typed field names back to the
-// vxprof flags that set them, so validation errors speak the CLI's
-// vocabulary.
-var flagForField = map[string]string{
-	"AnalysisWorkers":      "-workers",
-	"PipelineDepth":        "-depth",
-	"KernelSamplingPeriod": "-sample",
-	"BlockSamplingPeriod":  "-sample",
-	"ReuseDistance":        "-reuse",
-	"Patterns":             "-patterns",
-}
-
-// validateFlags rejects flag values with no meaningful interpretation.
-// Engine settings (-workers, -depth, -reuse) go through Config.Validate —
-// the same validator Profile and NewSession run — with the typed
-// ConfigError field mapped back to the flag name; CLI-only constraints
-// (-sample >= 1, -scale) stay local because the engine treats 0 as
-// "default" where the CLI has no such spelling.
-func validateFlags(workers, depth, sample, scale int, reuse, coarse, fine bool) error {
-	if sample < 1 {
-		return fmt.Errorf("-sample must be >= 1, got %d (1 = profile every kernel and block)", sample)
-	}
-	if scale < 1 {
-		return fmt.Errorf("-scale must be >= 1, got %d (1 = full problem size)", scale)
-	}
-	cfg := valueexpert.Config{
-		Coarse:               coarse,
-		Fine:                 fine,
-		ReuseDistance:        reuse,
-		AnalysisWorkers:      workers,
-		PipelineDepth:        depth,
-		KernelSamplingPeriod: sample,
-		BlockSamplingPeriod:  sample,
-	}
-	if err := cfg.Validate(); err != nil {
-		var ce *valueexpert.ConfigError
-		if errors.As(err, &ce) {
-			if f, ok := flagForField[ce.Field]; ok {
-				return fmt.Errorf("%s %s", f, ce.Reason)
-			}
-		}
-		return err
-	}
-	return nil
-}
-
-// parsePatterns turns the -patterns flag into a validated name list. The
-// empty flag selects the registry's default set (nil); unknown names are
-// rejected with the valid set listed.
-func parsePatterns(flagVal string) ([]string, error) {
-	if strings.TrimSpace(flagVal) == "" {
-		return nil, nil
-	}
-	names := []string{}
-	for _, n := range strings.Split(flagVal, ",") {
-		if n = strings.TrimSpace(n); n != "" {
-			names = append(names, n)
-		}
-	}
-	if _, err := valueexpert.ParsePatternSet(names); err != nil {
-		return nil, fmt.Errorf("-patterns: %w", err)
-	}
-	return names, nil
-}
-
-// parseFaults turns the -faults flag into an armed-ready fault plan; the
-// empty flag means no injection (nil plan).
-func parseFaults(spec string) (*valueexpert.FaultPlan, error) {
-	if strings.TrimSpace(spec) == "" {
-		return nil, nil
-	}
-	plan, err := valueexpert.ParseFaultSpec(spec)
-	if err != nil {
-		return nil, fmt.Errorf("-faults: %w", err)
-	}
-	return plan, nil
-}
-
-// config builds the profiler configuration for the named program.
+// config builds the profiler configuration for the named program. The
+// options must have passed Validate, so EngineConfig cannot fail here.
 func (o *options) config(program string) valueexpert.Config {
-	var filter func(string) bool
-	if o.kernels != "" {
-		set := map[string]bool{}
-		for _, k := range strings.Split(o.kernels, ",") {
-			set[strings.TrimSpace(k)] = true
-		}
-		filter = func(name string) bool { return set[name] }
+	cfg, err := o.EngineConfig(program)
+	if err != nil {
+		panic("vxprof: " + err.Error())
 	}
-	return valueexpert.Config{
-		Coarse:               o.coarse,
-		Fine:                 o.fine,
-		ReuseDistance:        o.reuseDist,
-		Patterns:             o.patterns,
-		KernelFilter:         filter,
-		KernelSamplingPeriod: o.sample,
-		BlockSamplingPeriod:  o.sample,
-		AnalysisWorkers:      o.workers,
-		PipelineDepth:        o.depth,
-		Program:              program,
-	}
+	return cfg
 }
 
 // analyze profiles any event source — live workload or trace replay go
 // through this identical path — and emits the report and artifacts.
 func analyze(src valueexpert.EventSource, o *options, program string) error {
 	cfg := o.config(program)
-	if o.faults != nil {
+	if plan, _ := o.FaultPlan(); plan != nil {
 		// Arm before Profile attaches so the sanitizer's delivery faults
 		// and the fault telemetry are wired.
-		src.Runtime().ArmFaults(o.faults)
+		src.Runtime().ArmFaults(plan)
 	}
 	var tel *valueexpert.Telemetry
 	var traceBuf *valueexpert.TraceBuffer
@@ -266,8 +148,8 @@ func analyze(src valueexpert.EventSource, o *options, program string) error {
 		rep.Overhead = p.Overhead()
 	}
 	fmt.Print(rep.Text())
-	printSuggestions(p, rep, o.coarse)
-	if err := writeArtifacts(p, rep, o.coarse, o.jsonOut, o.dotOut, o.htmlOut); err != nil {
+	printSuggestions(p, rep, o.Coarse)
+	if err := writeArtifacts(p, rep, o.Coarse, o.jsonOut, o.dotOut, o.htmlOut); err != nil {
 		return err
 	}
 	if err := writeTelemetry(tel, traceBuf, o); err != nil {

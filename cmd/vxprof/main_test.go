@@ -10,7 +10,20 @@ import (
 	"testing"
 
 	"valueexpert"
+	"valueexpert/internal/cliconfig"
 )
+
+// opts builds test options: engine settings in the embedded shared
+// Options, artifacts in vxprof's own fields.
+func opts(device string, eng cliconfig.Options) *options {
+	if eng.Sample == 0 {
+		eng.Sample = 1
+	}
+	if eng.Scale == 0 {
+		eng.Scale = 8
+	}
+	return &options{Options: eng, device: device}
+}
 
 // TestMain lets the test binary impersonate the vxprof executable: when
 // re-executed with VXPROF_RUN_MAIN=1 it runs main() on VXPROF_ARGS, so
@@ -50,11 +63,11 @@ func TestRunProducesAllArtifacts(t *testing.T) {
 	dotOut := filepath.Join(dir, "g.dot")
 	htmlOut := filepath.Join(dir, "r.html")
 
-	o := &options{
-		device: "RTX 2080 Ti", coarse: true, fine: true, reuseDist: true,
-		kernels: "fill_kernel,gemm_kernel", sample: 1, workers: 2, depth: 2,
-		jsonOut: jsonOut, dotOut: dotOut, htmlOut: htmlOut,
-	}
+	o := opts("RTX 2080 Ti", cliconfig.Options{
+		Coarse: true, Fine: true, ReuseDistance: true,
+		Kernels: "fill_kernel,gemm_kernel", Workers: 2, Depth: 2,
+	})
+	o.jsonOut, o.dotOut, o.htmlOut = jsonOut, dotOut, htmlOut
 	if err := run("Darknet", o, 64, false); err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +86,7 @@ func TestRunProducesAllArtifacts(t *testing.T) {
 }
 
 func TestRunOptimizedVariant(t *testing.T) {
-	o := &options{device: "A100", coarse: true, sample: 1}
+	o := opts("A100", cliconfig.Options{Coarse: true})
 	if err := run("PyTorch-Deepwave", o, 64, true); err != nil {
 		t.Fatal(err)
 	}
@@ -89,10 +102,8 @@ func TestRecordAndReplay(t *testing.T) {
 		t.Fatalf("trace artifact: %v", err)
 	}
 	jsonOut := filepath.Join(dir, "replayed.json")
-	o := &options{
-		device: "RTX 2080 Ti", coarse: true, fine: true,
-		sample: 1, workers: 4, depth: 2, jsonOut: jsonOut,
-	}
+	o := opts("RTX 2080 Ti", cliconfig.Options{Coarse: true, Fine: true, Workers: 4, Depth: 2})
+	o.jsonOut = jsonOut
 	if err := replayRun(traceOut, o); err != nil {
 		t.Fatal(err)
 	}
@@ -100,53 +111,20 @@ func TestRecordAndReplay(t *testing.T) {
 	if err != nil || !strings.Contains(string(js), "redundant") {
 		t.Fatalf("replay analysis missing findings: %v", err)
 	}
-	missing := &options{device: "A100", coarse: true, sample: 1}
+	missing := opts("A100", cliconfig.Options{Coarse: true})
 	if err := replayRun(filepath.Join(dir, "missing.trace"), missing); err == nil {
 		t.Fatal("missing trace accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	o := &options{device: "A100", coarse: true, fine: true, sample: 1}
+	o := opts("A100", cliconfig.Options{Coarse: true, Fine: true})
 	if err := run("NoSuchApp", o, 64, false); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	bad := &options{device: "H100", coarse: true, fine: true, sample: 1}
+	bad := opts("H100", cliconfig.Options{Coarse: true, Fine: true})
 	if err := run("Darknet", bad, 64, false); err == nil {
 		t.Fatal("unknown device accepted")
-	}
-}
-
-func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(0, 0, 1, 8, false, true, true); err != nil {
-		t.Fatalf("defaults rejected: %v", err)
-	}
-	if err := validateFlags(4, 4, 20, 1, true, true, false); err != nil {
-		t.Fatalf("valid settings rejected: %v", err)
-	}
-	err := validateFlags(-1, 0, 1, 8, false, true, true)
-	if err == nil || !strings.Contains(err.Error(), "-workers") {
-		t.Fatalf("negative -workers: %v", err)
-	}
-	err = validateFlags(0, -3, 1, 8, false, true, true)
-	if err == nil || !strings.Contains(err.Error(), "-depth") {
-		t.Fatalf("negative -depth: %v", err)
-	}
-	err = validateFlags(0, 0, 0, 8, false, true, true)
-	if err == nil || !strings.Contains(err.Error(), "-sample") {
-		t.Fatalf("zero -sample: %v", err)
-	}
-	err = validateFlags(0, 0, -5, 8, false, true, true)
-	if err == nil || !strings.Contains(err.Error(), "-sample") {
-		t.Fatalf("negative -sample: %v", err)
-	}
-	err = validateFlags(0, 0, 1, 0, false, true, true)
-	if err == nil || !strings.Contains(err.Error(), "-scale") {
-		t.Fatalf("zero -scale: %v", err)
-	}
-	err = validateFlags(0, 0, 1, 8, true, false, false)
-	if err == nil || !strings.Contains(err.Error(), "-reuse") {
-		t.Fatalf("-reuse without analyses: %v", err)
 	}
 }
 
@@ -192,7 +170,7 @@ func TestConfigErrorsExitNonZero(t *testing.T) {
 		{"CopyStrategy", valueexpert.Config{CopyStrategy: valueexpert.AdaptiveCopy + 1}},
 	}
 	for _, tc := range libOnly {
-		if _, ok := flagForField[tc.field]; ok {
+		if _, ok := cliconfig.FlagForField[tc.field]; ok {
 			t.Errorf("field %s: unexpectedly mapped to a flag; move it to the CLI table", tc.field)
 		}
 		var ce *valueexpert.ConfigError
@@ -212,33 +190,14 @@ func TestFaultsFlag(t *testing.T) {
 	}
 }
 
-func TestParseFaults(t *testing.T) {
-	plan, err := parseFaults(" ")
-	if err != nil || plan != nil {
-		t.Fatalf("blank spec: %v %v", plan, err)
-	}
-	if _, err := parseFaults("seed=7,prob=0.5"); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := parseFaults("malloc@0"); err == nil {
-		t.Fatal("invalid occurrence accepted")
-	}
-}
-
 // TestRunWithFaults: an injected allocation fault surfaces as a run
 // error, yet the partial profile is still emitted — with its Degraded
 // section recording the injection.
 func TestRunWithFaults(t *testing.T) {
-	plan, err := valueexpert.ParseFaultSpec("malloc@1")
-	if err != nil {
-		t.Fatal(err)
-	}
 	dir := t.TempDir()
 	jsonOut := filepath.Join(dir, "p.json")
-	o := &options{
-		device: "RTX 2080 Ti", coarse: true, fine: true, sample: 1,
-		faults: plan, jsonOut: jsonOut,
-	}
+	o := opts("RTX 2080 Ti", cliconfig.Options{Coarse: true, Fine: true, Faults: "malloc@1"})
+	o.jsonOut = jsonOut
 	if err := run("Darknet", o, 64, false); err == nil {
 		t.Fatal("injected malloc fault did not surface")
 	}
@@ -258,11 +217,8 @@ func TestTelemetryArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	metricsOut := filepath.Join(dir, "m.json")
 	selftraceOut := filepath.Join(dir, "t.json")
-	o := &options{
-		device: "RTX 2080 Ti", coarse: true, fine: true, sample: 1,
-		workers: 4, depth: 4,
-		metricsOut: metricsOut, selftraceOut: selftraceOut, overhead: true,
-	}
+	o := opts("RTX 2080 Ti", cliconfig.Options{Coarse: true, Fine: true, Workers: 4, Depth: 4})
+	o.metricsOut, o.selftraceOut, o.overhead = metricsOut, selftraceOut, true
 	if err := run("Darknet", o, 64, false); err != nil {
 		t.Fatal(err)
 	}
@@ -315,36 +271,13 @@ func TestTelemetryArtifacts(t *testing.T) {
 	}
 }
 
-func TestParsePatterns(t *testing.T) {
-	names, err := parsePatterns("")
-	if err != nil || names != nil {
-		t.Fatalf("empty flag: %v %v", names, err)
-	}
-	names, err = parsePatterns(" single zero , heavy type ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(names) != 2 || names[0] != "single zero" || names[1] != "heavy type" {
-		t.Fatalf("parsed names: %v", names)
-	}
-	_, err = parsePatterns("single zero,bogus pattern")
-	if err == nil || !strings.Contains(err.Error(), `"bogus pattern"`) {
-		t.Fatalf("unknown pattern accepted: %v", err)
-	}
-	// The rejection must teach the user the valid vocabulary.
-	if !strings.Contains(err.Error(), "valid:") || !strings.Contains(err.Error(), "heavy type") {
-		t.Fatalf("error does not list valid set: %v", err)
-	}
-}
-
 func TestRunWithPatternSubset(t *testing.T) {
 	dir := t.TempDir()
 	jsonOut := filepath.Join(dir, "p.json")
-	o := &options{
-		device: "RTX 2080 Ti", coarse: true, fine: true, sample: 1,
-		patterns: []string{"redundant values", "single zero"},
-		jsonOut:  jsonOut,
-	}
+	o := opts("RTX 2080 Ti", cliconfig.Options{
+		Coarse: true, Fine: true, Patterns: "redundant values,single zero",
+	})
+	o.jsonOut = jsonOut
 	if err := run("Darknet", o, 64, false); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+// Command vxprofd hosts ValueExpert as a multi-tenant profiling service:
+// where vxprof profiles one workload per invocation, vxprofd attaches any
+// number of workloads concurrently — each a long-lived session with its
+// own event-stream handler — and serves their reports, a process-level
+// aggregate, and live self-observability over HTTP.
+//
+// Usage:
+//
+//	vxprofd [-addr :7333] [-device "RTX 2080 Ti"] [-coarse] [-fine]
+//	        [-sample 20] [-patterns "single zero"] [-workers 4] [-depth 4]
+//	        [-scale 8] [-faults malloc@2]
+//
+// The engine flags are the shared vxprof surface; they seed each POSTed
+// session's defaults, overridable per session through the request's
+// "options" object (except -scale, which sizes the bundled workloads
+// process-wide and is fixed at startup).
+//
+// Endpoints:
+//
+//	POST   /sessions              {"workload": "Darknet", "options": {"Sample": 20}}
+//	GET    /sessions              list attached sessions
+//	GET    /sessions/{id}/report  ?format=json|text|html, ?wait=1 to block
+//	DELETE /sessions/{id}         cancel + finalize a session
+//	GET    /aggregate             deterministic fold over finished sessions
+//	GET    /metrics               service + per-session engine metrics
+//	GET    /selftrace             Perfetto trace, one process per session
+//
+// SIGTERM/SIGINT drains gracefully: no new sessions, every running
+// session's runtime is canceled — a kernel mid-execution aborts through
+// the engine's degradation path and still yields a report, marked
+// Degraded — and the server exits once all sessions finalized.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"valueexpert/internal/cliconfig"
+	"valueexpert/internal/daemon"
+	"valueexpert/internal/workloads"
+)
+
+func main() {
+	opts := &cliconfig.Options{}
+	opts.Register(flag.CommandLine)
+	var (
+		addr   = flag.String("addr", ":7333", "HTTP listen address")
+		device = flag.String("device", "RTX 2080 Ti", "default device profile: 'RTX 2080 Ti' or 'A100'")
+	)
+	flag.Parse()
+
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "vxprofd:", err)
+		os.Exit(2)
+	}
+	// Workload problem size is process-global; fix it before any session
+	// can run so concurrent sessions never race on it.
+	if opts.Scale > 0 {
+		workloads.Scale = opts.Scale
+	}
+
+	svc := daemon.NewService()
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(daemon.HandlerConfig{Defaults: *opts, Device: *device}),
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		fmt.Fprintf(os.Stderr, "vxprofd: %s, draining sessions\n", sig)
+		// Drain the profiler first — running kernels abort through the
+		// degradation path and every session finalizes a report — then
+		// stop accepting HTTP so in-flight report fetches can complete.
+		svc.Shutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "vxprofd: serving on %s (device %q, scale %d)\n",
+		*addr, *device, workloads.Scale)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "vxprofd:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -1,0 +1,297 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/cliconfig"
+	"valueexpert/internal/core"
+	"valueexpert/internal/daemon"
+	"valueexpert/internal/profile"
+	"valueexpert/internal/telemetry"
+	"valueexpert/internal/workloads"
+)
+
+// TestMain supports re-execution: with VXPROFD_RUN_MAIN=1 the binary
+// runs main() on VXPROFD_ARGS, so the SIGTERM test drains a real server.
+func TestMain(m *testing.M) {
+	if os.Getenv("VXPROFD_RUN_MAIN") == "1" {
+		os.Args = append([]string{"vxprofd"}, strings.Fields(os.Getenv("VXPROFD_ARGS"))...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// smokeDefaults is the engine surface the daemon smoke runs with.
+func smokeDefaults() cliconfig.Options {
+	return cliconfig.Options{Coarse: true, Fine: true, Sample: 1, Scale: 64}
+}
+
+// oneShotReport profiles a workload through the classic one-shot
+// lifecycle with the exact configuration the daemon derives from the
+// same options.
+func oneShotReport(t *testing.T, name string) *profile.Report {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smokeDefaults()
+	cfg, err := opts.EngineConfig(w.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	src := cuda.NewLiveSource(rt, func(rt *cuda.Runtime) error {
+		return w.Run(rt, workloads.Original)
+	})
+	p, err := core.Profile(src, cfg)
+	if err != nil {
+		t.Fatalf("one-shot %s: %v", name, err)
+	}
+	p.Detach()
+	return p.Report()
+}
+
+// normalize re-serializes a report with AnalysisTime zeroed — the
+// repo-wide convention for byte comparison (it is the one wall-clock
+// field; everything else in a report is deterministic).
+func normalize(t *testing.T, rep *profile.Report) []byte {
+	t.Helper()
+	cp := *rep
+	cp.Stats.AnalysisTime = 0
+	var buf bytes.Buffer
+	if err := cp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDaemonSmoke is the `make daemon-smoke` step: start the service,
+// attach two workloads as sessions over HTTP, curl their reports and
+// /metrics, and diff each per-session report against the equivalent
+// one-shot run.
+func TestDaemonSmoke(t *testing.T) {
+	workloads.Scale = 64
+	defer func() { workloads.Scale = 1 }()
+
+	svc := daemon.NewService()
+	defer svc.Shutdown()
+	ts := httptest.NewServer(svc.Handler(daemon.HandlerConfig{
+		Defaults: smokeDefaults(),
+		Device:   "RTX 2080 Ti",
+	}))
+	defer ts.Close()
+
+	names := []string{"Darknet", "Rodinia/bfs"}
+	var ids []string
+	for _, name := range names {
+		body := fmt.Sprintf(`{"workload": %q}`, name)
+		resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info daemon.Info
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /sessions %s = %d (%+v)", name, resp.StatusCode, info)
+		}
+		ids = append(ids, info.ID)
+	}
+
+	for i, id := range ids {
+		resp, err := http.Get(ts.URL + "/sessions/" + id + "/report?wait=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("report %s = %d: %v", id, resp.StatusCode, err)
+		}
+		served, err := profile.ReadJSON(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("served report %s does not round-trip: %v", id, err)
+		}
+		got, want := normalize(t, served), normalize(t, oneShotReport(t, names[i]))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: daemon report (%d bytes) differs from one-shot vxprof-equivalent run (%d bytes)",
+				names[i], len(got), len(want))
+		}
+	}
+
+	// /metrics exposes the service counters and each session's engine
+	// telemetry.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]telemetry.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics["service"].Counters["daemon.sessions_done"] != 2 {
+		t.Fatalf("service metrics: %+v", metrics["service"].Counters)
+	}
+	for _, id := range ids {
+		if metrics[id].Counters["sanitizer.flushes"] == 0 {
+			t.Fatalf("session %s has no engine metrics: %+v", id, metrics[id].Counters)
+		}
+	}
+
+	// The aggregate folds both sessions.
+	resp, err = http.Get(ts.URL + "/aggregate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg daemon.Aggregate
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(agg.Sessions) != 2 || agg.Stats.KernelLaunches == 0 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+// TestBadRequests covers the HTTP error surface.
+func TestBadRequests(t *testing.T) {
+	svc := daemon.NewService()
+	defer svc.Shutdown()
+	ts := httptest.NewServer(svc.Handler(daemon.HandlerConfig{
+		Defaults: smokeDefaults(), Device: "RTX 2080 Ti",
+	}))
+	defer ts.Close()
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e.Error
+	}
+	for _, tc := range []struct {
+		name, body, wantErr string
+	}{
+		{"missing workload", `{}`, "workload is required"},
+		{"unknown workload", `{"workload": "nope"}`, "unknown workload"},
+		{"unknown device", `{"workload": "Darknet", "device": "TPU"}`, "unknown device"},
+		{"per-session scale", `{"workload": "Darknet", "options": {"Scale": 2}}`, "-scale is fixed at daemon startup"},
+		{"invalid sample", `{"workload": "Darknet", "options": {"Sample": 0}}`, "-sample must be >= 1"},
+		{"unknown pattern", `{"workload": "Darknet", "options": {"Patterns": "bogus"}}`, "-patterns"},
+		{"bad fault spec", `{"workload": "Darknet", "options": {"Faults": "zzz@1"}}`, "-faults"},
+	} {
+		code, msg := post(tc.body)
+		if code != http.StatusBadRequest || !strings.Contains(msg, tc.wantErr) {
+			t.Errorf("%s: got %d %q, want 400 containing %q", tc.name, code, msg, tc.wantErr)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/sessions/s-99/report"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown session = %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestGracefulSIGTERM re-executes the real binary, attaches a session,
+// then sends SIGTERM and checks the server drains and exits cleanly.
+// The listen port is retried over a small range because main prints the
+// requested address, not the kernel-bound one, so ":0" is unusable here.
+func TestGracefulSIGTERM(t *testing.T) {
+	var proc *exec.Cmd
+	var base string
+	var errBuf bytes.Buffer
+	for port := 7433; port < 7443; port++ {
+		addr := fmt.Sprintf("127.0.0.1:%d", port)
+		proc = exec.Command(os.Args[0])
+		proc.Env = append(os.Environ(),
+			"VXPROFD_RUN_MAIN=1", "VXPROFD_ARGS=-addr "+addr+" -scale 64")
+		errBuf.Reset()
+		proc.Stderr = &errBuf
+		if err := proc.Start(); err != nil {
+			t.Fatal(err)
+		}
+		base = "http://" + addr
+		if waitHealthy(base) {
+			break
+		}
+		proc.Process.Kill()
+		proc.Wait()
+		proc = nil
+	}
+	if proc == nil {
+		t.Skip("no free port for the SIGTERM smoke")
+	}
+	defer proc.Process.Kill()
+
+	resp, err := http.Post(base+"/sessions", "application/json",
+		strings.NewReader(`{"workload": "Darknet"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info daemon.Info
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /sessions = %d", resp.StatusCode)
+	}
+
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		var ee *exec.ExitError
+		if err != nil && (!errors.As(err, &ee) || ee.ExitCode() != 0) {
+			t.Fatalf("vxprofd exited with %v\nstderr: %s", err, errBuf.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("vxprofd hung after SIGTERM\nstderr: %s", errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "draining sessions") {
+		t.Fatalf("no drain log after SIGTERM\nstderr: %s", errBuf.String())
+	}
+}
+
+// waitHealthy polls /healthz until the server answers or gives up.
+func waitHealthy(base string) bool {
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return resp.StatusCode == http.StatusOK
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}

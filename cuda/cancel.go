@@ -1,0 +1,85 @@
+package cuda
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"valueexpert/gpu"
+)
+
+// Cancellation: a long-lived profiling session (vxprofd) must be able to
+// stop a program it does not control — graceful drain on SIGTERM. The
+// runtime itself is single-goroutine, so cancellation is the one
+// cross-goroutine signal it accepts: Cancel sets an atomic flag that
+// every subsequent API entry observes, and — when per-access checks are
+// armed with EnableCancel — the currently executing instrumented kernel
+// aborts mid-flight through the same gpu.Abort path an injected
+// mid-kernel fault takes, so the attached profiler drains and the report
+// is marked Degraded by the existing machinery.
+
+// errCanceledCause is the sentinel cause carried by every
+// cancellation-induced failure; errors.Is(err, ErrRuntimeCanceled)
+// identifies them through any wrapping.
+var errCanceledCause = errors.New("runtime canceled")
+
+// ErrRuntimeCanceled is the cause sentinel of cancellation failures.
+var ErrRuntimeCanceled = errCanceledCause
+
+// cancelState is the runtime's cross-goroutine cancellation flag.
+type cancelState struct {
+	canceled atomic.Bool
+	// hooks arms per-access cancel checks inside instrumented kernels.
+	// Written before the session goroutine starts (EnableCancel), read on
+	// the launch path only.
+	hooks bool
+}
+
+// EnableCancel arms mid-kernel cancellation checks: instrumented kernels
+// launched after this call observe Cancel between accesses and abort.
+// Call before the program starts; without it Cancel still takes effect
+// at the next API boundary, but a running kernel completes first. The
+// one-shot profiling paths never arm this, keeping their per-access hot
+// path free of the check.
+func (r *Runtime) EnableCancel() { r.cancel.hooks = true }
+
+// Cancel asynchronously cancels the runtime: every subsequent API call
+// fails with a typed *Error carrying ErrCanceled, and — after
+// EnableCancel — the instrumented kernel in flight aborts mid-execution.
+// Frees still succeed so a canceled program can release its memory.
+// Cancel is safe to call from any goroutine, repeatedly.
+func (r *Runtime) Cancel() { r.cancel.canceled.Store(true) }
+
+// Canceled reports whether Cancel was called.
+func (r *Runtime) Canceled() bool { return r.cancel.canceled.Load() }
+
+// canceledErr returns the typed cancellation error for an API about to
+// begin, or nil when the runtime is live. Checked before the event is
+// announced to interceptors: a canceled call never began, so it does not
+// show up as a failed API — the session layer reports cancellation.
+func (r *Runtime) canceledErr(kind APIKind, op string) error {
+	if !r.cancel.canceled.Load() {
+		return nil
+	}
+	return &Error{API: kind, Code: ErrCanceled, Op: op, Err: errCanceledCause}
+}
+
+// cancelCheckStride bounds how many instrumented accesses run between
+// cancel checks inside a kernel: small enough that cancellation lands in
+// microseconds, large enough that the atomic load amortizes to noise.
+const cancelCheckStride = 64
+
+// wrapCancelHook layers the mid-kernel cancellation check over an access
+// hook. Only used when EnableCancel armed the runtime, so the default
+// profiling paths pay nothing.
+func (r *Runtime) wrapCancelHook(hook gpu.AccessFunc) gpu.AccessFunc {
+	countdown := cancelCheckStride
+	return func(a gpu.Access) {
+		hook(a)
+		if countdown--; countdown <= 0 {
+			countdown = cancelCheckStride
+			if r.cancel.canceled.Load() {
+				gpu.Abort(errCanceledCause)
+			}
+		}
+	}
+}

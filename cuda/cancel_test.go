@@ -1,0 +1,132 @@
+package cuda_test
+
+import (
+	"errors"
+	"testing"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+)
+
+func TestCancelRejectsAPIBoundary(t *testing.T) {
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	p, err := rt.Malloc(64, "a")
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	rt.Cancel()
+	if !rt.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+
+	checkCanceled := func(api cuda.APIKind, err error) {
+		t.Helper()
+		var ce *cuda.Error
+		if !errors.As(err, &ce) {
+			t.Fatalf("%v: want *cuda.Error, got %v", api, err)
+		}
+		if ce.API != api || ce.Code != cuda.ErrCanceled {
+			t.Fatalf("%v: got API=%v Code=%v", api, ce.API, ce.Code)
+		}
+		if !errors.Is(err, cuda.ErrRuntimeCanceled) {
+			t.Fatalf("%v: error does not carry ErrRuntimeCanceled cause", api)
+		}
+	}
+
+	_, err = rt.Malloc(32, "b")
+	checkCanceled(cuda.APIMalloc, err)
+	checkCanceled(cuda.APIMemcpy, rt.MemcpyH2D(p, make([]byte, 8)))
+	checkCanceled(cuda.APIMemcpy, rt.MemcpyD2H(make([]byte, 8), p))
+	checkCanceled(cuda.APIMemcpy, rt.MemcpyD2D(p, p, 8))
+	checkCanceled(cuda.APIMemset, rt.Memset(p, 0, 8))
+	k := &gpu.GoKernel{Name: "noop", Func: func(th *gpu.Thread) {}}
+	checkCanceled(cuda.APILaunch, rt.Launch(k, gpu.Dim3{X: 1, Y: 1, Z: 1}, gpu.Dim3{X: 1, Y: 1, Z: 1}))
+
+	// Frees still succeed: a canceled program may release its memory.
+	if err := rt.Free(p); err != nil {
+		t.Fatalf("Free after Cancel: %v", err)
+	}
+}
+
+// countingInterceptor instruments every kernel with a hook that counts
+// accesses and can trigger Cancel mid-kernel, and records whether the
+// runtime drained it after the aborted launch.
+type countingInterceptor struct {
+	accesses int
+	cancelAt int
+	rt       *cuda.Runtime
+	drained  bool
+	ends     int
+}
+
+func (c *countingInterceptor) APIBegin(ev *cuda.APIEvent) {}
+func (c *countingInterceptor) APIEnd(ev *cuda.APIEvent)   { c.ends++ }
+func (c *countingInterceptor) Drain()                     { c.drained = true }
+
+func (c *countingInterceptor) Instrumentation(string) (gpu.AccessFunc, func(int32) bool) {
+	return func(a gpu.Access) {
+		c.accesses++
+		if c.cancelAt > 0 && c.accesses == c.cancelAt {
+			c.rt.Cancel()
+		}
+	}, nil
+}
+
+func TestCancelAbortsKernelMidExecution(t *testing.T) {
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	rt.EnableCancel()
+	ic := &countingInterceptor{cancelAt: 10, rt: rt}
+	rt.SetInterceptor(ic)
+
+	p, err := rt.Malloc(4096, "buf")
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	k := &gpu.GoKernel{Name: "touch", Func: func(th *gpu.Thread) {
+		for i := 0; i < 16; i++ {
+			th.StoreF32(1, uint64(p.Offset(uint64(4*i))), float32(i))
+		}
+	}}
+	err = rt.Launch(k, gpu.Dim3{X: 64, Y: 1, Z: 1}, gpu.Dim3{X: 32, Y: 1, Z: 1})
+	var ce *cuda.Error
+	if !errors.As(err, &ce) || ce.Code != cuda.ErrCanceled {
+		t.Fatalf("launch after mid-kernel Cancel: want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, cuda.ErrRuntimeCanceled) {
+		t.Fatalf("launch error does not carry ErrRuntimeCanceled: %v", err)
+	}
+	if !ic.drained {
+		t.Fatal("runtime did not drain the interceptor after the aborted launch")
+	}
+	// The kernel was killed well before the 64*32*16 accesses it wanted;
+	// the cancel check runs every stride accesses, so the abort lands
+	// within one stride of the Cancel call.
+	if ic.accesses > 10+64 {
+		t.Fatalf("kernel ran %d accesses after Cancel at 10; abort too late", ic.accesses)
+	}
+}
+
+func TestCancelHooksOffKernelCompletes(t *testing.T) {
+	// Without EnableCancel, a running kernel completes; cancellation only
+	// takes effect at the next API boundary.
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	ic := &countingInterceptor{cancelAt: 10, rt: rt}
+	rt.SetInterceptor(ic)
+
+	p, err := rt.Malloc(4096, "buf")
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	k := &gpu.GoKernel{Name: "touch", Func: func(th *gpu.Thread) {
+		th.StoreF32(1, uint64(p), 1)
+	}}
+	if err := rt.Launch(k, gpu.Dim3{X: 64, Y: 1, Z: 1}, gpu.Dim3{X: 1, Y: 1, Z: 1}); err != nil {
+		t.Fatalf("launch with unarmed cancel hooks failed: %v", err)
+	}
+	if ic.ends == 0 {
+		t.Fatal("APIEnd never fired for the completed launch")
+	}
+	if err := rt.Memset(p, 0, 8); err == nil {
+		t.Fatal("Memset after Cancel succeeded; want ErrCanceled")
+	}
+}

@@ -12,6 +12,7 @@
 package cuda
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -117,6 +118,10 @@ type Runtime struct {
 	// faults is the armed fault-injection plan; nil means nothing fires.
 	faults *faultinject.Plan
 
+	// cancel is the cross-goroutine cancellation flag (see cancel.go); it
+	// is the only Runtime state another goroutine may touch.
+	cancel cancelState
+
 	nextStream int
 }
 
@@ -215,9 +220,12 @@ func (r *Runtime) end(ev *APIEvent) {
 
 // Malloc allocates size bytes of device memory tagged for reports.
 func (r *Runtime) Malloc(size uint64, tag string) (DevPtr, error) {
+	op := fmt.Sprintf("cudaMalloc(%q, %d)", tag, size)
+	if err := r.canceledErr(APIMalloc, op); err != nil {
+		return 0, err
+	}
 	ev := APIEvent{Kind: APIMalloc, Name: "cudaMalloc", Bytes: size}
 	r.begin(&ev)
-	op := fmt.Sprintf("cudaMalloc(%q, %d)", tag, size)
 	if inj, ok := r.faults.Fire(faultinject.Malloc); ok {
 		return 0, injectedError(&ev, ErrOOM, op, inj)
 	}
@@ -248,6 +256,9 @@ func (r *Runtime) MemcpyH2D(dst DevPtr, src []byte) error {
 }
 
 func (r *Runtime) memcpyH2D(stream int, dst DevPtr, src []byte) error {
+	if err := r.canceledErr(APIMemcpy, "cudaMemcpy H2D"); err != nil {
+		return err
+	}
 	ev := APIEvent{
 		Kind: APIMemcpy, Name: "cudaMemcpy", Stream: stream,
 		Dst: uint64(dst), Bytes: uint64(len(src)),
@@ -267,6 +278,9 @@ func (r *Runtime) memcpyH2D(stream int, dst DevPtr, src []byte) error {
 
 // MemcpyD2H copies src (device) to dst (host).
 func (r *Runtime) MemcpyD2H(dst []byte, src DevPtr) error {
+	if err := r.canceledErr(APIMemcpy, "cudaMemcpy D2H"); err != nil {
+		return err
+	}
 	ev := APIEvent{
 		Kind: APIMemcpy, Name: "cudaMemcpy",
 		Src: uint64(src), Bytes: uint64(len(dst)),
@@ -286,6 +300,9 @@ func (r *Runtime) MemcpyD2H(dst []byte, src DevPtr) error {
 
 // MemcpyD2D copies n bytes from src to dst, both on device.
 func (r *Runtime) MemcpyD2D(dst, src DevPtr, n uint64) error {
+	if err := r.canceledErr(APIMemcpy, "cudaMemcpy D2D"); err != nil {
+		return err
+	}
 	ev := APIEvent{
 		Kind: APIMemcpy, Name: "cudaMemcpy",
 		Dst: uint64(dst), Src: uint64(src), Bytes: n,
@@ -313,6 +330,9 @@ func (r *Runtime) Memset(p DevPtr, b byte, n uint64) error {
 }
 
 func (r *Runtime) memset(stream int, p DevPtr, b byte, n uint64) error {
+	if err := r.canceledErr(APIMemset, "cudaMemset"); err != nil {
+		return err
+	}
 	ev := APIEvent{
 		Kind: APIMemset, Name: "cudaMemset", Stream: stream,
 		Dst: uint64(p), Bytes: n, MemsetValue: b,
@@ -336,16 +356,22 @@ func (r *Runtime) Launch(k gpu.Kernel, grid, block gpu.Dim3) error {
 }
 
 func (r *Runtime) launch(stream int, k gpu.Kernel, grid, block gpu.Dim3) error {
+	op := fmt.Sprintf("cudaLaunchKernel(%s)", k.KernelName())
+	if err := r.canceledErr(APILaunch, op); err != nil {
+		return err
+	}
 	ev := APIEvent{
 		Kind: APILaunch, Name: k.KernelName(), Stream: stream,
 		Kernel: k, Grid: grid, Block: block,
 	}
 	r.begin(&ev)
-	op := fmt.Sprintf("cudaLaunchKernel(%s)", k.KernelName())
 	var hook gpu.AccessFunc
 	var filter func(int32) bool
 	if r.icept != nil {
 		hook, filter = r.icept.Instrumentation(k.KernelName())
+	}
+	if r.cancel.hooks && hook != nil {
+		hook = r.wrapCancelHook(hook)
 	}
 	if inj, ok := r.faults.Fire(faultinject.Launch); ok {
 		if inj.Delay > 0 && hook != nil {
@@ -373,8 +399,11 @@ func (r *Runtime) launch(stream int, k gpu.Kernel, grid, block gpu.Dim3) error {
 		if d, ok := r.icept.(Drainer); ok {
 			d.Drain()
 		}
-		e := &Error{API: APILaunch, Code: ErrLaunch, Op: op, Injected: wasInjected(err), Err: err}
-		return e
+		code := ErrLaunch
+		if errors.Is(err, errCanceledCause) {
+			code = ErrCanceled
+		}
+		return &Error{API: APILaunch, Code: code, Op: op, Injected: wasInjected(err), Err: err}
 	}
 	ev.Duration = r.dev.RecordLaunch(ev.Counters)
 	r.end(&ev)

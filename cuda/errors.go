@@ -21,6 +21,9 @@ const (
 	ErrTransfer
 	// ErrLaunch is a failed kernel launch, at the boundary or mid-execution.
 	ErrLaunch
+	// ErrCanceled is an API rejected (or a kernel aborted) because the
+	// runtime was canceled — the daemon's graceful-drain path.
+	ErrCanceled
 )
 
 // String names the code.
@@ -34,6 +37,8 @@ func (c ErrCode) String() string {
 		return "transfer failed"
 	case ErrLaunch:
 		return "launch failed"
+	case ErrCanceled:
+		return "canceled"
 	}
 	return "unspecified"
 }

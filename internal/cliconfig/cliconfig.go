@@ -1,0 +1,176 @@
+// Package cliconfig is the engine-facing flag surface shared by the
+// ValueExpert CLIs: vxprof (one-shot profiling) and vxprofd (the
+// multi-tenant service) accept the same analysis flags — -coarse, -fine,
+// -kernels, -patterns, -sample, -workers, -depth, -reuse, -faults,
+// -scale — and must reject invalid values with identical messages that
+// speak flag names, not Config field names. This package owns that
+// flag→Config translation once: registration with shared defaults,
+// validation through core's Config.Validate with the typed ConfigError
+// field mapped back to its flag, and the -patterns/-faults spec parsing.
+package cliconfig
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+
+	"valueexpert/internal/core"
+	"valueexpert/internal/faultinject"
+	"valueexpert/internal/vpattern"
+)
+
+// Options holds the parsed shared engine flags. The zero value is not
+// runnable — Register installs the CLI defaults — but a hand-built
+// Options (tests, embedding CLIs) works with any sensible field values.
+type Options struct {
+	Coarse        bool
+	Fine          bool
+	ReuseDistance bool
+	Kernels       string // comma-separated kernel filter ("" = all)
+	Patterns      string // raw -patterns value ("" = registry defaults)
+	Sample        int
+	Scale         int // problem-size divisor for bundled workloads
+	Workers       int
+	Depth         int
+	Faults        string // raw -faults spec ("" = no injection)
+}
+
+// Register installs the shared flags on fs, bound to o's fields, with
+// the defaults both CLIs share.
+func (o *Options) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&o.Coarse, "coarse", true, "enable coarse-grained value pattern analysis")
+	fs.BoolVar(&o.Fine, "fine", true, "enable fine-grained value pattern analysis")
+	fs.StringVar(&o.Kernels, "kernels", "", "comma-separated kernel filter for fine analysis")
+	fs.StringVar(&o.Patterns, "patterns", "", "comma-separated pattern detectors to run (default: all; unknown names list the valid set)")
+	fs.IntVar(&o.Sample, "sample", 1, "kernel/block sampling period for fine analysis")
+	fs.IntVar(&o.Scale, "scale", 8, "problem-size divisor (1 = full scale)")
+	fs.BoolVar(&o.ReuseDistance, "reuse", false, "additionally compute per-kernel reuse-distance histograms")
+	fs.IntVar(&o.Workers, "workers", 0, "analysis workers overlapping kernel execution (0 = synchronous)")
+	fs.IntVar(&o.Depth, "depth", 0, "flush-buffer pipeline depth (0 = workers+1 when pipelined, else 1)")
+	fs.StringVar(&o.Faults, "faults", "", "deterministic fault-injection spec, e.g. 'seed=7,prob=0.05' or 'malloc@1,launch@2+16' (see DESIGN.md §8)")
+}
+
+// FlagForField maps Config.Validate's typed field names back to the
+// flags that set them, so validation errors speak the CLI's vocabulary.
+var FlagForField = map[string]string{
+	"AnalysisWorkers":      "-workers",
+	"PipelineDepth":        "-depth",
+	"KernelSamplingPeriod": "-sample",
+	"BlockSamplingPeriod":  "-sample",
+	"ReuseDistance":        "-reuse",
+	"Patterns":             "-patterns",
+}
+
+// FlagError rewrites a Config.Validate error to name the offending flag
+// when the field has a CLI spelling; other errors pass through.
+func FlagError(err error) error {
+	var ce *core.ConfigError
+	if errors.As(err, &ce) {
+		if f, ok := FlagForField[ce.Field]; ok {
+			return fmt.Errorf("%s %s", f, ce.Reason)
+		}
+	}
+	return err
+}
+
+// Validate rejects flag values with no meaningful interpretation.
+// Engine settings go through Config.Validate — the same validator
+// Profile and NewSession run — with the typed ConfigError field mapped
+// back to the flag name; CLI-only constraints (-sample >= 1, -scale)
+// stay local because the engine treats 0 as "default" where the CLI has
+// no such spelling.
+func (o *Options) Validate() error {
+	if o.Sample < 1 {
+		return fmt.Errorf("-sample must be >= 1, got %d (1 = profile every kernel and block)", o.Sample)
+	}
+	if o.Scale < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d (1 = full problem size)", o.Scale)
+	}
+	cfg := core.Config{
+		Coarse:               o.Coarse,
+		Fine:                 o.Fine,
+		ReuseDistance:        o.ReuseDistance,
+		AnalysisWorkers:      o.Workers,
+		PipelineDepth:        o.Depth,
+		KernelSamplingPeriod: o.Sample,
+		BlockSamplingPeriod:  o.Sample,
+	}
+	if err := cfg.Validate(); err != nil {
+		return FlagError(err)
+	}
+	if _, err := o.PatternList(); err != nil {
+		return err
+	}
+	if _, err := o.FaultPlan(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// PatternList turns the -patterns value into a validated name list. The
+// empty flag selects the registry's default set (nil); unknown names are
+// rejected with the valid set listed.
+func (o *Options) PatternList() ([]string, error) {
+	if strings.TrimSpace(o.Patterns) == "" {
+		return nil, nil
+	}
+	names := []string{}
+	for _, n := range strings.Split(o.Patterns, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if _, err := vpattern.ParseSet(names); err != nil {
+		return nil, fmt.Errorf("-patterns: %w", err)
+	}
+	return names, nil
+}
+
+// FaultPlan turns the -faults spec into an armed-ready fault plan; the
+// empty flag means no injection (nil plan).
+func (o *Options) FaultPlan() (*faultinject.Plan, error) {
+	if strings.TrimSpace(o.Faults) == "" {
+		return nil, nil
+	}
+	plan, err := faultinject.ParseSpec(o.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	return plan, nil
+}
+
+// KernelFilter builds the kernel-name predicate from the -kernels list,
+// nil when the flag is empty (profile every kernel).
+func (o *Options) KernelFilter() func(string) bool {
+	if o.Kernels == "" {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, k := range strings.Split(o.Kernels, ",") {
+		set[strings.TrimSpace(k)] = true
+	}
+	return func(name string) bool { return set[name] }
+}
+
+// EngineConfig builds the engine configuration for the named program.
+// Patterns must already have passed Validate; an invalid set errors here
+// too rather than panicking downstream.
+func (o *Options) EngineConfig(program string) (core.Config, error) {
+	patterns, err := o.PatternList()
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Coarse:               o.Coarse,
+		Fine:                 o.Fine,
+		ReuseDistance:        o.ReuseDistance,
+		Patterns:             patterns,
+		KernelFilter:         o.KernelFilter(),
+		KernelSamplingPeriod: o.Sample,
+		BlockSamplingPeriod:  o.Sample,
+		AnalysisWorkers:      o.Workers,
+		PipelineDepth:        o.Depth,
+		Program:              program,
+	}, nil
+}

@@ -477,6 +477,33 @@ func (s *coarseStage) appendRecord(ev *cuda.APIEvent, accesses []profile.ObjectA
 	})
 }
 
+// EvictObjects implements ObjectEvicter: coarse records drop the evicted
+// objects' access entries (records that carried only evicted objects are
+// dropped entirely; originally access-free records — unprofiled launches
+// — stay), and the duplicate tracker forgets them. Snapshots and defined
+// ranges were already released when the objects were freed.
+func (s *coarseStage) EvictObjects(dead map[int]bool) {
+	kept := s.records[:0]
+	for _, rec := range s.records {
+		if len(rec.Objects) > 0 {
+			objs := rec.Objects[:0]
+			for _, oa := range rec.Objects {
+				if !dead[oa.ObjectID] {
+					objs = append(objs, oa)
+				}
+			}
+			rec.Objects = objs
+			if len(objs) == 0 {
+				continue
+			}
+		}
+		kept = append(kept, rec)
+	}
+	clear(s.records[len(kept):])
+	s.records = kept
+	s.dup.Evict(dead)
+}
+
 // Finish contributes the coarse records and duplicate groups.
 func (s *coarseStage) Finish(rep *profile.Report) {
 	rep.Coarse = append([]profile.CoarseRecord(nil), s.records...)

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"valueexpert/callpath"
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/profile"
+)
+
+// churn runs a program with one long-lived object and rounds of
+// short-lived ones: each round allocates a temp, uploads to it, launches
+// a kernel reading the temp and writing the long-lived object, and frees
+// the temp — the allocation churn an unbounded-lifetime run produces.
+func churn(t *testing.T, rt *cuda.Runtime, rounds, n int) cuda.DevPtr {
+	t.Helper()
+	// A synthetic frame keeps captured call paths independent of which
+	// test line invoked the run, so reports compare byte-for-byte.
+	rt.PushFrame(callpath.Frame{Func: "churn", File: "churn.go", Line: 1})
+	defer rt.PopFrame()
+	acc, err := rt.MallocF32(n, "acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := make([]byte, 4*n)
+	for r := 0; r < rounds; r++ {
+		tmp, err := rt.MallocF32(n, "tmp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range host {
+			host[i] = byte(r + i)
+		}
+		if err := rt.MemcpyH2D(tmp, host); err != nil {
+			t.Fatal(err)
+		}
+		k := axpyKernel("accumulate", tmp, acc, 1, n)
+		if err := rt.Launch(k, gpu.Dim3{X: (n + 63) / 64, Y: 1, Z: 1}, gpu.Dim3{X: 64, Y: 1, Z: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Free(tmp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc
+}
+
+// liveView strips a report down to the state concerning the given object:
+// its object-table entry, its coarse access entries, and its fine
+// records. Eviction of dead objects must leave this view untouched.
+func liveView(rep *profile.Report, id int) map[string]any {
+	v := map[string]any{}
+	for _, o := range rep.Objects {
+		if o.ID == id {
+			v["object"] = o
+		}
+	}
+	var coarse []profile.ObjectAccess
+	for _, rec := range rep.Coarse {
+		for _, oa := range rec.Objects {
+			if oa.ObjectID == id {
+				coarse = append(coarse, oa)
+			}
+		}
+	}
+	v["coarse"] = coarse
+	var fine []profile.FineRecord
+	for _, fr := range rep.Fine {
+		if fr.ObjectID == id {
+			fine = append(fine, fr)
+		}
+	}
+	v["fine"] = fine
+	return v
+}
+
+func TestEvictDeadObjectsKeepsLiveSet(t *testing.T) {
+	const rounds, n = 12, 256
+	run := func(retain int) (*Profiler, cuda.DevPtr) {
+		rt, p := newProfiled(t, Config{Coarse: true, Fine: true, RetainDeadObjects: retain})
+		acc := churn(t, rt, rounds, n)
+		return p, acc
+	}
+
+	base, baseAcc := run(0)
+	baseRep := base.Report()
+	if got := base.DeadObjects(); got != rounds {
+		t.Fatalf("baseline DeadObjects = %d, want %d", got, rounds)
+	}
+	if got := base.EvictedObjects(); got != 0 {
+		t.Fatalf("baseline evicted %d objects with RetainDeadObjects=0", got)
+	}
+
+	accID := -1
+	for _, o := range baseRep.Objects {
+		if o.Tag == "acc" {
+			accID = o.ID
+		}
+	}
+	if accID < 0 {
+		t.Fatal("no acc object in baseline report")
+	}
+	_ = baseAcc
+	baseLive := liveView(baseRep, accID)
+
+	// Automatic hysteresis: the dead set never exceeds 2×retain, and the
+	// live object's report state is byte-identical to the baseline's.
+	const retain = 3
+	auto, _ := run(retain)
+	if got := auto.DeadObjects(); got > 2*retain {
+		t.Fatalf("DeadObjects = %d after run, want <= %d", got, 2*retain)
+	}
+	if auto.EvictedObjects() == 0 {
+		t.Fatal("automatic eviction never fired")
+	}
+	autoRep := auto.Report()
+	if len(autoRep.Objects) >= len(baseRep.Objects) {
+		t.Fatalf("evicting report holds %d objects, baseline %d — nothing evicted from the table",
+			len(autoRep.Objects), len(baseRep.Objects))
+	}
+	mustEqualJSON(t, "auto-evicted live view", liveView(autoRep, accID), baseLive)
+
+	// Manual full eviction on the baseline profiler: only the live object
+	// survives, its view still identical.
+	if got := base.EvictDeadObjects(0); got != rounds {
+		t.Fatalf("EvictDeadObjects(0) evicted %d, want %d", got, rounds)
+	}
+	evRep := base.Report()
+	if len(evRep.Objects) != 1 || evRep.Objects[0].ID != accID {
+		t.Fatalf("fully evicted report objects = %+v, want only acc (id %d)", evRep.Objects, accID)
+	}
+	for _, rec := range evRep.Fine {
+		if rec.ObjectID != accID {
+			t.Fatalf("fine record for evicted object %d survived", rec.ObjectID)
+		}
+	}
+	for _, rec := range evRep.Coarse {
+		for _, oa := range rec.Objects {
+			if oa.ObjectID != accID {
+				t.Fatalf("coarse access for evicted object %d survived", oa.ObjectID)
+			}
+		}
+	}
+	mustEqualJSON(t, "fully evicted live view", liveView(evRep, accID), baseLive)
+
+	// Eviction also prunes the flow graph's per-object edges.
+	for _, e := range base.Graph().Edges() {
+		if e.Object != accID {
+			t.Fatalf("graph edge for evicted object %d survived", e.Object)
+		}
+	}
+	// Idempotent: nothing left to evict.
+	if got := base.EvictDeadObjects(0); got != 0 {
+		t.Fatalf("second EvictDeadObjects(0) evicted %d, want 0", got)
+	}
+}
+
+func mustEqualJSON(t *testing.T, what string, got, want any) {
+	t.Helper()
+	g, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("%s diverged:\n got %s\nwant %s", what, g, w)
+	}
+}
+
+func TestRetainDeadObjectsValidate(t *testing.T) {
+	cfg := Config{Coarse: true, RetainDeadObjects: -1}
+	err := cfg.Validate()
+	ce, ok := err.(*ConfigError)
+	if !ok || ce.Field != "RetainDeadObjects" {
+		t.Fatalf("Validate = %v, want ConfigError on RetainDeadObjects", err)
+	}
+}

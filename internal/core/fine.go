@@ -237,6 +237,19 @@ func (s *fineStage) LaunchEnd(ev *cuda.APIEvent, la LaunchAnalysis) {
 	}
 }
 
+// EvictObjects implements ObjectEvicter: fine records are per-object, so
+// an evicted object's records drop wholesale.
+func (s *fineStage) EvictObjects(dead map[int]bool) {
+	kept := s.records[:0]
+	for _, rec := range s.records {
+		if !dead[rec.ObjectID] {
+			kept = append(kept, rec)
+		}
+	}
+	clear(s.records[len(kept):])
+	s.records = kept
+}
+
 // Finish contributes the fine records.
 func (s *fineStage) Finish(rep *profile.Report) {
 	rep.Fine = append([]profile.FineRecord(nil), s.records...)

@@ -79,6 +79,15 @@ type Config struct {
 	// measurement pipeline. Requires Coarse or Fine.
 	ReuseDistance bool
 
+	// RetainDeadObjects bounds how many freed data objects keep their
+	// report state (object-table entry, coarse/fine records, flow-graph
+	// edges, duplicate groups). 0 — the default — retains everything, the
+	// one-shot behaviour. A positive bound evicts the least-recently-freed
+	// objects' state once the dead set exceeds twice the bound (see
+	// evict.go), keeping long-lived daemon sessions bounded in memory;
+	// reported state for live and retained objects is unaffected.
+	RetainDeadObjects int
+
 	// Analyses registers additional custom stages after the built-in ones.
 	// Each factory runs once per attached profiler, so every device gets
 	// fresh stage state.
@@ -125,6 +134,14 @@ type Profiler struct {
 	pending         string
 	failedAPIs      []string
 	skippedLaunches int
+
+	// Dead-object tracking (evict.go): pendingFree is the ID of the object
+	// a cudaFree in flight is releasing (-1 when none), resolved in
+	// APIBegin while still addressable; deadIDs lists freed objects in
+	// free order, the engine's LRU order.
+	pendingFree    int
+	deadIDs        []int
+	evictedObjects int
 
 	analysisTime time.Duration
 
@@ -175,11 +192,12 @@ func Attach(rt *cuda.Runtime, cfg Config) *Profiler {
 		panic("core: " + err.Error())
 	}
 	p := &Profiler{
-		cfg:      cfg,
-		patterns: patterns,
-		rt:       rt,
-		tree:     callpath.NewTree(),
-		sched:    parallel.Shared(),
+		cfg:         cfg,
+		patterns:    patterns,
+		rt:          rt,
+		tree:        callpath.NewTree(),
+		sched:       parallel.Shared(),
+		pendingFree: -1,
 	}
 	p.graph = vflow.New(p.tree)
 
@@ -269,6 +287,14 @@ func (p *Profiler) APIBegin(ev *cuda.APIEvent) {
 	p.pending = fmt.Sprintf("%s %q (seq %d)", ev.Kind, ev.Name, ev.Seq)
 	if ev.Kind == cuda.APILaunch {
 		return
+	}
+	if ev.Kind == cuda.APIFree {
+		// Resolve the dying object's ID while it is still addressable; the
+		// free joins the dead list only when its APIEnd confirms success.
+		p.pendingFree = -1
+		if a := p.rt.Device().Mem.Lookup(ev.Dst); a != nil {
+			p.pendingFree = a.ID
+		}
 	}
 	for _, st := range p.stages {
 		st.APIBegin(ev)
@@ -366,6 +392,9 @@ func (p *Profiler) APIEnd(ev *cuda.APIEvent) {
 	}
 	for _, st := range p.stages {
 		st.APIEnd(ev)
+	}
+	if ev.Kind == cuda.APIFree {
+		p.noteFree()
 	}
 }
 

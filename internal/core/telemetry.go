@@ -45,6 +45,10 @@ type engineProbes struct {
 	// skippedLaunches counts instrumented launches Drain discarded.
 	failedAPIs      *telemetry.Counter
 	skippedLaunches *telemetry.Counter
+
+	// evictedObjects counts dead data objects whose report state the
+	// engine evicted (Config.RetainDeadObjects).
+	evictedObjects *telemetry.Counter
 }
 
 // initTelemetry builds the probe set (and, with a recorder, the metric
@@ -71,6 +75,7 @@ func (p *Profiler) initTelemetry() {
 	p.probes.occupancy = tel.Gauge("pipeline.occupancy")
 	p.probes.failedAPIs = tel.Counter("engine.failed_apis")
 	p.probes.skippedLaunches = tel.Counter("engine.skipped_launches")
+	p.probes.evictedObjects = tel.Counter("engine.evicted_objects")
 	if plan := p.rt.Faults(); plan != nil {
 		// Count fired injections as they happen. The plan must be armed
 		// before Attach for this wiring (and the sanitizer's) to exist.

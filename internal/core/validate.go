@@ -52,6 +52,10 @@ func (cfg *Config) Validate() error {
 		return &ConfigError{Field: "CopyStrategy",
 			Reason: fmt.Sprintf("unknown strategy %d", cfg.CopyStrategy)}
 	}
+	if cfg.RetainDeadObjects < 0 {
+		return &ConfigError{Field: "RetainDeadObjects",
+			Reason: fmt.Sprintf("must be >= 0, got %d (0 = retain every dead object)", cfg.RetainDeadObjects)}
+	}
 	if cfg.ReuseDistance && !cfg.Coarse && !cfg.Fine {
 		return &ConfigError{Field: "ReuseDistance",
 			Reason: "requires Coarse or Fine analysis (reuse distance rides the instrumented access stream)"}

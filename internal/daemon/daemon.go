@@ -1,0 +1,405 @@
+// Package daemon refactors the one-shot run lifecycle into a
+// multi-tenant profiling service: where Profile(src, cfg) owns exactly
+// one application for exactly one call, a daemon Service attaches any
+// number of applications concurrently, each as a long-lived session
+// consuming its own event stream through a dedicated handler goroutine.
+// The service layers process-level machinery a single profiler cannot
+// provide — a deterministic aggregate folded over completed sessions, a
+// shared self-trace where every session renders as its own Perfetto
+// process, and graceful drain: shutdown cancels each session's runtime,
+// a mid-kernel cancel rides the engine's existing degradation path, and
+// the session still yields a report (marked Degraded) rather than a
+// hung or lost stream.
+//
+// Concurrency contract: each session's runtime is driven only by its
+// stream goroutine (cuda.Runtime is not concurrent-safe beyond the
+// cancel flag), so the service never touches a running session's
+// profiler. A session finalizes exactly once, on its own goroutine —
+// detach (which drains the pipeline), report, serialized bytes — and
+// everything served afterwards reads that immutable cached state.
+package daemon
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/core"
+	"valueexpert/internal/faultinject"
+	"valueexpert/internal/profile"
+	"valueexpert/internal/telemetry"
+	"valueexpert/internal/vflow"
+)
+
+// ErrClosed is returned by Attach after Shutdown began: a draining
+// service accepts no new sessions.
+var ErrClosed = errors.New("daemon: service is shutting down")
+
+// State is a session's lifecycle position.
+type State string
+
+// The session states. A session leaves StateRunning exactly once.
+const (
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Service is the multi-tenant profiler host. The zero value is not
+// usable; construct with NewService.
+type Service struct {
+	tel   *telemetry.Recorder
+	trace *telemetry.Buffer
+
+	mu       sync.Mutex
+	seq      int
+	sessions map[string]*Session
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewService creates an empty service with its own telemetry recorder
+// and the shared self-trace buffer sessions emit into.
+func NewService() *Service {
+	return &Service{
+		tel:      telemetry.New(),
+		trace:    telemetry.NewBuffer(),
+		sessions: make(map[string]*Session),
+	}
+}
+
+// SessionConfig describes one application to attach.
+type SessionConfig struct {
+	// Program names the application in reports and listings.
+	Program string
+	// Device is the simulated GPU the session runs on.
+	Device gpu.Profile
+	// Engine selects the analyses; validated by Attach (Config.Validate).
+	// Telemetry is overridden: every session gets its own recorder,
+	// labeled with the session ID and funneled into the service's shared
+	// self-trace as a separate process.
+	Engine core.Config
+	// Faults, when non-nil, is armed on the session's runtime before the
+	// profiler attaches (the same ordering vxprof uses).
+	Faults *faultinject.Plan
+	// Run issues the application's GPU work against the session runtime.
+	Run func(rt *cuda.Runtime) error
+}
+
+// Attach admits an application as a new session: a fresh cancelable
+// runtime, a per-session telemetry recorder, and a stream handler
+// goroutine driving the event stream through the engine. An invalid
+// engine configuration returns its Config.Validate error and admits
+// nothing.
+func (s *Service) Attach(sc SessionConfig) (*Session, error) {
+	if err := sc.Engine.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Run == nil {
+		return nil, errors.New("daemon: SessionConfig.Run is nil")
+	}
+	if sc.Engine.Program == "" {
+		sc.Engine.Program = sc.Program
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.seq++
+	id := fmt.Sprintf("s-%d", s.seq)
+
+	rt := cuda.NewRuntime(sc.Device)
+	// Arm mid-kernel cancel checks before any kernel runs, so Shutdown
+	// can abort a session stuck inside a launch.
+	rt.EnableCancel()
+	if sc.Faults != nil {
+		rt.ArmFaults(sc.Faults)
+	}
+
+	// Per-session recorder: labeled for the /metrics export, traced into
+	// the shared buffer under the session's own PID so Perfetto shows one
+	// process per session.
+	tel := telemetry.New()
+	tel.SetProgram(sc.Program)
+	tel.SetLabel("session", id)
+	tel.SetLabel("device", sc.Device.Name)
+	tel.AttachTrace(telemetry.ProcessSink(s.trace, s.seq,
+		fmt.Sprintf("session %s (%s)", id, sc.Program)))
+	sc.Engine.Telemetry = tel
+
+	sess := &Session{
+		svc:     s,
+		id:      id,
+		seq:     s.seq,
+		program: sc.Program,
+		device:  sc.Device.Name,
+		rt:      rt,
+		cfg:     sc.Engine,
+		tel:     tel,
+		done:    make(chan struct{}),
+		state:   StateRunning,
+	}
+	s.sessions[id] = sess
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.tel.Counter("daemon.sessions_started").Inc()
+	go sess.stream(sc.Run)
+	return sess, nil
+}
+
+// Session returns the session with the given ID, or nil.
+func (s *Service) Session(id string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+// Sessions returns every attached session in admission order.
+func (s *Service) Sessions() []*Session {
+	s.mu.Lock()
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Aggregate folds every finalized session's report into the
+// process-level aggregate; still-running sessions are listed but not
+// folded (their profiles are untouchable while the stream goroutine owns
+// them).
+func (s *Service) Aggregate() Aggregate {
+	var (
+		ids     []string
+		reps    []*profile.Report
+		running []string
+	)
+	for _, sess := range s.Sessions() {
+		if rep, ok := sess.Report(); ok {
+			ids = append(ids, sess.id)
+			reps = append(reps, rep)
+		} else {
+			running = append(running, sess.id)
+		}
+	}
+	agg := Fold(ids, reps)
+	agg.Running = running
+	return agg
+}
+
+// Metrics exports the service recorder plus every session recorder,
+// keyed by session ID.
+func (s *Service) Metrics() map[string]telemetry.Metrics {
+	out := map[string]telemetry.Metrics{"service": s.tel.Metrics()}
+	for _, sess := range s.Sessions() {
+		out[sess.id] = sess.tel.Metrics()
+	}
+	return out
+}
+
+// Trace returns the shared self-trace buffer (one Perfetto process per
+// session).
+func (s *Service) Trace() *telemetry.Buffer { return s.trace }
+
+// Shutdown drains the service: no new sessions are admitted, every
+// running session's runtime is canceled (aborting a kernel mid-execution
+// through the engine's degradation path), and the call blocks until all
+// stream handlers have finalized. Idempotent.
+func (s *Service) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.Cancel()
+	}
+	s.wg.Wait()
+}
+
+// Session is one attached application: a runtime, the engine profiling
+// it, and the stream handler goroutine in between. All exported methods
+// are safe from any goroutine.
+type Session struct {
+	svc     *Service
+	id      string
+	seq     int
+	program string
+	device  string
+	rt      *cuda.Runtime
+	cfg     core.Config
+	tel     *telemetry.Recorder
+
+	done chan struct{}
+
+	mu         sync.Mutex
+	state      State
+	closing    bool
+	prof       *core.Profiler
+	report     *profile.Report
+	reportJSON []byte
+	runErr     error
+}
+
+// stream is the session's handler goroutine: it drives the application's
+// event stream through the engine, then finalizes exactly once. The
+// terminal error and serialized report are cached here; nothing after
+// this re-walks the pipeline.
+func (sess *Session) stream(run func(rt *cuda.Runtime) error) {
+	defer sess.svc.wg.Done()
+	src := cuda.NewLiveSource(sess.rt, run)
+	p, err := core.Profile(src, sess.cfg)
+	// Detach drains any in-flight launch; from here the profiler is
+	// exclusively this goroutine's to read, and then immutable.
+	p.Detach()
+	rep := p.Report()
+	var buf bytes.Buffer
+	if jerr := rep.WriteJSON(&buf); jerr != nil && err == nil {
+		err = jerr
+	}
+
+	state := StateDone
+	counter := "daemon.sessions_done"
+	switch {
+	case err == nil:
+	case errors.Is(err, cuda.ErrRuntimeCanceled):
+		state = StateCanceled
+		counter = "daemon.sessions_canceled"
+	default:
+		state = StateFailed
+		counter = "daemon.sessions_failed"
+	}
+
+	sess.mu.Lock()
+	sess.prof = p
+	sess.report = rep
+	sess.reportJSON = buf.Bytes()
+	sess.runErr = err
+	sess.state = state
+	sess.mu.Unlock()
+	sess.svc.tel.Counter(counter).Inc()
+	close(sess.done)
+}
+
+// ID returns the service-assigned session identifier.
+func (sess *Session) ID() string { return sess.id }
+
+// Program returns the application name the session was attached with.
+func (sess *Session) Program() string { return sess.program }
+
+// State returns the session's current lifecycle state.
+func (sess *Session) State() State {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.state
+}
+
+// Done returns a channel closed when the session has finalized.
+func (sess *Session) Done() <-chan struct{} { return sess.done }
+
+// Cancel requests the session's runtime stop: pending API calls fail at
+// the boundary and a kernel in flight aborts at its next cancel check.
+// Non-blocking and safe at any time (the cancel flag is the one piece of
+// runtime state another goroutine may touch).
+func (sess *Session) Cancel() { sess.rt.Cancel() }
+
+// Drain waits for the session to finalize — without canceling it — and
+// returns the cached terminal error. On an already-finalized session
+// (degraded or not) it returns that cached typed error immediately; the
+// pipeline was drained exactly once, at finalization, and is never
+// walked again.
+func (sess *Session) Drain() error {
+	<-sess.done
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.runErr
+}
+
+// Close cancels the session (first call only) and waits for it to
+// finalize, returning the cached terminal error. Repeated Close — like
+// repeated Drain — returns the same cached error without re-walking the
+// pipeline.
+func (sess *Session) Close() error {
+	sess.mu.Lock()
+	first := !sess.closing && sess.state == StateRunning
+	sess.closing = true
+	sess.mu.Unlock()
+	if first {
+		sess.Cancel()
+	}
+	return sess.Drain()
+}
+
+// Report returns the finalized report, or (nil, false) while the stream
+// handler still owns the profiler.
+func (sess *Session) Report() (*profile.Report, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.report, sess.report != nil
+}
+
+// ReportJSON returns the serialized report bytes cached at finalization
+// — exactly what Report.WriteJSON produced, so a session's report served
+// over HTTP is byte-identical to the one-shot artifact for the same
+// workload and configuration.
+func (sess *Session) ReportJSON() ([]byte, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.reportJSON, sess.reportJSON != nil
+}
+
+// Graph returns the session's value flow graph once finalized, nil while
+// running.
+func (sess *Session) Graph() *vflow.Graph {
+	sess.mu.Lock()
+	p := sess.prof
+	sess.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.Graph()
+}
+
+// Metrics exports the session's telemetry recorder.
+func (sess *Session) Metrics() telemetry.Metrics { return sess.tel.Metrics() }
+
+// Info is a session's listing entry.
+type Info struct {
+	ID      string `json:"id"`
+	Program string `json:"program"`
+	Device  string `json:"device"`
+	State   State  `json:"state"`
+	// Degraded mirrors the report's Degraded section: collection lost
+	// something (canceled mid-kernel, injected faults, dropped buffers).
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Info snapshots the session for listings.
+func (sess *Session) Info() Info {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	info := Info{
+		ID: sess.id, Program: sess.program, Device: sess.device,
+		State: sess.state,
+	}
+	if sess.report != nil && sess.report.Degraded != nil {
+		info.Degraded = true
+	}
+	if sess.runErr != nil {
+		info.Error = sess.runErr.Error()
+	}
+	return info
+}

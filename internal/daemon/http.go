@@ -1,0 +1,229 @@
+// The service's HTTP surface: JSON/text/GUI report endpoints over the
+// session registry. Go 1.22 method+wildcard mux patterns route it all:
+//
+//	GET    /healthz              liveness + session count
+//	GET    /sessions             session listing
+//	POST   /sessions             attach a bundled workload as a session
+//	GET    /sessions/{id}        one session's info
+//	GET    /sessions/{id}/report report: ?format=json|text|html, ?wait=1
+//	DELETE /sessions/{id}        cancel + finalize a session
+//	GET    /aggregate            process-level aggregate over sessions
+//	GET    /metrics              service + per-session telemetry metrics
+//	GET    /selftrace            shared Perfetto self-trace (all sessions)
+//
+// The JSON report endpoint serves the byte-for-byte cached
+// Report.WriteJSON output, so `curl …/report > daemon.json` diffs clean
+// against the equivalent one-shot `vxprof -json` artifact.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/cliconfig"
+	"valueexpert/internal/gui"
+	"valueexpert/internal/workloads"
+)
+
+// HandlerConfig shapes the HTTP surface.
+type HandlerConfig struct {
+	// Defaults seeds each POSTed session's engine options; a request's
+	// "options" object overrides individual fields (JSON-merge
+	// semantics). Scale is process-global (workloads.Scale) and fixed at
+	// daemon startup — requests naming a different scale are rejected.
+	Defaults cliconfig.Options
+	// Device is the device profile name sessions run on when the request
+	// names none.
+	Device string
+}
+
+// Handler builds the service's HTTP handler.
+func (s *Service) Handler(hc HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok", "sessions": len(s.Sessions()),
+		})
+	})
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		infos := []Info{}
+		for _, sess := range s.Sessions() {
+			infos = append(infos, sess.Info())
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+	})
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		s.createSession(w, r, hc)
+	})
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if sess := s.session(w, r); sess != nil {
+			writeJSON(w, http.StatusOK, sess.Info())
+		}
+	})
+	mux.HandleFunc("GET /sessions/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		if sess := s.session(w, r); sess != nil {
+			s.serveReport(w, r, sess)
+		}
+	})
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sess := s.session(w, r)
+		if sess == nil {
+			return
+		}
+		sess.Close()
+		writeJSON(w, http.StatusOK, sess.Info())
+	})
+	mux.HandleFunc("GET /aggregate", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Aggregate())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /selftrace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.trace.WriteJSON(w)
+	})
+	return mux
+}
+
+// createRequest is the POST /sessions body. Options follows the shared
+// CLI vocabulary (cliconfig.Options field names), so a request's
+// validation errors speak the same flag names vxprof prints.
+type createRequest struct {
+	Workload  string          `json:"workload"`
+	Device    string          `json:"device"`
+	Optimized bool            `json:"optimized"`
+	Options   json.RawMessage `json:"options"`
+}
+
+func (s *Service) createSession(w http.ResponseWriter, r *http.Request, hc HandlerConfig) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("workload is required"))
+		return
+	}
+	wl, err := workloads.ByName(req.Workload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	device := req.Device
+	if device == "" {
+		device = hc.Device
+	}
+	prof, err := gpu.ProfileByName(device)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// JSON-merge: absent option fields inherit the daemon's defaults.
+	opts := hc.Defaults
+	if len(req.Options) > 0 {
+		if err := json.Unmarshal(req.Options, &opts); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid options: %w", err))
+			return
+		}
+	}
+	if opts.Scale != hc.Defaults.Scale {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("-scale is fixed at daemon startup (%d); per-session scale is not supported", hc.Defaults.Scale))
+		return
+	}
+	if err := opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := opts.EngineConfig(wl.Name())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := opts.FaultPlan()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	variant := workloads.Original
+	if req.Optimized {
+		variant = workloads.Optimized
+	}
+	sess, err := s.Attach(SessionConfig{
+		Program: wl.Name(),
+		Device:  prof,
+		Engine:  cfg,
+		Faults:  plan,
+		Run: func(rt *cuda.Runtime) error {
+			return wl.Run(rt, variant)
+		},
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if err == ErrClosed {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Info())
+}
+
+// serveReport emits one session's report. JSON (the default) serves the
+// cached serialized bytes untouched; text and html render from the
+// cached report. A running session 409s unless ?wait=1 blocks until it
+// finalizes.
+func (s *Service) serveReport(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if r.URL.Query().Get("wait") == "1" {
+		<-sess.Done()
+	}
+	rep, ok := sess.Report()
+	if !ok {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("session %s is still running (retry with ?wait=1)", sess.ID()))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		raw, _ := sess.ReportJSON()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rep.Text())
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, gui.RenderHTML(rep, sess.Graph(), gui.Options{}))
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (want json, text, or html)", format))
+	}
+}
+
+// session resolves the {id} path value, writing a 404 when unknown.
+func (s *Service) session(w http.ResponseWriter, r *http.Request) *Session {
+	id := r.PathValue("id")
+	sess := s.Session(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+	}
+	return sess
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -9,9 +9,12 @@
 //	(c) under injected faults the engine either surfaces a typed error
 //	    or marks the report Degraded — it never returns a silently
 //	    different "clean" report;
-//	(d) every run, faulted or not, releases all its goroutines.
+//	(d) every run, faulted or not, releases all its goroutines;
+//	(e) running the program as a daemon session (internal/daemon) on a
+//	    stream-handler goroutine produces a report byte-identical to
+//	    the one-shot baseline.
 //
-// CheckSeed runs all four for one seed and reports the first violation.
+// CheckSeed runs all five for one seed and reports the first violation.
 // The harness is deliberately a plain function returning error so `make
 // proptest` can print the failing seed and a one-line repro command.
 package proptest
@@ -27,6 +30,7 @@ import (
 	"valueexpert/cuda"
 	"valueexpert/gpu"
 	"valueexpert/internal/core"
+	"valueexpert/internal/daemon"
 	"valueexpert/internal/faultinject"
 	"valueexpert/internal/profile"
 	"valueexpert/internal/trace"
@@ -257,5 +261,52 @@ func CheckSeed(seed int64) error {
 	if err := awaitGoroutines(base); err != nil {
 		return fmt.Errorf("after intolerant run: %w", err)
 	}
+
+	// (e) The multi-tenant lifecycle reproduces the one-shot lifecycle:
+	// the same program attached as a daemon session — profiled on a
+	// stream-handler goroutine, finalized by the session machinery —
+	// yields the baseline report byte for byte.
+	viaDaemon, err := runDaemonSession(seed, cfg(0, 0))
+	if err != nil {
+		return fmt.Errorf("property (e): %w", err)
+	}
+	if !bytes.Equal(baseline.report, viaDaemon) {
+		return fmt.Errorf("property (e): daemon-session and one-shot reports differ (%d vs %d bytes)",
+			len(baseline.report), len(viaDaemon))
+	}
+	if err := awaitGoroutines(base); err != nil {
+		return fmt.Errorf("after daemon-session run: %w", err)
+	}
 	return nil
+}
+
+// runDaemonSession profiles the seed's program as a daemon session and
+// returns the normalized report bytes once the session finalizes.
+func runDaemonSession(seed int64, c core.Config) ([]byte, error) {
+	svc := daemon.NewService()
+	defer svc.Shutdown()
+	sess, err := svc.Attach(daemon.SessionConfig{
+		Program: c.Program,
+		Device:  gpu.RTX2080Ti,
+		Engine:  c,
+		Run: func(rt *cuda.Runtime) error {
+			prog := &workloads.RandomProgram{Seed: seed, Tolerant: true}
+			if errs := prog.Run(rt); len(errs) > 0 {
+				return errs[0]
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("attach: %w", err)
+	}
+	if err := sess.Drain(); err != nil {
+		return nil, fmt.Errorf("session run: %w", err)
+	}
+	rep, ok := sess.Report()
+	if !ok {
+		return nil, fmt.Errorf("session finalized without a report")
+	}
+	cp := *rep
+	return reportBytes(&cp)
 }

@@ -184,6 +184,7 @@ type Recorder struct {
 
 	mu       sync.Mutex
 	program  string
+	labels   map[string]string
 	counters map[string]*Counter
 	timers   map[string]*Timer
 	gauges   map[string]*Gauge
@@ -215,6 +216,36 @@ func (r *Recorder) SetProgram(name string) {
 	r.mu.Lock()
 	r.program = name
 	r.mu.Unlock()
+}
+
+// SetLabel attaches a key/value label to the metrics export — how a
+// multi-tenant service tags each session's recorder (session ID, workload
+// name, device) so exports stay distinguishable after aggregation. An
+// empty value removes the label. Safe on nil and for concurrent use.
+func (r *Recorder) SetLabel(key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if value == "" {
+		delete(r.labels, key)
+		return
+	}
+	if r.labels == nil {
+		r.labels = make(map[string]string)
+	}
+	r.labels[key] = value
+}
+
+// Label returns the value of a label set with SetLabel ("" when unset).
+func (r *Recorder) Label(key string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.labels[key]
 }
 
 // Counter returns the named counter, creating it on first use. Returns
@@ -283,7 +314,10 @@ type GaugeStats struct {
 // keyed by name. encoding/json emits map keys sorted, so the export is
 // deterministic given deterministic values.
 type Metrics struct {
-	Program  string                `json:"program,omitempty"`
+	Program string `json:"program,omitempty"`
+	// Labels carries the recorder's SetLabel tags; absent entirely when
+	// no labels are set, so single-run exports are unchanged.
+	Labels   map[string]string     `json:"labels,omitempty"`
 	WallNS   int64                 `json:"wall_ns"`
 	Counters map[string]uint64     `json:"counters"`
 	Timers   map[string]TimerStats `json:"timers"`
@@ -303,6 +337,12 @@ func (r *Recorder) Metrics() Metrics {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m.Program = r.program
+	if len(r.labels) > 0 {
+		m.Labels = make(map[string]string, len(r.labels))
+		for k, v := range r.labels {
+			m.Labels[k] = v
+		}
+	}
 	m.WallNS = int64(time.Since(r.start))
 	for name, c := range r.counters {
 		m.Counters[name] = c.Value()

@@ -258,3 +258,75 @@ func TestSpanWithoutSinkReadsNoClock(t *testing.T) {
 	sp.End() // must not panic
 	r.Instant(LaneKernel, "c", "i")
 }
+
+func TestLabelsInMetricsExport(t *testing.T) {
+	r := New()
+	r.SetProgram("demo")
+	// No labels: the export must not gain a labels key, keeping single-run
+	// exports unchanged.
+	var plain bytes.Buffer
+	if err := r.WriteMetrics(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), `"labels"`) {
+		t.Fatalf("label-less export carries labels: %s", plain.String())
+	}
+
+	r.SetLabel("session", "s-1")
+	r.SetLabel("workload", "darknet")
+	if got := r.Label("session"); got != "s-1" {
+		t.Fatalf("Label(session) = %q", got)
+	}
+	m := r.Metrics()
+	if m.Labels["session"] != "s-1" || m.Labels["workload"] != "darknet" {
+		t.Fatalf("Labels = %v", m.Labels)
+	}
+	var tagged bytes.Buffer
+	if err := r.WriteMetrics(&tagged); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tagged.String(), `"session": "s-1"`) {
+		t.Fatalf("labels missing from export: %s", tagged.String())
+	}
+
+	r.SetLabel("workload", "") // removal
+	if got := r.Label("workload"); got != "" {
+		t.Fatalf("removed label still present: %q", got)
+	}
+
+	// Nil safety mirrors the other recorder methods.
+	var nr *Recorder
+	nr.SetLabel("k", "v")
+	if got := nr.Label("k"); got != "" {
+		t.Fatalf("nil recorder Label = %q", got)
+	}
+}
+
+func TestProcessSinkRewritesPID(t *testing.T) {
+	shared := NewBuffer()
+	r := New()
+	r.DeclareLane(LaneKernel, "kernel execution")
+	r.AttachTrace(ProcessSink(shared, 7, "session s-7"))
+	r.Instant(LaneKernel, "c", "tick")
+	r.Span(LaneKernel, "kernel", "k").End()
+
+	events := shared.Events()
+	var sawProcName bool
+	for _, ev := range events {
+		if ev.PID != 7 {
+			t.Fatalf("event %q kept PID %d, want 7", ev.Name, ev.PID)
+		}
+		if ev.Name == "process_name" {
+			sawProcName = true
+			if ev.Args["name"] != "session s-7" {
+				t.Fatalf("process_name args = %v", ev.Args)
+			}
+		}
+	}
+	if !sawProcName {
+		t.Fatal("no process_name metadata emitted")
+	}
+	if len(events) < 4 { // process_name, thread_name, instant, span
+		t.Fatalf("only %d events captured", len(events))
+	}
+}

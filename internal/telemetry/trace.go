@@ -85,6 +85,33 @@ func (b *Buffer) WriteJSON(w io.Writer) error {
 	return nil
 }
 
+// ProcessSink wraps a TraceSink, rewriting every event's PID and naming
+// the process. Recorders hardcode PID 1 — right for one run per trace —
+// so a multi-tenant service funnels each session's recorder through its
+// own ProcessSink into one shared Buffer: sessions render as separate
+// processes in Perfetto, each with its own named lanes.
+func ProcessSink(sink TraceSink, pid int, name string) TraceSink {
+	s := &processSink{sink: sink, pid: pid}
+	if name != "" {
+		sink.Emit(Event{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	return s
+}
+
+type processSink struct {
+	sink TraceSink
+	pid  int
+}
+
+// Emit implements TraceSink.
+func (s *processSink) Emit(ev Event) {
+	ev.PID = s.pid
+	s.sink.Emit(ev)
+}
+
 // SetTrace attaches (or, with nil, detaches) the recorder's trace sink.
 // Span and Instant no-op while no sink is attached; attach before the
 // activity of interest. Safe on a nil recorder.

@@ -252,6 +252,23 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
+// EvictObjects removes every edge labelled with one of the dead objects,
+// and the objects' last-writer entries. Vertices stay: they aggregate
+// invocation counts and byte totals across objects, and those totals are
+// unchanged — only the per-object flow detail is released. Edges are the
+// graph's unbounded dimension (one per (from, to, object, op)), so this
+// is what bounds graph memory on unbounded-lifetime runs.
+func (g *Graph) EvictObjects(dead map[int]bool) {
+	for key, e := range g.edges {
+		if dead[e.Object] {
+			delete(g.edges, key)
+		}
+	}
+	for id := range dead {
+		delete(g.lastWriter, id)
+	}
+}
+
 // NumVertices and NumEdges report graph size. NumVertices counts only
 // vertices that appear on edges or have invocations, excluding an unused
 // host vertex.

@@ -160,6 +160,37 @@ func (t *DuplicateTracker) Observe(objID int, snapshot []byte) {
 	}
 }
 
+// Evict forgets the given objects entirely: they leave the live hash
+// groups, their last-snapshot entries, and every historical group —
+// groups left with fewer than two members dissolve, the rest re-key to
+// their surviving member list. Called by the engine's dead-object
+// eviction; the remaining objects' groups are exactly what a tracker
+// that never saw the evicted objects would hold.
+func (t *DuplicateTracker) Evict(dead map[int]bool) {
+	for id := range dead {
+		if h, ok := t.lastOf[id]; ok {
+			delete(t.byHash[h], id)
+			if len(t.byHash[h]) == 0 {
+				delete(t.byHash, h)
+			}
+			delete(t.lastOf, id)
+		}
+	}
+	rekeyed := make(map[string][]int, len(t.ever))
+	for _, g := range t.ever {
+		kept := g[:0]
+		for _, id := range g {
+			if !dead[id] {
+				kept = append(kept, id)
+			}
+		}
+		if len(kept) >= 2 {
+			rekeyed[fmt.Sprint(kept)] = kept
+		}
+	}
+	t.ever = rekeyed
+}
+
 // EverGroups returns every duplicate group observed at any API during the
 // run, largest first; subsets of a recorded group are elided.
 func (t *DuplicateTracker) EverGroups() [][]int {

@@ -147,10 +147,13 @@ func (w *darknet) Run(rt *cuda.Runtime, v Variant) error {
 
 	// The network input (the im2col-ed image): uploaded once per forward
 	// pass in both variants — traffic the optimization does not remove.
+	rt.PushFrame(callpath.Frame{Func: "forward_network_gpu", File: "network_kernels.cu", Line: 60})
 	dInput, err := rt.MallocF32(2*outputs, "net.input_gpu")
 	if err != nil {
+		rt.PopFrame()
 		return err
 	}
+	rt.PopFrame()
 	img := make([]float32, 2*outputs)
 	for i := range img {
 		img[i] = float32(r.NormFloat64())
@@ -286,6 +289,8 @@ func (w *darknet) Run(rt *cuda.Runtime, v Variant) error {
 	}
 
 	out := make([]float32, 1024)
+	rt.PushFrame(callpath.Frame{Func: "get_network_output_gpu", File: "network_kernels.cu", Line: 530})
+	defer rt.PopFrame()
 	return rt.CopyF32FromDevice(out, layers[len(layers)-1].outputGPU)
 }
 

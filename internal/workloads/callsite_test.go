@@ -1,0 +1,63 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/core"
+)
+
+// callSiteRun profiles one workload either directly from the test
+// goroutine or from a spawned goroutine with a different stack, and
+// returns the normalized report bytes.
+func callSiteRun(t *testing.T, w Workload, indirect bool) []byte {
+	t.Helper()
+	cfg := core.Config{Coarse: true, Fine: true, Program: w.Name()}
+	rt := cuda.NewRuntime(gpu.RTX2080Ti)
+	run := func(rt *cuda.Runtime) error { return w.Run(rt, Original) }
+	var p *core.Profiler
+	var err error
+	if indirect {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			p, err = core.Profile(cuda.NewLiveSource(rt, run), cfg)
+		}()
+		<-done
+	} else {
+		p, err = core.Profile(cuda.NewLiveSource(rt, run), cfg)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name(), err)
+	}
+	p.Detach()
+	rep := *p.Report()
+	rep.Stats.AnalysisTime = 0
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReportsCallSiteIndependent: every bundled workload's report must
+// not depend on which goroutine or call site drives it — every GPU API
+// call needs a synthetic frame covering it, or the captured Go stack
+// leaks the harness entry point into the report's call paths. The
+// vxprofd daemon relies on this: a session (run on a stream-handler
+// goroutine) must produce bytes identical to a one-shot vxprof run of
+// the same workload.
+func TestReportsCallSiteIndependent(t *testing.T) {
+	old := Scale
+	Scale = 64
+	defer func() { Scale = old }()
+	for _, w := range All() {
+		direct := callSiteRun(t, w, false)
+		indirect := callSiteRun(t, w, true)
+		if !bytes.Equal(direct, indirect) {
+			t.Errorf("%s: report depends on the call site (an API call is missing its synthetic frame)", w.Name())
+		}
+	}
+}

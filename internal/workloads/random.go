@@ -9,6 +9,7 @@ package workloads
 import (
 	"math/rand"
 
+	"valueexpert/callpath"
 	"valueexpert/cuda"
 	"valueexpert/gpu"
 )
@@ -191,6 +192,12 @@ type liveBuf struct {
 // error alone. The value-fill generator is seeded independently of the
 // schedule so fills don't shift when operations are skipped.
 func (p *RandomProgram) Run(rt *cuda.Runtime) []error {
+	// A synthetic frame keeps captured call paths independent of the
+	// goroutine and call site running the program, so reports stay
+	// byte-comparable across harness entry points (one-shot runs, daemon
+	// sessions, replay).
+	rt.PushFrame(callpath.Frame{Func: "RandomProgram.Run", File: "workloads/random.go", Line: 1})
+	defer rt.PopFrame()
 	vals := rand.New(rand.NewSource(p.Seed ^ 0x5eed))
 	var (
 		bufs []liveBuf

@@ -1,0 +1,62 @@
+package valueexpert
+
+import (
+	"net/http"
+
+	"valueexpert/internal/cliconfig"
+	"valueexpert/internal/daemon"
+)
+
+// The serving surface: where Profile owns one application for one call,
+// a Service hosts any number of concurrently attached applications, each
+// a long-lived session with its own event-stream handler, and serves
+// their reports, a process-level aggregate, and live telemetry over
+// HTTP. This is the library form of the vxprofd daemon.
+type (
+	// Service is a multi-tenant profiler host; see internal/daemon.
+	Service = daemon.Service
+	// SessionHandle is one attached application's session. (The name
+	// Session is taken by the multi-GPU profiling session above.)
+	SessionHandle = daemon.Session
+	// ServiceSessionConfig describes an application to Service.Attach.
+	ServiceSessionConfig = daemon.SessionConfig
+	// SessionState is a session's lifecycle position.
+	SessionState = daemon.State
+	// SessionInfo is a session's listing entry.
+	SessionInfo = daemon.Info
+	// ServiceAggregate is the deterministic process-level fold over
+	// finalized session reports.
+	ServiceAggregate = daemon.Aggregate
+	// ServeConfig shapes the HTTP surface (engine option defaults and
+	// the default device for POSTed sessions).
+	ServeConfig = daemon.HandlerConfig
+	// EngineOptions is the shared flag-shaped engine option set (the
+	// vxprof flag surface and the POST /sessions "options" vocabulary);
+	// use it to fill ServeConfig.Defaults.
+	EngineOptions = cliconfig.Options
+)
+
+// The session lifecycle states.
+const (
+	SessionRunning  = daemon.StateRunning
+	SessionDone     = daemon.StateDone
+	SessionFailed   = daemon.StateFailed
+	SessionCanceled = daemon.StateCanceled
+)
+
+// ErrServiceClosed is returned by Attach on a draining service.
+var ErrServiceClosed = daemon.ErrClosed
+
+// NewService creates an empty profiling service. Attach applications
+// with Service.Attach, serve reports with Serve or Service.Handler, and
+// drain with Service.Shutdown — a session canceled mid-kernel still
+// yields a report, marked Degraded.
+func NewService() *Service { return daemon.NewService() }
+
+// Serve runs the service's HTTP report surface on addr (blocking), with
+// JSON/text/GUI report endpoints per session plus /aggregate, /metrics,
+// and /selftrace. For custom servers use Service.Handler directly.
+func Serve(addr string, svc *Service, cfg ServeConfig) error {
+	srv := &http.Server{Addr: addr, Handler: svc.Handler(cfg)}
+	return srv.ListenAndServe()
+}
