@@ -51,14 +51,17 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/vxpipebench -iters 3 -baseline BENCH_pipeline.json \
 		-tolerance $(BENCH_TOLERANCE) -out BENCH_pipeline.json
+	$(GO) run ./cmd/vxtracebench -iters 3 -baseline BENCH_trace.json \
+		-tolerance $(BENCH_TOLERANCE) -out BENCH_trace.json
 
-# fuzz runs each sass fuzz target for FUZZTIME, growing the checked-in
-# seed corpus under sass/testdata/fuzz/. Plain `go test` replays the
-# corpus; this target explores beyond it.
+# fuzz runs each fuzz target for FUZZTIME, growing the checked-in seed
+# corpora under {sass,internal/trace}/testdata/fuzz/. Plain `go test`
+# replays the corpora; this target explores beyond them.
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./sass
 	$(GO) test -run='^$$' -fuzz='^FuzzReadModule$$' -fuzztime=$(FUZZTIME) ./sass
 	$(GO) test -run='^$$' -fuzz='^FuzzAssemble$$' -fuzztime=$(FUZZTIME) ./sass
+	$(GO) test -run='^$$' -fuzz='^FuzzScan$$' -fuzztime=$(FUZZTIME) ./internal/trace
 
 # proptest runs the property-based differential harness over
 # PROPTEST_SEEDS seeds under the race detector. A failure prints the

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"valueexpert"
@@ -71,7 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *recordOut != "" {
-		if err := recordRun(*workload, o.device, o.Scale, *recordOut, *optimized); err != nil {
+		if err := recordRun(*workload, o, *recordOut, *optimized); err != nil {
 			fmt.Fprintln(os.Stderr, "vxprof:", err)
 			os.Exit(1)
 		}
@@ -185,38 +186,56 @@ func writeTelemetry(tel *valueexpert.Telemetry, traceBuf *valueexpert.TraceBuffe
 	return nil
 }
 
-// recordRun captures a workload's API+access trace for later analysis.
-func recordRun(workload, device string, scale int, out string, optimized bool) error {
+// recordRun captures a workload's API+access trace for later analysis,
+// streaming the selected encoding to the output file. A JSONL mirror
+// over a counting discard prices the readable encoding of the same
+// stream, so the summary can state the achieved compression ratio.
+func recordRun(workload string, o *options, out string, optimized bool) error {
 	w, err := workloads.ByName(workload)
 	if err != nil {
 		return err
 	}
-	prof, err := gpu.ProfileByName(device)
+	prof, err := gpu.ProfileByName(o.device)
 	if err != nil {
 		return err
 	}
-	if scale > 0 {
-		workloads.Scale = scale
+	format, err := o.Format()
+	if err != nil {
+		return err
 	}
-	rt := cuda.NewRuntime(prof)
-	rec := trace.Record(rt)
-	variant := workloads.Original
-	if optimized {
-		variant = workloads.Optimized
-	}
-	if err := w.Run(rt, variant); err != nil {
-		return fmt.Errorf("recording %s: %w", w.Name(), err)
+	if o.Scale > 0 {
+		workloads.Scale = o.Scale
 	}
 	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	n, err := rec.WriteTo(f)
-	if err != nil {
-		return err
+	rt := cuda.NewRuntime(prof)
+	rec := trace.Record(rt, f, format)
+	var jsonlMirror *trace.Writer
+	if format == trace.FormatBinary {
+		jsonlMirror = trace.NewWriter(io.Discard, trace.FormatJSONL)
+		rec.Mirror(jsonlMirror)
 	}
-	fmt.Fprintf(os.Stderr, "recorded %d events (%d bytes) to %s\n", rec.Events(), n, out)
+	variant := workloads.Original
+	if optimized {
+		variant = workloads.Optimized
+	}
+	runErr := w.Run(rt, variant)
+	if err := rec.Close(); err != nil {
+		return fmt.Errorf("recording %s: %w", w.Name(), err)
+	}
+	if runErr != nil {
+		return fmt.Errorf("recording %s: %w", w.Name(), runErr)
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d events, %d access records (%d bytes, %s) to %s\n",
+		rec.Events(), rec.Accesses(), rec.BytesWritten(), format, out)
+	if jsonlMirror != nil && rec.BytesWritten() > 0 {
+		fmt.Fprintf(os.Stderr, "compression: %.1fx vs JSONL (%d bytes)\n",
+			float64(jsonlMirror.BytesWritten())/float64(rec.BytesWritten()),
+			jsonlMirror.BytesWritten())
+	}
 	return nil
 }
 

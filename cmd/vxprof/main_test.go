@@ -95,7 +95,8 @@ func TestRunOptimizedVariant(t *testing.T) {
 func TestRecordAndReplay(t *testing.T) {
 	dir := t.TempDir()
 	traceOut := filepath.Join(dir, "run.trace")
-	if err := recordRun("PyTorch-Bert", "RTX 2080 Ti", 64, traceOut, false); err != nil {
+	ro := opts("RTX 2080 Ti", cliconfig.Options{Coarse: true, Scale: 64})
+	if err := recordRun("PyTorch-Bert", ro, traceOut, false); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(traceOut); err != nil || st.Size() == 0 {

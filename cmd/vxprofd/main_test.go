@@ -22,6 +22,7 @@ import (
 	"valueexpert/internal/daemon"
 	"valueexpert/internal/profile"
 	"valueexpert/internal/telemetry"
+	"valueexpert/internal/trace"
 	"valueexpert/internal/workloads"
 )
 
@@ -294,4 +295,93 @@ func waitHealthy(base string) bool {
 		time.Sleep(20 * time.Millisecond)
 	}
 	return false
+}
+
+// TestTraceEndpoint: a session created with "trace": true serves its
+// recorded container on /sessions/{id}/trace, and replaying those bytes
+// through the one-shot engine reproduces the served report byte for
+// byte. Sessions created without tracing 404 on the same endpoint.
+func TestTraceEndpoint(t *testing.T) {
+	workloads.Scale = 64
+	defer func() { workloads.Scale = 1 }()
+
+	svc := daemon.NewService()
+	defer svc.Shutdown()
+	ts := httptest.NewServer(svc.Handler(daemon.HandlerConfig{
+		Defaults: smokeDefaults(), Device: "RTX 2080 Ti",
+	}))
+	defer ts.Close()
+
+	create := func(body string) daemon.Info {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var info daemon.Info
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /sessions = %d (%+v)", resp.StatusCode, info)
+		}
+		return info
+	}
+
+	traced := create(`{"workload": "Darknet", "trace": true}`)
+	resp, err := http.Get(ts.URL + "/sessions/" + traced.ID + "/trace?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d: %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("trace content type %q", ct)
+	}
+	if !bytes.HasPrefix(data, []byte("VXTR")) {
+		t.Fatalf("served trace is not the binary container: % x", data[:8])
+	}
+
+	resp, err = http.Get(ts.URL + "/sessions/" + traced.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET report = %d: %v", resp.StatusCode, err)
+	}
+	served, err := profile.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := smokeDefaults()
+	cfg, err := opts.EngineConfig("Darknet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Profile(trace.NewSource(bytes.NewReader(data), gpu.RTX2080Ti), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Detach()
+	if !bytes.Equal(normalize(t, p.Report()), normalize(t, served)) {
+		t.Fatal("replaying the served trace does not reproduce the served report")
+	}
+
+	// No trace requested: the endpoint 404s after the session finalizes.
+	plain := create(`{"workload": "Rodinia/bfs"}`)
+	resp, err = http.Get(ts.URL + "/sessions/" + plain.ID + "/trace?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced session trace = %d, want 404", resp.StatusCode)
+	}
 }

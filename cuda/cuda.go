@@ -165,6 +165,11 @@ func (r *Runtime) SetInterceptor(i Interceptor) {
 	r.icept = i
 }
 
+// Interceptor returns the currently installed interceptor, or nil. It
+// lets a second observer (the trace recorder) chain in front of an
+// already-attached profiler and restore it on detach.
+func (r *Runtime) Interceptor() Interceptor { return r.icept }
+
 // PushFrame appends a synthetic host stack frame; PopFrame removes it.
 // While any synthetic frames are pushed, API events carry the synthetic
 // stack instead of the Go runtime stack.
@@ -230,6 +235,31 @@ func (r *Runtime) Malloc(size uint64, tag string) (DevPtr, error) {
 		return 0, injectedError(&ev, ErrOOM, op, inj)
 	}
 	a, err := r.dev.Mem.Alloc(size, tag)
+	if err != nil {
+		return 0, apiError(&ev, ErrOOM, op, err)
+	}
+	r.dev.RecordAlloc(size)
+	ev.Dst = a.Addr
+	r.end(&ev)
+	return DevPtr(a.Addr), nil
+}
+
+// MallocAt allocates size bytes of device memory pinned to a recorded
+// address and allocation ID — the capsule replay primitive
+// (trace.Event kind "alloc_at"). It runs the full Malloc API path, so an
+// attached profiler observes an ordinary allocation event and registers
+// the object under its original ID.
+func (r *Runtime) MallocAt(id int, addr, size uint64, tag string) (DevPtr, error) {
+	op := fmt.Sprintf("cudaMallocAt(%q, #%d, %#x, %d)", tag, id, addr, size)
+	if err := r.canceledErr(APIMalloc, op); err != nil {
+		return 0, err
+	}
+	ev := APIEvent{Kind: APIMalloc, Name: "cudaMalloc", Bytes: size}
+	r.begin(&ev)
+	if inj, ok := r.faults.Fire(faultinject.Malloc); ok {
+		return 0, injectedError(&ev, ErrOOM, op, inj)
+	}
+	a, err := r.dev.Mem.AllocAt(id, addr, size, tag)
 	if err != nil {
 		return 0, apiError(&ev, ErrOOM, op, err)
 	}

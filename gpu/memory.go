@@ -107,6 +107,60 @@ func (m *Memory) Alloc(size uint64, tag string) (*Allocation, error) {
 	return a, nil
 }
 
+// AllocAt reserves size bytes of zeroed device memory at a caller-chosen
+// address with a caller-chosen (1-based) allocation ID — the capsule
+// replay primitive: an extracted launch re-creates exactly the
+// allocations it touches, at their recorded addresses, keeping the IDs
+// the full-trace profile assigned. The bump pointer and ID counter
+// advance past the pinned allocation, so ordinary Alloc calls may follow.
+func (m *Memory) AllocAt(id int, addr, size uint64, tag string) (*Allocation, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("gpu: zero-size allocation (tag %q)", tag)
+	}
+	if id <= 0 {
+		return nil, fmt.Errorf("gpu: pinned allocation id %d must be positive (tag %q)", id, tag)
+	}
+	if addr+size < addr {
+		return nil, fmt.Errorf("gpu: pinned allocation [%#x,+%d) wraps the address space (tag %q)", addr, size, tag)
+	}
+	if addr < SharedBase+SharedSize && addr+size > SharedBase {
+		return nil, fmt.Errorf("gpu: pinned allocation [%#x,+%d) overlaps the shared window (tag %q)", addr, size, tag)
+	}
+	if m.used+size > m.limit {
+		return nil, fmt.Errorf("gpu: out of device memory: %d bytes requested, %d free (tag %q)",
+			size, m.limit-m.used, tag)
+	}
+	if m.LookupID(id) != nil {
+		return nil, fmt.Errorf("gpu: pinned allocation id %d already in use (tag %q)", id, tag)
+	}
+	i := sort.Search(len(m.allocs), func(i int) bool {
+		return m.allocs[i].End() > addr
+	})
+	if i < len(m.allocs) && m.allocs[i].Addr < addr+size {
+		return nil, fmt.Errorf("gpu: pinned allocation [%#x,+%d) overlaps %q [%#x,+%d)",
+			addr, size, m.allocs[i].Tag, m.allocs[i].Addr, m.allocs[i].Size)
+	}
+	a := &Allocation{
+		ID:   id,
+		Addr: addr,
+		Size: size,
+		Tag:  tag,
+		Data: make([]byte, size),
+		Live: true,
+	}
+	m.allocs = append(m.allocs, nil)
+	copy(m.allocs[i+1:], m.allocs[i:])
+	m.allocs[i] = a
+	m.used += size
+	if id > m.nextID {
+		m.nextID = id
+	}
+	if addr+size > m.next {
+		m.next = addr + size
+	}
+	return a, nil
+}
+
 // Free releases the allocation at addr.
 func (m *Memory) Free(addr uint64) error {
 	i := m.findIndex(addr)

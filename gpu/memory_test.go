@@ -172,3 +172,63 @@ func TestLookupProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAllocAt(t *testing.T) {
+	m := NewMemory(1 << 20)
+	a, err := m.AllocAt(7, GlobalBase+0x1000, 256, "pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != 7 || a.Addr != GlobalBase+0x1000 || a.Size != 256 || !a.Live {
+		t.Fatalf("pinned allocation malformed: %+v", a)
+	}
+	if got := m.Lookup(a.Addr + 10); got != a {
+		t.Fatalf("Lookup inside pinned = %v, want a", got)
+	}
+	if got := m.LookupID(7); got != a {
+		t.Fatalf("LookupID(7) = %v, want a", got)
+	}
+	// Ordinary allocation proceeds past the pinned range without overlap,
+	// and never reuses the pinned ID.
+	b, err := m.Alloc(128, "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Addr < a.End() || b.ID <= 7 {
+		t.Fatalf("follow-up allocation overlaps or reuses the pinned slot: %+v", b)
+	}
+	// The pinned range frees like any other.
+	if err := m.Free(a.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if m.Lookup(a.Addr) != nil {
+		t.Fatal("freed pinned allocation still mapped")
+	}
+}
+
+func TestAllocAtErrors(t *testing.T) {
+	m := NewMemory(1 << 20)
+	a, err := m.Alloc(512, "existing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		id   int
+		addr uint64
+		size uint64
+	}{
+		{"zero size", 2, GlobalBase + 0x4000, 0},
+		{"non-positive id", 0, GlobalBase + 0x4000, 64},
+		{"address wrap", 2, ^uint64(0) - 8, 64},
+		{"shared overlap", 2, SharedBase + 16, 64},
+		{"capacity", 2, GlobalBase + 0x100000, 1 << 21},
+		{"id in use", a.ID, GlobalBase + 0x4000, 64},
+		{"range overlap", 2, a.Addr + 16, 64},
+	}
+	for _, tc := range cases {
+		if _, err := m.AllocAt(tc.id, tc.addr, tc.size, tc.name); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"valueexpert/internal/core"
 	"valueexpert/internal/faultinject"
+	"valueexpert/internal/trace"
 	"valueexpert/internal/vpattern"
 )
 
@@ -34,6 +35,7 @@ type Options struct {
 	Workers       int
 	Depth         int
 	Faults        string // raw -faults spec ("" = no injection)
+	TraceFormat   string // trace container encoding: "binary" or "jsonl"
 }
 
 // Register installs the shared flags on fs, bound to o's fields, with
@@ -49,6 +51,7 @@ func (o *Options) Register(fs *flag.FlagSet) {
 	fs.IntVar(&o.Workers, "workers", 0, "analysis workers overlapping kernel execution (0 = synchronous)")
 	fs.IntVar(&o.Depth, "depth", 0, "flush-buffer pipeline depth (0 = workers+1 when pipelined, else 1)")
 	fs.StringVar(&o.Faults, "faults", "", "deterministic fault-injection spec, e.g. 'seed=7,prob=0.05' or 'malloc@1,launch@2+16' (see DESIGN.md §8)")
+	fs.StringVar(&o.TraceFormat, "trace-format", "binary", "trace container encoding for recording: 'binary' (columnar, compact) or 'jsonl' (readable debug); replay sniffs either")
 }
 
 // FlagForField maps Config.Validate's typed field names back to the
@@ -105,7 +108,20 @@ func (o *Options) Validate() error {
 	if _, err := o.FaultPlan(); err != nil {
 		return err
 	}
+	if _, err := o.Format(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// Format parses the -trace-format value; the empty flag (hand-built
+// Options) selects the binary default.
+func (o *Options) Format() (trace.Format, error) {
+	f, err := trace.ParseFormat(o.TraceFormat)
+	if err != nil {
+		return 0, fmt.Errorf("-trace-format: %w", err)
+	}
+	return f, nil
 }
 
 // PatternList turns the -patterns value into a validated name list. The

@@ -4,6 +4,8 @@ import (
 	"flag"
 	"strings"
 	"testing"
+
+	"valueexpert/internal/trace"
 )
 
 // defaults returns an Options carrying the flag defaults, the way both
@@ -53,6 +55,7 @@ func TestValidate(t *testing.T) {
 		{"reuse without analyses", func(o *Options) { o.ReuseDistance = true; o.Coarse = false; o.Fine = false }, "-reuse"},
 		{"unknown pattern", func(o *Options) { o.Patterns = "bogus" }, "-patterns"},
 		{"bad fault spec", func(o *Options) { o.Faults = "bogus@x" }, "-faults"},
+		{"unknown trace format", func(o *Options) { o.TraceFormat = "protobuf" }, "-trace-format"},
 	}
 	for _, tc := range cases {
 		o := defaults(t)
@@ -143,5 +146,25 @@ func TestEngineConfig(t *testing.T) {
 	o.Patterns = "bogus"
 	if _, err := o.EngineConfig("demo"); err == nil {
 		t.Fatal("invalid patterns accepted by EngineConfig")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	o := defaults(t)
+	if o.TraceFormat != "binary" {
+		t.Fatalf("default -trace-format = %q", o.TraceFormat)
+	}
+	for in, want := range map[string]trace.Format{
+		"": trace.FormatBinary, "binary": trace.FormatBinary, "jsonl": trace.FormatJSONL,
+	} {
+		o.TraceFormat = in
+		got, err := o.Format()
+		if err != nil || got != want {
+			t.Fatalf("Format(%q) = %v, %v", in, got, err)
+		}
+	}
+	o.TraceFormat = "xml"
+	if _, err := o.Format(); err == nil || !strings.Contains(err.Error(), "-trace-format") {
+		t.Fatalf("unknown format: %v", err)
 	}
 }

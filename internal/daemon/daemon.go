@@ -32,6 +32,7 @@ import (
 	"valueexpert/internal/faultinject"
 	"valueexpert/internal/profile"
 	"valueexpert/internal/telemetry"
+	"valueexpert/internal/trace"
 	"valueexpert/internal/vflow"
 )
 
@@ -87,6 +88,15 @@ type SessionConfig struct {
 	// Faults, when non-nil, is armed on the session's runtime before the
 	// profiler attaches (the same ordering vxprof uses).
 	Faults *faultinject.Plan
+	// Trace, when true, additionally records the session's API+access
+	// stream: a streaming trace recorder chains in front of the profiler
+	// (the profiled report stays byte-identical) and the serialized
+	// container is cached at finalization (Session.TraceData, the
+	// /sessions/{id}/trace endpoint).
+	Trace bool
+	// TraceFormat selects the recorded container encoding; the zero
+	// value is the columnar binary format.
+	TraceFormat trace.Format
 	// Run issues the application's GPU work against the session runtime.
 	Run func(rt *cuda.Runtime) error
 }
@@ -135,16 +145,18 @@ func (s *Service) Attach(sc SessionConfig) (*Session, error) {
 	sc.Engine.Telemetry = tel
 
 	sess := &Session{
-		svc:     s,
-		id:      id,
-		seq:     s.seq,
-		program: sc.Program,
-		device:  sc.Device.Name,
-		rt:      rt,
-		cfg:     sc.Engine,
-		tel:     tel,
-		done:    make(chan struct{}),
-		state:   StateRunning,
+		svc:      s,
+		id:       id,
+		seq:      s.seq,
+		program:  sc.Program,
+		device:   sc.Device.Name,
+		rt:       rt,
+		cfg:      sc.Engine,
+		tel:      tel,
+		traceOn:  sc.Trace,
+		traceFmt: sc.TraceFormat,
+		done:     make(chan struct{}),
+		state:    StateRunning,
 	}
 	s.sessions[id] = sess
 	s.wg.Add(1)
@@ -233,14 +245,16 @@ func (s *Service) Shutdown() {
 // it, and the stream handler goroutine in between. All exported methods
 // are safe from any goroutine.
 type Session struct {
-	svc     *Service
-	id      string
-	seq     int
-	program string
-	device  string
-	rt      *cuda.Runtime
-	cfg     core.Config
-	tel     *telemetry.Recorder
+	svc      *Service
+	id       string
+	seq      int
+	program  string
+	device   string
+	rt       *cuda.Runtime
+	cfg      core.Config
+	tel      *telemetry.Recorder
+	traceOn  bool
+	traceFmt trace.Format
 
 	done chan struct{}
 
@@ -250,6 +264,7 @@ type Session struct {
 	prof       *core.Profiler
 	report     *profile.Report
 	reportJSON []byte
+	traceData  []byte
 	runErr     error
 }
 
@@ -260,7 +275,23 @@ type Session struct {
 func (sess *Session) stream(run func(rt *cuda.Runtime) error) {
 	defer sess.svc.wg.Done()
 	src := cuda.NewLiveSource(sess.rt, run)
-	p, err := core.Profile(src, sess.cfg)
+	// When tracing, the recorder chains in front of the profiler — it sees
+	// every event first, writes it to the container, and forwards it, so
+	// the profiled report is identical with or without tracing.
+	var rec *trace.Recorder
+	var traceBuf bytes.Buffer
+	p, err := cuda.Drive(src, func(rt *cuda.Runtime) *core.Profiler {
+		prof := core.Attach(rt, sess.cfg)
+		if sess.traceOn {
+			rec = trace.Record(rt, &traceBuf, sess.traceFmt)
+		}
+		return prof
+	})
+	if rec != nil {
+		if cerr := rec.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	// Detach drains any in-flight launch; from here the profiler is
 	// exclusively this goroutine's to read, and then immutable.
 	p.Detach()
@@ -286,6 +317,9 @@ func (sess *Session) stream(run func(rt *cuda.Runtime) error) {
 	sess.prof = p
 	sess.report = rep
 	sess.reportJSON = buf.Bytes()
+	if rec != nil {
+		sess.traceData = traceBuf.Bytes()
+	}
 	sess.runErr = err
 	sess.state = state
 	sess.mu.Unlock()
@@ -358,6 +392,16 @@ func (sess *Session) ReportJSON() ([]byte, bool) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	return sess.reportJSON, sess.reportJSON != nil
+}
+
+// TraceData returns the serialized trace container cached at
+// finalization, or (nil, false) while the session is still running or
+// when it was attached without Trace. The bytes replay through
+// trace.NewSource into a report identical to the session's own.
+func (sess *Session) TraceData() ([]byte, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.traceData, sess.traceData != nil
 }
 
 // Graph returns the session's value flow graph once finalized, nil while

@@ -13,6 +13,7 @@ import (
 	"valueexpert/internal/core"
 	"valueexpert/internal/faultinject"
 	"valueexpert/internal/profile"
+	"valueexpert/internal/trace"
 	"valueexpert/internal/workloads"
 )
 
@@ -387,5 +388,80 @@ func TestSessionMetricsAndTrace(t *testing.T) {
 	}
 	if !pids[1] || !pids[2] {
 		t.Fatalf("trace PIDs = %v, want one process per session", pids)
+	}
+}
+
+// TestSessionTraceReplayMatchesReport: a session attached with Trace
+// records its event stream without perturbing the profile, and replaying
+// the cached container through the one-shot engine reproduces the
+// session's report byte for byte.
+func TestSessionTraceReplayMatchesReport(t *testing.T) {
+	svc := NewService()
+	defer svc.Shutdown()
+
+	sess, err := svc.Attach(SessionConfig{
+		Program: "rnd-42", Device: gpu.RTX2080Ti, Engine: engineCfg(),
+		Trace: true, Run: randomRun(42),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := sess.TraceData()
+	if !ok || len(data) == 0 {
+		t.Fatal("traced session cached no trace data")
+	}
+	if !bytes.HasPrefix(data, []byte("VXTR")) {
+		t.Fatalf("default trace format is not the binary container: % x", data[:8])
+	}
+
+	// Tracing must not perturb the profile: the traced session's report
+	// matches the untraced one-shot run.
+	rep, _ := sess.Report()
+	if !bytes.Equal(normBytes(t, rep), normBytes(t, oneShot(t, 42))) {
+		t.Fatal("traced session report differs from the untraced one-shot run")
+	}
+
+	cfg := engineCfg()
+	cfg.Program = "rnd-42"
+	p, err := core.Profile(trace.NewSource(bytes.NewReader(data), gpu.RTX2080Ti), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Detach()
+	if !bytes.Equal(normBytes(t, p.Report()), normBytes(t, rep)) {
+		t.Fatal("replayed trace report differs from the session report")
+	}
+
+	// A JSONL-format session records the readable encoding.
+	jsess, err := svc.Attach(SessionConfig{
+		Program: "rnd-7", Device: gpu.RTX2080Ti, Engine: engineCfg(),
+		Trace: true, TraceFormat: trace.FormatJSONL, Run: randomRun(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsess.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	jdata, ok := jsess.TraceData()
+	if !ok || !bytes.HasPrefix(jdata, []byte("{")) {
+		t.Fatalf("JSONL session trace malformed: %.20q", jdata)
+	}
+
+	// An untraced session caches nothing.
+	plain, err := svc.Attach(SessionConfig{
+		Program: "rnd-9", Device: gpu.RTX2080Ti, Engine: engineCfg(), Run: randomRun(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.TraceData(); ok {
+		t.Fatal("untraced session reports trace data")
 	}
 }

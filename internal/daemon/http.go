@@ -6,6 +6,7 @@
 //	POST   /sessions             attach a bundled workload as a session
 //	GET    /sessions/{id}        one session's info
 //	GET    /sessions/{id}/report report: ?format=json|text|html, ?wait=1
+//	GET    /sessions/{id}/trace  recorded trace container, ?wait=1
 //	DELETE /sessions/{id}        cancel + finalize a session
 //	GET    /aggregate            process-level aggregate over sessions
 //	GET    /metrics              service + per-session telemetry metrics
@@ -68,6 +69,11 @@ func (s *Service) Handler(hc HandlerConfig) http.Handler {
 			s.serveReport(w, r, sess)
 		}
 	})
+	mux.HandleFunc("GET /sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		if sess := s.session(w, r); sess != nil {
+			s.serveTrace(w, r, sess)
+		}
+	})
 	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		sess := s.session(w, r)
 		if sess == nil {
@@ -93,10 +99,14 @@ func (s *Service) Handler(hc HandlerConfig) http.Handler {
 // CLI vocabulary (cliconfig.Options field names), so a request's
 // validation errors speak the same flag names vxprof prints.
 type createRequest struct {
-	Workload  string          `json:"workload"`
-	Device    string          `json:"device"`
-	Optimized bool            `json:"optimized"`
-	Options   json.RawMessage `json:"options"`
+	Workload  string `json:"workload"`
+	Device    string `json:"device"`
+	Optimized bool   `json:"optimized"`
+	// Trace additionally records the session's event stream; the
+	// container is served by GET /sessions/{id}/trace after the session
+	// finalizes. The encoding follows the options' TraceFormat field.
+	Trace   bool            `json:"trace"`
+	Options json.RawMessage `json:"options"`
 }
 
 func (s *Service) createSession(w http.ResponseWriter, r *http.Request, hc HandlerConfig) {
@@ -151,15 +161,22 @@ func (s *Service) createSession(w http.ResponseWriter, r *http.Request, hc Handl
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	traceFormat, err := opts.Format()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	variant := workloads.Original
 	if req.Optimized {
 		variant = workloads.Optimized
 	}
 	sess, err := s.Attach(SessionConfig{
-		Program: wl.Name(),
-		Device:  prof,
-		Engine:  cfg,
-		Faults:  plan,
+		Program:     wl.Name(),
+		Device:      prof,
+		Engine:      cfg,
+		Faults:      plan,
+		Trace:       req.Trace,
+		TraceFormat: traceFormat,
 		Run: func(rt *cuda.Runtime) error {
 			return wl.Run(rt, variant)
 		},
@@ -204,6 +221,28 @@ func (s *Service) serveReport(w http.ResponseWriter, r *http.Request, sess *Sess
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("unknown format %q (want json, text, or html)", format))
 	}
+}
+
+// serveTrace emits the session's recorded trace container as raw bytes.
+// A running session 409s unless ?wait=1 blocks; a session attached
+// without tracing 404s.
+func (s *Service) serveTrace(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if r.URL.Query().Get("wait") == "1" {
+		<-sess.Done()
+	}
+	if sess.State() == StateRunning {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("session %s is still running (retry with ?wait=1)", sess.ID()))
+		return
+	}
+	data, ok := sess.TraceData()
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("session %s was not attached with tracing enabled", sess.ID()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
 }
 
 // session resolves the {id} path value, writing a 404 when unknown.

@@ -12,9 +12,14 @@
 //	(d) every run, faulted or not, releases all its goroutines;
 //	(e) running the program as a daemon session (internal/daemon) on a
 //	    stream-handler goroutine produces a report byte-identical to
-//	    the one-shot baseline.
+//	    the one-shot baseline;
+//	(f) one recorded execution serialized to both trace encodings
+//	    replays byte-identically from either (binary ≡ JSONL ≡ live),
+//	    and a kernel capsule extracted for a random launch re-profiles
+//	    in isolation byte-identically to that launch's slice of the
+//	    full-trace report.
 //
-// CheckSeed runs all five for one seed and reports the first violation.
+// CheckSeed runs all six for one seed and reports the first violation.
 // The harness is deliberately a plain function returning error so `make
 // proptest` can print the failing seed and a one-line repro command.
 package proptest
@@ -29,6 +34,7 @@ import (
 
 	"valueexpert/cuda"
 	"valueexpert/gpu"
+	"valueexpert/internal/capsule"
 	"valueexpert/internal/core"
 	"valueexpert/internal/daemon"
 	"valueexpert/internal/faultinject"
@@ -102,19 +108,28 @@ func runLive(seed int64, plan *faultinject.Plan, c core.Config, tolerant bool) (
 	return out, err
 }
 
-// recordAndReplay records the seed's clean run to a trace and profiles
-// the replayed trace under c.
-func recordAndReplay(seed int64, c core.Config) ([]byte, error) {
+// record executes the seed's clean run once with a streaming recorder,
+// serializing the binary encoding to bin and mirroring the same stream
+// as JSONL to jsonl.
+func record(seed int64, bin, jsonl *bytes.Buffer) error {
 	var rec *trace.Recorder
-	errs := execute(seed, true, func(rt *cuda.Runtime) { rec = trace.Record(rt) })
+	errs := execute(seed, true, func(rt *cuda.Runtime) {
+		rec = trace.Record(rt, bin, trace.FormatBinary)
+		rec.Mirror(trace.NewWriter(jsonl, trace.FormatJSONL))
+	})
 	if len(errs) != 0 {
-		return nil, fmt.Errorf("recording run failed: %v", errs[0])
+		rec.Close()
+		return fmt.Errorf("recording run failed: %v", errs[0])
 	}
-	var data bytes.Buffer
-	if _, err := rec.WriteTo(&data); err != nil {
-		return nil, fmt.Errorf("trace serialization: %w", err)
+	if err := rec.Close(); err != nil {
+		return fmt.Errorf("trace serialization: %w", err)
 	}
-	p, err := core.Profile(trace.NewSource(bytes.NewReader(data.Bytes()), gpu.RTX2080Ti), c)
+	return nil
+}
+
+// replay profiles a serialized trace (either encoding) under c.
+func replay(data []byte, c core.Config) ([]byte, error) {
+	p, err := core.Profile(trace.NewSource(bytes.NewReader(data), gpu.RTX2080Ti), c)
 	if err != nil {
 		return nil, fmt.Errorf("replay: %w", err)
 	}
@@ -204,8 +219,14 @@ func CheckSeed(seed int64) error {
 		return fmt.Errorf("after pipelined run: %w", err)
 	}
 
-	// (b) Replaying a recorded trace reproduces the live report.
-	replayed, err := recordAndReplay(seed, cfg(0, 0))
+	// (b) Replaying a recorded trace reproduces the live report. One
+	// recording execution serializes both encodings (binary + mirrored
+	// JSONL); property (f) reuses them below.
+	var binTrace, jsonlTrace bytes.Buffer
+	if err := record(seed, &binTrace, &jsonlTrace); err != nil {
+		return fmt.Errorf("property (b): %w", err)
+	}
+	replayed, err := replay(binTrace.Bytes(), cfg(0, 0))
 	if err != nil {
 		return fmt.Errorf("property (b): %w", err)
 	}
@@ -215,6 +236,29 @@ func CheckSeed(seed int64) error {
 	}
 	if err := awaitGoroutines(base); err != nil {
 		return fmt.Errorf("after replay run: %w", err)
+	}
+
+	// (f) Format equivalence: the JSONL mirror of the same execution
+	// replays byte-identically to the binary encoding and the live run.
+	jsonlReplayed, err := replay(jsonlTrace.Bytes(), cfg(0, 0))
+	if err != nil {
+		return fmt.Errorf("property (f): jsonl %w", err)
+	}
+	if !bytes.Equal(baseline.report, jsonlReplayed) {
+		return fmt.Errorf("property (f): live and JSONL-replayed reports differ (%d vs %d bytes)",
+			len(baseline.report), len(jsonlReplayed))
+	}
+	if err := awaitGoroutines(base); err != nil {
+		return fmt.Errorf("after jsonl replay run: %w", err)
+	}
+
+	// (f) Capsule isolation: re-profiling an extracted launch reproduces
+	// that launch's slice of the full-trace report byte for byte.
+	if err := checkCapsule(seed, binTrace.Bytes()); err != nil {
+		return fmt.Errorf("property (f): %w", err)
+	}
+	if err := awaitGoroutines(base); err != nil {
+		return fmt.Errorf("after capsule run: %w", err)
 	}
 
 	// (c) Faulted runs surface typed errors or a Degraded report — never
@@ -276,6 +320,65 @@ func CheckSeed(seed int64) error {
 	}
 	if err := awaitGoroutines(base); err != nil {
 		return fmt.Errorf("after daemon-session run: %w", err)
+	}
+	return nil
+}
+
+// capsuleCfg is the analysis configuration both sides of the capsule
+// comparison run: per-launch dimensions only (fine values + reuse
+// distance), since a capsule restores touched ranges rather than
+// whole-run memory images.
+func capsuleCfg() core.Config {
+	return core.Config{
+		Fine: true, ReuseDistance: true,
+		BufferRecords: 128,
+		Program:       "proptest",
+	}
+}
+
+// checkCapsule extracts a seed-chosen launch from the recorded binary
+// trace, re-profiles it in isolation, and compares byte-for-byte against
+// the same launch's slice of the full-trace report.
+func checkCapsule(seed int64, binTrace []byte) error {
+	launches, err := capsule.Launches(bytes.NewReader(binTrace))
+	if err != nil {
+		return fmt.Errorf("scanning launches: %w", err)
+	}
+	if len(launches) == 0 {
+		return fmt.Errorf("recorded trace has no launches")
+	}
+	idx := int(uint64(seed) % uint64(len(launches)))
+
+	p, err := core.Profile(trace.NewSource(bytes.NewReader(binTrace), gpu.RTX2080Ti), capsuleCfg())
+	if err != nil {
+		return fmt.Errorf("full replay: %w", err)
+	}
+	fullRep := p.Report()
+
+	var capBuf bytes.Buffer
+	info, err := capsule.Extract(bytes.NewReader(binTrace), idx, &capBuf, capsule.ExtractOptions{
+		Device:  gpu.RTX2080Ti,
+		Program: "proptest",
+		Format:  trace.FormatBinary,
+	})
+	if err != nil {
+		return fmt.Errorf("extract launch %d: %w", idx, err)
+	}
+	repro, _, err := capsule.Reprofile(capBuf.Bytes(), capsuleCfg())
+	if err != nil {
+		return fmt.Errorf("re-profile launch %d: %w", idx, err)
+	}
+	want, err := reportBytes(capsule.Slice(fullRep, info))
+	if err != nil {
+		return err
+	}
+	got, err := reportBytes(repro)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("capsule re-profile of launch %d (%s) differs from the full-report slice (%d vs %d bytes)",
+			idx, launches[idx].Kernel, len(got), len(want))
 	}
 	return nil
 }

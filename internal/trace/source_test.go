@@ -63,9 +63,9 @@ func TestSourcesByteIdentical(t *testing.T) {
 			}
 
 			var rec *Recorder
-			runLive(func(rt *cuda.Runtime) { rec = Record(rt) })
 			var data bytes.Buffer
-			if _, err := rec.WriteTo(&data); err != nil {
+			runLive(func(rt *cuda.Runtime) { rec = Record(rt, &data, FormatBinary) })
+			if err := rec.Close(); err != nil {
 				t.Fatal(err)
 			}
 

@@ -1,15 +1,31 @@
 // Package trace records a GPU program's API and memory-access stream to a
-// portable format and replays it into a fresh profiler — decoupling
+// portable container and replays it into a fresh profiler — decoupling
 // measurement from analysis, so one expensive instrumented run can be
 // re-analyzed offline with different thresholds, copy strategies, or
 // analyses (the postmortem side of the paper's offline analyzer).
 //
-// Recording captures every runtime API event (with host payloads for
-// host-to-device copies) and, for kernel launches, the full instrumented
-// access stream plus execution counters. Replay reconstructs device
-// memory from the recorded effects: memsets and copies are re-applied,
-// and kernel stores are re-applied from the recorded access records, so
+// Two encodings share one event vocabulary behind the Format seam:
+//
+//   - FormatBinary (the default) is a versioned, chunked, columnar
+//     container: a magic/version header, one chunk per API event, and
+//     per-launch access columns (PC/addr/size/kind/raw/block/thread as
+//     separate delta+varint-encoded columns). The Writer streams — each
+//     chunk is emitted as its launch completes, so recording peak memory
+//     is bounded by one launch, not the run. See DESIGN.md §10 for the
+//     wire format.
+//   - FormatJSONL is the original one-JSON-object-per-event encoding,
+//     kept as the human-readable debug format.
+//
+// Readers sniff the format from the first bytes, so existing JSONL
+// traces keep replaying unchanged. Replay reconstructs device memory
+// from the recorded effects: memsets and copies are re-applied, and
+// kernel stores are re-applied from the recorded access records, so
 // snapshot-based coarse analysis sees byte-identical values.
+//
+// The container also carries kernel capsules (internal/capsule): the
+// alloc_at/restore event kinds pin allocations to their original IDs and
+// addresses and restore the minimal reachable memory, so one extracted
+// launch replays in isolation.
 package trace
 
 import (
@@ -22,8 +38,41 @@ import (
 	"valueexpert/gpu"
 )
 
-// accessRec is one recorded access (scalar or compacted range).
-type accessRec struct {
+// Format selects a trace encoding.
+type Format uint8
+
+// The trace encodings.
+const (
+	// FormatBinary is the chunked columnar container (default).
+	FormatBinary Format = iota
+	// FormatJSONL is the readable one-JSON-object-per-event debug format.
+	FormatJSONL
+)
+
+// String names the format as the -trace-format flag spells it.
+func (f Format) String() string {
+	switch f {
+	case FormatBinary:
+		return "binary"
+	case FormatJSONL:
+		return "jsonl"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// ParseFormat parses a -trace-format value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "binary", "":
+		return FormatBinary, nil
+	case "jsonl":
+		return FormatJSONL, nil
+	}
+	return 0, fmt.Errorf("unknown trace format %q (want binary or jsonl)", s)
+}
+
+// AccessRec is one recorded access (scalar or compacted range).
+type AccessRec struct {
 	PC     gpu.PC        `json:"pc"`
 	Addr   uint64        `json:"addr"`
 	Size   uint8         `json:"size"`
@@ -35,9 +84,13 @@ type accessRec struct {
 	Thread int32         `json:"thread"`
 }
 
-// event is one recorded API invocation.
-type event struct {
-	Kind   string           `json:"kind"` // malloc|free|memset|memcpy|launch
+// Event is one recorded API invocation — the portable vocabulary both
+// encodings serialize. Beyond the recorded runtime APIs, three kinds
+// exist only in capsule containers: "alloc_at" pins an allocation to its
+// original ID and address, "restore" writes a snapshot of device bytes
+// back without an API event, and "capsule" carries the capsule metadata.
+type Event struct {
+	Kind   string           `json:"kind"` // malloc|free|memset|memcpy|launch|alloc_at|restore|capsule
 	Seq    int              `json:"seq"`
 	Name   string           `json:"name"`
 	Frames []callpath.Frame `json:"frames,omitempty"`
@@ -47,92 +100,108 @@ type event struct {
 	Bytes    uint64 `json:"bytes,omitempty"`
 	CopyKind uint8  `json:"copy_kind,omitempty"`
 	MemsetV  byte   `json:"memset_value,omitempty"`
-	HostSrc  []byte `json:"host_src,omitempty"` // H2D payload (base64 via JSON)
+	HostSrc  []byte `json:"host_src,omitempty"` // H2D payload / restore bytes (base64 via JSON)
 	Tag      string `json:"tag,omitempty"`
 
 	Grid     [3]int             `json:"grid,omitempty"`
 	Block    [3]int             `json:"block,omitempty"`
 	Counters gpu.LaunchCounters `json:"counters,omitempty"`
-	Accesses []accessRec        `json:"accesses,omitempty"`
+	Accesses []AccessRec        `json:"accesses,omitempty"`
+
+	// ObjID is an alloc_at event's preserved allocation ID.
+	ObjID int `json:"obj_id,omitempty"`
+
+	// Capsule holds a "capsule" event's metadata.
+	Capsule *CapsuleInfo `json:"capsule,omitempty"`
 }
 
-// Recorder is a cuda.Interceptor that captures the stream.
-type Recorder struct {
-	rt     *cuda.Runtime
-	events []event
-	cur    []accessRec // accesses of the in-flight launch
+// CapsuleInfo is the metadata of a kernel capsule: which launch of which
+// program it was extracted from, and which data objects it carries.
+type CapsuleInfo struct {
+	// Program names the application the capsule was extracted from.
+	Program string `json:"program"`
+	// Device is the device profile name the trace was recorded on.
+	Device string `json:"device"`
+	// LaunchSeq is the launch's API sequence number in the full trace.
+	LaunchSeq int `json:"launch_seq"`
+	// LaunchIndex is the launch's zero-based index among the trace's
+	// launches.
+	LaunchIndex int `json:"launch_index"`
+	// ObjectIDs lists the allocation IDs the launch touches (0 = the
+	// shared-memory window), in address order.
+	ObjectIDs []int `json:"object_ids,omitempty"`
 }
 
-// Record attaches a recorder to the runtime. Recording instruments every
-// kernel (no sampling): the point is to capture once and analyze often.
-func Record(rt *cuda.Runtime) *Recorder {
-	r := &Recorder{rt: rt}
-	rt.SetInterceptor(r)
-	return r
+// Writer is a streaming trace encoder: events are serialized as they are
+// written, in either format. Close finalizes the container (the binary
+// footer chunk carrying event/access counts); a trace without its footer
+// is detected as truncated on read.
+type Writer struct {
+	format Format
+	cw     countingWriter
+	bin    *binWriter
+	enc    *json.Encoder
+
+	events   int
+	accesses uint64
+	closed   bool
 }
 
-// Detach removes the recorder from the runtime.
-func (r *Recorder) Detach() { r.rt.SetInterceptor(nil) }
-
-// APIBegin implements cuda.Interceptor.
-func (r *Recorder) APIBegin(ev *cuda.APIEvent) {}
-
-// Instrumentation implements cuda.Interceptor.
-func (r *Recorder) Instrumentation(string) (gpu.AccessFunc, func(int32) bool) {
-	r.cur = r.cur[:0]
-	return func(a gpu.Access) {
-		r.cur = append(r.cur, accessRec{
-			PC: a.PC, Addr: a.Addr, Size: a.Size, Kind: a.Kind,
-			Store: a.Store, Raw: a.Raw, Count: a.Count,
-			Block: a.Block, Thread: a.Thread,
-		})
-	}, nil
-}
-
-// APIEnd implements cuda.Interceptor.
-func (r *Recorder) APIEnd(ev *cuda.APIEvent) {
-	e := event{Seq: ev.Seq, Name: ev.Name, Frames: ev.Frames}
-	switch ev.Kind {
-	case cuda.APIMalloc:
-		e.Kind = "malloc"
-		e.Dst, e.Bytes = ev.Dst, ev.Bytes
-		if a := r.rt.Device().Mem.Lookup(ev.Dst); a != nil {
-			e.Tag = a.Tag
-		}
-	case cuda.APIFree:
-		e.Kind = "free"
-		e.Dst = ev.Dst
-	case cuda.APIMemset:
-		e.Kind = "memset"
-		e.Dst, e.Bytes, e.MemsetV = ev.Dst, ev.Bytes, ev.MemsetValue
-	case cuda.APIMemcpy:
-		e.Kind = "memcpy"
-		e.Dst, e.Src, e.Bytes, e.CopyKind = ev.Dst, ev.Src, ev.Bytes, uint8(ev.CopyKind)
-		if ev.CopyKind == gpu.CopyHostToDevice {
-			e.HostSrc = append([]byte(nil), ev.HostSrc...)
-		}
-	case cuda.APILaunch:
-		e.Kind = "launch"
-		e.Grid = [3]int{ev.Grid.X, ev.Grid.Y, ev.Grid.Z}
-		e.Block = [3]int{ev.Block.X, ev.Block.Y, ev.Block.Z}
-		e.Counters = ev.Counters
-		e.Accesses = append([]accessRec(nil), r.cur...)
-		r.cur = r.cur[:0]
+// NewWriter creates a streaming encoder emitting format to w.
+func NewWriter(w io.Writer, format Format) *Writer {
+	tw := &Writer{format: format, cw: countingWriter{w: w}}
+	if format == FormatJSONL {
+		tw.enc = json.NewEncoder(&tw.cw)
+	} else {
+		tw.bin = newBinWriter(&tw.cw)
 	}
-	r.events = append(r.events, e)
+	return tw
 }
 
-// WriteTo serializes the trace as JSON lines.
-func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: w}
-	enc := json.NewEncoder(cw)
-	for i := range r.events {
-		if err := enc.Encode(&r.events[i]); err != nil {
-			return cw.n, fmt.Errorf("trace: encode event %d: %w", i, err)
-		}
+// Format returns the encoding the writer emits.
+func (w *Writer) Format() Format { return w.format }
+
+// WriteEvent serializes one event.
+func (w *Writer) WriteEvent(e *Event) error {
+	if w.closed {
+		return fmt.Errorf("trace: write to closed writer")
 	}
-	return cw.n, nil
+	w.events++
+	if e.Kind == kindLaunch {
+		w.accesses += uint64(len(e.Accesses))
+	}
+	if w.format == FormatJSONL {
+		if err := w.enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", w.events-1, err)
+		}
+		return nil
+	}
+	return w.bin.writeEvent(e)
 }
+
+// Close finalizes the container. For the binary format it writes the end
+// chunk (event and access-record counts) readers use to detect
+// truncation; JSONL needs no footer. Close does not close the underlying
+// writer. Idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.format == FormatBinary {
+		return w.bin.writeEnd(w.events, w.accesses)
+	}
+	return nil
+}
+
+// BytesWritten reports the encoded size so far.
+func (w *Writer) BytesWritten() int64 { return w.cw.n }
+
+// Events reports the number of events written so far.
+func (w *Writer) Events() int { return w.events }
+
+// Accesses reports the number of access records written so far.
+func (w *Writer) Accesses() uint64 { return w.accesses }
 
 type countingWriter struct {
 	w io.Writer
@@ -145,129 +214,154 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Events reports the number of recorded events.
-func (r *Recorder) Events() int { return len(r.events) }
-
-// replayKernel is a gpu.Kernel that re-applies a recorded access stream:
-// stores write their recorded values back into device memory, every
-// record is surfaced to the instrumentation hook, and the recorded
-// execution counters drive the cost model.
-type replayKernel struct {
-	name string
-	recs []accessRec
-	ctrs gpu.LaunchCounters
+// Recorder is a cuda.Interceptor that streams the captured event stream
+// to a Writer as the program runs: each API event is encoded at its
+// APIEnd and each launch's access chunk is flushed when the launch
+// completes, so recording holds at most one launch's records in memory.
+//
+// If the runtime already has an interceptor attached (a profiler), the
+// recorder chains in front of it and forwards every callback, so a run
+// can be profiled and recorded at once (the daemon's trace sessions).
+type Recorder struct {
+	rt    *cuda.Runtime
+	inner cuda.Interceptor
+	w     *Writer
+	tees  []*Writer
+	cur   []AccessRec
+	err   error
 }
 
-func (k *replayKernel) KernelName() string                     { return k.name }
-func (k *replayKernel) AccessTypes() map[gpu.PC]gpu.AccessType { return nil }
-func (k *replayKernel) LineMapping() map[gpu.PC]gpu.SrcLine    { return nil }
+// Record attaches a streaming recorder to the runtime, encoding format
+// to w. Recording instruments every kernel (no sampling): the point is
+// to capture once and analyze often. Close the recorder after the
+// program ran to detach it and finalize the container.
+func Record(rt *cuda.Runtime, w io.Writer, format Format) *Recorder {
+	r := &Recorder{rt: rt, inner: rt.Interceptor(), w: NewWriter(w, format)}
+	rt.SetInterceptor(r)
+	return r
+}
 
-func (k *replayKernel) Execute(dev *gpu.Device, _, _ gpu.Dim3, hook gpu.AccessFunc, blockFilter func(int32) bool, ctr *gpu.LaunchCounters) error {
-	for _, rec := range k.recs {
-		a := gpu.Access{
-			PC: rec.PC, Addr: rec.Addr, Size: rec.Size, Kind: rec.Kind,
-			Store: rec.Store, Raw: rec.Raw, Count: rec.Count,
-			Block: rec.Block, Thread: rec.Thread,
-		}
-		if a.Store {
-			raw := a.Raw
-			for i := 0; i < a.Elems(); i++ {
-				if err := dev.Mem.StoreRaw(a.Addr+uint64(i)*uint64(a.Size), a.Size, raw); err != nil {
-					return fmt.Errorf("trace: replay store: %w", err)
-				}
-			}
-		}
-		if hook != nil && (blockFilter == nil || blockFilter(a.Block)) {
-			hook(a)
+// Mirror additionally encodes every subsequent event to tw — one
+// instrumented run serialized in several formats at once (vxprof uses a
+// JSONL mirror over a counting discard to report the compression ratio).
+func (r *Recorder) Mirror(tw *Writer) { r.tees = append(r.tees, tw) }
+
+// Detach removes the recorder from the runtime, restoring whatever
+// interceptor it chained in front of.
+func (r *Recorder) Detach() { r.rt.SetInterceptor(r.inner) }
+
+// Close detaches the recorder and finalizes every attached writer,
+// returning the first error recording hit (encode errors are sticky:
+// APIEnd cannot fail, so they surface here).
+func (r *Recorder) Close() error {
+	r.Detach()
+	for _, w := range append([]*Writer{r.w}, r.tees...) {
+		if err := w.Close(); err != nil && r.err == nil {
+			r.err = err
 		}
 	}
-	*ctr = k.ctrs
-	return nil
+	return r.err
 }
 
-// Source replays a recorded trace as a cuda.EventSource: the offline
-// counterpart of cuda.LiveSource. Allocation order is replayed exactly,
-// so object IDs and device addresses match the recording, and any
-// consumer attached to Runtime() before Run observes the same stream the
-// live program produced.
-type Source struct {
-	rt *cuda.Runtime
-	rd io.Reader
-}
+// Events reports the number of events recorded so far.
+func (r *Recorder) Events() int { return r.w.Events() }
 
-// NewSource creates a replay source reading the trace from rd into a
-// fresh runtime simulating prof.
-func NewSource(rd io.Reader, prof gpu.Profile) *Source {
-	return &Source{rt: cuda.NewRuntime(prof), rd: rd}
-}
+// Accesses reports the number of access records recorded so far.
+func (r *Recorder) Accesses() uint64 { return r.w.Accesses() }
 
-// Runtime implements cuda.EventSource.
-func (s *Source) Runtime() *cuda.Runtime { return s.rt }
+// BytesWritten reports the primary writer's encoded size so far.
+func (r *Recorder) BytesWritten() int64 { return r.w.BytesWritten() }
 
-// Run implements cuda.EventSource by re-executing the recorded stream.
-func (s *Source) Run() error {
-	dec := json.NewDecoder(s.rd)
-	for i := 0; ; i++ {
-		var e event
-		if err := dec.Decode(&e); err == io.EOF {
-			return nil
-		} else if err != nil {
-			return fmt.Errorf("trace: decode event %d: %w", i, err)
-		}
-		for _, f := range e.Frames {
-			s.rt.PushFrame(f)
-		}
-		err := applyEvent(s.rt, &e)
-		for range e.Frames {
-			s.rt.PopFrame()
-		}
-		if err != nil {
-			return fmt.Errorf("trace: replay event %d (%s %s): %w", i, e.Kind, e.Name, err)
-		}
+// Err returns the first sticky recording error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// APIBegin implements cuda.Interceptor.
+func (r *Recorder) APIBegin(ev *cuda.APIEvent) {
+	if r.inner != nil {
+		r.inner.APIBegin(ev)
 	}
 }
 
-// Replay re-executes a recorded trace against a fresh runtime with the
-// given interceptor-style consumer attached before the stream starts.
-// attach receives the runtime (e.g. to attach a profiler) and runs before
-// the first event.
-func Replay(rd io.Reader, prof gpu.Profile, attach func(rt *cuda.Runtime)) error {
-	src := NewSource(rd, prof)
-	if attach != nil {
-		attach(src.Runtime())
+// Instrumentation implements cuda.Interceptor. The recorder always
+// instruments (nil filter — every block); a chained interceptor's hook
+// is forwarded behind its own block filter, so its observed stream is
+// unchanged.
+func (r *Recorder) Instrumentation(kernelName string) (gpu.AccessFunc, func(int32) bool) {
+	r.cur = r.cur[:0]
+	var innerHook gpu.AccessFunc
+	var innerFilter func(int32) bool
+	if r.inner != nil {
+		innerHook, innerFilter = r.inner.Instrumentation(kernelName)
 	}
-	return src.Run()
+	return func(a gpu.Access) {
+		r.cur = append(r.cur, AccessRec{
+			PC: a.PC, Addr: a.Addr, Size: a.Size, Kind: a.Kind,
+			Store: a.Store, Raw: a.Raw, Count: a.Count,
+			Block: a.Block, Thread: a.Thread,
+		})
+		if innerHook != nil && (innerFilter == nil || innerFilter(a.Block)) {
+			innerHook(a)
+		}
+	}, nil
 }
 
-func applyEvent(rt *cuda.Runtime, e *event) error {
-	switch e.Kind {
-	case "malloc":
-		p, err := rt.Malloc(e.Bytes, e.Tag)
-		if err != nil {
-			return err
-		}
-		if uint64(p) != e.Dst {
-			return fmt.Errorf("allocator divergence: got %#x, recorded %#x", uint64(p), e.Dst)
-		}
-		return nil
-	case "free":
-		return rt.Free(cuda.DevPtr(e.Dst))
-	case "memset":
-		return rt.Memset(cuda.DevPtr(e.Dst), e.MemsetV, e.Bytes)
-	case "memcpy":
-		switch gpu.CopyKind(e.CopyKind) {
-		case gpu.CopyHostToDevice:
-			return rt.MemcpyH2D(cuda.DevPtr(e.Dst), e.HostSrc)
-		case gpu.CopyDeviceToHost:
-			return rt.MemcpyD2H(make([]byte, e.Bytes), cuda.DevPtr(e.Src))
-		default:
-			return rt.MemcpyD2D(cuda.DevPtr(e.Dst), cuda.DevPtr(e.Src), e.Bytes)
-		}
-	case "launch":
-		k := &replayKernel{name: e.Name, recs: e.Accesses, ctrs: e.Counters}
-		grid := gpu.Dim3{X: e.Grid[0], Y: e.Grid[1], Z: e.Grid[2]}
-		block := gpu.Dim3{X: e.Block[0], Y: e.Block[1], Z: e.Block[2]}
-		return rt.Launch(k, grid, block)
+// Drain implements cuda.Drainer by forwarding to the chained
+// interceptor, so a profiler behind the recorder still quiesces when a
+// kernel fails mid-execution.
+func (r *Recorder) Drain() {
+	if d, ok := r.inner.(cuda.Drainer); ok {
+		d.Drain()
 	}
-	return fmt.Errorf("unknown event kind %q", e.Kind)
 }
+
+// APIEnd implements cuda.Interceptor: the event is encoded immediately.
+func (r *Recorder) APIEnd(ev *cuda.APIEvent) {
+	if r.inner != nil {
+		r.inner.APIEnd(ev)
+	}
+	e := Event{Seq: ev.Seq, Name: ev.Name, Frames: ev.Frames}
+	switch ev.Kind {
+	case cuda.APIMalloc:
+		e.Kind = kindMalloc
+		e.Dst, e.Bytes = ev.Dst, ev.Bytes
+		if a := r.rt.Device().Mem.Lookup(ev.Dst); a != nil {
+			e.Tag = a.Tag
+		}
+	case cuda.APIFree:
+		e.Kind = kindFree
+		e.Dst = ev.Dst
+	case cuda.APIMemset:
+		e.Kind = kindMemset
+		e.Dst, e.Bytes, e.MemsetV = ev.Dst, ev.Bytes, ev.MemsetValue
+	case cuda.APIMemcpy:
+		e.Kind = kindMemcpy
+		e.Dst, e.Src, e.Bytes, e.CopyKind = ev.Dst, ev.Src, ev.Bytes, uint8(ev.CopyKind)
+		if ev.CopyKind == gpu.CopyHostToDevice {
+			e.HostSrc = ev.HostSrc
+		}
+	case cuda.APILaunch:
+		e.Kind = kindLaunch
+		e.Grid = [3]int{ev.Grid.X, ev.Grid.Y, ev.Grid.Z}
+		e.Block = [3]int{ev.Block.X, ev.Block.Y, ev.Block.Z}
+		e.Counters = ev.Counters
+		e.Accesses = r.cur
+		r.cur = r.cur[:0]
+	}
+	for _, w := range append([]*Writer{r.w}, r.tees...) {
+		if err := w.WriteEvent(&e); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+}
+
+// The event kind vocabulary shared by both encodings.
+const (
+	kindMalloc  = "malloc"
+	kindFree    = "free"
+	kindMemset  = "memset"
+	kindMemcpy  = "memcpy"
+	kindLaunch  = "launch"
+	kindAllocAt = "alloc_at"
+	kindRestore = "restore"
+	kindCapsule = "capsule"
+)

@@ -13,9 +13,9 @@ import (
 	"valueexpert/internal/workloads"
 )
 
-// runDarknet records the Darknet workload and returns the serialized
-// trace.
-func recordDarknet(t *testing.T) []byte {
+// recordDarknetFormat records the Darknet workload in the given
+// encoding and returns the serialized trace.
+func recordDarknetFormat(t *testing.T, f Format) []byte {
 	t.Helper()
 	old := workloads.Scale
 	workloads.Scale = 64
@@ -25,19 +25,25 @@ func recordDarknet(t *testing.T) []byte {
 		t.Fatal(err)
 	}
 	rt := cuda.NewRuntime(gpu.RTX2080Ti)
-	rec := Record(rt)
+	var buf bytes.Buffer
+	rec := Record(rt, &buf, f)
 	if err := w.Run(rt, workloads.Original); err != nil {
 		t.Fatal(err)
 	}
-	rec.Detach()
 	if rec.Events() == 0 {
 		t.Fatal("nothing recorded")
 	}
-	var buf bytes.Buffer
-	if _, err := rec.WriteTo(&buf); err != nil {
+	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// recordDarknet records the Darknet workload in the default (binary)
+// encoding.
+func recordDarknet(t *testing.T) []byte {
+	t.Helper()
+	return recordDarknetFormat(t, FormatBinary)
 }
 
 // profileLive profiles the workload directly for comparison.
@@ -126,7 +132,8 @@ func TestReplayCountsPreserved(t *testing.T) {
 	// Record a tiny run with known counters and check the cost model
 	// receives the recorded execution counters on replay.
 	rt := cuda.NewRuntime(gpu.A100)
-	rec := Record(rt)
+	var buf bytes.Buffer
+	rec := Record(rt, &buf, FormatBinary)
 	const n = 512
 	x, _ := rt.MallocF32(n, "x")
 	k := &gpu.GoKernel{
@@ -144,8 +151,7 @@ func TestReplayCountsPreserved(t *testing.T) {
 		t.Fatal(err)
 	}
 	liveStats := rt.Device().Stats()
-	var buf bytes.Buffer
-	if _, err := rec.WriteTo(&buf); err != nil {
+	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -133,40 +133,53 @@ type (
 	TraceRecorder = trace.Recorder
 	// TraceSource replays a recorded trace as an EventSource.
 	TraceSource = trace.Source
+	// TraceFormat selects a trace encoding (TraceBinary, TraceJSONL).
+	TraceFormat = trace.Format
 )
 
-// Recording is an in-progress trace capture started by Record. Close it
-// after the program ran to detach the recorder and serialize the
-// captured stream.
+// The trace encodings: the columnar binary container (default) and the
+// readable JSONL debug format. Readers sniff the encoding, so either
+// replays through NewTraceSource.
+const (
+	TraceBinary = trace.FormatBinary
+	TraceJSONL  = trace.FormatJSONL
+)
+
+// Recording is an in-progress trace capture started by Record. The
+// stream is serialized as the program runs (recording memory stays
+// bounded regardless of run length); Close it after the program ran to
+// detach the recorder and finalize the container.
 type Recording struct {
 	rec *trace.Recorder
-	w   io.Writer
 }
 
 // Events reports the number of events captured so far.
 func (r *Recording) Events() int { return r.rec.Events() }
 
-// Close detaches the recorder from its runtime and writes the captured
-// trace to the recording's writer.
-func (r *Recording) Close() error {
-	r.rec.Detach()
-	_, err := r.rec.WriteTo(r.w)
-	return err
-}
+// Close detaches the recorder from its runtime and finalizes the trace
+// container, returning the first serialization error if any write
+// failed mid-run.
+func (r *Recording) Close() error { return r.rec.Close() }
 
-// Record attaches a trace recorder to rt that will serialize to w: run
-// the program against rt, then Close the recording.
+// Record attaches a streaming trace recorder to rt that serializes the
+// binary format to w as the program runs: run the program against rt,
+// then Close the recording.
 //
 //	rec := valueexpert.Record(rt, f)
 //	// ... run the GPU program against rt ...
 //	if err := rec.Close(); err != nil { ... }
 func Record(rt *cuda.Runtime, w io.Writer) *Recording {
-	return &Recording{rec: trace.Record(rt), w: w}
+	return RecordFormat(rt, w, trace.FormatBinary)
+}
+
+// RecordFormat is Record with an explicit trace encoding.
+func RecordFormat(rt *cuda.Runtime, w io.Writer, f TraceFormat) *Recording {
+	return &Recording{rec: trace.Record(rt, w, f)}
 }
 
 // NewTraceSource replays a trace previously serialized by a Recording
-// into a fresh runtime simulating device; feed it to Profile like any
-// live source.
+// into a fresh runtime simulating device, sniffing the encoding from
+// the first bytes; feed it to Profile like any live source.
 func NewTraceSource(r io.Reader, device gpu.Profile) *TraceSource {
 	return trace.NewSource(r, device)
 }
