@@ -70,12 +70,14 @@ proptest:
 	VX_PROPTEST_SEEDS=$(PROPTEST_SEEDS) $(GO) test -race -run TestDifferentialHarness -v ./internal/proptest
 
 # daemon-smoke drives the vxprofd serving path end to end: start the
-# service, attach two workloads as sessions over HTTP, fetch
-# /sessions/{id}/report and /metrics, and diff each per-session report
-# against the equivalent one-shot run — plus a real SIGTERM drain of the
-# re-executed binary.
+# service, attach two workloads as sessions over the /v1 HTTP API, fetch
+# /v1/sessions/{id}/report and the 308-redirected legacy paths, diff
+# each per-session report against the equivalent one-shot run, exercise
+# admission quotas (202 queued / 429 rejected) and restart recovery from
+# the persistent store — plus a real SIGTERM drain of the re-executed
+# binary.
 daemon-smoke:
-	$(GO) test -count=1 -run 'TestDaemonSmoke|TestGracefulSIGTERM' -v ./cmd/vxprofd
+	$(GO) test -count=1 -run 'TestDaemonSmoke|TestGracefulSIGTERM|TestLegacyRedirects|TestDaemonQuota|TestDaemonRestartRecovery' -v ./cmd/vxprofd
 
 # cover enforces COVER_FLOOR percent statement coverage on COVER_PKGS.
 cover:

@@ -15,10 +15,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"valueexpert"
 	"valueexpert/cuda"
@@ -37,6 +40,7 @@ func main() {
 		optimized = flag.Bool("optimized", false, "run the paper-optimized variant instead of the original")
 		recordOut = flag.String("record", "", "record the API+access trace to this file instead of analyzing")
 		replayIn  = flag.String("replay", "", "analyze a previously recorded trace instead of running a workload")
+		remoteTo  = flag.String("remote", "", "stream the run to a vxprofd attach socket (unix path or host:port) instead of analyzing locally")
 	)
 	flag.StringVar(&o.device, "device", "RTX 2080 Ti", "device profile: 'RTX 2080 Ti' or 'A100'")
 	flag.StringVar(&o.jsonOut, "json", "", "write the profile as JSON to this file")
@@ -73,6 +77,13 @@ func main() {
 	}
 	if *recordOut != "" {
 		if err := recordRun(*workload, o, *recordOut, *optimized); err != nil {
+			fmt.Fprintln(os.Stderr, "vxprof:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *remoteTo != "" {
+		if err := remoteRun(*remoteTo, *workload, o, *optimized); err != nil {
 			fmt.Fprintln(os.Stderr, "vxprof:", err)
 			os.Exit(1)
 		}
@@ -252,6 +263,77 @@ func replayRun(in string, o *options) error {
 	}
 	defer f.Close()
 	return analyze(trace.NewSource(f, prof), o, in)
+}
+
+// remoteRun executes the workload in this process but ships its event
+// stream to a vxprofd attach socket: the daemon hosts the session,
+// applies the engine options, and returns the finalized report — the
+// same bytes GET /v1/sessions/{id}/report would serve. The engine
+// flags travel in the handshake as the canonical option schema; -scale
+// stays local, because the workload executes here.
+func remoteRun(target, workload string, o *options, optimized bool) error {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return err
+	}
+	prof, err := gpu.ProfileByName(o.device)
+	if err != nil {
+		return err
+	}
+	if o.Scale > 0 {
+		workloads.Scale = o.Scale
+	}
+	network := "unix"
+	if strings.Contains(target, ":") {
+		network = "tcp"
+	}
+	optsJSON, err := json.Marshal(o.Options)
+	if err != nil {
+		return err
+	}
+	rs, err := valueexpert.DialServiceAttach(network, target, valueexpert.RemoteAttachRequest{
+		Program: w.Name(),
+		Device:  o.device,
+		Options: optsJSON,
+	})
+	if err != nil {
+		return fmt.Errorf("remote attach %s: %w", target, err)
+	}
+	defer rs.Close()
+	info := rs.Info()
+	if info.State == valueexpert.SessionQueued {
+		fmt.Fprintf(os.Stderr, "vxprof: session %s queued at position %d on %s; streaming\n",
+			info.ID, info.Queue, target)
+	} else {
+		fmt.Fprintf(os.Stderr, "vxprof: session %s attached on %s\n", info.ID, target)
+	}
+	variant := workloads.Original
+	if optimized {
+		variant = workloads.Optimized
+	}
+	if err := rs.Run(prof, func(rt *cuda.Runtime) error {
+		if err := w.Run(rt, variant); err != nil {
+			return fmt.Errorf("running %s: %w", w.Name(), err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	final, raw, err := rs.Wait()
+	if err != nil {
+		return fmt.Errorf("remote session %s: %w", info.ID, err)
+	}
+	if len(raw) > 0 {
+		rep, err := valueexpert.ReadReport(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("remote session %s report: %w", final.ID, err)
+		}
+		fmt.Print(rep.Text())
+	}
+	if final.State != valueexpert.SessionDone {
+		return fmt.Errorf("remote session %s finished %s: %s", final.ID, final.State, final.Error)
+	}
+	return nil
 }
 
 // run profiles a live workload execution.

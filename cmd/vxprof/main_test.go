@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -299,5 +300,43 @@ func TestRunWithPatternSubset(t *testing.T) {
 	}
 	if !strings.Contains(string(js), `"kind": "single zero"`) {
 		t.Fatalf("enabled pattern missing from report")
+	}
+}
+
+// TestRemoteRun drives -remote against an in-process daemon: the
+// workload executes here, its event stream crosses the attach socket,
+// and the daemon's finalized session state comes back Done. The
+// byte-identity of the resulting report is pinned by the proptest
+// harness (property g); this covers the CLI plumbing.
+func TestRemoteRun(t *testing.T) {
+	eng := cliconfig.Options{Coarse: true, Fine: true, Sample: 1, Scale: 64, Workers: 2, Depth: 2}
+	svc := valueexpert.NewService()
+	defer svc.Shutdown()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := svc.ServeAttach(ln, valueexpert.ServeConfig{Defaults: eng, Device: "RTX 2080 Ti"})
+	defer as.Close()
+
+	o := opts("RTX 2080 Ti", eng)
+	if err := remoteRun(ln.Addr().String(), "Darknet", o, false); err != nil {
+		t.Fatal(err)
+	}
+	sessions := svc.Sessions()
+	if len(sessions) != 1 {
+		t.Fatalf("daemon hosts %d sessions, want 1", len(sessions))
+	}
+	if st := sessions[0].State(); st != valueexpert.SessionDone {
+		t.Fatalf("remote session state = %s, want done", st)
+	}
+
+	if err := remoteRun(ln.Addr().String(), "NoSuchApp", o, false); err == nil {
+		t.Fatal("unknown workload accepted by remote attach")
+	}
+	addr := ln.Addr().String()
+	as.Close()
+	if err := remoteRun(addr, "Darknet", o, false); err == nil {
+		t.Fatal("closed attach socket accepted")
 	}
 }

@@ -102,7 +102,7 @@ func TestDaemonSmoke(t *testing.T) {
 	var ids []string
 	for _, name := range names {
 		body := fmt.Sprintf(`{"workload": %q}`, name)
-		resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,13 +112,13 @@ func TestDaemonSmoke(t *testing.T) {
 		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusCreated {
-			t.Fatalf("POST /sessions %s = %d (%+v)", name, resp.StatusCode, info)
+			t.Fatalf("POST /v1/sessions %s = %d (%+v)", name, resp.StatusCode, info)
 		}
 		ids = append(ids, info.ID)
 	}
 
 	for i, id := range ids {
-		resp, err := http.Get(ts.URL + "/sessions/" + id + "/report?wait=1")
+		resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/report?wait=1")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +139,9 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 
 	// /metrics exposes the service counters and each session's engine
-	// telemetry.
+	// telemetry. (Fetched through the legacy bare path on purpose: the
+	// default client follows the 308 onto /v1/metrics, proving the old
+	// surface still answers during the deprecation window.)
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +161,7 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 
 	// The aggregate folds both sessions.
-	resp, err = http.Get(ts.URL + "/aggregate")
+	resp, err = http.Get(ts.URL + "/v1/aggregate")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +175,18 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 }
 
-// TestBadRequests covers the HTTP error surface.
+// apiError is the typed error envelope every /v1 endpoint speaks.
+type apiError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+		Field   string `json:"field"`
+	} `json:"error"`
+}
+
+// TestBadRequests covers the HTTP error surface: each failure mode maps
+// to its stable code in the shared envelope, with the canonical option
+// name in "field" when one option is to blame.
 func TestBadRequests(t *testing.T) {
 	svc := daemon.NewService()
 	defer svc.Shutdown()
@@ -182,43 +195,257 @@ func TestBadRequests(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	post := func(body string) (int, string) {
+	post := func(body string) (int, apiError) {
 		t.Helper()
-		resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var e struct {
-			Error string `json:"error"`
-		}
+		var e apiError
 		json.NewDecoder(resp.Body).Decode(&e)
-		return resp.StatusCode, e.Error
+		return resp.StatusCode, e
 	}
 	for _, tc := range []struct {
-		name, body, wantErr string
+		name, body, wantErr, wantCode, wantField string
 	}{
-		{"missing workload", `{}`, "workload is required"},
-		{"unknown workload", `{"workload": "nope"}`, "unknown workload"},
-		{"unknown device", `{"workload": "Darknet", "device": "TPU"}`, "unknown device"},
-		{"per-session scale", `{"workload": "Darknet", "options": {"Scale": 2}}`, "-scale is fixed at daemon startup"},
-		{"invalid sample", `{"workload": "Darknet", "options": {"Sample": 0}}`, "-sample must be >= 1"},
-		{"unknown pattern", `{"workload": "Darknet", "options": {"Patterns": "bogus"}}`, "-patterns"},
-		{"bad fault spec", `{"workload": "Darknet", "options": {"Faults": "zzz@1"}}`, "-faults"},
+		{"missing workload", `{}`, "workload is required", "invalid_request", "workload"},
+		{"unknown workload", `{"workload": "nope"}`, "unknown workload", "unknown_workload", "workload"},
+		{"unknown device", `{"workload": "Darknet", "device": "TPU"}`, "unknown device", "unknown_device", "device"},
+		{"per-session scale", `{"workload": "Darknet", "options": {"scale": 2}}`, "-scale is fixed at daemon startup", "invalid_option", "scale"},
+		{"invalid sample", `{"workload": "Darknet", "options": {"sample": 0}}`, "-sample must be >= 1", "invalid_option", "sample"},
+		{"unknown pattern", `{"workload": "Darknet", "options": {"patterns": "bogus"}}`, "-patterns", "invalid_option", "patterns"},
+		{"bad fault spec", `{"workload": "Darknet", "options": {"faults": "zzz@1"}}`, "-faults", "invalid_option", "faults"},
+		// Pre-v1 clients sent Go field spellings; case-insensitive JSON
+		// matching keeps them working through the deprecation window.
+		{"legacy option key", `{"workload": "Darknet", "options": {"Sample": 0}}`, "-sample must be >= 1", "invalid_option", "sample"},
 	} {
-		code, msg := post(tc.body)
-		if code != http.StatusBadRequest || !strings.Contains(msg, tc.wantErr) {
-			t.Errorf("%s: got %d %q, want 400 containing %q", tc.name, code, msg, tc.wantErr)
+		code, e := post(tc.body)
+		if code != http.StatusBadRequest || !strings.Contains(e.Error.Message, tc.wantErr) {
+			t.Errorf("%s: got %d %q, want 400 containing %q", tc.name, code, e.Error.Message, tc.wantErr)
+		}
+		if e.Error.Code != tc.wantCode || e.Error.Field != tc.wantField {
+			t.Errorf("%s: got code=%q field=%q, want %q/%q",
+				tc.name, e.Error.Code, e.Error.Field, tc.wantCode, tc.wantField)
 		}
 	}
 
-	if resp, err := http.Get(ts.URL + "/sessions/s-99/report"); err != nil {
+	resp, err := http.Get(ts.URL + "/v1/sessions/s-99/report")
+	if err != nil {
 		t.Fatal(err)
-	} else {
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusNotFound {
-			t.Fatalf("unknown session = %d, want 404", resp.StatusCode)
+	}
+	var e apiError
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || e.Error.Code != "unknown_session" {
+		t.Fatalf("unknown session = %d code %q, want 404 unknown_session", resp.StatusCode, e.Error.Code)
+	}
+}
+
+// TestLegacyRedirects pins the deprecation contract: every bare path
+// answers 308 Permanent Redirect onto its /v1 twin, query preserved,
+// while /healthz stays live unversioned.
+func TestLegacyRedirects(t *testing.T) {
+	svc := daemon.NewService()
+	defer svc.Shutdown()
+	ts := httptest.NewServer(svc.Handler(daemon.HandlerConfig{
+		Defaults: smokeDefaults(), Device: "RTX 2080 Ti",
+	}))
+	defer ts.Close()
+
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	for path, want := range map[string]string{
+		"/sessions":                   "/v1/sessions",
+		"/sessions/s-1/report":        "/v1/sessions/s-1/report",
+		"/sessions/s-1/trace":         "/v1/sessions/s-1/trace",
+		"/aggregate":                  "/v1/aggregate",
+		"/metrics":                    "/v1/metrics",
+		"/selftrace":                  "/v1/selftrace",
+		"/sessions/s-1/report?wait=1": "/v1/sessions/s-1/report?wait=1",
+	} {
+		resp, err := noFollow.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
 		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("GET %s = %d, want 308", path, resp.StatusCode)
+			continue
+		}
+		if loc := resp.Header.Get("Location"); loc != want {
+			t.Errorf("GET %s redirects to %q, want %q", path, loc, want)
+		}
+	}
+
+	resp, err := noFollow.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unversioned /healthz = %d, want 200 (probes must not chase redirects)", resp.StatusCode)
+	}
+}
+
+// TestDaemonQuota smokes admission control over HTTP: with one running
+// slot held by a stalled session, the first POST queues (202 with a
+// queue position) and the second is rejected 429 with the typed
+// quota_exceeded envelope; releasing the stall drains the queue.
+func TestDaemonQuota(t *testing.T) {
+	workloads.Scale = 64
+	defer func() { workloads.Scale = 1 }()
+
+	svc := daemon.NewService(daemon.WithLimits(daemon.Limits{MaxRunning: 1, MaxQueued: 1}))
+	defer svc.Shutdown()
+	ts := httptest.NewServer(svc.Handler(daemon.HandlerConfig{
+		Defaults: smokeDefaults(), Device: "RTX 2080 Ti",
+	}))
+	defer ts.Close()
+
+	// Occupy the single running slot with a session stalled on a gate.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	blocker, err := svc.Attach(daemon.SessionConfig{
+		Program: "blocker", Device: gpu.RTX2080Ti,
+		Engine: core.Config{Fine: true},
+		Run: func(rt *cuda.Runtime) error {
+			close(started)
+			<-gate
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"workload": "Darknet"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued daemon.Info
+	json.NewDecoder(resp.Body).Decode(&queued)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || queued.State != daemon.StateQueued || queued.Queue != 1 {
+		t.Fatalf("queued admission = %d %+v, want 202 queued at position 1", resp.StatusCode, queued)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"workload": "Rodinia/bfs"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e apiError
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || e.Error.Code != "quota_exceeded" {
+		t.Fatalf("over-quota admission = %d code %q, want 429 quota_exceeded", resp.StatusCode, e.Error.Code)
+	}
+
+	// Release the stall: the queued session is dispatched and completes.
+	close(gate)
+	blocker.Drain()
+	resp, err = http.Get(ts.URL + "/v1/sessions/" + queued.ID + "/report?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued session report = %d after drain, want 200", resp.StatusCode)
+	}
+}
+
+// TestDaemonRestartRecovery smokes the persistent store across a real
+// service restart: a session's report served before shutdown is served
+// byte-identically by a fresh service opened on the same store.
+func TestDaemonRestartRecovery(t *testing.T) {
+	workloads.Scale = 64
+	defer func() { workloads.Scale = 1 }()
+	dir := t.TempDir()
+
+	get := func(ts *httptest.Server, path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, raw
+	}
+
+	st, err := daemon.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1 := daemon.NewService(daemon.WithStore(st))
+	ts1 := httptest.NewServer(svc1.Handler(daemon.HandlerConfig{
+		Defaults: smokeDefaults(), Device: "RTX 2080 Ti",
+	}))
+	resp, err := http.Post(ts1.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"workload": "Darknet", "trace": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info daemon.Info
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	code, before := get(ts1, "/v1/sessions/"+info.ID+"/report?wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("report before restart = %d", code)
+	}
+	_, traceBefore := get(ts1, "/v1/sessions/"+info.ID+"/trace")
+	ts1.Close()
+	svc1.Shutdown()
+
+	// "Restart": a brand-new service on the same store directory.
+	st2, err := daemon.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := daemon.NewService(daemon.WithStore(st2))
+	defer svc2.Shutdown()
+	ts2 := httptest.NewServer(svc2.Handler(daemon.HandlerConfig{
+		Defaults: smokeDefaults(), Device: "RTX 2080 Ti",
+	}))
+	defer ts2.Close()
+
+	code, after := get(ts2, "/v1/sessions/"+info.ID+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("report after restart = %d", code)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("restart changed the report: %d bytes before, %d after", len(before), len(after))
+	}
+	code, traceAfter := get(ts2, "/v1/sessions/"+info.ID+"/trace")
+	if code != http.StatusOK || !bytes.Equal(traceBefore, traceAfter) {
+		t.Fatalf("restart changed the trace (status %d)", code)
+	}
+
+	// The restored session is listed, and a restart-time POST continues
+	// the ID sequence past the stored sessions.
+	code, listing := get(ts2, "/v1/sessions")
+	if code != http.StatusOK || !strings.Contains(string(listing), `"restored": true`) {
+		t.Fatalf("restored session missing from listing: %d %s", code, listing)
+	}
+	resp, err = http.Post(ts2.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"workload": "Rodinia/bfs"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next daemon.Info
+	json.NewDecoder(resp.Body).Decode(&next)
+	resp.Body.Close()
+	if next.ID == info.ID {
+		t.Fatalf("restarted service reused session ID %s", next.ID)
 	}
 }
 
@@ -314,7 +541,7 @@ func TestTraceEndpoint(t *testing.T) {
 
 	create := func(body string) daemon.Info {
 		t.Helper()
-		resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -330,7 +557,7 @@ func TestTraceEndpoint(t *testing.T) {
 	}
 
 	traced := create(`{"workload": "Darknet", "trace": true}`)
-	resp, err := http.Get(ts.URL + "/sessions/" + traced.ID + "/trace?wait=1")
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + traced.ID + "/trace?wait=1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +573,7 @@ func TestTraceEndpoint(t *testing.T) {
 		t.Fatalf("served trace is not the binary container: % x", data[:8])
 	}
 
-	resp, err = http.Get(ts.URL + "/sessions/" + traced.ID + "/report")
+	resp, err = http.Get(ts.URL + "/v1/sessions/" + traced.ID + "/report")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +603,7 @@ func TestTraceEndpoint(t *testing.T) {
 
 	// No trace requested: the endpoint 404s after the session finalizes.
 	plain := create(`{"workload": "Rodinia/bfs"}`)
-	resp, err = http.Get(ts.URL + "/sessions/" + plain.ID + "/trace?wait=1")
+	resp, err = http.Get(ts.URL + "/v1/sessions/" + plain.ID + "/trace?wait=1")
 	if err != nil {
 		t.Fatal(err)
 	}

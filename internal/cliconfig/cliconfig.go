@@ -24,18 +24,62 @@ import (
 // Options holds the parsed shared engine flags. The zero value is not
 // runnable — Register installs the CLI defaults — but a hand-built
 // Options (tests, embedding CLIs) works with any sensible field values.
+//
+// The JSON tags are the canonical API spelling of each option: every tag
+// is the flag name without its dash, so the daemon's POST /v1/sessions
+// "options" object and the remote-attach handshake accept exactly the
+// vocabulary the CLIs print, and a validation error's Option names both
+// the flag and the JSON field at once. (Decoding is case-insensitive,
+// so pre-v1 bodies using Go field spellings still parse.)
 type Options struct {
-	Coarse        bool
-	Fine          bool
-	ReuseDistance bool
-	Kernels       string // comma-separated kernel filter ("" = all)
-	Patterns      string // raw -patterns value ("" = registry defaults)
-	Sample        int
-	Scale         int // problem-size divisor for bundled workloads
-	Workers       int
-	Depth         int
-	Faults        string // raw -faults spec ("" = no injection)
-	TraceFormat   string // trace container encoding: "binary" or "jsonl"
+	Coarse        bool   `json:"coarse"`
+	Fine          bool   `json:"fine"`
+	ReuseDistance bool   `json:"reuse"`
+	Kernels       string `json:"kernels"`  // comma-separated kernel filter ("" = all)
+	Patterns      string `json:"patterns"` // raw -patterns value ("" = registry defaults)
+	Sample        int    `json:"sample"`
+	Scale         int    `json:"scale"` // problem-size divisor for bundled workloads
+	Workers       int    `json:"workers"`
+	Depth         int    `json:"depth"`
+	Faults        string `json:"faults"`       // raw -faults spec ("" = no injection)
+	TraceFormat   string `json:"trace-format"` // trace container encoding: "binary" or "jsonl"
+}
+
+// OptionError is a rejected option value. Option is the canonical name —
+// the flag without its dash and the JSON field of the service API — so
+// both surfaces can point at the exact input that failed. The rendered
+// message keeps the CLI spelling ("-sample must be >= 1, …").
+type OptionError struct {
+	Option  string // canonical option name, e.g. "sample"
+	Message string // full rendered message, flag-spelled
+	cause   error
+}
+
+// Error implements error with the flag-spelled message.
+func (e *OptionError) Error() string { return e.Message }
+
+// Unwrap exposes the underlying cause (a *core.ConfigError, a parse
+// error, …) for errors.As chains.
+func (e *OptionError) Unwrap() error { return e.cause }
+
+// optErrf builds an OptionError whose message starts with the flag
+// spelling of option.
+func optErrf(option string, cause error, format string, args ...any) *OptionError {
+	return &OptionError{
+		Option:  option,
+		Message: "-" + option + " " + fmt.Sprintf(format, args...),
+		cause:   cause,
+	}
+}
+
+// optWrap builds an OptionError in the "-flag: cause" shape used for
+// spec-parse failures.
+func optWrap(option string, cause error) *OptionError {
+	return &OptionError{
+		Option:  option,
+		Message: fmt.Sprintf("-%s: %v", option, cause),
+		cause:   cause,
+	}
 }
 
 // Register installs the shared flags on fs, bound to o's fields, with
@@ -65,13 +109,18 @@ var FlagForField = map[string]string{
 	"Patterns":             "-patterns",
 }
 
-// FlagError rewrites a Config.Validate error to name the offending flag
-// when the field has a CLI spelling; other errors pass through.
+// FlagError rewrites a Config.Validate error to a typed OptionError
+// naming the offending flag when the field has a CLI spelling; other
+// errors pass through.
 func FlagError(err error) error {
 	var ce *core.ConfigError
 	if errors.As(err, &ce) {
 		if f, ok := FlagForField[ce.Field]; ok {
-			return fmt.Errorf("%s %s", f, ce.Reason)
+			return &OptionError{
+				Option:  strings.TrimPrefix(f, "-"),
+				Message: fmt.Sprintf("%s %s", f, ce.Reason),
+				cause:   ce,
+			}
 		}
 	}
 	return err
@@ -85,10 +134,10 @@ func FlagError(err error) error {
 // no such spelling.
 func (o *Options) Validate() error {
 	if o.Sample < 1 {
-		return fmt.Errorf("-sample must be >= 1, got %d (1 = profile every kernel and block)", o.Sample)
+		return optErrf("sample", nil, "must be >= 1, got %d (1 = profile every kernel and block)", o.Sample)
 	}
 	if o.Scale < 1 {
-		return fmt.Errorf("-scale must be >= 1, got %d (1 = full problem size)", o.Scale)
+		return optErrf("scale", nil, "must be >= 1, got %d (1 = full problem size)", o.Scale)
 	}
 	cfg := core.Config{
 		Coarse:               o.Coarse,
@@ -119,7 +168,7 @@ func (o *Options) Validate() error {
 func (o *Options) Format() (trace.Format, error) {
 	f, err := trace.ParseFormat(o.TraceFormat)
 	if err != nil {
-		return 0, fmt.Errorf("-trace-format: %w", err)
+		return 0, optWrap("trace-format", err)
 	}
 	return f, nil
 }
@@ -138,7 +187,7 @@ func (o *Options) PatternList() ([]string, error) {
 		}
 	}
 	if _, err := vpattern.ParseSet(names); err != nil {
-		return nil, fmt.Errorf("-patterns: %w", err)
+		return nil, optWrap("patterns", err)
 	}
 	return names, nil
 }
@@ -151,7 +200,7 @@ func (o *Options) FaultPlan() (*faultinject.Plan, error) {
 	}
 	plan, err := faultinject.ParseSpec(o.Faults)
 	if err != nil {
-		return nil, fmt.Errorf("-faults: %w", err)
+		return nil, optWrap("faults", err)
 	}
 	return plan, nil
 }

@@ -1,7 +1,10 @@
 package cliconfig
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -63,6 +66,104 @@ func TestValidate(t *testing.T) {
 		err := o.Validate()
 		if err == nil || !strings.Contains(err.Error(), tc.flag) {
 			t.Errorf("%s: Validate() = %v, want error naming %s", tc.name, err, tc.flag)
+		}
+	}
+}
+
+// TestCanonicalSchema pins the one-option-schema contract: every
+// registered flag has an Options field whose JSON tag is the flag name,
+// and every Options field is a registered flag. The daemon API and the
+// CLIs cannot drift because they share this single struct.
+func TestCanonicalSchema(t *testing.T) {
+	o := &Options{}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.Register(fs)
+
+	tags := map[string]bool{}
+	rt := reflect.TypeOf(*o)
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		if tag == "" || tag == "-" {
+			t.Errorf("field %s has no canonical JSON tag", rt.Field(i).Name)
+			continue
+		}
+		tag = strings.Split(tag, ",")[0]
+		tags[tag] = true
+	}
+
+	flags := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { flags[f.Name] = true })
+
+	for name := range flags {
+		if !tags[name] {
+			t.Errorf("flag -%s has no Options field tagged %q", name, name)
+		}
+	}
+	for tag := range tags {
+		if !flags[tag] {
+			t.Errorf("Options field tagged %q has no registered -%s flag", tag, tag)
+		}
+	}
+}
+
+// TestFlagJSONEquivalence drives the same settings through flag parsing
+// and through the API's JSON body and requires the identical Options.
+func TestFlagJSONEquivalence(t *testing.T) {
+	byFlags := &Options{}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	byFlags.Register(fs)
+	if err := fs.Parse([]string{
+		"-coarse=false", "-reuse", "-kernels", "gemm_kernel",
+		"-patterns", "single zero", "-sample", "20", "-scale", "2",
+		"-workers", "4", "-depth", "3", "-faults", "seed=7,prob=0.5",
+		"-trace-format", "jsonl",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	byJSON := defaults(t)
+	body := `{"coarse": false, "reuse": true, "kernels": "gemm_kernel",
+		"patterns": "single zero", "sample": 20, "scale": 2,
+		"workers": 4, "depth": 3, "faults": "seed=7,prob=0.5",
+		"trace-format": "jsonl"}`
+	if err := json.Unmarshal([]byte(body), byJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(byFlags, byJSON) {
+		t.Fatalf("flag/JSON drift:\n flags: %+v\n json:  %+v", byFlags, byJSON)
+	}
+}
+
+// TestOptionErrorTyped asserts validation failures carry the canonical
+// option name as a typed OptionError, so the API error envelope can
+// point at the offending field without parsing message strings.
+func TestOptionErrorTyped(t *testing.T) {
+	cases := []struct {
+		mut    func(*Options)
+		option string
+	}{
+		{func(o *Options) { o.Sample = 0 }, "sample"},
+		{func(o *Options) { o.Scale = 0 }, "scale"},
+		{func(o *Options) { o.Workers = -1 }, "workers"},
+		{func(o *Options) { o.Depth = -1 }, "depth"},
+		{func(o *Options) { o.Patterns = "bogus" }, "patterns"},
+		{func(o *Options) { o.Faults = "bogus@x" }, "faults"},
+		{func(o *Options) { o.TraceFormat = "xml" }, "trace-format"},
+	}
+	for _, tc := range cases {
+		o := defaults(t)
+		tc.mut(o)
+		err := o.Validate()
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: Validate() = %v, want *OptionError", tc.option, err)
+			continue
+		}
+		if oe.Option != tc.option {
+			t.Errorf("Option = %q, want %q (err: %v)", oe.Option, tc.option, err)
+		}
+		if !strings.HasPrefix(oe.Error(), "-"+tc.option) {
+			t.Errorf("message lost its flag spelling: %q", oe.Error())
 		}
 	}
 }

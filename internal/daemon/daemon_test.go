@@ -10,6 +10,7 @@ import (
 
 	"valueexpert/cuda"
 	"valueexpert/gpu"
+	"valueexpert/internal/cliconfig"
 	"valueexpert/internal/core"
 	"valueexpert/internal/faultinject"
 	"valueexpert/internal/profile"
@@ -463,5 +464,67 @@ func TestSessionTraceReplayMatchesReport(t *testing.T) {
 	}
 	if _, ok := plain.TraceData(); ok {
 		t.Fatal("untraced session reports trace data")
+	}
+}
+
+// TestErrorEnvelopeSchema pins the one typed error shape every /v1
+// surface speaks: `{"error": {"code", "message", "field"?}}` — exactly
+// those keys — and the classification from the engine's native error
+// types to stable codes and HTTP statuses.
+func TestErrorEnvelopeSchema(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		code   string
+		field  string
+		status int
+	}{
+		{"quota", &QuotaError{Running: 1, Queued: 2, MaxRunning: 1, MaxQueued: 2}, CodeQuotaExceeded, "", 429},
+		{"option", &cliconfig.OptionError{Option: "sample", Message: "-sample must be >= 1"}, CodeInvalidOption, "sample", 400},
+		{"engine config", &core.ConfigError{Field: "KernelSamplingPeriod", Reason: "must be >= 1"}, CodeInvalidOption, "sample", 400},
+		{"trace", &trace.FormatError{Offset: 12, Msg: "truncated chunk header"}, CodeTraceMalformed, "", 400},
+		{"draining", ErrClosed, CodeDraining, "", 503},
+		{"passthrough", &APIError{Code: CodeUnknownSession, Message: "no session s17"}, CodeUnknownSession, "", 404},
+		{"fallback", errors.New("boom"), CodeInternal, "", 500},
+	}
+	for _, tc := range cases {
+		ae := apiError(tc.err, CodeInternal)
+		if ae.Code != tc.code || ae.Field != tc.field {
+			t.Errorf("%s: classified as code=%q field=%q, want %q/%q", tc.name, ae.Code, ae.Field, tc.code, tc.field)
+		}
+		if ae.Message == "" {
+			t.Errorf("%s: empty message", tc.name)
+		}
+		if got := httpStatus(ae.Code); got != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, got, tc.status)
+		}
+
+		raw, err := json.Marshal(errorEnvelope{Error: ae})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var top map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &top); err != nil {
+			t.Fatal(err)
+		}
+		if len(top) != 1 || top["error"] == nil {
+			t.Errorf("%s: envelope top-level keys = %v, want exactly {error}", tc.name, top)
+			continue
+		}
+		var inner map[string]json.RawMessage
+		if err := json.Unmarshal(top["error"], &inner); err != nil {
+			t.Fatal(err)
+		}
+		for k := range inner {
+			if k != "code" && k != "message" && k != "field" {
+				t.Errorf("%s: unexpected envelope key %q", tc.name, k)
+			}
+		}
+		if inner["code"] == nil || inner["message"] == nil {
+			t.Errorf("%s: envelope missing code/message: %s", tc.name, top["error"])
+		}
+		if _, hasField := inner["field"]; hasField != (tc.field != "") {
+			t.Errorf("%s: field presence = %v, want %v (%s)", tc.name, hasField, tc.field != "", top["error"])
+		}
 	}
 }

@@ -1,0 +1,134 @@
+// The service's one error vocabulary: every /v1 handler and the
+// remote-attach socket reply with the same typed envelope
+//
+//	{"error": {"code": "...", "message": "...", "field": "..."}}
+//
+// where code is a stable machine-readable identifier, message the human
+// rendering, and field (when present) the canonical option name the
+// error points at. The classification lives here so a ConfigError, a
+// trace FormatError, and a quota rejection map to their codes in exactly
+// one place.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"valueexpert/internal/cliconfig"
+	"valueexpert/internal/core"
+	"valueexpert/internal/trace"
+)
+
+// The stable error codes of the v1 API. Codes are contract: clients
+// dispatch on them, so renaming one is a breaking API change.
+const (
+	// CodeInvalidRequest: the request body or parameters did not parse.
+	CodeInvalidRequest = "invalid_request"
+	// CodeInvalidOption: an engine option failed validation; Field names
+	// the canonical option (flag name without the dash).
+	CodeInvalidOption = "invalid_option"
+	// CodeUnknownWorkload: the named workload is not bundled.
+	CodeUnknownWorkload = "unknown_workload"
+	// CodeUnknownDevice: the named device profile does not exist.
+	CodeUnknownDevice = "unknown_device"
+	// CodeUnknownSession: no session has the requested ID.
+	CodeUnknownSession = "unknown_session"
+	// CodeSessionRunning: the artifact exists only after finalization.
+	CodeSessionRunning = "session_running"
+	// CodeNoTrace: the session was not attached with tracing enabled.
+	CodeNoTrace = "no_trace"
+	// CodeTraceMalformed: a trace container failed to decode.
+	CodeTraceMalformed = "trace_malformed"
+	// CodeQuotaExceeded: admission rejected — running cap reached and the
+	// queue is at its bound.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeDraining: the service is shutting down and admits nothing.
+	CodeDraining = "draining"
+	// CodeInternal: an unclassified server-side failure.
+	CodeInternal = "internal"
+)
+
+// APIError is the typed error payload. It implements error, so the
+// remote-attach client can surface a daemon rejection directly.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+// Error implements error.
+func (e *APIError) Error() string { return e.Message }
+
+// errorEnvelope is the wire shape every error response serializes to.
+type errorEnvelope struct {
+	Error *APIError `json:"error"`
+}
+
+// QuotaError reports an admission rejection: the running cap is reached
+// and the FIFO queue is at its bound. It carries the observed occupancy
+// so a 429 response can teach the client the service's shape.
+type QuotaError struct {
+	Running    int // streams running at rejection time
+	Queued     int // sessions waiting at rejection time
+	MaxRunning int // the configured running cap
+	MaxQueued  int // the configured queue bound
+}
+
+// Error implements error.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("daemon: admission queue full (%d running of %d, %d queued of %d)",
+		e.Running, e.MaxRunning, e.Queued, e.MaxQueued)
+}
+
+// apiError classifies err into the typed envelope. Already-typed
+// *APIError values pass through; otherwise the error chain picks the
+// code, falling back to fallbackCode for unclassified errors.
+func apiError(err error, fallbackCode string) *APIError {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	var qe *QuotaError
+	if errors.As(err, &qe) {
+		return &APIError{Code: CodeQuotaExceeded, Message: qe.Error()}
+	}
+	var oe *cliconfig.OptionError
+	if errors.As(err, &oe) {
+		return &APIError{Code: CodeInvalidOption, Message: oe.Error(), Field: oe.Option}
+	}
+	var ce *core.ConfigError
+	if errors.As(err, &ce) {
+		field := ce.Field
+		if f, ok := cliconfig.FlagForField[ce.Field]; ok {
+			field = f[1:] // canonical name: the flag without its dash
+		}
+		return &APIError{Code: CodeInvalidOption, Message: ce.Error(), Field: field}
+	}
+	var fe *trace.FormatError
+	if errors.As(err, &fe) {
+		return &APIError{Code: CodeTraceMalformed, Message: fe.Error()}
+	}
+	if errors.Is(err, ErrClosed) {
+		return &APIError{Code: CodeDraining, Message: err.Error()}
+	}
+	return &APIError{Code: fallbackCode, Message: err.Error()}
+}
+
+// httpStatus maps a stable error code to its HTTP status.
+func httpStatus(code string) int {
+	switch code {
+	case CodeUnknownSession, CodeNoTrace:
+		return http.StatusNotFound
+	case CodeSessionRunning:
+		return http.StatusConflict
+	case CodeQuotaExceeded:
+		return http.StatusTooManyRequests
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}

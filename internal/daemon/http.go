@@ -1,20 +1,34 @@
-// The service's HTTP surface: JSON/text/GUI report endpoints over the
-// session registry. Go 1.22 method+wildcard mux patterns route it all:
+// The service's versioned HTTP surface: JSON/text/GUI report endpoints
+// over the session registry, all under the /v1 prefix. Go 1.22
+// method+wildcard mux patterns route it all:
 //
-//	GET    /healthz              liveness + session count
-//	GET    /sessions             session listing
-//	POST   /sessions             attach a bundled workload as a session
-//	GET    /sessions/{id}        one session's info
-//	GET    /sessions/{id}/report report: ?format=json|text|html, ?wait=1
-//	GET    /sessions/{id}/trace  recorded trace container, ?wait=1
-//	DELETE /sessions/{id}        cancel + finalize a session
-//	GET    /aggregate            process-level aggregate over sessions
-//	GET    /metrics              service + per-session telemetry metrics
-//	GET    /selftrace            shared Perfetto self-trace (all sessions)
+//	GET    /v1/healthz              liveness + session/queue occupancy
+//	GET    /v1/sessions             session listing (queued + restored included)
+//	POST   /v1/sessions             attach a bundled workload as a session
+//	GET    /v1/sessions/{id}        one session's info (incl. queue position)
+//	GET    /v1/sessions/{id}/report report: ?format=json|text|html, ?wait=1,
+//	                                ?partial=1 for a mid-run snapshot
+//	GET    /v1/sessions/{id}/trace  recorded trace container, ?wait=1
+//	DELETE /v1/sessions/{id}        cancel + finalize a session
+//	GET    /v1/aggregate            process-level aggregate over sessions
+//	GET    /v1/metrics              service + per-session telemetry metrics
+//	GET    /v1/selftrace            shared Perfetto self-trace (all sessions)
+//
+// The pre-versioning bare paths (/sessions, /aggregate, …) answer with
+// 308 Permanent Redirect to their /v1 twins for one release — 308
+// preserves method and body, so an old `curl -X POST /sessions` client
+// keeps working through the window. /healthz stays live unversioned
+// forever (load-balancer probes should not chase redirects).
+//
+// Errors share one typed envelope — {"error": {code, message, field}} —
+// with the stable codes defined in errors.go; admission rejections are
+// 429 with code "quota_exceeded", and a queued admission answers 202
+// with the queue position in the session info.
 //
 // The JSON report endpoint serves the byte-for-byte cached
 // Report.WriteJSON output, so `curl …/report > daemon.json` diffs clean
-// against the equivalent one-shot `vxprof -json` artifact.
+// against the equivalent one-shot `vxprof -json` artifact — across
+// daemon restarts too, once a persistent store is attached.
 package daemon
 
 import (
@@ -33,48 +47,57 @@ import (
 type HandlerConfig struct {
 	// Defaults seeds each POSTed session's engine options; a request's
 	// "options" object overrides individual fields (JSON-merge
-	// semantics). Scale is process-global (workloads.Scale) and fixed at
-	// daemon startup — requests naming a different scale are rejected.
+	// semantics, canonical option names = flag names). Scale is
+	// process-global (workloads.Scale) and fixed at daemon startup —
+	// requests naming a different scale are rejected.
 	Defaults cliconfig.Options
 	// Device is the device profile name sessions run on when the request
 	// names none.
 	Device string
 }
 
-// Handler builds the service's HTTP handler.
+// Handler builds the service's HTTP handler: the /v1 API plus the
+// legacy-path redirects.
 func (s *Service) Handler(hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	healthz := func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		running, queued := s.running, len(s.queue)
+		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status": "ok", "sessions": len(s.Sessions()),
+			"running": running, "queued": queued,
 		})
-	})
-	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+	}
+	mux.HandleFunc("GET /v1/healthz", healthz)
+	// Unversioned liveness stays: probes should not follow redirects.
+	mux.HandleFunc("GET /healthz", healthz)
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		infos := []Info{}
 		for _, sess := range s.Sessions() {
 			infos = append(infos, sess.Info())
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
 	})
-	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		s.createSession(w, r, hc)
 	})
-	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if sess := s.session(w, r); sess != nil {
 			writeJSON(w, http.StatusOK, sess.Info())
 		}
 	})
-	mux.HandleFunc("GET /sessions/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/sessions/{id}/report", func(w http.ResponseWriter, r *http.Request) {
 		if sess := s.session(w, r); sess != nil {
 			s.serveReport(w, r, sess)
 		}
 	})
-	mux.HandleFunc("GET /sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		if sess := s.session(w, r); sess != nil {
 			s.serveTrace(w, r, sess)
 		}
 	})
-	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		sess := s.session(w, r)
 		if sess == nil {
 			return
@@ -82,29 +105,45 @@ func (s *Service) Handler(hc HandlerConfig) http.Handler {
 		sess.Close()
 		writeJSON(w, http.StatusOK, sess.Info())
 	})
-	mux.HandleFunc("GET /aggregate", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/aggregate", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Aggregate())
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
-	mux.HandleFunc("GET /selftrace", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/selftrace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		s.trace.WriteJSON(w)
 	})
+
+	// Legacy bare paths: one release of 308s (method- and
+	// body-preserving) onto the /v1 twins. See DESIGN.md §11 for the
+	// deprecation window.
+	legacy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		u := *r.URL
+		u.Path = "/v1" + u.Path
+		http.Redirect(w, r, u.String(), http.StatusPermanentRedirect)
+	})
+	mux.Handle("/sessions", legacy)
+	mux.Handle("/sessions/", legacy)
+	mux.Handle("/aggregate", legacy)
+	mux.Handle("/metrics", legacy)
+	mux.Handle("/selftrace", legacy)
 	return mux
 }
 
-// createRequest is the POST /sessions body. Options follows the shared
-// CLI vocabulary (cliconfig.Options field names), so a request's
-// validation errors speak the same flag names vxprof prints.
+// createRequest is the POST /v1/sessions body. Options is the canonical
+// option schema (cliconfig.Options JSON names = flag names), so a
+// request's validation errors speak the same names vxprof prints and
+// the error envelope's "field" points straight back at the input.
 type createRequest struct {
 	Workload  string `json:"workload"`
 	Device    string `json:"device"`
 	Optimized bool   `json:"optimized"`
 	// Trace additionally records the session's event stream; the
-	// container is served by GET /sessions/{id}/trace after the session
-	// finalizes. The encoding follows the options' TraceFormat field.
+	// container is served by GET /v1/sessions/{id}/trace after the
+	// session finalizes. The encoding follows the options' trace-format
+	// field.
 	Trace   bool            `json:"trace"`
 	Options json.RawMessage `json:"options"`
 }
@@ -112,16 +151,22 @@ type createRequest struct {
 func (s *Service) createSession(w http.ResponseWriter, r *http.Request, hc HandlerConfig) {
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		writeAPIError(w, &APIError{
+			Code: CodeInvalidRequest, Message: fmt.Sprintf("invalid request body: %v", err),
+		})
 		return
 	}
 	if req.Workload == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("workload is required"))
+		writeAPIError(w, &APIError{
+			Code: CodeInvalidRequest, Message: "workload is required", Field: "workload",
+		})
 		return
 	}
 	wl, err := workloads.ByName(req.Workload)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, &APIError{
+			Code: CodeUnknownWorkload, Message: err.Error(), Field: "workload",
+		})
 		return
 	}
 	device := req.Device
@@ -130,7 +175,9 @@ func (s *Service) createSession(w http.ResponseWriter, r *http.Request, hc Handl
 	}
 	prof, err := gpu.ProfileByName(device)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, &APIError{
+			Code: CodeUnknownDevice, Message: err.Error(), Field: "device",
+		})
 		return
 	}
 
@@ -138,32 +185,37 @@ func (s *Service) createSession(w http.ResponseWriter, r *http.Request, hc Handl
 	opts := hc.Defaults
 	if len(req.Options) > 0 {
 		if err := json.Unmarshal(req.Options, &opts); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid options: %w", err))
+			writeAPIError(w, &APIError{
+				Code: CodeInvalidRequest, Message: fmt.Sprintf("invalid options: %v", err),
+				Field: "options",
+			})
 			return
 		}
 	}
 	if opts.Scale != hc.Defaults.Scale {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("-scale is fixed at daemon startup (%d); per-session scale is not supported", hc.Defaults.Scale))
+		writeAPIError(w, &APIError{
+			Code: CodeInvalidOption, Field: "scale",
+			Message: fmt.Sprintf("-scale is fixed at daemon startup (%d); per-session scale is not supported", hc.Defaults.Scale),
+		})
 		return
 	}
 	if err := opts.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, apiError(err, CodeInvalidOption))
 		return
 	}
 	cfg, err := opts.EngineConfig(wl.Name())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, apiError(err, CodeInvalidOption))
 		return
 	}
 	plan, err := opts.FaultPlan()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, apiError(err, CodeInvalidOption))
 		return
 	}
 	traceFormat, err := opts.Format()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, apiError(err, CodeInvalidOption))
 		return
 	}
 	variant := workloads.Original
@@ -182,31 +234,61 @@ func (s *Service) createSession(w http.ResponseWriter, r *http.Request, hc Handl
 		},
 	})
 	if err != nil {
-		status := http.StatusBadRequest
-		if err == ErrClosed {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err)
+		writeAPIError(w, apiError(err, CodeInvalidRequest))
 		return
 	}
-	writeJSON(w, http.StatusCreated, sess.Info())
+	info := sess.Info()
+	// A queued admission is accepted-but-pending: 202, with the queue
+	// position in the body so the client can gauge the wait.
+	status := http.StatusCreated
+	if info.State == StateQueued {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, info)
 }
 
 // serveReport emits one session's report. JSON (the default) serves the
 // cached serialized bytes untouched; text and html render from the
 // cached report. A running session 409s unless ?wait=1 blocks until it
-// finalizes.
+// finalizes or ?partial=1 snapshots the aggregate mid-run (JSON only;
+// the response carries ValueExpert-Partial: true while the session is
+// still running).
 func (s *Service) serveReport(w http.ResponseWriter, r *http.Request, sess *Session) {
+	format := r.URL.Query().Get("format")
+	if r.URL.Query().Get("partial") == "1" {
+		if format != "" && format != "json" {
+			writeAPIError(w, &APIError{
+				Code:    CodeInvalidRequest,
+				Message: "?partial=1 serves JSON only (the partial snapshot is the serialized aggregate)",
+			})
+			return
+		}
+		raw, partial := sess.PartialReport(r.Context().Done())
+		if raw == nil {
+			writeAPIError(w, &APIError{
+				Code: CodeInternal, Message: "partial report canceled",
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if partial {
+			w.Header().Set("ValueExpert-Partial", "true")
+		}
+		w.Write(raw)
+		return
+	}
 	if r.URL.Query().Get("wait") == "1" {
 		<-sess.Done()
 	}
 	rep, ok := sess.Report()
 	if !ok {
-		writeError(w, http.StatusConflict,
-			fmt.Errorf("session %s is still running (retry with ?wait=1)", sess.ID()))
+		writeAPIError(w, &APIError{
+			Code:    CodeSessionRunning,
+			Message: fmt.Sprintf("session %s is still running (retry with ?wait=1, or ?partial=1 for a snapshot)", sess.ID()),
+		})
 		return
 	}
-	switch format := r.URL.Query().Get("format"); format {
+	switch format {
 	case "", "json":
 		raw, _ := sess.ReportJSON()
 		w.Header().Set("Content-Type", "application/json")
@@ -218,8 +300,11 @@ func (s *Service) serveReport(w http.ResponseWriter, r *http.Request, sess *Sess
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, gui.RenderHTML(rep, sess.Graph(), gui.Options{}))
 	default:
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("unknown format %q (want json, text, or html)", format))
+		writeAPIError(w, &APIError{
+			Code:    CodeInvalidRequest,
+			Message: fmt.Sprintf("unknown format %q (want json, text, or html)", format),
+			Field:   "format",
+		})
 	}
 }
 
@@ -230,15 +315,20 @@ func (s *Service) serveTrace(w http.ResponseWriter, r *http.Request, sess *Sessi
 	if r.URL.Query().Get("wait") == "1" {
 		<-sess.Done()
 	}
-	if sess.State() == StateRunning {
-		writeError(w, http.StatusConflict,
-			fmt.Errorf("session %s is still running (retry with ?wait=1)", sess.ID()))
+	switch sess.State() {
+	case StateRunning, StateQueued:
+		writeAPIError(w, &APIError{
+			Code:    CodeSessionRunning,
+			Message: fmt.Sprintf("session %s is still running (retry with ?wait=1)", sess.ID()),
+		})
 		return
 	}
 	data, ok := sess.TraceData()
 	if !ok {
-		writeError(w, http.StatusNotFound,
-			fmt.Errorf("session %s was not attached with tracing enabled", sess.ID()))
+		writeAPIError(w, &APIError{
+			Code:    CodeNoTrace,
+			Message: fmt.Sprintf("session %s was not attached with tracing enabled", sess.ID()),
+		})
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -250,7 +340,9 @@ func (s *Service) session(w http.ResponseWriter, r *http.Request) *Session {
 	id := r.PathValue("id")
 	sess := s.Session(id)
 	if sess == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		writeAPIError(w, &APIError{
+			Code: CodeUnknownSession, Message: fmt.Sprintf("no session %q", id),
+		})
 	}
 	return sess
 }
@@ -263,6 +355,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeAPIError emits the typed error envelope, with the HTTP status
+// derived from the stable code.
+func writeAPIError(w http.ResponseWriter, ae *APIError) {
+	writeJSON(w, httpStatus(ae.Code), errorEnvelope{Error: ae})
 }

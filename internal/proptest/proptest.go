@@ -17,9 +17,14 @@
 //	    replays byte-identically from either (binary ≡ JSONL ≡ live),
 //	    and a kernel capsule extracted for a random launch re-profiles
 //	    in isolation byte-identically to that launch's slice of the
-//	    full-trace report.
+//	    full-trace report;
+//	(g) the program streamed to a daemon over the remote-attach socket —
+//	    queued behind a running session, then admitted — produces a
+//	    report byte-identical to profiling it in process with the same
+//	    canonical options.
 //
-// CheckSeed runs all six for one seed and reports the first violation.
+// CheckSeed runs all of these for one seed and reports the first
+// violation.
 // The harness is deliberately a plain function returning error so `make
 // proptest` can print the failing seed and a one-line repro command.
 package proptest
@@ -28,6 +33,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"time"
@@ -35,6 +41,7 @@ import (
 	"valueexpert/cuda"
 	"valueexpert/gpu"
 	"valueexpert/internal/capsule"
+	"valueexpert/internal/cliconfig"
 	"valueexpert/internal/core"
 	"valueexpert/internal/daemon"
 	"valueexpert/internal/faultinject"
@@ -186,7 +193,7 @@ func faultPlans(seed int64) []struct {
 	}
 }
 
-// CheckSeed verifies properties (a)–(d) for one seed and returns the
+// CheckSeed verifies properties (a)–(g) for one seed and returns the
 // first violation found, nil if the seed holds.
 func CheckSeed(seed int64) error {
 	base := runtime.NumGoroutine()
@@ -320,6 +327,96 @@ func CheckSeed(seed int64) error {
 	}
 	if err := awaitGoroutines(base); err != nil {
 		return fmt.Errorf("after daemon-session run: %w", err)
+	}
+
+	// (g) Remote attach through a full admission queue reproduces the
+	// in-process profile byte for byte.
+	if err := checkRemoteAttach(seed); err != nil {
+		return fmt.Errorf("property (g): %w", err)
+	}
+	if err := awaitGoroutines(base); err != nil {
+		return fmt.Errorf("after remote-attach run: %w", err)
+	}
+	return nil
+}
+
+// checkRemoteAttach profiles the seed's program twice with the same
+// canonical options — once in process, once streamed to a daemon over
+// the remote-attach socket where the session first queues behind a
+// running blocker — and demands byte-identical reports.
+func checkRemoteAttach(seed int64) error {
+	opts := cliconfig.Options{Coarse: true, Fine: true, Sample: 1, Scale: 1, Workers: 2, Depth: 2}
+	ecfg, err := opts.EngineConfig("proptest")
+	if err != nil {
+		return err
+	}
+	var p *core.Profiler
+	errs := execute(seed, true, func(rt *cuda.Runtime) { p = core.Attach(rt, ecfg) })
+	if len(errs) != 0 {
+		return fmt.Errorf("in-process run failed: %v", errs[0])
+	}
+	p.Detach()
+	want, err := reportBytes(p.Report())
+	if err != nil {
+		return err
+	}
+
+	svc := daemon.NewService(daemon.WithLimits(daemon.Limits{MaxRunning: 1, MaxQueued: 4}))
+	defer svc.Shutdown()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	as := svc.ServeAttach(ln, daemon.HandlerConfig{Defaults: opts, Device: "RTX 2080 Ti"})
+	defer as.Close()
+
+	gate := make(chan struct{})
+	if _, err := svc.Attach(daemon.SessionConfig{
+		Program: "blocker", Device: gpu.RTX2080Ti, Engine: cfg(0, 0),
+		Run: func(rt *cuda.Runtime) error { <-gate; return nil },
+	}); err != nil {
+		return fmt.Errorf("blocker attach: %w", err)
+	}
+
+	rs, err := daemon.DialAttach("tcp", ln.Addr().String(), daemon.AttachRequest{Program: "proptest"})
+	if err != nil {
+		close(gate)
+		return fmt.Errorf("dial attach: %w", err)
+	}
+	defer rs.Close()
+	if st := rs.Info().State; st != daemon.StateQueued {
+		close(gate)
+		return fmt.Errorf("remote session admitted %s, want queued behind the blocker", st)
+	}
+	// Free the slot before streaming: a large trace must not deadlock on
+	// the socket buffer while the daemon is not yet reading.
+	close(gate)
+	if err := rs.Run(gpu.RTX2080Ti, func(rt *cuda.Runtime) error {
+		prog := &workloads.RandomProgram{Seed: seed, Tolerant: true}
+		if errs := prog.Run(rt); len(errs) > 0 {
+			return errs[0]
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("remote run: %w", err)
+	}
+	info, raw, err := rs.Wait()
+	if err != nil {
+		return fmt.Errorf("completion: %w", err)
+	}
+	if info.State != daemon.StateDone {
+		return fmt.Errorf("remote session finished %s: %s", info.State, info.Error)
+	}
+	rep, err := profile.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("completion report: %w", err)
+	}
+	got, err := reportBytes(rep)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("remote-attach and in-process reports differ (%d vs %d bytes)", len(got), len(want))
 	}
 	return nil
 }

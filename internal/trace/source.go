@@ -22,6 +22,23 @@ var ErrStop = errors.New("trace: stop scan")
 // binary trace — truncation included — surfaces as a *FormatError.
 func Scan(rd io.Reader, fn func(e *Event) error) error {
 	br := bufio.NewReader(rd)
+	// Skip leading whitespace before sniffing: a remote-attach stream
+	// follows a JSON handshake whose encoder terminates with a newline,
+	// and hand-written JSONL may open with blank lines. The binary
+	// container never starts with whitespace, so this cannot misdetect.
+	for {
+		b, err := br.Peek(1)
+		if len(b) == 0 {
+			if err == io.EOF {
+				return nil // empty trace
+			}
+			return err
+		}
+		if b[0] != ' ' && b[0] != '\t' && b[0] != '\n' && b[0] != '\r' {
+			break
+		}
+		br.ReadByte()
+	}
 	head, err := br.Peek(len(binMagic))
 	if len(head) == 0 {
 		if err == io.EOF {
@@ -217,7 +234,16 @@ type Source struct {
 // NewSource creates a replay source reading the trace from rd into a
 // fresh runtime simulating prof.
 func NewSource(rd io.Reader, prof gpu.Profile) *Source {
-	return &Source{rp: NewReplayer(cuda.NewRuntime(prof)), rd: rd}
+	return NewSourceOn(rd, cuda.NewRuntime(prof))
+}
+
+// NewSourceOn creates a replay source reading the trace from rd into an
+// existing runtime. This is the remote-attach seam: a daemon session
+// owns a cancelable runtime, and the trace arriving over the attach
+// socket replays into it exactly as a live program would execute, so
+// the session's profiler cannot tell a remote stream from a local run.
+func NewSourceOn(rd io.Reader, rt *cuda.Runtime) *Source {
+	return &Source{rp: NewReplayer(rt), rd: rd}
 }
 
 // Runtime implements cuda.EventSource.

@@ -31,13 +31,34 @@ type (
 	// the default device for POSTed sessions).
 	ServeConfig = daemon.HandlerConfig
 	// EngineOptions is the shared flag-shaped engine option set (the
-	// vxprof flag surface and the POST /sessions "options" vocabulary);
+	// vxprof flag surface and the canonical /v1 "options" vocabulary);
 	// use it to fill ServeConfig.Defaults.
 	EngineOptions = cliconfig.Options
+	// ServiceOption configures NewService (admission limits, the
+	// persistent report store).
+	ServiceOption = daemon.Option
+	// ServiceLimits bounds admission: a cap on concurrently running
+	// streams and a FIFO queue behind it.
+	ServiceLimits = daemon.Limits
+	// ServiceStore is the content-addressed on-disk report store
+	// finished sessions spill into and restart recovery reads from.
+	ServiceStore = daemon.Store
+	// ServiceQuotaError is the typed rejection for an Attach past the
+	// admission bound (HTTP 429 / code "quota_exceeded" on the wire).
+	ServiceQuotaError = daemon.QuotaError
+	// ServiceAPIError is the one typed error envelope every /v1 surface
+	// speaks: a stable code, a message, and an optional option field.
+	ServiceAPIError = daemon.APIError
+	// RemoteSession is the client half of remote attach: a handle on a
+	// daemon session fed by this process's own runtime.
+	RemoteSession = daemon.RemoteSession
+	// RemoteAttachRequest is the remote-attach handshake body.
+	RemoteAttachRequest = daemon.AttachRequest
 )
 
 // The session lifecycle states.
 const (
+	SessionQueued   = daemon.StateQueued
 	SessionRunning  = daemon.StateRunning
 	SessionDone     = daemon.StateDone
 	SessionFailed   = daemon.StateFailed
@@ -50,8 +71,32 @@ var ErrServiceClosed = daemon.ErrClosed
 // NewService creates an empty profiling service. Attach applications
 // with Service.Attach, serve reports with Serve or Service.Handler, and
 // drain with Service.Shutdown — a session canceled mid-kernel still
-// yields a report, marked Degraded.
-func NewService() *Service { return daemon.NewService() }
+// yields a report, marked Degraded. Options bound admission
+// (WithServiceLimits) and persist finished sessions across restarts
+// (WithServiceStore).
+func NewService(opts ...ServiceOption) *Service { return daemon.NewService(opts...) }
+
+// WithServiceLimits caps concurrently running session streams and
+// bounds the FIFO admission queue behind the cap; attaches past both
+// fail with a *ServiceQuotaError.
+func WithServiceLimits(l ServiceLimits) ServiceOption { return daemon.WithLimits(l) }
+
+// WithServiceStore gives the service a persistent report store:
+// finished sessions spill report + trace there (and are evicted from
+// memory), and a new service over the same directory serves them again.
+func WithServiceStore(st *ServiceStore) ServiceOption { return daemon.WithStore(st) }
+
+// OpenServiceStore opens (creating if needed) a content-addressed
+// report store rooted at dir.
+func OpenServiceStore(dir string) (*ServiceStore, error) { return daemon.OpenStore(dir) }
+
+// DialServiceAttach connects to a daemon's remote-attach socket and
+// performs the handshake; the returned RemoteSession streams this
+// process's GPU events into a session hosted by the daemon. A
+// daemon-side rejection is returned as the *ServiceAPIError it sent.
+func DialServiceAttach(network, addr string, req RemoteAttachRequest) (*RemoteSession, error) {
+	return daemon.DialAttach(network, addr, req)
+}
 
 // Serve runs the service's HTTP report surface on addr (blocking), with
 // JSON/text/GUI report endpoints per session plus /aggregate, /metrics,

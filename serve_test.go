@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -148,5 +149,97 @@ func TestServeHandlerFacade(t *testing.T) {
 	resp.Body.Close()
 	if len(agg.Sessions) != 1 || agg.Objects == 0 {
 		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+// TestFleetFacade drives the fleet re-exports the way an embedding
+// application would: a limit-bounded service with a persistent store,
+// a quota rejection typed as *ServiceQuotaError, remote attach through
+// DialServiceAttach, and restart recovery through OpenServiceStore.
+func TestFleetFacade(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenServiceStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(
+		WithServiceLimits(ServiceLimits{MaxRunning: 1, MaxQueued: 0}),
+		WithServiceStore(st),
+	)
+	cfg := Config{Coarse: true, Fine: true, Program: "fleet"}
+
+	gate := make(chan struct{})
+	blocker, err := svc.Attach(ServiceSessionConfig{
+		Program: "fleet", Device: gpu.RTX2080Ti, Engine: cfg,
+		Run: func(rt *cuda.Runtime) error { <-gate; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No queue configured: the second Attach is rejected outright.
+	var qe *ServiceQuotaError
+	if _, err := svc.Attach(ServiceSessionConfig{
+		Program: "over", Device: gpu.RTX2080Ti, Engine: cfg,
+		Run: func(rt *cuda.Runtime) error { return nil },
+	}); !errors.As(err, &qe) {
+		t.Fatalf("over-quota Attach = %v, want *ServiceQuotaError", err)
+	}
+	close(gate)
+	if err := blocker.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	id := blocker.ID()
+	svc.Shutdown()
+
+	// A fresh service over the same store directory serves the finished
+	// session again, marked Restored.
+	st2, err := OpenServiceStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := NewService(WithServiceStore(st2))
+	defer svc2.Shutdown()
+	restored := svc2.Session(id)
+	if restored == nil {
+		t.Fatalf("session %s not restored from %s", id, dir)
+	}
+	if info := restored.Info(); !info.Restored || info.State != SessionDone {
+		t.Fatalf("restored session info = %+v", info)
+	}
+
+	// Remote attach through the facade: stream a program into svc2 and
+	// read the finalized report back over the socket.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := svc2.ServeAttach(ln, ServeConfig{
+		Defaults: EngineOptions{Coarse: true, Fine: true, Sample: 1, Scale: 1},
+		Device:   "RTX 2080 Ti",
+	})
+	defer as.Close()
+	rs, err := DialServiceAttach("tcp", ln.Addr().String(), RemoteAttachRequest{Program: "remote-fleet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if err := rs.Run(gpu.RTX2080Ti, func(rt *cuda.Runtime) error {
+		buf, err := rt.MallocF32(64, "remote")
+		if err != nil {
+			return err
+		}
+		return rt.Memset(buf, 0, 4*64)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	final, raw, err := rs.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != SessionDone || len(raw) == 0 {
+		t.Fatalf("remote session finished %s with %d report bytes", final.State, len(raw))
+	}
+	if _, err := ReadReport(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("remote report does not parse: %v", err)
 	}
 }
