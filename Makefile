@@ -14,9 +14,9 @@ FUZZTIME ?= 20s
 # The verify/race gates run the default 10-seed smoke via `go test`.
 PROPTEST_SEEDS ?= 200
 
-.PHONY: verify fmt build vet test race bench bench-smoke cover fuzz proptest daemon-smoke
+.PHONY: verify fmt build vet test race bench bench-smoke grid grid-full cover fuzz proptest daemon-smoke
 
-verify: fmt build vet test race bench-smoke cover fuzz daemon-smoke
+verify: fmt build vet test race bench-smoke grid cover fuzz daemon-smoke
 
 # fmt fails if any file is not gofmt-clean.
 fmt:
@@ -53,6 +53,22 @@ bench-smoke:
 		-tolerance $(BENCH_TOLERANCE) -out BENCH_pipeline.json
 	$(GO) run ./cmd/vxtracebench -iters 3 -baseline BENCH_trace.json \
 		-tolerance $(BENCH_TOLERANCE) -out BENCH_trace.json
+
+# grid runs the checked-in smoke experiment grid (2 workloads × 3
+# worker/depth settings × 3 repeats, including the capsule-corpus
+# replay workload) through cmd/vxgrid, writes per-run and summary
+# CSV/markdown artifacts under grid_out/, and gates every cell's wall
+# and analysis mean against BENCH_grid.json with the statistics-aware
+# comparison (regression = beyond BENCH_TOLERANCE AND beyond k·std of
+# the measured repeats), refreshing the baseline on success. The full
+# paper grid (grid-full) is opt-in: hours, not minutes.
+grid:
+	$(GO) run ./cmd/vxgrid -grid experiments/grid-smoke.json -outdir grid_out \
+		-baseline BENCH_grid.json -tolerance $(BENCH_TOLERANCE) -k 3 \
+		-out BENCH_grid.json
+
+grid-full:
+	$(GO) run ./cmd/vxgrid -grid experiments/grid-full.json -outdir grid_out_full
 
 # fuzz runs each fuzz target for FUZZTIME, growing the checked-in seed
 # corpora under {sass,internal/trace}/testdata/fuzz/. Plain `go test`

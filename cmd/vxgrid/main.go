@@ -1,0 +1,125 @@
+// Command vxgrid runs a reproducible experiment grid — a checked-in JSON
+// spec of workload × workers/depth × patterns cells, each measured
+// -repeats times — and writes per-run CSV, grouped mean/std/min/max
+// summaries (CSV and markdown), and a BENCH_grid.json baseline. With
+// -baseline, the run is also a regression gate through the shared
+// statistics-aware comparison (internal/benchgate): a cell fails only
+// when its measured mean exceeds the baseline mean by the tolerance AND
+// by k standard deviations of the measured runs, so noise can neither
+// fail nor mask the gate. A measured cell missing from the baseline
+// fails too — new grid cells land with a deliberately refreshed
+// baseline, never a free pass.
+//
+// Usage:
+//
+//	vxgrid -grid experiments/grid-smoke.json [-outdir grid_out]
+//	       [-repeats N] [-baseline BENCH_grid.json] [-tolerance 0.25]
+//	       [-k 3] [-out BENCH_grid.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"valueexpert/internal/expgrid"
+)
+
+func main() {
+	var (
+		gridPath  = flag.String("grid", "", "grid spec to run (required)")
+		outdir    = flag.String("outdir", "grid_out", "directory for runs.csv, summary.csv, summary.md")
+		repeats   = flag.Int("repeats", 0, "override the spec's repeat count (0 = use the spec)")
+		baseline  = flag.String("baseline", "", "baseline to gate against (skipped when absent)")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression of a cell's mean")
+		k         = flag.Float64("k", 3, "noise bound: regressions inside k·std of the measured runs pass")
+		out       = flag.String("out", "", "write the refreshed baseline to this file")
+	)
+	flag.Parse()
+
+	if *gridPath == "" {
+		fmt.Fprintln(os.Stderr, "vxgrid: -grid is required (see -h)")
+		os.Exit(2)
+	}
+	spec, err := expgrid.Load(*gridPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxgrid:", err)
+		os.Exit(2)
+	}
+	if *repeats > 0 {
+		spec.Repeats = *repeats
+	}
+	base, err := expgrid.LoadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxgrid:", err)
+		os.Exit(2)
+	}
+	if *baseline != "" && base == nil {
+		fmt.Fprintf(os.Stderr, "vxgrid: no baseline %s, gate skipped\n", *baseline)
+	}
+
+	runner := &expgrid.Runner{Spec: spec, Progress: os.Stderr}
+	res, err := runner.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxgrid:", err)
+		os.Exit(1)
+	}
+
+	if err := writeOutputs(res, *outdir); err != nil {
+		fmt.Fprintln(os.Stderr, "vxgrid:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := res.Baseline().WriteBaseline(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "vxgrid:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	fmt.Print(res.Markdown())
+
+	if base != nil {
+		if failures := res.Gate(base, *tolerance, *k); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "vxgrid: REGRESSION:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "baseline gate passed (tolerance %.0f%%, %g·std noise bound, %d cells)\n",
+			100**tolerance, *k, len(res.Groups))
+	}
+}
+
+// writeOutputs writes the three artifact files under dir.
+func writeOutputs(res *expgrid.Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, emit func(w io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(dir, name))
+		return nil
+	}
+	if err := write("runs.csv", res.WriteRunsCSV); err != nil {
+		return err
+	}
+	if err := write("summary.csv", res.WriteSummaryCSV); err != nil {
+		return err
+	}
+	return write("summary.md", func(w io.Writer) error {
+		_, err := io.WriteString(w, res.Markdown())
+		return err
+	})
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"valueexpert/internal/expgrid"
+)
+
+// TestCheckedInGridsLoad: both experiment grids in the repo parse and
+// validate, so a typoed workload name or pattern fails go test before it
+// fails make grid.
+func TestCheckedInGridsLoad(t *testing.T) {
+	for _, name := range []string{"grid-smoke.json", "grid-full.json"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := expgrid.Load(filepath.Join("..", "..", "experiments", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Workloads) < 2 || len(s.Settings) < 3 || s.Repeats < 3 {
+				t.Fatalf("grid %s thinner than the acceptance floor: %d workloads, %d settings, %d repeats",
+					name, len(s.Workloads), len(s.Settings), s.Repeats)
+			}
+		})
+	}
+}

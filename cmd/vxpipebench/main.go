@@ -1,24 +1,29 @@
 // Command vxpipebench measures the profiler's own overhead across
 // analysis-worker settings and writes the result as JSON — the perf
 // trajectory file (BENCH_pipeline.json) maintained by make verify's
-// bench-smoke step. Each entry times one instrumented run of a bundled
-// workload and attributes the cost from the telemetry metrics export:
-// collection (sanitizer flush capture + buffer waits) vs. analysis vs.
-// snapshot maintenance, the same split the paper's §6 overhead tables
-// use, plus the analysis stage's own breakdown (worker-side compaction,
-// pre-combiner folds, the collector's serial absorbs, launch-end
-// finalization).
+// bench-smoke step. Each entry times -iters instrumented runs of a
+// bundled workload and attributes the cost from the telemetry metrics
+// export: collection (sanitizer flush capture + buffer waits) vs.
+// analysis vs. snapshot maintenance, the same split the paper's §6
+// overhead tables use, plus the analysis stage's own breakdown
+// (worker-side compaction, pre-combiner folds, the collector's serial
+// absorbs, launch-end finalization). The gated metrics (wall, analysis)
+// carry the repeats' mean AND spread, so the baseline file records how
+// noisy the measurement was, not just where it landed.
 //
-// With -baseline, the run is also a regression gate: each measured
-// setting is compared against the matching setting in the baseline file
-// and the command exits nonzero when wall or analysis ms/op regresses
-// beyond the tolerance.
+// With -baseline, the run is also a regression gate through the shared
+// statistics-aware comparison (internal/benchgate): a setting fails only
+// when its measured mean exceeds the baseline mean by the tolerance AND
+// by -k standard deviations of the measured runs, and the command exits
+// nonzero printing a per-setting diff of measured vs baseline vs
+// allowed. Legacy single-mean baseline files keep gating (as one run
+// with zero spread).
 //
 // Usage:
 //
 //	vxpipebench [-workload Darknet] [-scale 64] [-workers 0,2,4]
 //	            [-iters 1] [-out BENCH_pipeline.json]
-//	            [-baseline BENCH_pipeline.json] [-tolerance 0.25]
+//	            [-baseline BENCH_pipeline.json] [-tolerance 0.25] [-k 3]
 package main
 
 import (
@@ -33,26 +38,31 @@ import (
 	"valueexpert"
 	"valueexpert/cuda"
 	"valueexpert/gpu"
+	"valueexpert/internal/benchgate"
 	"valueexpert/internal/workloads"
 )
 
-// setting is one measured pipeline configuration.
+// setting is one measured pipeline configuration. The two gated metrics
+// are full statistics; the attribution breakdown stays per-run means.
 type setting struct {
 	Workers int `json:"workers"`
 	Depth   int `json:"depth"`
 
 	// WallMSPerOp is total instrumented wall time per profiled run.
-	WallMSPerOp float64 `json:"wall_ms_per_op"`
+	WallMSPerOp benchgate.Stat `json:"wall_ms_per_op"`
 
-	// Overhead attribution from the telemetry export, ms per run.
+	// AnalysisMSPerOp is the analysis stage's attributed time per run —
+	// the metric ROADMAP item 1 worked down, gated so it stays down.
+	AnalysisMSPerOp benchgate.Stat `json:"analysis_ms_per_op"`
+
+	// Overhead attribution from the telemetry export, mean ms per run.
 	CollectionMSPerOp float64 `json:"collection_ms_per_op"`
-	AnalysisMSPerOp   float64 `json:"analysis_ms_per_op"`
 	SnapshotMSPerOp   float64 `json:"snapshot_ms_per_op"`
 
-	// Analysis-stage breakdown (summed over stages), ms per run: where
-	// the analysis cost actually sits — parallel worker-side compaction,
-	// the pre-combiner's pairwise folds, the collector's serial absorbs,
-	// and launch-end finalization.
+	// Analysis-stage breakdown (summed over stages), mean ms per run:
+	// where the analysis cost actually sits — parallel worker-side
+	// compaction, the pre-combiner's pairwise folds, the collector's
+	// serial absorbs, and launch-end finalization.
 	CompactMSPerOp  float64 `json:"compact_ms_per_op"`
 	CombineMSPerOp  float64 `json:"combine_ms_per_op"`
 	AbsorbMSPerOp   float64 `json:"absorb_ms_per_op"`
@@ -82,6 +92,7 @@ func main() {
 		out       = flag.String("out", "BENCH_pipeline.json", "output file")
 		baseline  = flag.String("baseline", "", "baseline trajectory to gate against (skipped when absent)")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression vs the baseline")
+		k         = flag.Float64("k", 3, "noise bound: regressions inside k·std of the measured runs pass")
 	)
 	flag.Parse()
 
@@ -103,8 +114,9 @@ func main() {
 			os.Exit(1)
 		}
 		traj.Settings = append(traj.Settings, s)
-		fmt.Fprintf(os.Stderr, "workers=%d: %.2f ms/op (collection %.2f, analysis %.2f [compact %.2f, combine %.2f, absorb %.2f, finalize %.2f], snapshots %.2f)\n",
-			s.Workers, s.WallMSPerOp, s.CollectionMSPerOp, s.AnalysisMSPerOp,
+		fmt.Fprintf(os.Stderr, "workers=%d: %.2f±%.2f ms/op (collection %.2f, analysis %.2f±%.2f [compact %.2f, combine %.2f, absorb %.2f, finalize %.2f], snapshots %.2f)\n",
+			s.Workers, s.WallMSPerOp.Mean, s.WallMSPerOp.Std, s.CollectionMSPerOp,
+			s.AnalysisMSPerOp.Mean, s.AnalysisMSPerOp.Std,
 			s.CompactMSPerOp, s.CombineMSPerOp, s.AbsorbMSPerOp, s.FinalizeMSPerOp,
 			s.SnapshotMSPerOp)
 	}
@@ -124,13 +136,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 
 	if base != nil {
-		if regressions := gate(base, traj, *tolerance); len(regressions) > 0 {
-			for _, r := range regressions {
+		if failures := gate(base, traj, *tolerance, *k); len(failures) > 0 {
+			for _, r := range failures {
 				fmt.Fprintln(os.Stderr, "vxpipebench: REGRESSION:", r)
 			}
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "baseline gate passed (tolerance %.0f%%)\n", 100**tolerance)
+		fmt.Fprintf(os.Stderr, "baseline gate passed (tolerance %.0f%%, %g·std noise bound)\n", 100**tolerance, *k)
 	}
 }
 
@@ -156,29 +168,26 @@ func loadBaseline(path string) (*trajectory, error) {
 }
 
 // gate compares each measured setting against the baseline setting with
-// the same worker count and reports every wall/analysis ms/op regression
-// beyond the tolerance. Settings absent from the baseline pass.
-func gate(base *trajectory, cur trajectory, tolerance float64) []string {
+// the same worker count through the shared statistics-aware comparison
+// and returns every wall/analysis regression as a per-setting diff.
+// Settings absent from the baseline pass (this CLI sweeps ad-hoc worker
+// lists; the grid's strict coverage lives in vxgrid).
+func gate(base *trajectory, cur trajectory, tolerance, k float64) []benchgate.Failure {
 	byWorkers := map[int]setting{}
 	for _, s := range base.Settings {
 		byWorkers[s.Workers] = s
 	}
-	var out []string
+	g := &benchgate.Gate{Tolerance: tolerance, K: k}
 	for _, s := range cur.Settings {
 		b, ok := byWorkers[s.Workers]
 		if !ok {
 			continue
 		}
-		check := func(metric string, was, now float64) {
-			if was > 0 && now > was*(1+tolerance) {
-				out = append(out, fmt.Sprintf("workers=%d %s %.2f → %.2f ms/op (+%.0f%%, tolerance %.0f%%)",
-					s.Workers, metric, was, now, 100*(now/was-1), 100*tolerance))
-			}
-		}
-		check("wall", b.WallMSPerOp, s.WallMSPerOp)
-		check("analysis", b.AnalysisMSPerOp, s.AnalysisMSPerOp)
+		key := fmt.Sprintf("workers=%d", s.Workers)
+		g.Compare(key, "wall_ms_per_op", b.WallMSPerOp, s.WallMSPerOp)
+		g.Compare(key, "analysis_ms_per_op", b.AnalysisMSPerOp, s.AnalysisMSPerOp)
 	}
-	return out
+	return g.Failures()
 }
 
 func parseWorkers(s string) ([]int, error) {
@@ -193,8 +202,11 @@ func parseWorkers(s string) ([]int, error) {
 	return out, nil
 }
 
-// measure profiles the workload iters times at the given worker count
-// and averages the telemetry-attributed overhead per run.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// measure profiles the workload iters times at the given worker count,
+// keeping each run's wall/analysis sample so the gated statistics carry
+// the spread, and averaging the telemetry-attributed breakdown.
 func measure(workload string, scale, workers, iters int) (setting, error) {
 	w, err := workloads.ByName(workload)
 	if err != nil {
@@ -207,8 +219,7 @@ func measure(workload string, scale, workers, iters int) (setting, error) {
 	}
 	s := setting{Workers: workers, Depth: depth}
 
-	var wall, collection, analysis, snapshot time.Duration
-	var compact, combine, absorb, finalize time.Duration
+	var wallS, analS, collS, snapS, compS, combS, absS, finS []float64
 	for i := 0; i < iters; i++ {
 		tel := valueexpert.NewTelemetry()
 		cfg := valueexpert.Config{
@@ -224,11 +235,11 @@ func measure(workload string, scale, workers, iters int) (setting, error) {
 		if err != nil {
 			return setting{}, err
 		}
-		wall += time.Since(start)
+		wallS = append(wallS, ms(time.Since(start)))
 		ov := p.Overhead()
-		collection += ov.CollectionTime
-		analysis += ov.AnalysisTime
-		snapshot += ov.SnapshotTime
+		collS = append(collS, ms(ov.CollectionTime))
+		analS = append(analS, ms(ov.AnalysisTime))
+		snapS = append(snapS, ms(ov.SnapshotTime))
 		m := tel.Metrics()
 		s.SanitizerFlushes += m.Counters["sanitizer.flushes"]
 		s.SanitizerRecords += m.Counters["sanitizer.records"]
@@ -237,6 +248,7 @@ func measure(workload string, scale, workers, iters int) (setting, error) {
 				s.StageBatches += v
 			}
 		}
+		var compact, combine, absorb, finalize time.Duration
 		for name, ts := range m.Timers {
 			if !strings.HasPrefix(name, "stage.") {
 				continue
@@ -253,18 +265,20 @@ func measure(workload string, scale, workers, iters int) (setting, error) {
 				finalize += d
 			}
 		}
+		compS = append(compS, ms(compact))
+		combS = append(combS, ms(combine))
+		absS = append(absS, ms(absorb))
+		finS = append(finS, ms(finalize))
 		p.Detach()
 	}
-	perOp := func(d time.Duration) float64 {
-		return float64(d.Microseconds()) / 1000 / float64(iters)
-	}
-	s.WallMSPerOp = perOp(wall)
-	s.CollectionMSPerOp = perOp(collection)
-	s.AnalysisMSPerOp = perOp(analysis)
-	s.SnapshotMSPerOp = perOp(snapshot)
-	s.CompactMSPerOp = perOp(compact)
-	s.CombineMSPerOp = perOp(combine)
-	s.AbsorbMSPerOp = perOp(absorb)
-	s.FinalizeMSPerOp = perOp(finalize)
+	mean := func(samples []float64) float64 { return benchgate.Summarize(samples).Mean }
+	s.WallMSPerOp = benchgate.Summarize(wallS)
+	s.AnalysisMSPerOp = benchgate.Summarize(analS)
+	s.CollectionMSPerOp = mean(collS)
+	s.SnapshotMSPerOp = mean(snapS)
+	s.CompactMSPerOp = mean(compS)
+	s.CombineMSPerOp = mean(combS)
+	s.AbsorbMSPerOp = mean(absS)
+	s.FinalizeMSPerOp = mean(finS)
 	return s, nil
 }

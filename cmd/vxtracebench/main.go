@@ -7,16 +7,19 @@
 // exact and reproducible, the throughput metrics are environmental
 // context.
 //
-// With -baseline, the run is also a regression gate: bytes-per-access
-// growing beyond the tolerance fails the run, as does the binary
-// encoding falling under the 5x compression floor the format exists to
-// provide (both checks are size-based, so the gate is deterministic).
+// With -baseline, the run is also a regression gate through the shared
+// statistics-aware comparison (internal/benchgate): bytes-per-access
+// growing beyond the tolerance fails the run with a per-setting diff of
+// measured vs baseline vs allowed, as does the binary encoding falling
+// under the 5x compression floor the format exists to provide (both
+// checks are size-based, so the gate is deterministic and the noise
+// bound never fires). Legacy single-mean baseline files keep gating.
 //
 // Usage:
 //
 //	vxtracebench [-workload Darknet] [-scale 64] [-iters 3]
 //	             [-out BENCH_trace.json]
-//	             [-baseline BENCH_trace.json] [-tolerance 0.25]
+//	             [-baseline BENCH_trace.json] [-tolerance 0.25] [-k 3]
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"valueexpert/callpath"
 	"valueexpert/cuda"
 	"valueexpert/gpu"
+	"valueexpert/internal/benchgate"
 	"valueexpert/internal/trace"
 	"valueexpert/internal/workloads"
 )
@@ -50,10 +54,13 @@ type result struct {
 	Accesses uint64 `json:"accesses"`
 
 	// Exact, deterministic size metrics — what the gate compares.
-	BinaryBytes      int     `json:"binary_bytes"`
-	JSONLBytes       int     `json:"jsonl_bytes"`
-	BytesPerAccess   float64 `json:"bytes_per_access"`
-	CompressionRatio float64 `json:"compression_ratio"`
+	// BytesPerAccess is a benchgate.Stat for schema parity with the other
+	// baseline files; the measurement is exact, so it is a single sample
+	// with zero spread (and legacy bare-number files still load).
+	BinaryBytes      int            `json:"binary_bytes"`
+	JSONLBytes       int            `json:"jsonl_bytes"`
+	BytesPerAccess   benchgate.Stat `json:"bytes_per_access"`
+	CompressionRatio float64        `json:"compression_ratio"`
 
 	// Environmental throughput context (bytes of the respective encoding
 	// produced or consumed per second), not gated.
@@ -69,6 +76,7 @@ func main() {
 		out       = flag.String("out", "BENCH_trace.json", "output file")
 		baseline  = flag.String("baseline", "", "baseline result to gate against (skipped when absent)")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional bytes-per-access regression vs the baseline")
+		k         = flag.Float64("k", 3, "noise bound: regressions inside k·std of the measured runs pass")
 	)
 	flag.Parse()
 
@@ -83,7 +91,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d events, %d access records; binary %d bytes (%.2f B/access), jsonl %d bytes, compression %.1fx\n",
-		res.Workload, res.Events, res.Accesses, res.BinaryBytes, res.BytesPerAccess,
+		res.Workload, res.Events, res.Accesses, res.BinaryBytes, res.BytesPerAccess.Mean,
 		res.JSONLBytes, res.CompressionRatio)
 	fmt.Fprintf(os.Stderr, "encode MB/s: binary %.0f, jsonl %.0f; decode MB/s: binary %.0f, jsonl %.0f\n",
 		res.EncodeMBPerS["binary"], res.EncodeMBPerS["jsonl"],
@@ -104,14 +112,14 @@ func main() {
 	f.Close()
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 
-	if regressions := gate(base, res, *tolerance); len(regressions) > 0 {
-		for _, r := range regressions {
+	if failures := gate(base, res, *tolerance, *k); len(failures) > 0 {
+		for _, r := range failures {
 			fmt.Fprintln(os.Stderr, "vxtracebench: REGRESSION:", r)
 		}
 		os.Exit(1)
 	}
 	if base != nil {
-		fmt.Fprintf(os.Stderr, "baseline gate passed (tolerance %.0f%%)\n", 100**tolerance)
+		fmt.Fprintf(os.Stderr, "baseline gate passed (tolerance %.0f%%, %g·std noise bound)\n", 100**tolerance, *k)
 	}
 }
 
@@ -136,22 +144,17 @@ func loadBaseline(path string) (*result, error) {
 	return &r, nil
 }
 
-// gate applies the deterministic size checks: the compression floor
-// always, the bytes-per-access comparison when a baseline exists.
-func gate(base *result, cur result, tolerance float64) []string {
-	var out []string
-	if cur.CompressionRatio < compressionFloor {
-		out = append(out, fmt.Sprintf("binary compression %.1fx under the %.0fx floor",
-			cur.CompressionRatio, compressionFloor))
+// gate applies the deterministic size checks through the shared gate:
+// the compression floor always, the bytes-per-access comparison when a
+// baseline exists — each failure a per-setting diff of measured vs
+// baseline vs allowed.
+func gate(base *result, cur result, tolerance, k float64) []benchgate.Failure {
+	g := &benchgate.Gate{Tolerance: tolerance, K: k}
+	g.Floor(cur.Workload, "compression_ratio", compressionFloor, benchgate.Single(cur.CompressionRatio))
+	if base != nil {
+		g.Compare(cur.Workload, "bytes_per_access", base.BytesPerAccess, cur.BytesPerAccess)
 	}
-	if base != nil && base.BytesPerAccess > 0 {
-		was, now := base.BytesPerAccess, cur.BytesPerAccess
-		if now > was*(1+tolerance) {
-			out = append(out, fmt.Sprintf("bytes per access %.2f → %.2f (+%.0f%%, tolerance %.0f%%)",
-				was, now, 100*(now/was-1), 100*tolerance))
-		}
-	}
-	return out
+	return g.Failures()
 }
 
 // measure records the workload once (one execution, the JSONL encoding
@@ -182,7 +185,7 @@ func measure(workload string, scale, iters int) (result, error) {
 	res.BinaryBytes = binBuf.Len()
 	res.JSONLBytes = jsonlBuf.Len()
 	if res.Accesses > 0 {
-		res.BytesPerAccess = float64(res.BinaryBytes) / float64(res.Accesses)
+		res.BytesPerAccess = benchgate.Single(float64(res.BinaryBytes) / float64(res.Accesses))
 	}
 	if res.BinaryBytes > 0 {
 		res.CompressionRatio = float64(res.JSONLBytes) / float64(res.BinaryBytes)

@@ -1,0 +1,94 @@
+package expgrid
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden output files from the fake-measured grid")
+
+// goldenResult runs the test grid (with a patterns axis, so every output
+// column is exercised) through the deterministic fake measurer.
+func goldenResult(t *testing.T) *Result {
+	t.Helper()
+	s := testSpec()
+	s.Patterns = []string{"", "single value,single zero"}
+	res, err := (&Runner{Spec: s, Measure: fakeMeasure}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// render produces the three artifact byte streams.
+func render(t *testing.T, res *Result) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	var runs, summary bytes.Buffer
+	if err := res.WriteRunsCSV(&runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteSummaryCSV(&summary); err != nil {
+		t.Fatal(err)
+	}
+	out["runs.csv"] = runs.Bytes()
+	out["summary.csv"] = summary.Bytes()
+	out["summary.md"] = []byte(res.Markdown())
+	return out
+}
+
+// TestGoldenOutputs pins the exact bytes of every vxgrid artifact for a
+// fixed grid and fake measurements: iteration order is the grid's cell
+// order, no map order leaks through, and nothing environmental
+// (timestamps, hostnames) appears. Regenerate deliberately with
+// -update-golden after a schema change.
+func TestGoldenOutputs(t *testing.T) {
+	got := render(t, goldenResult(t))
+	for name, data := range got {
+		path := filepath.Join("testdata", "golden", name)
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update-golden to create)", err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("%s drifted from golden bytes\ngot:\n%s\nwant:\n%s", name, data, want)
+		}
+	}
+}
+
+// TestOutputsDeterministic: two identical runs render byte-identical
+// artifacts — the property the golden files witness, asserted directly.
+func TestOutputsDeterministic(t *testing.T) {
+	a := render(t, goldenResult(t))
+	b := render(t, goldenResult(t))
+	for name := range a {
+		if !bytes.Equal(a[name], b[name]) {
+			t.Errorf("%s differs between two identical runs", name)
+		}
+	}
+}
+
+// TestNoTimestampsInGatedOutput: artifact bytes contain no clock-shaped
+// content (dates, times) that would defeat golden comparison or make CI
+// artifacts diff-noisy.
+func TestNoTimestampsInGatedOutput(t *testing.T) {
+	clockish := regexp.MustCompile(`\d{4}-\d{2}-\d{2}|\d{2}:\d{2}:\d{2}`)
+	for name, data := range render(t, goldenResult(t)) {
+		if loc := clockish.Find(data); loc != nil {
+			t.Errorf("%s contains clock-shaped content %q", name, loc)
+		}
+	}
+}

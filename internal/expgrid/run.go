@@ -1,0 +1,226 @@
+package expgrid
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"valueexpert/cuda"
+	"valueexpert/gpu"
+	"valueexpert/internal/benchgate"
+	"valueexpert/internal/capsule"
+	"valueexpert/internal/core"
+	"valueexpert/internal/telemetry"
+	"valueexpert/internal/workloads"
+)
+
+// Sample is one repeat's measurement of one cell, in milliseconds.
+// Corpus cells measure wall time only: a capsule replay has no
+// collection side and the engine's overhead attribution is zeroed by
+// Reprofile, so the remaining fields stay 0 and are never gated.
+type Sample struct {
+	WallMS       float64
+	CollectionMS float64
+	AnalysisMS   float64
+	SnapshotMS   float64
+	// Records is the instrumented access-record volume behind the
+	// numbers, context for reading the spread (identical every repeat for
+	// corpus cells — that is the point of the corpus).
+	Records uint64
+}
+
+// Run is one (cell, repeat) measurement.
+type Run struct {
+	Cell   Cell
+	Rep    int
+	Sample Sample
+}
+
+// Group is one cell's repeats reduced to summary statistics.
+type Group struct {
+	Cell       Cell
+	Wall       benchgate.Stat
+	Collection benchgate.Stat
+	Analysis   benchgate.Stat
+	Snapshot   benchgate.Stat
+	Records    uint64 // per-repeat record volume (max across repeats)
+}
+
+// Result is a completed grid run.
+type Result struct {
+	Spec   Spec
+	Runs   []Run
+	Groups []Group
+}
+
+// Runner executes a grid spec. Measure is injectable so the output and
+// gate layers are testable with deterministic fake measurements; nil
+// selects the real profiled run.
+type Runner struct {
+	Spec Spec
+	// Measure produces one repeat's sample for a cell. nil → MeasureCell.
+	Measure func(c Cell, rep int) (Sample, error)
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+// Run executes every cell Repeats times, in deterministic grid order,
+// and reduces each cell's repeats to a Group.
+func (r *Runner) Run() (*Result, error) {
+	measure := r.Measure
+	if measure == nil {
+		measure = MeasureCell
+	}
+	res := &Result{Spec: r.Spec}
+	for _, c := range r.Spec.Cells() {
+		var wall, coll, anal, snap []float64
+		var records uint64
+		for rep := 0; rep < r.Spec.Repeats; rep++ {
+			s, err := measure(c, rep)
+			if err != nil {
+				return nil, fmt.Errorf("cell %s repeat %d: %w", c.Key(), rep, err)
+			}
+			res.Runs = append(res.Runs, Run{Cell: c, Rep: rep, Sample: s})
+			wall = append(wall, s.WallMS)
+			coll = append(coll, s.CollectionMS)
+			anal = append(anal, s.AnalysisMS)
+			snap = append(snap, s.SnapshotMS)
+			if s.Records > records {
+				records = s.Records
+			}
+		}
+		g := Group{
+			Cell:       c,
+			Wall:       benchgate.Summarize(wall),
+			Collection: benchgate.Summarize(coll),
+			Analysis:   benchgate.Summarize(anal),
+			Snapshot:   benchgate.Summarize(snap),
+			Records:    records,
+		}
+		res.Groups = append(res.Groups, g)
+		if r.Progress != nil {
+			fmt.Fprintf(r.Progress, "%s: wall %.2f±%.2f ms, analysis %.2f±%.2f ms (n=%d)\n",
+				c.Key(), g.Wall.Mean, g.Wall.Std, g.Analysis.Mean, g.Analysis.Std, g.Wall.Repeats)
+		}
+	}
+	return res, nil
+}
+
+// MeasureCell is the real measurement: profile a live workload run or
+// replay a capsule corpus, once, and attribute the cost from the
+// engine's telemetry.
+func MeasureCell(c Cell, rep int) (Sample, error) {
+	if c.Workload.Corpus != "" {
+		return measureCorpus(c)
+	}
+	return measureLive(c)
+}
+
+// measureLive profiles one instrumented run of a bundled workload —
+// the same coarse+fine configuration cmd/vxpipebench times.
+func measureLive(c Cell) (Sample, error) {
+	w, err := workloads.ByName(c.Workload.Name)
+	if err != nil {
+		return Sample{}, err
+	}
+	oldScale := workloads.Scale
+	workloads.Scale = c.Workload.Scale
+	defer func() { workloads.Scale = oldScale }()
+
+	tel := telemetry.New()
+	cfg := core.Config{
+		Coarse: true, Fine: true,
+		Patterns:        splitPatterns(c.Patterns),
+		AnalysisWorkers: c.Setting.Workers,
+		PipelineDepth:   c.Setting.Depth,
+		Telemetry:       tel,
+		Program:         c.Workload.Name,
+	}
+	src := cuda.NewLiveSource(cuda.NewRuntime(gpu.RTX2080Ti), func(rt *cuda.Runtime) error {
+		return w.Run(rt, workloads.Original)
+	})
+	start := time.Now()
+	p, err := core.Profile(src, cfg)
+	if err != nil {
+		return Sample{}, err
+	}
+	defer p.Detach()
+	s := Sample{WallMS: ms(time.Since(start))}
+	ov := p.Overhead()
+	s.CollectionMS = ms(ov.CollectionTime)
+	s.AnalysisMS = ms(ov.AnalysisTime)
+	s.SnapshotMS = ms(ov.SnapshotTime)
+	s.Records = tel.Metrics().Counters["sanitizer.records"]
+	return s, nil
+}
+
+// corpusCfg is the analysis configuration corpus capsules replay under —
+// the same per-launch dimensions their checked-in reports were recorded
+// with (see CorpusConfig in corpus.go), at the cell's pipeline setting.
+func corpusCfg(c Cell) core.Config {
+	cfg := CorpusConfig()
+	cfg.Patterns = splitPatterns(c.Patterns)
+	cfg.AnalysisWorkers = c.Setting.Workers
+	cfg.PipelineDepth = c.Setting.Depth
+	return cfg
+}
+
+// measureCorpus replays every capsule in the cell's corpus directory and
+// reports the total replay wall time. The input bytes are checked in, so
+// the measured work is fixed — the closest thing the grid has to a
+// noise-floor probe.
+func measureCorpus(c Cell) (Sample, error) {
+	files, err := CorpusFiles(c.Workload.Corpus)
+	if err != nil {
+		return Sample{}, err
+	}
+	if len(files) == 0 {
+		return Sample{}, fmt.Errorf("corpus %s: no *.capsule files", c.Workload.Corpus)
+	}
+	var s Sample
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return Sample{}, err
+		}
+		for _, l := range mustLaunches(data) {
+			s.Records += uint64(l.Records)
+		}
+		start := time.Now()
+		rep, _, err := capsule.Reprofile(data, corpusCfg(c))
+		if err != nil {
+			return Sample{}, fmt.Errorf("%s: %w", path, err)
+		}
+		s.WallMS += ms(time.Since(start))
+		if rep == nil {
+			return Sample{}, fmt.Errorf("%s: empty report", path)
+		}
+	}
+	return s, nil
+}
+
+// mustLaunches lists a capsule's launches, swallowing scan errors —
+// Reprofile will surface them with context a moment later.
+func mustLaunches(data []byte) []capsule.LaunchInfo {
+	launches, err := capsule.Launches(bytes.NewReader(data))
+	if err != nil {
+		return nil
+	}
+	return launches
+}
+
+// CorpusFiles lists a corpus directory's capsules in sorted order.
+func CorpusFiles(dir string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.capsule"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

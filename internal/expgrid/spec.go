@@ -1,0 +1,184 @@
+// Package expgrid is the reproducible experiment runner behind
+// cmd/vxgrid and the make grid gate: a checked-in JSON grid of
+// workload × workers/depth × patterns, run repeats times per cell,
+// reduced to per-run CSV rows plus grouped mean/std/min/max summaries
+// (CSV and a markdown table), and gated against a checked-in
+// BENCH_grid.json baseline through the shared internal/benchgate
+// statistics-aware comparison. Two kinds of cell exist: live workload
+// cells profile a bundled application end to end, and corpus cells
+// replay the checked-in kernel capsules under testdata/corpus — a
+// byte-deterministic fixed input, so their measurements vary only with
+// the machine, never with the workload.
+package expgrid
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"valueexpert/internal/vpattern"
+	"valueexpert/internal/workloads"
+)
+
+// WorkloadSpec names one grid workload: either a bundled application
+// (profiled live at Scale) or a capsule corpus directory (replayed).
+type WorkloadSpec struct {
+	// Name is the workload's display name: a workloads.ByName entry for
+	// live cells, any label (conventionally "corpus") for corpus cells.
+	Name string `json:"name"`
+	// Scale divides the live workload's problem size (1 = full scale).
+	Scale int `json:"scale,omitempty"`
+	// Corpus, when set, replays every *.capsule under this directory
+	// instead of running a live workload.
+	Corpus string `json:"corpus,omitempty"`
+}
+
+// Setting is one pipeline configuration axis value.
+type Setting struct {
+	Workers int `json:"workers"`
+	Depth   int `json:"depth"`
+}
+
+// Spec is the checked-in grid definition. Cells enumerate as
+// workloads × patterns × settings in file order; every cell runs
+// Repeats times.
+type Spec struct {
+	Name    string `json:"name"`
+	Repeats int    `json:"repeats"`
+
+	Workloads []WorkloadSpec `json:"workloads"`
+	Settings  []Setting      `json:"settings"`
+
+	// Patterns lists detector selections to sweep, each a comma-separated
+	// vpattern name list ("" = every default pattern). Empty means one
+	// all-patterns column.
+	Patterns []string `json:"patterns,omitempty"`
+}
+
+// Load reads and validates a grid spec. Unknown fields are rejected so a
+// typoed knob fails loudly instead of silently running the default.
+func Load(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("grid %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("grid %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate checks the spec is runnable: names resolve, axes are
+// non-empty, repeats and settings are sane.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("grid needs a name")
+	}
+	if s.Repeats < 1 {
+		return fmt.Errorf("repeats must be >= 1, got %d", s.Repeats)
+	}
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("grid needs at least one workload")
+	}
+	if len(s.Settings) == 0 {
+		return fmt.Errorf("grid needs at least one workers/depth setting")
+	}
+	for _, w := range s.Workloads {
+		if w.Name == "" {
+			return fmt.Errorf("workload needs a name")
+		}
+		if w.Corpus != "" {
+			if w.Scale != 0 {
+				return fmt.Errorf("workload %s: corpus cells have no scale", w.Name)
+			}
+			continue
+		}
+		if w.Scale < 1 {
+			return fmt.Errorf("workload %s: scale must be >= 1, got %d", w.Name, w.Scale)
+		}
+		if _, err := workloads.ByName(w.Name); err != nil {
+			return err
+		}
+	}
+	for _, st := range s.Settings {
+		if st.Workers < 0 || st.Depth < 0 {
+			return fmt.Errorf("setting workers=%d depth=%d: both must be >= 0", st.Workers, st.Depth)
+		}
+	}
+	for _, p := range s.Patterns {
+		if _, err := vpattern.ParseSet(splitPatterns(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cell is one grid point: a workload at one setting under one pattern
+// selection.
+type Cell struct {
+	Workload WorkloadSpec
+	Setting  Setting
+	// Patterns is the comma-separated detector selection ("" = all).
+	Patterns string
+}
+
+// Key is the cell's stable identity — what baseline entries are matched
+// by and what the CSV/markdown rows lead with.
+func (c Cell) Key() string {
+	pat := c.Patterns
+	if pat == "" {
+		pat = "all"
+	}
+	if c.Workload.Corpus != "" {
+		return fmt.Sprintf("%s/w%d/d%d/%s", c.Workload.Name, c.Setting.Workers, c.Setting.Depth, pat)
+	}
+	return fmt.Sprintf("%s/s%d/w%d/d%d/%s",
+		c.Workload.Name, c.Workload.Scale, c.Setting.Workers, c.Setting.Depth, pat)
+}
+
+// patternLabel is the human column for the patterns axis.
+func (c Cell) patternLabel() string {
+	if c.Patterns == "" {
+		return "all"
+	}
+	return c.Patterns
+}
+
+// splitPatterns turns the spec's comma-separated selection into the
+// engine's slice form; "" stays nil (all default patterns).
+func splitPatterns(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// Cells enumerates the grid in deterministic file order: workloads
+// outermost, then pattern selections, then settings.
+func (s Spec) Cells() []Cell {
+	pats := s.Patterns
+	if len(pats) == 0 {
+		pats = []string{""}
+	}
+	var out []Cell
+	for _, w := range s.Workloads {
+		for _, p := range pats {
+			for _, st := range s.Settings {
+				out = append(out, Cell{Workload: w, Setting: st, Patterns: p})
+			}
+		}
+	}
+	return out
+}
